@@ -1,0 +1,103 @@
+//! The paper's address anonymization scheme (§3).
+//!
+//! > "We changed the first 32 bits in IPv6 addresses to the
+//! > documentation prefix (2001:db8::/32), incrementing the first
+//! > nybble when necessary. To anonymize IPv4 addresses embedded
+//! > within IPv6 addresses, we changed the first byte to the
+//! > 127.0.0.0/8 prefix."
+//!
+//! "Incrementing the first nybble" is how the paper keeps *distinct*
+//! real /32s distinct after anonymization: the first observed /32
+//! becomes `2001:db8::/32`, the second `3001:db8::/32`, and so on
+//! (visible in its Fig. 7(b), where dataset S1's two /32s appear as
+//! `20010db8` and `30010db8`).
+
+use std::collections::HashMap;
+
+use crate::ip6::Ip6;
+use crate::set::AddressSet;
+
+/// Documentation prefix network number (`2001:db8::`), the base of
+/// the anonymized space.
+const DOC32: u128 = 0x2001_0db8u128 << 96;
+
+/// Rewrites the top 32 bits of `ip` according to the paper's scheme,
+/// given the 0-based index of its real /32 in observation order.
+///
+/// Index 0 maps to `2001:db8::/32`, index 1 to `3001:db8::/32`, …,
+/// wrapping the first nybble modulo 16 (the paper never needed more
+/// than a handful per figure).
+pub fn anonymize_addr(ip: Ip6, slash32_index: usize) -> Ip6 {
+    let first_nybble = (0x2 + slash32_index as u128) % 16;
+    let top = (DOC32 & !(0xfu128 << 124)) | (first_nybble << 124);
+    Ip6(top | (ip.value() & (!0u128 >> 32)))
+}
+
+/// Anonymizes a whole set, assigning first-nybble indices by order of
+/// first appearance of each real /32. Returns the anonymized set and
+/// the mapping from real /32 network to index.
+pub fn anonymize_set(set: &AddressSet) -> (AddressSet, HashMap<Ip6, usize>) {
+    let mut index: HashMap<Ip6, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(set.len());
+    for ip in set.iter() {
+        let net = ip.network(32);
+        let next = index.len();
+        let idx = *index.entry(net).or_insert(next);
+        out.push(anonymize_addr(ip, idx));
+    }
+    (AddressSet::from_iter(out), index)
+}
+
+/// Anonymizes an IPv4 address embedded in the low 32 bits of an IID:
+/// forces its first octet to 127 (the `127.0.0.0/8` prefix), leaving
+/// the other three octets intact.
+pub fn anonymize_embedded_v4(v4: u32) -> u32 {
+    (127u32 << 24) | (v4 & 0x00ff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_slash32_maps_to_doc_prefix() {
+        let ip: Ip6 = "2400:beef:221:ffff::122a".parse().unwrap();
+        let anon = anonymize_addr(ip, 0);
+        assert_eq!(anon.to_string(), "2001:db8:221:ffff::122a");
+    }
+
+    #[test]
+    fn second_slash32_increments_first_nybble() {
+        let ip: Ip6 = "2400:beef::1".parse().unwrap();
+        let anon = anonymize_addr(ip, 1);
+        assert_eq!(anon.to_string(), "3001:db8::1");
+    }
+
+    #[test]
+    fn set_assigns_indices_in_first_appearance_order() {
+        let set = AddressSet::from_iter(
+            ["2400:a::1", "2400:a::2", "2600:b::1"]
+                .iter()
+                .map(|s| s.parse::<Ip6>().unwrap()),
+        );
+        let (anon, map) = anonymize_set(&set);
+        assert_eq!(map.len(), 2);
+        assert_eq!(anon.count_prefixes(32), 2);
+        // 2400:a::/32 sorts first, so it becomes 2001:db8::/32.
+        assert!(anon.contains("2001:db8::1".parse().unwrap()));
+        assert!(anon.contains("3001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn anonymization_preserves_low_96_bits() {
+        let ip: Ip6 = "2400:beef:aaaa:bbbb:cccc:dddd:eeee:ffff".parse().unwrap();
+        let anon = anonymize_addr(ip, 0);
+        assert_eq!(anon.value() & (!0u128 >> 32), ip.value() & (!0u128 >> 32));
+    }
+
+    #[test]
+    fn embedded_v4_first_octet_becomes_127() {
+        let v4 = u32::from_be_bytes([203, 0, 113, 9]);
+        assert_eq!(anonymize_embedded_v4(v4).to_be_bytes(), [127, 0, 113, 9]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Interface-identifier (IID) construction helpers.
+//!
+//! The paper's datasets exhibit several well-known IID families whose
+//! signatures Entropy/IP must *discover* rather than be told about
+//! (§1): Modified EUI-64 from MAC addresses (the `ff:fe` word at bits
+//! 88–104 and the flipped "u" bit at bit 70, per RFC 4291), IPv4
+//! addresses embedded in hex, IPv4 addresses written as decimal
+//! octets in 16-bit words (observed for dataset R4, §5.3), low-byte
+//! static assignments, and pseudo-random privacy IIDs (RFC 4941).
+//! The simulated address plans in `eip-netsim` use these builders.
+
+use crate::ip6::Ip6;
+
+/// Builds a Modified EUI-64 interface identifier from a 48-bit MAC
+/// address, per RFC 4291 Appendix A: the MAC is split in half,
+/// `ff:fe` is inserted in the middle, and the universal/local bit
+/// (bit 7 of the first octet, transmitted as bit 70 of the address)
+/// is inverted.
+pub fn eui64_from_mac(mac: [u8; 6]) -> u64 {
+    let b = [
+        mac[0] ^ 0x02, // flip the u/l bit
+        mac[1],
+        mac[2],
+        0xff,
+        0xfe,
+        mac[3],
+        mac[4],
+        mac[5],
+    ];
+    u64::from_be_bytes(b)
+}
+
+/// Combines a /64 network with a 64-bit interface identifier.
+pub fn with_iid(net64: Ip6, iid: u64) -> Ip6 {
+    Ip6((net64.value() & (!0u128 << 64)) | u128::from(iid))
+}
+
+/// Returns the 64-bit interface identifier (low half) of `ip`.
+pub fn iid_of(ip: Ip6) -> u64 {
+    (ip.value() & u128::from(u64::MAX)) as u64
+}
+
+/// Whether the IID carries the Modified EUI-64 signature: `ff:fe` in
+/// octets 3–4 (address bits 88–104).
+pub fn looks_like_eui64(iid: u64) -> bool {
+    (iid >> 24) & 0xffff == 0xfffe
+}
+
+/// Embeds an IPv4 address in the low 32 bits of the IID in *hex*
+/// form, e.g. `192.0.2.1` → IID `::c000:0201`. Observed for a subset
+/// of dataset S1 (§5.2: "67% of IPv6 addresses encode literal IPv4
+/// addresses in segments G-J").
+pub fn iid_embed_v4_hex(v4: u32) -> u64 {
+    u64::from(v4)
+}
+
+/// Embeds an IPv4 address as *decimal octets in 16-bit aligned words*
+/// — each octet written in base 10 in its own colon group, as the
+/// paper observed for router dataset R4 (§5.3). `192.0.2.54` becomes
+/// the IID `0192:0000:0002:0054` where each group reads as the
+/// decimal octet value *in hex digits*, i.e. group value = decimal
+/// digits interpreted per-nybble.
+///
+/// Concretely octet 192 is rendered as the hex word `0x0192`.
+pub fn iid_embed_v4_decimal_words(v4: u32) -> u64 {
+    let o = v4.to_be_bytes();
+    let mut out: u64 = 0;
+    for oct in o {
+        out = (out << 16) | u64::from(decimal_as_hex_word(oct));
+    }
+    out
+}
+
+/// Renders a byte's decimal digits as a hex word: 192 → 0x0192.
+fn decimal_as_hex_word(b: u8) -> u16 {
+    let hundreds = u16::from(b / 100);
+    let tens = u16::from((b / 10) % 10);
+    let ones = u16::from(b % 10);
+    (hundreds << 8) | (tens << 4) | ones
+}
+
+/// Parses a dotted-quad IPv4 string into a `u32`; helper for tests
+/// and examples. Returns `None` on malformed input.
+pub fn parse_v4(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut out: u32 = 0;
+    for _ in 0..4 {
+        let p: u32 = parts.next()?.parse().ok()?;
+        if p > 255 {
+            return None;
+        }
+        out = (out << 8) | p;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eui64_inserts_fffe_and_flips_ubit() {
+        // Example from RFC 4291 App. A: MAC 34-56-78-9A-BC-DE
+        // -> IID 3656:78ff:fe9a:bcde.
+        let iid = eui64_from_mac([0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde]);
+        assert_eq!(iid, 0x3656_78ff_fe9a_bcde);
+        assert!(looks_like_eui64(iid));
+    }
+
+    #[test]
+    fn with_iid_replaces_low_half() {
+        let net: Ip6 = "2001:db8:1:2::".parse().unwrap();
+        let ip = with_iid(net, 0x1234_5678_9abc_def0);
+        assert_eq!(ip.to_string(), "2001:db8:1:2:1234:5678:9abc:def0");
+        assert_eq!(iid_of(ip), 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn v4_hex_embedding() {
+        let v4 = parse_v4("192.0.2.1").unwrap();
+        assert_eq!(iid_embed_v4_hex(v4), 0xc000_0201);
+    }
+
+    #[test]
+    fn v4_decimal_word_embedding_matches_r4_pattern() {
+        // 127.0.113.54 -> groups 0127:0000:0113:0054 (paper Fig. 8
+        // R4's decimal-octet IIDs; cf. Table 3 codes like
+        // "0127016000630" which read as decimal octets).
+        let v4 = parse_v4("127.0.113.54").unwrap();
+        assert_eq!(iid_embed_v4_decimal_words(v4), 0x0127_0000_0113_0054);
+    }
+
+    #[test]
+    fn decimal_word_digits_stay_below_ten() {
+        for b in 0..=255u8 {
+            let w = decimal_as_hex_word(b);
+            assert!(w >> 8 <= 2, "hundreds digit of {b}");
+            assert!((w >> 4) & 0xf <= 9, "tens digit of {b}");
+            assert!(w & 0xf <= 9, "ones digit of {b}");
+        }
+    }
+
+    #[test]
+    fn parse_v4_rejects_garbage() {
+        assert!(parse_v4("300.0.0.1").is_none());
+        assert!(parse_v4("1.2.3").is_none());
+        assert!(parse_v4("1.2.3.4.5").is_none());
+        assert_eq!(parse_v4("255.255.255.255"), Some(u32::MAX));
+    }
+
+    #[test]
+    fn non_eui64_not_flagged() {
+        assert!(!looks_like_eui64(0x1234_5678_9abc_def0));
+    }
+}

@@ -1,0 +1,267 @@
+//! The [`Ip6`] address value type.
+//!
+//! Entropy/IP treats an IPv6 address as both a 128-bit integer (for
+//! prefix math and ordering) and a string of 32 hex characters (for
+//! entropy analysis). `Ip6` supports both views losslessly.
+
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+use crate::nybbles::Nybbles;
+
+/// A 128-bit IPv6 address.
+///
+/// Stored as a plain `u128` in network (big-endian) bit order: the
+/// most significant bit of the integer is bit 1 of the address, so
+/// nybble 1 (the paper numbers hex character positions 1..=32 left to
+/// right) is the top 4 bits.
+///
+/// `Ip6` is `Copy`, hashes and orders by numeric value, and converts
+/// freely to and from [`std::net::Ipv6Addr`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip6(pub u128);
+
+impl Ip6 {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Ip6 = Ip6(0);
+
+    /// Builds an address from eight 16-bit groups, mirroring
+    /// [`Ipv6Addr::new`].
+    pub fn new(g: [u16; 8]) -> Self {
+        let mut v: u128 = 0;
+        for x in g {
+            v = (v << 16) | u128::from(x);
+        }
+        Ip6(v)
+    }
+
+    /// Returns the raw 128-bit value.
+    #[inline]
+    pub fn value(self) -> u128 {
+        self.0
+    }
+
+    /// Returns the hex character (nybble) at 1-based position
+    /// `pos` (1..=32), as a value in `0..16`.
+    ///
+    /// Position 1 is the leftmost character of the fixed-width
+    /// representation, exactly as in the paper's Fig. 3.
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside `1..=32`.
+    #[inline]
+    pub fn nybble(self, pos: usize) -> u8 {
+        assert!((1..=32).contains(&pos), "nybble position must be 1..=32");
+        ((self.0 >> ((32 - pos) * 4)) & 0xf) as u8
+    }
+
+    /// Returns a copy of this address with the nybble at 1-based
+    /// position `pos` replaced by `val` (which must be `< 16`).
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside `1..=32` or `val >= 16`.
+    #[inline]
+    pub fn with_nybble(self, pos: usize, val: u8) -> Ip6 {
+        assert!((1..=32).contains(&pos), "nybble position must be 1..=32");
+        assert!(val < 16, "nybble value must be < 16");
+        let shift = (32 - pos) * 4;
+        Ip6((self.0 & !(0xfu128 << shift)) | (u128::from(val) << shift))
+    }
+
+    /// Extracts the bits of the closed-open bit range
+    /// `[start_bit, end_bit)` (0-based from the most significant bit)
+    /// as an integer right-aligned in the result.
+    ///
+    /// For example `bits(0, 32)` is the /32 network number and
+    /// `bits(64, 128)` the interface identifier.
+    ///
+    /// # Panics
+    /// Panics unless `start_bit < end_bit <= 128`.
+    #[inline]
+    pub fn bits(self, start_bit: usize, end_bit: usize) -> u128 {
+        assert!(start_bit < end_bit && end_bit <= 128, "bad bit range");
+        let width = end_bit - start_bit;
+        if width == 128 {
+            return self.0;
+        }
+        (self.0 >> (128 - end_bit)) & ((1u128 << width) - 1)
+    }
+
+    /// Returns the address truncated to its top `len` bits (the rest
+    /// zeroed), i.e. the network number of the enclosing `/len`.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    #[inline]
+    pub fn network(self, len: u8) -> Ip6 {
+        assert!(len <= 128, "prefix length must be <= 128");
+        if len == 0 {
+            Ip6(0)
+        } else if len == 128 {
+            self
+        } else {
+            Ip6(self.0 & (!0u128 << (128 - len)))
+        }
+    }
+
+    /// The /64 network of this address — the paper's unit of "subnet"
+    /// accounting ("New /64s" in its Table 4).
+    #[inline]
+    pub fn slash64(self) -> Ip6 {
+        self.network(64)
+    }
+
+    /// Formats the address as the fixed-width, colon-free 32-character
+    /// lowercase hex string used throughout the paper (Fig. 3).
+    pub fn to_hex32(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a fixed-width 32-character hex string (no colons), the
+    /// inverse of [`Ip6::to_hex32`].
+    pub fn from_hex32(s: &str) -> Result<Ip6, ParseIp6Error> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseIp6Error);
+        }
+        u128::from_str_radix(s, 16).map(Ip6).map_err(|_| ParseIp6Error)
+    }
+
+    /// Expands the address into its 32 nybble values.
+    pub fn nybbles(self) -> Nybbles {
+        Nybbles::from_ip(self)
+    }
+}
+
+impl From<Ipv6Addr> for Ip6 {
+    fn from(a: Ipv6Addr) -> Self {
+        Ip6(u128::from(a))
+    }
+}
+
+impl From<Ip6> for Ipv6Addr {
+    fn from(a: Ip6) -> Self {
+        Ipv6Addr::from(a.0)
+    }
+}
+
+impl From<u128> for Ip6 {
+    fn from(v: u128) -> Self {
+        Ip6(v)
+    }
+}
+
+/// Error returned when parsing an [`Ip6`] from text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseIp6Error;
+
+impl fmt::Display for ParseIp6Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid IPv6 address")
+    }
+}
+
+impl std::error::Error for ParseIp6Error {}
+
+impl FromStr for Ip6 {
+    type Err = ParseIp6Error;
+
+    /// Accepts either the standard colon notation (delegated to
+    /// [`Ipv6Addr`]) or the paper's fixed-width 32-hex-char form.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            Ipv6Addr::from_str(s).map(Ip6::from).map_err(|_| ParseIp6Error)
+        } else {
+            Ip6::from_hex32(s)
+        }
+    }
+}
+
+impl fmt::Display for Ip6 {
+    /// Displays in canonical colon notation (via [`Ipv6Addr`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Ipv6Addr::from(*self).fmt(f)
+    }
+}
+
+impl fmt::Debug for Ip6 {
+    /// Debug output forwards to `Display`; addresses read better in
+    /// test failures as `2001:db8::1` than as a tuple struct.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_colon_and_hex32_agree() {
+        let a: Ip6 = "2001:db8:221:ffff:ffff:ffff:ffc0:122a".parse().unwrap();
+        let b = Ip6::from_hex32("20010db80221ffffffffffffffc0122a").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_hex32(), "20010db80221ffffffffffffffc0122a");
+    }
+
+    #[test]
+    fn nybble_positions_are_one_based_msb_first() {
+        let a = Ip6::from_hex32("20010db840011111000000000000111c").unwrap();
+        assert_eq!(a.nybble(1), 0x2);
+        assert_eq!(a.nybble(2), 0x0);
+        assert_eq!(a.nybble(4), 0x1);
+        assert_eq!(a.nybble(32), 0xc);
+    }
+
+    #[test]
+    #[should_panic(expected = "nybble position")]
+    fn nybble_zero_panics() {
+        Ip6(0).nybble(0);
+    }
+
+    #[test]
+    fn with_nybble_round_trips() {
+        let a = Ip6(0);
+        let b = a.with_nybble(1, 0xf).with_nybble(32, 0x3);
+        assert_eq!(b.to_hex32(), "f0000000000000000000000000000003");
+        assert_eq!(b.nybble(1), 0xf);
+        assert_eq!(b.nybble(32), 0x3);
+    }
+
+    #[test]
+    fn bits_extracts_ranges() {
+        let a: Ip6 = "2001:db8::1".parse().unwrap();
+        assert_eq!(a.bits(0, 32), 0x20010db8);
+        assert_eq!(a.bits(64, 128), 1);
+        assert_eq!(a.bits(0, 128), a.value());
+    }
+
+    #[test]
+    fn network_truncates() {
+        let a: Ip6 = "2001:db8:1:2:3:4:5:6".parse().unwrap();
+        assert_eq!(a.network(32).to_string(), "2001:db8::");
+        assert_eq!(a.slash64().to_string(), "2001:db8:1:2::");
+        assert_eq!(a.network(0), Ip6(0));
+        assert_eq!(a.network(128), a);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let a = Ip6::from_hex32("20010db8000000000000000000000001").unwrap();
+        assert_eq!(a.to_string(), "2001:db8::1");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("2001:db8::zz".parse::<Ip6>().is_err());
+        assert!(Ip6::from_hex32("20010db8").is_err());
+        assert!(Ip6::from_hex32("20010db80221ffffffffffffffc0122g").is_err());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let lo: Ip6 = "2001:db8::1".parse().unwrap();
+        let hi: Ip6 = "2001:db8::2".parse().unwrap();
+        assert!(lo < hi);
+    }
+}

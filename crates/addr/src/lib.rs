@@ -1,0 +1,55 @@
+//! IPv6 address substrate for the Entropy/IP reproduction.
+//!
+//! Entropy/IP (Foremski, Plonka & Berger, IMC 2016) analyzes IPv6
+//! addresses as strings of 32 hexadecimal characters ("nybbles").
+//! This crate provides the address representation and manipulation
+//! primitives every other crate in the workspace builds on:
+//!
+//! * [`Ip6`] — a thin, `Copy`, totally-ordered wrapper over the 128-bit
+//!   address value with conversions to and from [`std::net::Ipv6Addr`],
+//!   nybble access, and the fixed-width 32-character hex format used
+//!   throughout the paper (its Fig. 3).
+//! * [`Nybbles`] — the address expanded to `[u8; 32]` of 4-bit values,
+//!   the unit of entropy analysis.
+//! * [`Prefix`] — a CIDR prefix with containment and iteration helpers
+//!   (the paper reasons about /32 allocations and /64 subnets).
+//! * [`AddressSet`] — a deduplicated, sorted address collection with
+//!   the sampling operations used by the evaluation (random training
+//!   splits, stratified sampling by /32, /64 extraction).
+//! * [`anonymize`] — the paper's anonymization scheme (first 32 bits
+//!   rewritten to `2001:db8::/32`; embedded IPv4 first octet to 127).
+//! * [`iid`] — interface-identifier construction helpers (Modified
+//!   EUI-64 from a MAC address, embedded IPv4 in both hex and decimal
+//!   presentation), which the simulated address plans need.
+//!
+//! The design follows the smoltcp idiom: no `unsafe`, no clever type
+//! tricks, exhaustive documentation, and data structures that are
+//! plain enough to audit at a glance.
+//!
+//! # Quick example
+//!
+//! ```
+//! use eip_addr::{Ip6, Prefix};
+//!
+//! let ip: Ip6 = "2001:db8:221:ffff:ffff:ffff:ffc0:122a".parse().unwrap();
+//! assert_eq!(ip.to_hex32(), "20010db80221ffffffffffffffc0122a");
+//! let pfx: Prefix = "2001:db8::/32".parse().unwrap();
+//! assert!(pfx.contains(ip));
+//! assert_eq!(ip.nybble(1), 0x2); // positions are 1-based as in the paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod iid;
+pub mod ip6;
+pub mod nybbles;
+pub mod prefix;
+pub mod set;
+
+pub use anonymize::{anonymize_addr, anonymize_set};
+pub use ip6::{Ip6, ParseIp6Error};
+pub use nybbles::Nybbles;
+pub use prefix::{ParsePrefixError, Prefix};
+pub use set::AddressSet;

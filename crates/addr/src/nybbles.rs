@@ -1,0 +1,168 @@
+//! The 32-nybble expansion of an IPv6 address.
+//!
+//! Entropy/IP's unit of analysis is the hex character: the paper
+//! computes the entropy of the value at each of the 32 positions
+//! across an address set (§4.1). [`Nybbles`] is that expansion,
+//! with helpers to slice out the paper's *segments* (contiguous
+//! nybble runs).
+
+use std::fmt;
+
+use crate::ip6::Ip6;
+
+/// An IPv6 address expanded to its 32 hexadecimal characters.
+///
+/// Index 0 of the inner array is nybble position 1 in the paper's
+/// 1-based numbering; use [`Nybbles::get`] for 1-based access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nybbles(pub [u8; 32]);
+
+impl Nybbles {
+    /// Expands an address into nybbles.
+    pub fn from_ip(ip: Ip6) -> Self {
+        let mut out = [0u8; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = ((ip.0 >> ((31 - i) * 4)) & 0xf) as u8;
+        }
+        Nybbles(out)
+    }
+
+    /// Recombines the nybbles into an address.
+    pub fn to_ip(self) -> Ip6 {
+        let mut v: u128 = 0;
+        for n in self.0 {
+            v = (v << 4) | u128::from(n & 0xf);
+        }
+        Ip6(v)
+    }
+
+    /// Returns the nybble at 1-based position `pos` (1..=32).
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside `1..=32`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> u8 {
+        assert!((1..=32).contains(&pos), "nybble position must be 1..=32");
+        self.0[pos - 1]
+    }
+
+    /// Sets the nybble at 1-based position `pos` to `val` (< 16).
+    ///
+    /// # Panics
+    /// Panics if `pos` is outside `1..=32` or `val >= 16`.
+    #[inline]
+    pub fn set(&mut self, pos: usize, val: u8) {
+        assert!((1..=32).contains(&pos), "nybble position must be 1..=32");
+        assert!(val < 16, "nybble value must be < 16");
+        self.0[pos - 1] = val;
+    }
+
+    /// Extracts the value of the segment spanning 1-based nybble
+    /// positions `start..=end` (inclusive on both sides, as the paper
+    /// labels segments), packed into a `u128` right-aligned.
+    ///
+    /// A segment is at most 32 nybbles so the value always fits.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= start <= end <= 32`.
+    pub fn segment_value(&self, start: usize, end: usize) -> u128 {
+        assert!(1 <= start && start <= end && end <= 32, "bad segment bounds");
+        let mut v: u128 = 0;
+        for pos in start..=end {
+            v = (v << 4) | u128::from(self.get(pos));
+        }
+        v
+    }
+
+    /// Writes `value` into the segment spanning 1-based positions
+    /// `start..=end`, most significant nybble first.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= start <= end <= 32`, or if `value` does not
+    /// fit in the segment width.
+    pub fn set_segment_value(&mut self, start: usize, end: usize, value: u128) {
+        assert!(1 <= start && start <= end && end <= 32, "bad segment bounds");
+        let width = end - start + 1;
+        if width < 32 {
+            assert!(value < (1u128 << (4 * width)), "value too wide for segment");
+        }
+        for (k, pos) in (start..=end).enumerate() {
+            let shift = 4 * (width - 1 - k);
+            self.set(pos, ((value >> shift) & 0xf) as u8);
+        }
+    }
+}
+
+impl fmt::Display for Nybbles {
+    /// Fixed-width hex, exactly the paper's Fig. 3 presentation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for n in self.0 {
+            write!(f, "{:x}", n & 0xf)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Nybbles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ip: Ip6 = "2001:db8:4001:1111::111c".parse().unwrap();
+        let ny = Nybbles::from_ip(ip);
+        assert_eq!(ny.to_ip(), ip);
+        assert_eq!(ny.to_string(), ip.to_hex32());
+    }
+
+    #[test]
+    fn one_based_get_matches_ip6() {
+        let ip: Ip6 = "2001:db8:4001:1111::111c".parse().unwrap();
+        let ny = ip.nybbles();
+        for pos in 1..=32 {
+            assert_eq!(ny.get(pos), ip.nybble(pos), "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn segment_value_extracts_inclusive_run() {
+        // Fig. 3 example: hex chars 12-16 of the first sample address
+        // are "11111".
+        let ip = Ip6::from_hex32("20010db840011111000000000000111c").unwrap();
+        let ny = ip.nybbles();
+        assert_eq!(ny.segment_value(12, 16), 0x11111);
+        assert_eq!(ny.segment_value(1, 8), 0x20010db8);
+        assert_eq!(ny.segment_value(32, 32), 0xc);
+    }
+
+    #[test]
+    fn set_segment_value_round_trips() {
+        let mut ny = Nybbles::from_ip(Ip6(0));
+        ny.set_segment_value(12, 16, 0x31c13);
+        assert_eq!(ny.segment_value(12, 16), 0x31c13);
+        assert_eq!(ny.to_string(), "0000000000031c130000000000000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "value too wide")]
+    fn set_segment_rejects_wide_values() {
+        let mut ny = Nybbles::from_ip(Ip6(0));
+        ny.set_segment_value(1, 1, 0x10);
+    }
+
+    #[test]
+    fn full_width_segment() {
+        let ip = Ip6(u128::MAX);
+        let ny = ip.nybbles();
+        assert_eq!(ny.segment_value(1, 32), u128::MAX);
+        let mut z = Nybbles::from_ip(Ip6(0));
+        z.set_segment_value(1, 32, u128::MAX);
+        assert_eq!(z.to_ip(), ip);
+    }
+}

@@ -1,0 +1,222 @@
+//! CIDR prefixes over [`Ip6`].
+//!
+//! The paper reasons about address structure in terms of prefixes:
+//! RIRs allocate /32s to operators (§4.2's hard segment boundary),
+//! /64 separates network from interface identifier, and evaluation
+//! counts "new /64s" discovered by scanning (Table 4).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ip6::Ip6;
+
+/// An IPv6 CIDR prefix: a network number and a length in bits.
+///
+/// The network number is always stored in canonical form (host bits
+/// zeroed), so two `Prefix` values compare equal iff they denote the
+/// same address block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    net: Ip6,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates the prefix `addr/len`, truncating `addr` to its top
+    /// `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn new(addr: Ip6, len: u8) -> Self {
+        assert!(len <= 128, "prefix length must be <= 128");
+        Prefix { net: addr.network(len), len }
+    }
+
+    /// The canonical network address (host bits zero).
+    #[inline]
+    pub fn network(self) -> Ip6 {
+        self.net
+    }
+
+    /// The prefix length in bits.
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length prefix `::/0` (which contains
+    /// everything); provided to satisfy the `len`/`is_empty` idiom.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    #[inline]
+    pub fn contains(self, ip: Ip6) -> bool {
+        ip.network(self.len) == self.net
+    }
+
+    /// Whether `other` is fully contained in (or equal to) `self`.
+    #[inline]
+    pub fn covers(self, other: Prefix) -> bool {
+        other.len >= self.len && self.contains(other.net)
+    }
+
+    /// The first address of the block.
+    #[inline]
+    pub fn first(self) -> Ip6 {
+        self.net
+    }
+
+    /// The last address of the block.
+    #[inline]
+    pub fn last(self) -> Ip6 {
+        if self.len == 0 {
+            Ip6(u128::MAX)
+        } else if self.len == 128 {
+            self.net
+        } else {
+            Ip6(self.net.0 | (!0u128 >> self.len))
+        }
+    }
+
+    /// Number of addresses in the block, saturating at `u128::MAX`
+    /// for `::/0`.
+    pub fn size(self) -> u128 {
+        if self.len == 0 {
+            u128::MAX
+        } else {
+            1u128 << (128 - self.len)
+        }
+    }
+
+    /// Returns the `i`-th sub-prefix of length `sub_len`.
+    ///
+    /// For example, `"2001:db8::/32"` with `sub_len = 40` has 256
+    /// /40 children, child 0 being `2001:db8::/40` and child 255
+    /// being `2001:db8:ff00::/40`.
+    ///
+    /// # Panics
+    /// Panics if `sub_len` is not in `self.len()..=128` or `i` is out
+    /// of range.
+    pub fn child(self, sub_len: u8, i: u128) -> Prefix {
+        assert!(sub_len >= self.len && sub_len <= 128, "bad child length");
+        let extra = sub_len - self.len;
+        if extra < 128 {
+            assert!(i < (1u128 << extra), "child index out of range");
+        }
+        let addr = Ip6(self.net.0 | (i << (128 - sub_len)));
+        Prefix::new(addr, sub_len)
+    }
+
+    /// The enclosing prefix of length `sup_len <= self.len()`.
+    ///
+    /// # Panics
+    /// Panics if `sup_len > self.len()`.
+    pub fn parent(self, sup_len: u8) -> Prefix {
+        assert!(sup_len <= self.len, "parent must be shorter");
+        Prefix::new(self.net, sup_len)
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsePrefixError;
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid IPv6 prefix (expected addr/len)")
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError)?;
+        let addr: Ip6 = addr.parse().map_err(|_| ParsePrefixError)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError)?;
+        if len > 128 {
+            return Err(ParsePrefixError);
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.net, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(p.to_string(), "2001:db8::/32");
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let a: Prefix = "2001:db8::1/32".parse().unwrap();
+        let b: Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(p.contains("2001:db8:ffff::1".parse().unwrap()));
+        assert!(!p.contains("2001:db9::1".parse().unwrap()));
+        let q: Prefix = "2001:db8:10::/48".parse().unwrap();
+        assert!(p.covers(q));
+        assert!(!q.covers(p));
+        assert!(p.covers(p));
+    }
+
+    #[test]
+    fn first_last_size() {
+        let p: Prefix = "2001:db8::/126".parse().unwrap();
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.first().to_string(), "2001:db8::");
+        assert_eq!(p.last().to_string(), "2001:db8::3");
+        let all: Prefix = "::/0".parse().unwrap();
+        assert_eq!(all.size(), u128::MAX);
+        assert_eq!(all.last(), Ip6(u128::MAX));
+    }
+
+    #[test]
+    fn children_and_parents() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        let c = p.child(40, 0x10);
+        assert_eq!(c.to_string(), "2001:db8:1000::/40");
+        assert_eq!(c.parent(32), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "child index")]
+    fn child_index_bounds() {
+        let p: Prefix = "2001:db8::/32".parse().unwrap();
+        p.child(40, 256);
+    }
+
+    #[test]
+    fn rejects_bad_prefixes() {
+        assert!("2001:db8::".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+        assert!("nope/32".parse::<Prefix>().is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Deduplicated address collections and the sampling operations used
+//! by the paper's evaluation.
+//!
+//! The evaluation (§5.5) trains on a *random sample of 1K addresses*
+//! and tests on the remainder; the aggregate analyses (§5.1) use
+//! *stratified sampling*, randomly selecting 1K addresses per /32
+//! prefix so no operator dominates. [`AddressSet`] provides exactly
+//! those operations, with a small self-contained deterministic RNG
+//! ([`SplitMix64`]) so the substrate stays dependency-free and every
+//! experiment is reproducible from a seed.
+
+use std::collections::HashSet;
+
+use crate::ip6::Ip6;
+use crate::prefix::Prefix;
+
+/// A sorted, deduplicated set of IPv6 addresses.
+///
+/// Internally a sorted `Vec<Ip6>`; membership tests are a binary
+/// search, iteration is in increasing numeric order, and all the
+/// counting operations (distinct prefixes at a given length, distinct
+/// /64s) are simple scans.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddressSet {
+    addrs: Vec<Ip6>,
+}
+
+impl AddressSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AddressSet { addrs: Vec::new() }
+    }
+
+    /// Builds a set from any address iterator, sorting and removing
+    /// duplicates. (Also available through the `FromIterator` trait;
+    /// the inherent method reads better at call sites.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = Ip6>>(iter: I) -> Self {
+        let mut addrs: Vec<Ip6> = iter.into_iter().collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        AddressSet { addrs }
+    }
+
+    /// Parses one address per line, ignoring blank lines and lines
+    /// starting with `#`. Accepts both colon and fixed-width hex
+    /// formats. Returns the first offending line on error.
+    pub fn parse_lines(text: &str) -> Result<Self, String> {
+        let mut v = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let ip: Ip6 = line
+                .parse()
+                .map_err(|_| format!("line {}: invalid address: {line}", no + 1))?;
+            v.push(ip);
+        }
+        Ok(Self::from_iter(v))
+    }
+
+    /// Number of unique addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, ip: Ip6) -> bool {
+        self.addrs.binary_search(&ip).is_ok()
+    }
+
+    /// Iterates addresses in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Ip6> + '_ {
+        self.addrs.iter().copied()
+    }
+
+    /// Borrow the sorted backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Ip6] {
+        &self.addrs
+    }
+
+    /// Inserts one address, keeping order; returns `false` if it was
+    /// already present. O(n) worst case — bulk construction should use
+    /// [`AddressSet::from_iter`].
+    pub fn insert(&mut self, ip: Ip6) -> bool {
+        match self.addrs.binary_search(&ip) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.addrs.insert(pos, ip);
+                true
+            }
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AddressSet) -> AddressSet {
+        Self::from_iter(self.iter().chain(other.iter()))
+    }
+
+    /// Addresses of `self` not present in `other`.
+    pub fn difference(&self, other: &AddressSet) -> AddressSet {
+        Self::from_iter(self.iter().filter(|&ip| !other.contains(ip)))
+    }
+
+    /// Keeps only addresses inside `prefix`.
+    pub fn restrict(&self, prefix: Prefix) -> AddressSet {
+        // The backing vector is sorted, so the members of a prefix
+        // form one contiguous run.
+        let lo = self.addrs.partition_point(|&a| a < prefix.first());
+        let hi = self.addrs.partition_point(|&a| a <= prefix.last());
+        AddressSet { addrs: self.addrs[lo..hi].to_vec() }
+    }
+
+    /// Distinct `len`-bit prefixes covering the set, in order.
+    pub fn distinct_prefixes(&self, len: u8) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = Vec::new();
+        for &ip in &self.addrs {
+            let p = Prefix::new(ip, len);
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct `len`-bit prefixes (aggregates) in the set.
+    /// This is the `A(b)` count underlying the ACR metric.
+    pub fn count_prefixes(&self, len: u8) -> usize {
+        let mut count = 0usize;
+        let mut last: Option<Ip6> = None;
+        for &ip in &self.addrs {
+            let net = ip.network(len);
+            if last != Some(net) {
+                count += 1;
+                last = Some(net);
+            }
+        }
+        count
+    }
+
+    /// The distinct /64 networks of the set — the paper's "subnets".
+    pub fn slash64s(&self) -> Vec<Ip6> {
+        let mut out: Vec<Ip6> = Vec::new();
+        for &ip in &self.addrs {
+            let net = ip.slash64();
+            if out.last() != Some(&net) {
+                out.push(net);
+            }
+        }
+        out
+    }
+
+    /// Splits the set into a uniform random sample of `k` addresses
+    /// (the training set) and the remainder (the test set), matching
+    /// §5.5's "randomly selected 1K IPs as the training set, and used
+    /// the remaining part as the testing set".
+    ///
+    /// If `k >= len()` the whole set is returned as the sample and the
+    /// remainder is empty.
+    pub fn split_sample(&self, k: usize, rng: &mut SplitMix64) -> (AddressSet, AddressSet) {
+        if k >= self.len() {
+            return (self.clone(), AddressSet::new());
+        }
+        // Floyd's algorithm for a uniform k-subset of indices.
+        let n = self.len();
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+        for j in (n - k)..n {
+            let t = (rng.next_u64() as usize) % (j + 1);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        let mut sample = Vec::with_capacity(k);
+        let mut rest = Vec::with_capacity(n - k);
+        for (i, &ip) in self.addrs.iter().enumerate() {
+            if chosen.contains(&i) {
+                sample.push(ip);
+            } else {
+                rest.push(ip);
+            }
+        }
+        (AddressSet { addrs: sample }, AddressSet { addrs: rest })
+    }
+
+    /// Stratified sample: at most `k` random addresses from each /32
+    /// prefix, as §3 does to keep large operators from dominating the
+    /// aggregate datasets.
+    pub fn stratified_sample(&self, per_slash32: usize, rng: &mut SplitMix64) -> AddressSet {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < self.addrs.len() {
+            let net = self.addrs[start].network(32);
+            let end = self.addrs.partition_point(|&a| a.network(32) <= net);
+            let stratum = AddressSet { addrs: self.addrs[start..end].to_vec() };
+            let (sample, _) = stratum.split_sample(per_slash32, rng);
+            out.extend(sample.iter());
+            start = end;
+        }
+        Self::from_iter(out)
+    }
+}
+
+impl FromIterator<Ip6> for AddressSet {
+    fn from_iter<I: IntoIterator<Item = Ip6>>(iter: I) -> Self {
+        AddressSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AddressSet {
+    type Item = Ip6;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Ip6>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.addrs.iter().copied()
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64, Steele et al. 2014).
+///
+/// Kept here so the address substrate has no external dependencies
+/// while every sampling operation stays reproducible from a seed.
+/// Statistical quality is more than adequate for sampling; the
+/// model-facing crates use `rand` for generation proper.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`), by rejection-free
+    /// multiply-shift (adequate bias for sampling purposes when
+    /// `bound` is far below 2^64, which holds for all our uses).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ips(strs: &[&str]) -> AddressSet {
+        AddressSet::from_iter(strs.iter().map(|s| s.parse::<Ip6>().unwrap()))
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let s = ips(&["2001:db8::2", "2001:db8::1", "2001:db8::2"]);
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().collect();
+        assert!(v[0] < v[1]);
+    }
+
+    #[test]
+    fn parse_lines_skips_comments() {
+        let s = AddressSet::parse_lines("# hdr\n2001:db8::1\n\n20010db8000000000000000000000002\n")
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(AddressSet::parse_lines("2001:db8::1\nbogus\n").is_err());
+    }
+
+    #[test]
+    fn membership_and_restrict() {
+        let s = ips(&["2001:db8::1", "2001:db8:1::1", "2001:db9::1"]);
+        assert!(s.contains("2001:db8::1".parse().unwrap()));
+        assert!(!s.contains("2001:db8::2".parse().unwrap()));
+        let r = s.restrict("2001:db8::/32".parse().unwrap());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn prefix_counting() {
+        let s = ips(&["2001:db8::1", "2001:db8::2", "2001:db8:0:1::1", "2001:db9::1"]);
+        assert_eq!(s.count_prefixes(32), 2);
+        assert_eq!(s.count_prefixes(64), 3);
+        assert_eq!(s.count_prefixes(128), 4);
+        assert_eq!(s.count_prefixes(0), 1);
+        assert_eq!(s.slash64s().len(), 3);
+    }
+
+    #[test]
+    fn split_sample_partitions() {
+        let all: AddressSet = (0..1000u128).map(|i| Ip6(0x2001_0db8 << 96 | i)).collect();
+        let mut rng = SplitMix64::new(7);
+        let (train, test) = all.split_sample(100, &mut rng);
+        assert_eq!(train.len(), 100);
+        assert_eq!(test.len(), 900);
+        assert_eq!(train.union(&test), all);
+        assert!(train.difference(&all).is_empty());
+    }
+
+    #[test]
+    fn split_sample_uniformity_rough() {
+        // Each element should appear in a 10% sample roughly 10% of
+        // the time across repetitions.
+        let all: AddressSet = (0..100u128).map(Ip6).collect();
+        let mut rng = SplitMix64::new(42);
+        let mut hits = vec![0u32; 100];
+        for _ in 0..200 {
+            let (train, _) = all.split_sample(10, &mut rng);
+            for ip in train.iter() {
+                hits[ip.value() as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 2 && h < 60, "element {i} sampled {h} times of ~20 expected");
+        }
+    }
+
+    #[test]
+    fn stratified_caps_each_slash32() {
+        let mut v = Vec::new();
+        for i in 0..500u128 {
+            v.push(Ip6((0x2001_0db8u128 << 96) | i)); // /32 A: 500 addrs
+        }
+        for i in 0..5u128 {
+            v.push(Ip6((0x2001_0db9u128 << 96) | i)); // /32 B: 5 addrs
+        }
+        let s = AddressSet::from_iter(v);
+        let mut rng = SplitMix64::new(1);
+        let sample = s.stratified_sample(50, &mut rng);
+        let a = sample.restrict("2001:db8::/32".parse().unwrap());
+        let b = sample.restrict("2001:db9::/32".parse().unwrap());
+        assert_eq!(a.len(), 50);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn splitmix_below_is_in_range() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

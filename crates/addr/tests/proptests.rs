@@ -1,0 +1,116 @@
+//! Property-based tests for the address substrate invariants.
+
+use eip_addr::{anonymize_addr, AddressSet, Ip6, Nybbles, Prefix};
+use eip_addr::set::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    /// hex32 formatting and parsing are exact inverses.
+    #[test]
+    fn hex32_round_trip(v in any::<u128>()) {
+        let ip = Ip6(v);
+        prop_assert_eq!(Ip6::from_hex32(&ip.to_hex32()).unwrap(), ip);
+    }
+
+    /// Colon-notation display re-parses to the same address.
+    #[test]
+    fn display_round_trip(v in any::<u128>()) {
+        let ip = Ip6(v);
+        prop_assert_eq!(ip.to_string().parse::<Ip6>().unwrap(), ip);
+    }
+
+    /// Nybble expansion round-trips and agrees with direct access.
+    #[test]
+    fn nybbles_round_trip(v in any::<u128>()) {
+        let ip = Ip6(v);
+        let ny = Nybbles::from_ip(ip);
+        prop_assert_eq!(ny.to_ip(), ip);
+        for pos in 1..=32usize {
+            prop_assert_eq!(ny.get(pos), ip.nybble(pos));
+        }
+    }
+
+    /// segment_value/set_segment_value round-trip on random bounds.
+    #[test]
+    fn segment_round_trip(v in any::<u128>(), a in 1usize..=32, b in 1usize..=32) {
+        let (start, end) = if a <= b { (a, b) } else { (b, a) };
+        let ny = Nybbles::from_ip(Ip6(v));
+        let seg = ny.segment_value(start, end);
+        let mut out = Nybbles::from_ip(Ip6(0));
+        out.set_segment_value(start, end, seg);
+        prop_assert_eq!(out.segment_value(start, end), seg);
+    }
+
+    /// A prefix contains exactly the addresses between first and last.
+    #[test]
+    fn prefix_bounds(v in any::<u128>(), len in 0u8..=128) {
+        let p = Prefix::new(Ip6(v), len);
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+        prop_assert!(p.contains(Ip6(v)));
+        if p.first().value() > 0 {
+            prop_assert!(!p.contains(Ip6(p.first().value() - 1)));
+        }
+        if p.last().value() < u128::MAX {
+            prop_assert!(!p.contains(Ip6(p.last().value() + 1)));
+        }
+    }
+
+    /// network() is idempotent and monotone in prefix length.
+    #[test]
+    fn network_idempotent(v in any::<u128>(), len in 0u8..=128) {
+        let ip = Ip6(v);
+        prop_assert_eq!(ip.network(len).network(len), ip.network(len));
+        if len >= 32 {
+            prop_assert_eq!(ip.network(len).network(32), ip.network(32));
+        }
+    }
+
+    /// Set construction dedups: length equals that of a HashSet.
+    #[test]
+    fn set_len_matches_hashset(vs in prop::collection::vec(any::<u128>(), 0..200)) {
+        let uniq: std::collections::HashSet<u128> = vs.iter().copied().collect();
+        let set = AddressSet::from_iter(vs.iter().map(|&v| Ip6(v)));
+        prop_assert_eq!(set.len(), uniq.len());
+        for &v in &vs {
+            prop_assert!(set.contains(Ip6(v)));
+        }
+    }
+
+    /// split_sample partitions the set exactly.
+    #[test]
+    fn split_sample_partitions(vs in prop::collection::vec(any::<u128>(), 1..200),
+                               k in 0usize..250, seed in any::<u64>()) {
+        let set = AddressSet::from_iter(vs.iter().map(|&v| Ip6(v)));
+        let mut rng = SplitMix64::new(seed);
+        let (train, test) = set.split_sample(k, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), set.len());
+        prop_assert_eq!(train.union(&test), set.clone());
+        prop_assert!(train.len() == k.min(set.len()));
+        for ip in train.iter() {
+            prop_assert!(!test.contains(ip));
+        }
+    }
+
+    /// count_prefixes is monotone non-decreasing in prefix length.
+    #[test]
+    fn count_prefixes_monotone(vs in prop::collection::vec(any::<u128>(), 1..200)) {
+        let set = AddressSet::from_iter(vs.iter().map(|&v| Ip6(v)));
+        let mut prev = 0usize;
+        for len in 0..=32u8 {
+            let c = set.count_prefixes(len * 4);
+            prop_assert!(c >= prev, "A({}) = {} < {}", len * 4, c, prev);
+            prev = c;
+        }
+        prop_assert_eq!(set.count_prefixes(128), set.len());
+    }
+
+    /// Anonymization keeps the low 96 bits and the /32 index mapping.
+    #[test]
+    fn anonymize_preserves_low_bits(v in any::<u128>(), idx in 0usize..16) {
+        let ip = Ip6(v);
+        let anon = anonymize_addr(ip, idx);
+        prop_assert_eq!(anon.value() & (!0u128 >> 32), ip.value() & (!0u128 >> 32));
+        prop_assert_eq!(anon.bits(4, 32), 0x001_0db8);
+    }
+}

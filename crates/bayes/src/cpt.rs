@@ -1,0 +1,192 @@
+//! Conditional probability tables (CPTs).
+//!
+//! Each BN node holds `P(X | parents)` as a dense table: one
+//! probability row per joint parent configuration. Rows are estimated
+//! from data by maximum likelihood with Laplace (add-α) smoothing so
+//! that generation never dead-ends on an unseen configuration.
+
+/// A conditional probability table for one variable.
+///
+/// Parent configurations are indexed in mixed radix with the *first
+/// listed parent as the most significant digit*; see
+/// [`Cpt::config_index`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cpt {
+    /// Cardinality of the child variable.
+    child_card: usize,
+    /// Cardinalities of the parents, in parent order.
+    parent_cards: Vec<usize>,
+    /// `probs[cfg * child_card + x] = P(X = x | parents = cfg)`.
+    probs: Vec<f64>,
+}
+
+impl Cpt {
+    /// Builds a CPT from counts with Laplace smoothing `alpha`
+    /// (`alpha = 0` gives plain maximum likelihood; unseen
+    /// configurations then fall back to uniform).
+    ///
+    /// `counts[cfg * child_card + x]` = number of observations with
+    /// parents in configuration `cfg` and child value `x`.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != child_card * num_configs` or
+    /// `child_card == 0`.
+    pub fn from_counts(
+        child_card: usize,
+        parent_cards: Vec<usize>,
+        counts: &[u64],
+        alpha: f64,
+    ) -> Self {
+        assert!(child_card > 0, "child cardinality must be positive");
+        let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
+        assert_eq!(counts.len(), child_card * num_configs, "counts length mismatch");
+        let mut probs = vec![0.0; counts.len()];
+        for cfg in 0..num_configs {
+            let row = &counts[cfg * child_card..(cfg + 1) * child_card];
+            let total: u64 = row.iter().sum();
+            let denom = total as f64 + alpha * child_card as f64;
+            for (x, &c) in row.iter().enumerate() {
+                probs[cfg * child_card + x] = if denom > 0.0 {
+                    (c as f64 + alpha) / denom
+                } else {
+                    1.0 / child_card as f64
+                };
+            }
+        }
+        Cpt { child_card, parent_cards, probs }
+    }
+
+    /// Builds a CPT directly from probabilities (for tests and
+    /// hand-written models). Each configuration row must sum to ~1.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or a row that does not sum to 1
+    /// within 1e-6.
+    pub fn from_probs(child_card: usize, parent_cards: Vec<usize>, probs: Vec<f64>) -> Self {
+        let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
+        assert_eq!(probs.len(), child_card * num_configs, "probs length mismatch");
+        for cfg in 0..num_configs {
+            let s: f64 = probs[cfg * child_card..(cfg + 1) * child_card].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "config {cfg} sums to {s}");
+        }
+        Cpt { child_card, parent_cards, probs }
+    }
+
+    /// Child cardinality.
+    #[inline]
+    pub fn child_card(&self) -> usize {
+        self.child_card
+    }
+
+    /// Parent cardinalities.
+    #[inline]
+    pub fn parent_cards(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// Number of parent configurations.
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.parent_cards.iter().product::<usize>().max(1)
+    }
+
+    /// Mixed-radix index of a parent value assignment (first parent
+    /// most significant).
+    ///
+    /// # Panics
+    /// Panics if the assignment length or any value is out of range.
+    pub fn config_index(&self, parent_values: &[usize]) -> usize {
+        assert_eq!(parent_values.len(), self.parent_cards.len(), "wrong parent count");
+        let mut idx = 0usize;
+        for (&v, &k) in parent_values.iter().zip(&self.parent_cards) {
+            assert!(v < k, "parent value {v} out of range {k}");
+            idx = idx * k + v;
+        }
+        idx
+    }
+
+    /// `P(X = x | parents = parent_values)`.
+    pub fn prob(&self, x: usize, parent_values: &[usize]) -> f64 {
+        assert!(x < self.child_card, "child value out of range");
+        let cfg = self.config_index(parent_values);
+        self.probs[cfg * self.child_card + x]
+    }
+
+    /// The distribution row for one parent configuration.
+    pub fn row(&self, parent_values: &[usize]) -> &[f64] {
+        let cfg = self.config_index(parent_values);
+        &self.probs[cfg * self.child_card..(cfg + 1) * self.child_card]
+    }
+
+    /// Flat access for factor construction:
+    /// `flat()[cfg * child_card + x]`.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_mle() {
+        // No parents; counts 3:1 -> probs 0.75/0.25.
+        let cpt = Cpt::from_counts(2, vec![], &[3, 1], 0.0);
+        assert!((cpt.prob(0, &[]) - 0.75).abs() < 1e-12);
+        assert!((cpt.prob(1, &[]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_smoothing_lifts_zeros() {
+        let cpt = Cpt::from_counts(2, vec![], &[4, 0], 1.0);
+        assert!((cpt.prob(0, &[]) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((cpt.prob(1, &[]) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_configuration_is_uniform_without_smoothing() {
+        // Parent config 1 never observed.
+        let cpt = Cpt::from_counts(2, vec![2], &[3, 1, 0, 0], 0.0);
+        assert!((cpt.prob(0, &[1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_index_mixed_radix() {
+        let cpt = Cpt::from_counts(2, vec![3, 2], &[1; 12], 0.0);
+        assert_eq!(cpt.num_configs(), 6);
+        assert_eq!(cpt.config_index(&[0, 0]), 0);
+        assert_eq!(cpt.config_index(&[0, 1]), 1);
+        assert_eq!(cpt.config_index(&[1, 0]), 2);
+        assert_eq!(cpt.config_index(&[2, 1]), 5);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let cpt = Cpt::from_counts(3, vec![2], &[5, 2, 1, 0, 7, 3], 0.5);
+        for cfg in [&[0usize][..], &[1]] {
+            let s: f64 = cpt.row(cfg).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conditional_rows_reflect_counts() {
+        let cpt = Cpt::from_counts(2, vec![2], &[9, 1, 2, 8], 0.0);
+        assert!((cpt.prob(0, &[0]) - 0.9).abs() < 1e-12);
+        assert!((cpt.prob(1, &[1]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts length mismatch")]
+    fn shape_checked() {
+        Cpt::from_counts(2, vec![2], &[1, 2, 3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn from_probs_checks_normalization() {
+        Cpt::from_probs(2, vec![], vec![0.9, 0.2]);
+    }
+}

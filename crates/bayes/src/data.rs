@@ -1,0 +1,109 @@
+//! Categorical datasets: rows of small integer codes.
+//!
+//! After segment mining, Entropy/IP re-writes each address as a
+//! vector of categorical codes, one per segment (§4.3: "we represent
+//! IPs as instances of random vectors, where each dimension
+//! corresponds to segment k and takes categorical values that
+//! reference V_k"). [`Dataset`] is that table.
+
+/// A table of categorical observations.
+///
+/// Row-major storage: `rows[r][v]` is the code (in
+/// `0..cardinalities[v]`) of variable `v` in observation `r`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    cardinalities: Vec<usize>,
+    rows: Vec<Vec<usize>>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every code against its
+    /// variable's cardinality.
+    ///
+    /// # Panics
+    /// Panics if any cardinality is zero, any row has the wrong
+    /// width, or any code is out of range.
+    pub fn new(cardinalities: Vec<usize>, rows: Vec<Vec<usize>>) -> Self {
+        assert!(cardinalities.iter().all(|&k| k > 0), "zero cardinality");
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cardinalities.len(), "row {r} has wrong width");
+            for (v, (&code, &k)) in row.iter().zip(&cardinalities).enumerate() {
+                assert!(code < k, "row {r}, var {v}: code {code} >= cardinality {k}");
+            }
+        }
+        Dataset { cardinalities, rows }
+    }
+
+    /// Number of variables (columns).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Number of observations (rows).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cardinality of variable `v`.
+    #[inline]
+    pub fn cardinality(&self, v: usize) -> usize {
+        self.cardinalities[v]
+    }
+
+    /// All cardinalities.
+    #[inline]
+    pub fn cardinalities(&self) -> &[usize] {
+        &self.cardinalities
+    }
+
+    /// Borrow the observations.
+    #[inline]
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_codes() {
+        let d = Dataset::new(vec![2, 3], vec![vec![0, 2], vec![1, 0]]);
+        assert_eq!(d.num_vars(), 2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.cardinality(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "code 3 >= cardinality 3")]
+    fn rejects_out_of_range_codes() {
+        Dataset::new(vec![2, 3], vec![vec![0, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn rejects_ragged_rows() {
+        Dataset::new(vec![2, 3], vec![vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cardinality")]
+    fn rejects_zero_cardinality() {
+        Dataset::new(vec![2, 0], vec![]);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let d = Dataset::new(vec![4], vec![]);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Factors: multivariate non-negative tables used by variable
+//! elimination.
+//!
+//! A factor maps assignments of a sorted scope of variables to
+//! non-negative reals. CPTs become factors, evidence restricts them,
+//! products join scopes, and marginalization sums variables out —
+//! the standard toolkit of Koller & Friedman (the paper's reference 20).
+
+/// A factor over a sorted scope of variable indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Factor {
+    /// Variable ids in strictly increasing order.
+    scope: Vec<usize>,
+    /// Cardinality of each scope variable, parallel to `scope`.
+    cards: Vec<usize>,
+    /// Row-major values: the *last* scope variable varies fastest.
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor, validating the value-table size.
+    ///
+    /// # Panics
+    /// Panics if the scope is not strictly increasing or the value
+    /// length does not equal the product of cardinalities.
+    pub fn new(scope: Vec<usize>, cards: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(scope.len(), cards.len(), "scope/cards length mismatch");
+        assert!(scope.windows(2).all(|w| w[0] < w[1]), "scope must be sorted");
+        let size: usize = cards.iter().product::<usize>().max(1);
+        assert_eq!(values.len(), size, "value table size mismatch");
+        Factor { scope, cards, values }
+    }
+
+    /// The constant factor 1 (empty scope).
+    pub fn unit() -> Self {
+        Factor { scope: vec![], cards: vec![], values: vec![1.0] }
+    }
+
+    /// Scope variable ids.
+    #[inline]
+    pub fn scope(&self) -> &[usize] {
+        &self.scope
+    }
+
+    /// Raw table values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value at a full assignment over the scope (parallel to
+    /// `scope`).
+    pub fn at(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.scope.len(), "assignment width");
+        let mut idx = 0usize;
+        for (&v, &k) in assignment.iter().zip(&self.cards) {
+            assert!(v < k, "assignment out of range");
+            idx = idx * k + v;
+        }
+        self.values[idx]
+    }
+
+    /// Builds a factor from a CPT: scope = sorted {parents ∪ child}.
+    ///
+    /// `child` is the child variable id, `parents` the parent ids in
+    /// CPT order, `parent_cards`/`child_card` their cardinalities.
+    pub fn from_cpt(
+        child: usize,
+        child_card: usize,
+        parents: &[usize],
+        parent_cards: &[usize],
+        flat: &[f64],
+    ) -> Self {
+        // Scope variables and cards, sorted by id.
+        let mut vars: Vec<(usize, usize)> =
+            parents.iter().copied().zip(parent_cards.iter().copied()).collect();
+        vars.push((child, child_card));
+        vars.sort_unstable();
+        let scope: Vec<usize> = vars.iter().map(|&(v, _)| v).collect();
+        let cards: Vec<usize> = vars.iter().map(|&(_, k)| k).collect();
+        let size: usize = cards.iter().product();
+        let mut values = vec![0.0; size];
+
+        // Enumerate all assignments of (parents..., child) in CPT
+        // order and scatter into the sorted-scope table.
+        let mut pv = vec![0usize; parents.len()];
+        loop {
+            let cfg: usize = pv
+                .iter()
+                .zip(parent_cards)
+                .fold(0usize, |acc, (&v, &k)| acc * k + v);
+            for x in 0..child_card {
+                // Position of each scope var's value.
+                let mut idx = 0usize;
+                for (&sv, &sk) in scope.iter().zip(&cards) {
+                    let val = if sv == child {
+                        x
+                    } else {
+                        let slot = parents.iter().position(|&p| p == sv).unwrap();
+                        pv[slot]
+                    };
+                    idx = idx * sk + val;
+                }
+                values[idx] = flat[cfg * child_card + x];
+            }
+            // Odometer increment over parent values.
+            let mut carry = true;
+            for slot in (0..pv.len()).rev() {
+                if !carry {
+                    break;
+                }
+                pv[slot] += 1;
+                if pv[slot] == parent_cards[slot] {
+                    pv[slot] = 0;
+                } else {
+                    carry = false;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        Factor { scope, cards, values }
+    }
+
+    /// Restricts the factor to `var = value`, removing `var` from the
+    /// scope. No-op (returns a clone) if `var` is not in scope.
+    pub fn restrict(&self, var: usize, value: usize) -> Factor {
+        let Some(pos) = self.scope.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        assert!(value < self.cards[pos], "evidence value out of range");
+        let new_scope: Vec<usize> =
+            self.scope.iter().copied().filter(|&v| v != var).collect();
+        let new_cards: Vec<usize> = self
+            .scope
+            .iter()
+            .zip(&self.cards)
+            .filter(|&(&v, _)| v != var)
+            .map(|(_, &k)| k)
+            .collect();
+        let size: usize = new_cards.iter().product::<usize>().max(1);
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; new_scope.len()];
+        for (slot, v) in values.iter_mut().enumerate() {
+            // Decode slot into new-scope assignment.
+            let mut rem = slot;
+            for i in (0..new_scope.len()).rev() {
+                assign[i] = rem % new_cards[i];
+                rem /= new_cards[i];
+            }
+            // Encode into old-scope index with var = value.
+            let mut idx = 0usize;
+            let mut j = 0usize;
+            for (i, &k) in self.cards.iter().enumerate() {
+                let val = if i == pos {
+                    value
+                } else {
+                    let a = assign[j];
+                    j += 1;
+                    a
+                };
+                idx = idx * k + val;
+            }
+            *v = self.values[idx];
+        }
+        Factor { scope: new_scope, cards: new_cards, values }
+    }
+
+    /// Factor product: joins scopes, multiplying matching entries.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Merged sorted scope.
+        let mut vars: Vec<(usize, usize)> = Vec::new();
+        for (&v, &k) in self.scope.iter().zip(&self.cards) {
+            vars.push((v, k));
+        }
+        for (&v, &k) in other.scope.iter().zip(&other.cards) {
+            if let Some(&(_, k0)) = vars.iter().find(|&&(x, _)| x == v) {
+                assert_eq!(k0, k, "cardinality clash for var {v}");
+            } else {
+                vars.push((v, k));
+            }
+        }
+        vars.sort_unstable();
+        let scope: Vec<usize> = vars.iter().map(|&(v, _)| v).collect();
+        let cards: Vec<usize> = vars.iter().map(|&(_, k)| k).collect();
+        let size: usize = cards.iter().product::<usize>().max(1);
+
+        // For each operand, precompute the stride of every merged var.
+        let strides = |f: &Factor| -> Vec<usize> {
+            // stride of f's scope var j in f's row-major layout
+            let mut s = vec![0usize; f.scope.len()];
+            let mut acc = 1usize;
+            for j in (0..f.scope.len()).rev() {
+                s[j] = acc;
+                acc *= f.cards[j];
+            }
+            s
+        };
+        let sa = strides(self);
+        let sb = strides(other);
+        let map_a: Vec<Option<usize>> =
+            scope.iter().map(|v| self.scope.iter().position(|x| x == v)).collect();
+        let map_b: Vec<Option<usize>> =
+            scope.iter().map(|v| other.scope.iter().position(|x| x == v)).collect();
+
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; scope.len()];
+        for (slot, out) in values.iter_mut().enumerate() {
+            let mut rem = slot;
+            for i in (0..scope.len()).rev() {
+                assign[i] = rem % cards[i];
+                rem /= cards[i];
+            }
+            let mut ia = 0usize;
+            let mut ib = 0usize;
+            for (i, &a) in assign.iter().enumerate() {
+                if let Some(j) = map_a[i] {
+                    ia += a * sa[j];
+                }
+                if let Some(j) = map_b[i] {
+                    ib += a * sb[j];
+                }
+            }
+            *out = self.values[ia] * other.values[ib];
+        }
+        Factor { scope, cards, values }
+    }
+
+    /// Sums a variable out of the factor. No-op (clone) if the
+    /// variable is not in scope.
+    pub fn marginalize(&self, var: usize) -> Factor {
+        let Some(pos) = self.scope.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        let new_scope: Vec<usize> =
+            self.scope.iter().copied().filter(|&v| v != var).collect();
+        let new_cards: Vec<usize> = self
+            .scope
+            .iter()
+            .zip(&self.cards)
+            .filter(|&(&v, _)| v != var)
+            .map(|(_, &k)| k)
+            .collect();
+        let size: usize = new_cards.iter().product::<usize>().max(1);
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; self.scope.len()];
+        for (slot, &v) in self.values.iter().enumerate() {
+            let mut rem = slot;
+            for i in (0..self.scope.len()).rev() {
+                assign[i] = rem % self.cards[i];
+                rem /= self.cards[i];
+            }
+            let mut idx = 0usize;
+            for (i, &a) in assign.iter().enumerate() {
+                if i != pos {
+                    idx = idx * self.cards[i] + a;
+                }
+            }
+            values[idx] += v;
+        }
+        Factor { scope: new_scope, cards: new_cards, values }
+    }
+
+    /// Normalizes the table to sum to 1 (no-op on an all-zero table).
+    pub fn normalized(&self) -> Factor {
+        let total: f64 = self.values.iter().sum();
+        if total <= 0.0 {
+            return self.clone();
+        }
+        let values = self.values.iter().map(|v| v / total).collect();
+        Factor { scope: self.scope.clone(), cards: self.cards.clone(), values }
+    }
+
+    /// Total mass of the table.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cpt_scatter() {
+        // Child var 2 (card 2) with parent var 0 (card 2):
+        // P(X2|X0): [0.9,0.1 | 0.2,0.8].
+        let f = Factor::from_cpt(2, 2, &[0], &[2], &[0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(f.scope(), &[0, 2]);
+        assert!((f.at(&[0, 0]) - 0.9).abs() < 1e-12);
+        assert!((f.at(&[0, 1]) - 0.1).abs() < 1e-12);
+        assert!((f.at(&[1, 0]) - 0.2).abs() < 1e-12);
+        assert!((f.at(&[1, 1]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_cpt_parent_order_respected() {
+        // Child 0 with parents (2, 1) in CPT order: scope is sorted
+        // [0,1,2] but the CPT config index uses (v2, v1).
+        let flat = vec![
+            // cfg (v2=0,v1=0): P(x0=0)=0.1, P(x0=1)=0.9
+            0.1, 0.9, // cfg (0,1)
+            0.2, 0.8, // cfg (1,0)
+            0.3, 0.7, // cfg (1,1)
+            0.4, 0.6,
+        ];
+        let f = Factor::from_cpt(0, 2, &[2, 1], &[2, 2], &flat);
+        assert_eq!(f.scope(), &[0, 1, 2]);
+        // assignment (x0, x1, x2) = (0, 1, 0) -> cfg (v2=0, v1=1) -> 0.2
+        assert!((f.at(&[0, 1, 0]) - 0.2).abs() < 1e-12);
+        // (1, 0, 1) -> cfg (1, 0) -> 0.7
+        assert!((f.at(&[1, 0, 1]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_drops_var() {
+        let f = Factor::new(vec![0, 1], vec![2, 3], (0..6).map(|x| x as f64).collect());
+        let r = f.restrict(0, 1);
+        assert_eq!(r.scope(), &[1]);
+        assert_eq!(r.values(), &[3.0, 4.0, 5.0]);
+        let r2 = f.restrict(1, 2);
+        assert_eq!(r2.scope(), &[0]);
+        assert_eq!(r2.values(), &[2.0, 5.0]);
+        // Restricting an absent var is a no-op.
+        assert_eq!(f.restrict(9, 0), f);
+    }
+
+    #[test]
+    fn product_matches_manual() {
+        let f = Factor::new(vec![0], vec![2], vec![0.6, 0.4]);
+        let g = Factor::new(vec![0, 1], vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        let p = f.product(&g);
+        assert_eq!(p.scope(), &[0, 1]);
+        assert!((p.at(&[0, 0]) - 0.54).abs() < 1e-12);
+        assert!((p.at(&[1, 1]) - 0.32).abs() < 1e-12);
+        assert!((p.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_with_unit() {
+        let f = Factor::new(vec![3], vec![2], vec![0.25, 0.75]);
+        let p = Factor::unit().product(&f);
+        assert_eq!(p, f);
+    }
+
+    #[test]
+    fn marginalize_sums_out() {
+        let f = Factor::new(vec![0, 1], vec![2, 2], vec![0.54, 0.06, 0.08, 0.32]);
+        let m = f.marginalize(0);
+        assert_eq!(m.scope(), &[1]);
+        assert!((m.values()[0] - 0.62).abs() < 1e-12);
+        assert!((m.values()[1] - 0.38).abs() < 1e-12);
+        // Marginalizing everything leaves the scalar total.
+        let s = m.marginalize(1);
+        assert!(s.scope().is_empty());
+        assert!((s.values()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let f = Factor::new(vec![0], vec![4], vec![1.0, 3.0, 0.0, 4.0]);
+        let n = f.normalized();
+        assert!((n.sum() - 1.0).abs() < 1e-12);
+        assert!((n.values()[1] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope must be sorted")]
+    fn unsorted_scope_rejected() {
+        Factor::new(vec![1, 0], vec![2, 2], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Exact inference by variable elimination.
+//!
+//! This powers the paper's conditional probability browser: given
+//! evidence on some segments (mouse clicks in its Fig. 1), compute
+//! the posterior distribution of every other segment. Influence flows
+//! both ways — conditioning on segment J updates upstream segment C
+//! "through evidential reasoning" — which falls out of exact
+//! inference for free.
+
+use crate::factor::Factor;
+use crate::network::BayesNet;
+
+/// Evidence: `(variable index, observed value)` pairs. At most one
+/// entry per variable.
+pub type Evidence = Vec<(usize, usize)>;
+
+/// Builds the evidence-restricted factor list of the network.
+fn restricted_factors(bn: &BayesNet, evidence: &Evidence) -> Vec<Factor> {
+    let mut factors: Vec<Factor> = bn
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let parent_cards: Vec<usize> =
+                node.parents.iter().map(|&p| bn.node(p).cardinality).collect();
+            Factor::from_cpt(i, node.cardinality, &node.parents, &parent_cards, node.cpt.flat())
+        })
+        .collect();
+    for &(var, val) in evidence {
+        factors = factors.into_iter().map(|f| f.restrict(var, val)).collect();
+    }
+    factors
+}
+
+/// Eliminates all variables except `keep` from the factor list and
+/// returns the single remaining (unnormalized) factor over `keep`.
+fn eliminate_all_but(bn: &BayesNet, mut factors: Vec<Factor>, keep: &[usize], evidence: &Evidence) -> Factor {
+    let observed: Vec<usize> = evidence.iter().map(|&(v, _)| v).collect();
+    for var in 0..bn.num_vars() {
+        if keep.contains(&var) || observed.contains(&var) {
+            continue;
+        }
+        // Multiply every factor mentioning `var`, sum it out.
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.scope().contains(&var));
+        let mut prod = Factor::unit();
+        for f in mentioning {
+            prod = prod.product(&f);
+        }
+        let summed = prod.marginalize(var);
+        factors = rest;
+        factors.push(summed);
+    }
+    let mut result = Factor::unit();
+    for f in factors {
+        result = result.product(&f);
+    }
+    result
+}
+
+/// Posterior marginal distributions `P(X_i | evidence)` for every
+/// variable, as one `Vec<f64>` per variable (observed variables get a
+/// deterministic distribution).
+///
+/// # Panics
+/// Panics if evidence refers to an out-of-range variable or value,
+/// or if the evidence has probability zero under the model.
+pub fn posterior_marginals(bn: &BayesNet, evidence: &Evidence) -> Vec<Vec<f64>> {
+    for &(var, val) in evidence {
+        assert!(var < bn.num_vars(), "evidence variable out of range");
+        assert!(val < bn.node(var).cardinality, "evidence value out of range");
+    }
+    let mut out = Vec::with_capacity(bn.num_vars());
+    for i in 0..bn.num_vars() {
+        if let Some(&(_, val)) = evidence.iter().find(|&&(v, _)| v == i) {
+            let mut dist = vec![0.0; bn.node(i).cardinality];
+            dist[val] = 1.0;
+            out.push(dist);
+            continue;
+        }
+        let factors = restricted_factors(bn, evidence);
+        let f = eliminate_all_but(bn, factors, &[i], evidence);
+        assert!(f.sum() > 0.0, "evidence has zero probability");
+        let n = f.normalized();
+        out.push(n.values().to_vec());
+    }
+    out
+}
+
+/// The probability of a joint assignment of a subset of variables:
+/// `P(assignment)` with all other variables marginalized out.
+///
+/// This is what the paper's Table 2 tabulates (P of segment J's value
+/// conditional on H and C is a ratio of two such joints).
+pub fn joint_probability(bn: &BayesNet, assignment: &Evidence) -> f64 {
+    if assignment.is_empty() {
+        return 1.0;
+    }
+    let factors = restricted_factors(bn, assignment);
+    let f = eliminate_all_but(bn, factors, &[], assignment);
+    f.sum()
+}
+
+/// Conditional probability `P(target = value | evidence)` computed
+/// as a ratio of joints. Returns `None` when the evidence itself has
+/// zero probability.
+pub fn conditional_probability(
+    bn: &BayesNet,
+    target: (usize, usize),
+    evidence: &Evidence,
+) -> Option<f64> {
+    let pe = joint_probability(bn, evidence);
+    if pe <= 0.0 {
+        return None;
+    }
+    let mut joint = evidence.clone();
+    joint.push(target);
+    Some(joint_probability(bn, &joint) / pe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpt::Cpt;
+    use crate::network::Node;
+
+    /// X0 -> X1 -> X2 chain with known tables.
+    fn chain3() -> BayesNet {
+        let n0 = Node {
+            name: "A".into(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: Cpt::from_probs(2, vec![], vec![0.7, 0.3]),
+        };
+        let n1 = Node {
+            name: "B".into(),
+            cardinality: 2,
+            parents: vec![0],
+            cpt: Cpt::from_probs(2, vec![2], vec![0.8, 0.2, 0.1, 0.9]),
+        };
+        let n2 = Node {
+            name: "C".into(),
+            cardinality: 2,
+            parents: vec![1],
+            cpt: Cpt::from_probs(2, vec![2], vec![0.6, 0.4, 0.25, 0.75]),
+        };
+        BayesNet::new(vec![n0, n1, n2])
+    }
+
+    /// Brute-force joint enumeration for cross-checking.
+    fn brute_marginal(bn: &BayesNet, var: usize, evidence: &Evidence) -> Vec<f64> {
+        let card = bn.node(var).cardinality;
+        let mut dist = vec![0.0; card];
+        let n = bn.num_vars();
+        let cards: Vec<usize> = (0..n).map(|i| bn.node(i).cardinality).collect();
+        let total: usize = cards.iter().product();
+        let mut row = vec![0usize; n];
+        for mut idx in 0..total {
+            for i in (0..n).rev() {
+                row[i] = idx % cards[i];
+                idx /= cards[i];
+            }
+            if evidence.iter().all(|&(v, val)| row[v] == val) {
+                dist[row[var]] += bn.probability_row(&row);
+            }
+        }
+        let s: f64 = dist.iter().sum();
+        dist.iter().map(|d| d / s).collect()
+    }
+
+    #[test]
+    fn prior_marginals_match_brute_force() {
+        let bn = chain3();
+        let post = posterior_marginals(&bn, &vec![]);
+        for var in 0..3 {
+            let brute = brute_marginal(&bn, var, &vec![]);
+            for (a, b) in post[var].iter().zip(&brute) {
+                assert!((a - b).abs() < 1e-10, "var {var}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_flows_backwards() {
+        // Conditioning on X2 must change the posterior of X0
+        // (evidential reasoning through the chain).
+        let bn = chain3();
+        let prior = posterior_marginals(&bn, &vec![]);
+        let post = posterior_marginals(&bn, &vec![(2, 1)]);
+        assert!((prior[0][0] - post[0][0]).abs() > 1e-3);
+        let brute = brute_marginal(&bn, 0, &vec![(2, 1)]);
+        for (a, b) in post[0].iter().zip(&brute) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn observed_variable_is_deterministic() {
+        let bn = chain3();
+        let post = posterior_marginals(&bn, &vec![(1, 0)]);
+        assert_eq!(post[1], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn joint_probability_matches_enumeration() {
+        let bn = chain3();
+        // P(X0=0, X2=1) by hand: sum over X1.
+        // = 0.7 * (0.8*0.4 + 0.2*0.75) = 0.7 * 0.47 = 0.329
+        let p = joint_probability(&bn, &vec![(0, 0), (2, 1)]);
+        assert!((p - 0.329).abs() < 1e-12, "got {p}");
+        assert!((joint_probability(&bn, &vec![]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_probability_ratio() {
+        let bn = chain3();
+        let p = conditional_probability(&bn, (0, 0), &vec![(2, 1)]).unwrap();
+        let brute = brute_marginal(&bn, 0, &vec![(2, 1)]);
+        assert!((p - brute[0]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multiple_evidence_vars() {
+        let bn = chain3();
+        let post = posterior_marginals(&bn, &vec![(0, 1), (2, 0)]);
+        let brute = brute_marginal(&bn, 1, &vec![(0, 1), (2, 0)]);
+        for (a, b) in post[1].iter().zip(&brute) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let bn = chain3();
+        for post in posterior_marginals(&bn, &vec![(2, 0)]) {
+            let s: f64 = post.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

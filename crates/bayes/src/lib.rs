@@ -1,0 +1,47 @@
+//! Discrete Bayesian networks for Entropy/IP (§4.4), hand-rolled.
+//!
+//! The paper models segment-coded IPv6 addresses with a Bayesian
+//! network learned by the BNFinder tool (Wilczyński & Dojer 2009),
+//! constrained so that "given segment k can only depend on previous
+//! segments < k". No mature Rust BN crate exists (the calibration
+//! notes say as much), so this crate implements the full stack from
+//! scratch:
+//!
+//! * [`data`] — categorical datasets (rows of small integer codes).
+//! * [`cpt`] — conditional probability tables with Laplace smoothing.
+//! * [`learn`] — score-based structure learning: per-node exhaustive
+//!   search over admissible parent sets (subsets of *earlier*
+//!   variables, bounded in-degree) under the BIC/MDL score, with the
+//!   Dojer-style admissible bound that lets the search stop early —
+//!   the same idea that makes BNFinder exact yet fast.
+//! * [`factor`] / [`infer`] — factors and exact inference by variable
+//!   elimination, powering the paper's "conditional probability
+//!   browser" (evidential reasoning flows backwards, e.g. clicking
+//!   segment J's value updates segment C in its Fig. 1(c)).
+//! * [`sample`] — ancestral sampling, plus exact conditional sampling
+//!   used for constrained candidate generation (§4.4: "generate
+//!   candidate addresses that match the model, optionally constrained
+//!   to certain segment values").
+//!
+//! The ordering constraint means every network is already in
+//! topological order, which keeps sampling and learning simple and
+//! makes the structure search exact rather than heuristic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpt;
+pub mod data;
+pub mod factor;
+pub mod infer;
+pub mod learn;
+pub mod network;
+pub mod sample;
+
+pub use cpt::Cpt;
+pub use data::Dataset;
+pub use factor::Factor;
+pub use infer::{joint_probability, posterior_marginals, Evidence};
+pub use learn::{learn_structure, LearnOptions};
+pub use network::{BayesNet, Node};
+pub use sample::{sample_conditional, sample_row};

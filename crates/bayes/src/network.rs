@@ -1,0 +1,173 @@
+//! The Bayesian network structure: nodes, parents, CPTs.
+
+use crate::cpt::Cpt;
+
+/// One variable of the network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Human-readable name (Entropy/IP uses segment letters "A".."K").
+    pub name: String,
+    /// Cardinality of this variable.
+    pub cardinality: usize,
+    /// Parent variable indices. The Entropy/IP ordering constraint
+    /// guarantees all parents have smaller indices.
+    pub parents: Vec<usize>,
+    /// `P(X | parents)`.
+    pub cpt: Cpt,
+}
+
+/// A discrete Bayesian network whose node order is a topological
+/// order (parents always precede children), as guaranteed by the
+/// Entropy/IP learning constraint (§4.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BayesNet {
+    nodes: Vec<Node>,
+}
+
+impl BayesNet {
+    /// Assembles a network, validating the ordering constraint and
+    /// CPT shapes.
+    ///
+    /// # Panics
+    /// Panics if a parent index is not strictly smaller than its
+    /// child's index, or a CPT's shape disagrees with the declared
+    /// parents/cardinalities.
+    pub fn new(nodes: Vec<Node>) -> Self {
+        for (i, node) in nodes.iter().enumerate() {
+            assert!(node.cardinality > 0, "node {i} has zero cardinality");
+            assert_eq!(
+                node.cpt.child_card(),
+                node.cardinality,
+                "node {i}: CPT child cardinality mismatch"
+            );
+            assert_eq!(
+                node.cpt.parent_cards().len(),
+                node.parents.len(),
+                "node {i}: CPT parent count mismatch"
+            );
+            for (slot, &p) in node.parents.iter().enumerate() {
+                assert!(p < i, "node {i}: parent {p} violates ordering constraint");
+                assert_eq!(
+                    node.cpt.parent_cards()[slot],
+                    nodes[p].cardinality,
+                    "node {i}: parent {p} cardinality mismatch"
+                );
+            }
+        }
+        BayesNet { nodes }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Borrow all nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All directed edges `(parent, child)`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &p in &node.parents {
+                out.push((p, i));
+            }
+        }
+        out
+    }
+
+    /// Log-likelihood of one fully observed row under the network.
+    ///
+    /// # Panics
+    /// Panics if the row width or any value is out of range.
+    pub fn log_likelihood_row(&self, row: &[usize]) -> f64 {
+        assert_eq!(row.len(), self.nodes.len(), "row width mismatch");
+        let mut ll = 0.0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let pv: Vec<usize> = node.parents.iter().map(|&p| row[p]).collect();
+            ll += node.cpt.prob(row[i], &pv).ln();
+        }
+        ll
+    }
+
+    /// The joint probability of one fully observed row.
+    pub fn probability_row(&self, row: &[usize]) -> f64 {
+        self.log_likelihood_row(row).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny rain/sprinkler/wet-grass style chain X0 -> X1.
+    pub(crate) fn chain2() -> BayesNet {
+        let n0 = Node {
+            name: "X0".into(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: Cpt::from_probs(2, vec![], vec![0.6, 0.4]),
+        };
+        let n1 = Node {
+            name: "X1".into(),
+            cardinality: 2,
+            parents: vec![0],
+            cpt: Cpt::from_probs(2, vec![2], vec![0.9, 0.1, 0.2, 0.8]),
+        };
+        BayesNet::new(vec![n0, n1])
+    }
+
+    #[test]
+    fn joint_probability_factorizes() {
+        let bn = chain2();
+        assert!((bn.probability_row(&[0, 0]) - 0.6 * 0.9).abs() < 1e-12);
+        assert!((bn.probability_row(&[1, 1]) - 0.4 * 0.8).abs() < 1e-12);
+        // All four joint entries sum to 1.
+        let total: f64 = (0..2)
+            .flat_map(|a| (0..2).map(move |b| (a, b)))
+            .map(|(a, b)| bn.probability_row(&[a, b]))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_enumerated() {
+        let bn = chain2();
+        assert_eq!(bn.edges(), vec![(0, 1)]);
+        assert_eq!(bn.num_vars(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering constraint")]
+    fn rejects_forward_parents() {
+        let n0 = Node {
+            name: "X0".into(),
+            cardinality: 2,
+            parents: vec![0], // self/forward reference
+            cpt: Cpt::from_probs(2, vec![2], vec![0.5, 0.5, 0.5, 0.5]),
+        };
+        BayesNet::new(vec![n0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality mismatch")]
+    fn rejects_bad_cpt_shape() {
+        let n0 = Node {
+            name: "X0".into(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: Cpt::from_probs(3, vec![], vec![0.2, 0.3, 0.5]),
+        };
+        BayesNet::new(vec![n0]);
+    }
+}

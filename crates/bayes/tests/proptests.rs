@@ -1,0 +1,144 @@
+//! Property-based tests: exact inference vs brute-force enumeration
+//! on random small networks, and sampling consistency.
+
+use eip_bayes::{
+    joint_probability, learn_structure, posterior_marginals, sample_row, BayesNet, Cpt, Dataset,
+    LearnOptions, Node,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random 3-4 node network with cardinalities 2-3 and
+/// random (ordering-respecting) parents and CPTs.
+fn arb_bn() -> impl Strategy<Value = BayesNet> {
+    (2usize..=4, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut nodes = Vec::new();
+        let mut cards = Vec::new();
+        for i in 0..n {
+            let card = 2 + (next() % 2) as usize;
+            // Random subset of predecessors, at most 2.
+            let mut parents = Vec::new();
+            for p in 0..i {
+                if parents.len() < 2 && next() % 3 == 0 {
+                    parents.push(p);
+                }
+            }
+            let parent_cards: Vec<usize> = parents.iter().map(|&p| cards[p]).collect();
+            let ncfg: usize = parent_cards.iter().product::<usize>().max(1);
+            let mut probs = Vec::with_capacity(ncfg * card);
+            for _ in 0..ncfg {
+                let mut row: Vec<f64> =
+                    (0..card).map(|_| 1.0 + (next() % 100) as f64).collect();
+                let t: f64 = row.iter().sum();
+                row.iter_mut().for_each(|x| *x /= t);
+                // Renormalize exactly to avoid from_probs tolerance
+                // issues after f64 division.
+                let t2: f64 = row.iter().sum();
+                row.iter_mut().for_each(|x| *x /= t2);
+                probs.extend(row);
+            }
+            let cpt = Cpt::from_probs(card, parent_cards, probs);
+            nodes.push(Node { name: format!("X{i}"), cardinality: card, parents, cpt });
+            cards.push(card);
+        }
+        BayesNet::new(nodes)
+    })
+}
+
+/// Enumerates all joint rows with their probabilities.
+fn enumerate(bn: &BayesNet) -> Vec<(Vec<usize>, f64)> {
+    let n = bn.num_vars();
+    let cards: Vec<usize> = (0..n).map(|i| bn.node(i).cardinality).collect();
+    let total: usize = cards.iter().product();
+    let mut out = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut row = vec![0usize; n];
+        for i in (0..n).rev() {
+            row[i] = idx % cards[i];
+            idx /= cards[i];
+        }
+        let p = bn.probability_row(&row);
+        out.push((row, p));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The joint distribution always sums to 1.
+    #[test]
+    fn joint_sums_to_one(bn in arb_bn()) {
+        let total: f64 = enumerate(&bn).iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// VE posterior marginals equal brute-force conditionals for
+    /// random evidence.
+    #[test]
+    fn ve_matches_brute_force(bn in arb_bn(), ev_var_raw in 0usize..4, ev_val_raw in 0usize..3) {
+        let ev_var = ev_var_raw % bn.num_vars();
+        let ev_val = ev_val_raw % bn.node(ev_var).cardinality;
+        let evidence = vec![(ev_var, ev_val)];
+        let rows = enumerate(&bn);
+        let pe: f64 = rows.iter().filter(|(r, _)| r[ev_var] == ev_val).map(|&(_, p)| p).sum();
+        prop_assume!(pe > 1e-9);
+        let post = posterior_marginals(&bn, &evidence);
+        for var in 0..bn.num_vars() {
+            for val in 0..bn.node(var).cardinality {
+                let brute: f64 = rows
+                    .iter()
+                    .filter(|(r, _)| r[ev_var] == ev_val && r[var] == val)
+                    .map(|&(_, p)| p)
+                    .sum::<f64>() / pe;
+                prop_assert!((post[var][val] - brute).abs() < 1e-8,
+                    "var {} val {}: {} vs {}", var, val, post[var][val], brute);
+            }
+        }
+    }
+
+    /// joint_probability equals brute-force summation.
+    #[test]
+    fn joint_probability_matches(bn in arb_bn(), a in 0usize..3, b in 0usize..3) {
+        let v0 = 0usize;
+        let v1 = bn.num_vars() - 1;
+        let a = a % bn.node(v0).cardinality;
+        let b = b % bn.node(v1).cardinality;
+        let mut assignment = vec![(v0, a)];
+        if v1 != v0 {
+            assignment.push((v1, b));
+        }
+        let p = joint_probability(&bn, &assignment);
+        let brute: f64 = enumerate(&bn)
+            .iter()
+            .filter(|(r, _)| assignment.iter().all(|&(v, x)| r[v] == x))
+            .map(|&(_, p)| p)
+            .sum();
+        prop_assert!((p - brute).abs() < 1e-9, "{} vs {}", p, brute);
+    }
+
+    /// Sampling then re-learning recovers a model whose marginals are
+    /// close to the original (round-trip sanity).
+    #[test]
+    fn learn_recovers_marginals(bn in arb_bn(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<usize>> = (0..2000).map(|_| sample_row(&bn, &mut rng)).collect();
+        let cards: Vec<usize> = (0..bn.num_vars()).map(|i| bn.node(i).cardinality).collect();
+        let data = Dataset::new(cards, rows);
+        let learned = learn_structure(&data, &LearnOptions::default());
+        let orig = posterior_marginals(&bn, &vec![]);
+        let rec = posterior_marginals(&learned, &vec![]);
+        for var in 0..bn.num_vars() {
+            for val in 0..bn.node(var).cardinality {
+                prop_assert!((orig[var][val] - rec[var][val]).abs() < 0.08,
+                    "var {} val {}: {} vs {}", var, val, orig[var][val], rec[var][val]);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! model class (BN vs Markov vs independent) and BN in-degree bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eip_bayes::LearnOptions;
+use eip_netsim::dataset;
+use entropy_ip::baseline::{encoded_dataset, generate_with, IndependentModel, MarkovModel};
+use entropy_ip::{EntropyIp, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sampling throughput of the three model classes on the same
+/// dictionaries.
+fn bench_model_classes(c: &mut Criterion) {
+    let set = dataset("S1").unwrap().population_sized(2_000, 1);
+    let model = EntropyIp::new().analyze(&set).unwrap();
+    let data = encoded_dataset(&model, &set);
+    let ind = IndependentModel::fit(&data);
+    let mm = MarkovModel::fit(&data);
+
+    let mut g = c.benchmark_group("sample_5k_rows");
+    g.bench_function("bayes_net", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            generate_with(&model, |r| eip_bayes::sample_row(model.bn(), r), 5_000, 40_000, &mut rng)
+        });
+    });
+    g.bench_function("markov", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| generate_with(&model, |r| mm.sample_row(r), 5_000, 40_000, &mut rng));
+    });
+    g.bench_function("independent", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| generate_with(&model, |r| ind.sample_row(r), 5_000, 40_000, &mut rng));
+    });
+    g.finish();
+}
+
+/// Structure-learning cost as the in-degree bound grows (the exact
+/// search is exponential in the bound; Dojer pruning keeps the
+/// practical cost flat for structured data).
+fn bench_in_degree(c: &mut Criterion) {
+    let set = dataset("S1").unwrap().population_sized(2_000, 1);
+    let mut g = c.benchmark_group("learn_in_degree");
+    g.sample_size(10);
+    for max_parents in [1usize, 2, 3] {
+        let opts = Options {
+            learning: LearnOptions { max_parents, ..Default::default() },
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(max_parents), &opts, |b, o| {
+            b.iter(|| EntropyIp::with_options(o.clone()).analyze(&set).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Segmentation parameter ablation: paper thresholds vs a plain
+/// entropy-difference rule (the alternative §4.5 says performed
+/// worse) — here measuring cost and segment counts.
+fn bench_segmentation_rules(c: &mut Criterion) {
+    use eip_stats::nybble_entropy;
+    use entropy_ip::{segment_entropy_profile, SegmentationOptions};
+    let addrs: Vec<_> = dataset("S1").unwrap().population_sized(5_000, 1).iter().collect();
+    let profile = nybble_entropy(&addrs);
+    let paper = SegmentationOptions::default();
+    // "Plain difference": a dense threshold ladder makes every
+    // hysteresis-exceeding jump a boundary.
+    let plain = SegmentationOptions {
+        thresholds: (1..20).map(|i| i as f64 / 20.0).collect(),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("segmentation_rule");
+    g.bench_function("paper_thresholds", |b| {
+        b.iter(|| segment_entropy_profile(&profile, &paper));
+    });
+    g.bench_function("plain_difference", |b| {
+        b.iter(|| segment_entropy_profile(&profile, &plain));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_classes, bench_in_degree, bench_segmentation_rules);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end figure/table benchmarks: what it costs to regenerate
+//! each paper artifact (entropy panels, browser refresh, candidate
+//! generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eip_netsim::dataset;
+use entropy_ip::{Browser, EntropyIp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fig. 7/8/9/10-style panel: full analysis of one network sample.
+fn bench_panel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_panel");
+    g.sample_size(10);
+    for id in ["S1", "R1", "C1"] {
+        let set = dataset(id).unwrap().population_sized(4_000, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(id), &set, |b, s| {
+            b.iter(|| {
+                let model = EntropyIp::new().analyze(s).unwrap();
+                eip_viz::render_entropy_ascii(model.analysis(), 12)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 1(b->c): one browser click (condition + re-render).
+fn bench_browser_click(c: &mut Criterion) {
+    let set = dataset("C1").unwrap().population_sized(4_000, 1);
+    let model = EntropyIp::new().analyze(&set).unwrap();
+    let code = model.mined()[0].values[0].code.clone();
+    let label = model.mined()[0].segment.label.clone();
+    c.bench_function("browser_click", |b| {
+        b.iter(|| {
+            let mut browser = Browser::new(&model);
+            browser.select(&label, &code);
+            eip_viz::render_browser(&browser.distributions(), 0.001)
+        });
+    });
+}
+
+/// Table 4 inner loop: candidate generation throughput.
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_candidates");
+    g.sample_size(10);
+    for id in ["S1", "R1"] {
+        let set = dataset(id).unwrap().population_sized(2_000, 1);
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        g.bench_with_input(BenchmarkId::new("10k", id), &model, |b, m| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| m.generate(10_000, 80_000, &mut rng));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_panel, bench_browser_click, bench_generation);
+criterion_main!(benches);

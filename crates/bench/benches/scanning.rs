@@ -1,0 +1,69 @@
+//! Scanning-evaluation benchmarks: the Table 4 / Table 6 protocols
+//! at reduced scale (train, generate, probe, account).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eip_addr::set::SplitMix64;
+use eip_netsim::{dataset, evaluate_scan, Responder, TemporalPool};
+use entropy_ip::{EntropyIp, Generator, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One Table 4 row end to end (S3: the paper's best server case).
+fn bench_table4_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_row");
+    g.sample_size(10);
+    for id in ["S3", "R1"] {
+        let spec = dataset(id).unwrap();
+        let observed = spec.population(1);
+        g.bench_with_input(BenchmarkId::from_parameter(id), &observed, |b, obs| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(2);
+                let (train, test) = obs.split_sample(1_000, &mut rng);
+                let responder = Responder::new(obs.clone(), 0.5, 3);
+                let model = EntropyIp::new().analyze(&train).unwrap();
+                let mut gen_rng = StdRng::seed_from_u64(4);
+                let cands = Generator::new(&model)
+                    .excluding(&train)
+                    .run(10_000, &mut gen_rng)
+                    .candidates;
+                evaluate_scan(&cands, &train, &test, &responder)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// One Table 6 row: temporal prefix prediction.
+fn bench_table6_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_row");
+    g.sample_size(10);
+    let spec = dataset("C5").unwrap();
+    let pool = TemporalPool::new(spec.plan(), 4_000, 0.7, 9);
+    g.bench_function("C5", |b| {
+        b.iter(|| {
+            let day0 = pool.day(0);
+            let mut rng = SplitMix64::new(5);
+            let (train, _) = day0.split_sample(1_000, &mut rng);
+            let model = EntropyIp::with_options(Options::top64()).analyze(&train).unwrap();
+            let mut gen_rng = StdRng::seed_from_u64(6);
+            let cands = Generator::new(&model).run(10_000, &mut gen_rng).candidates;
+            cands.iter().filter(|&&p| day0.contains(p)).count()
+        });
+    });
+    g.finish();
+}
+
+/// Responder probe throughput (the oracle must not be the
+/// bottleneck).
+fn bench_probe(c: &mut Criterion) {
+    let spec = dataset("R1").unwrap();
+    let active = spec.population(1);
+    let responder = Responder::new(active.clone(), 0.5, 3);
+    let targets: Vec<_> = active.iter().take(1_000).collect();
+    c.bench_function("probe_1k", |b| {
+        b.iter(|| targets.iter().filter(|&&ip| responder.ping(ip)).count());
+    });
+}
+
+criterion_group!(benches, bench_table4_row, bench_table6_row, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Per-stage benchmarks of the Entropy/IP pipeline: entropy profile,
+//! ACR, segmentation, mining, BN structure learning, inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eip_addr::{AddressSet, Ip6};
+use eip_netsim::dataset;
+use eip_stats::{acr4, nybble_entropy, WindowGrid};
+use entropy_ip::{segment_entropy_profile, EntropyIp, SegmentationOptions};
+
+fn population(n: usize) -> AddressSet {
+    dataset("S1").unwrap().population_sized(n, 1)
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy_profile");
+    for n in [1_000usize, 10_000] {
+        let addrs: Vec<Ip6> = population(n).iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &addrs, |b, a| {
+            b.iter(|| nybble_entropy(a));
+        });
+    }
+    g.finish();
+}
+
+fn bench_acr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acr4");
+    for n in [1_000usize, 10_000] {
+        let set = population(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| acr4(s));
+        });
+    }
+    g.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let addrs: Vec<Ip6> = population(10_000).iter().collect();
+    let profile = nybble_entropy(&addrs);
+    let opts = SegmentationOptions::default();
+    c.bench_function("segmentation", |b| {
+        b.iter(|| segment_entropy_profile(&profile, &opts));
+    });
+}
+
+fn bench_window_grid(c: &mut Criterion) {
+    let addrs: Vec<Ip6> = population(1_000).iter().collect();
+    c.bench_function("window_grid_1k", |b| {
+        b.iter(|| WindowGrid::compute(&addrs));
+    });
+}
+
+fn bench_full_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_model");
+    g.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let set = population(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| EntropyIp::new().analyze(s).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let model = EntropyIp::new().analyze(&population(2_000)).unwrap();
+    c.bench_function("posterior_marginals", |b| {
+        b.iter(|| model.posterior(&vec![(0, 0)]));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_entropy,
+    bench_acr,
+    bench_segmentation,
+    bench_window_grid,
+    bench_full_model,
+    bench_inference
+);
+criterion_main!(benches);

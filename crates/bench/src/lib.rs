@@ -1,0 +1,2 @@
+//! Criterion benchmark crate (see benches/).
+#![forbid(unsafe_code)]

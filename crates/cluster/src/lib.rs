@@ -1,0 +1,28 @@
+//! DBSCAN clustering for Entropy/IP segment mining (§4.3).
+//!
+//! The paper runs the DBSCAN algorithm of Ester, Kriegel, Sander & Xu
+//! (KDD 1996) twice per segment:
+//!
+//! * step (b): on the segment's **values** themselves, "parametrized
+//!   to find highly dense ranges of values" — our [`Dbscan1D`], a
+//!   weighted one-dimensional DBSCAN where each distinct value
+//!   carries its occurrence count as weight;
+//! * step (c): on the segment's **histogram** ("a vector of values
+//!   vs. their counts"), "tuned … to find ranges of values that are
+//!   both uniformly distributed and relatively continuous" — our
+//!   [`Dbscan2D`] over normalized (value, count) points.
+//!
+//! Both exploit the natural ordering of the value axis: points are
+//! sorted and ε-neighborhoods are windows, so clustering is
+//! `O(n · w)` with `w` the neighborhood width instead of the naive
+//! `O(n²)` — important because a pseudo-random 11-nybble segment from
+//! a 100K-address set has ~100K distinct values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod one_d;
+pub mod two_d;
+
+pub use one_d::{Cluster1D, Dbscan1D};
+pub use two_d::{Dbscan2D, Label};

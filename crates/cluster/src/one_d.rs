@@ -1,0 +1,227 @@
+//! Weighted one-dimensional DBSCAN over segment values.
+//!
+//! Input: distinct values with occurrence counts (weights). A value
+//! is a *core point* if the total weight within its ε-neighborhood
+//! (closed interval `[v − ε, v + ε]`) reaches `min_weight`. Clusters
+//! are the standard DBSCAN density-connected components; in one
+//! dimension these are exactly maximal chains of core points with
+//! consecutive gaps ≤ ε, together with any border points within ε of
+//! a chain end. Noise is everything else.
+//!
+//! This realizes §4.3 step (b): "we run on D_k the popular DBSCAN
+//! data clustering algorithm, parametrized to find highly dense
+//! ranges of values. In this step, we use the minimum and maximum
+//! values of the discovered clusters as ranges added to V_k."
+
+/// A discovered dense range of values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster1D {
+    /// Smallest member value (range low bound).
+    pub min: u128,
+    /// Largest member value (range high bound).
+    pub max: u128,
+    /// Total occurrence weight of the members.
+    pub weight: u64,
+    /// Number of distinct member values.
+    pub distinct: usize,
+}
+
+/// Parameters for the weighted 1-D DBSCAN.
+#[derive(Clone, Copy, Debug)]
+pub struct Dbscan1D {
+    /// Neighborhood radius in value units (closed interval).
+    pub eps: u128,
+    /// Minimum total weight inside a neighborhood for a core point
+    /// (DBSCAN's `minPts`, generalized to weights).
+    pub min_weight: u64,
+}
+
+impl Dbscan1D {
+    /// Creates a parameter set.
+    pub fn new(eps: u128, min_weight: u64) -> Self {
+        Dbscan1D { eps, min_weight }
+    }
+
+    /// Clusters `(value, weight)` pairs. The input need not be
+    /// sorted; duplicates should already be merged (weights summed)
+    /// — `eip_stats::Histogram`-style entries satisfy both.
+    ///
+    /// Returns clusters ordered by their minimum value.
+    pub fn run(&self, points: &[(u128, u64)]) -> Vec<Cluster1D> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let mut pts: Vec<(u128, u64)> = points.to_vec();
+        pts.sort_unstable();
+
+        // Prefix sums of weights for O(1) window weight queries.
+        let mut prefix: Vec<u64> = Vec::with_capacity(pts.len() + 1);
+        prefix.push(0);
+        for &(_, w) in &pts {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let window_weight = |lo: usize, hi: usize| prefix[hi + 1] - prefix[lo]; // inclusive
+
+        // Core-point test via two-pointer ε-windows.
+        let n = pts.len();
+        let mut core = vec![false; n];
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for i in 0..n {
+            let v = pts[i].0;
+            while pts[lo].0 < v.saturating_sub(self.eps) {
+                lo += 1;
+            }
+            if hi < i {
+                hi = i;
+            }
+            while hi + 1 < n && pts[hi + 1].0 <= v.saturating_add(self.eps) {
+                hi += 1;
+            }
+            core[i] = window_weight(lo, hi) >= self.min_weight;
+        }
+
+        // Chain core points with gap <= eps; attach border points.
+        let mut clusters: Vec<Cluster1D> = Vec::new();
+        let mut claimed = 0usize; // points below this index belong to earlier clusters
+        let mut i = 0usize;
+        while i < n {
+            if !core[i] {
+                i += 1;
+                continue;
+            }
+            // Start a chain at core point i; optionally pull in a
+            // preceding border point within eps — unless an earlier
+            // cluster already claimed it (border points join the
+            // first cluster that reaches them, per DBSCAN).
+            let mut start = i;
+            if i > claimed && !core[i - 1] && pts[i].0 - pts[i - 1].0 <= self.eps {
+                start = i - 1;
+            }
+            let mut end = i;
+            let mut last_core = i;
+            let mut j = i + 1;
+            while j < n {
+                let gap = pts[j].0 - pts[last_core].0;
+                if core[j] {
+                    if gap <= self.eps {
+                        last_core = j;
+                        end = j;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                } else if gap <= self.eps {
+                    // Border point: include, but do not extend reach.
+                    end = j;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let weight = window_weight(start, end);
+            clusters.push(Cluster1D {
+                min: pts[start].0,
+                max: pts[end].0,
+                weight,
+                distinct: end - start + 1,
+            });
+            claimed = end + 1;
+            i = j.max(end + 1);
+        }
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(points: &[u128]) -> Vec<(u128, u64)> {
+        points.iter().map(|&v| (v, 1)).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Dbscan1D::new(1, 2).run(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_dense_run_is_one_cluster() {
+        let c = Dbscan1D::new(1, 3).run(&unit(&[10, 11, 12, 13, 14]));
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].min, c[0].max), (10, 14));
+        assert_eq!(c[0].weight, 5);
+        assert_eq!(c[0].distinct, 5);
+    }
+
+    #[test]
+    fn gap_splits_clusters() {
+        let c = Dbscan1D::new(1, 3).run(&unit(&[1, 2, 3, 4, 100, 101, 102, 103]));
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].min, c[0].max), (1, 4));
+        assert_eq!((c[1].min, c[1].max), (100, 103));
+    }
+
+    #[test]
+    fn sparse_points_are_noise() {
+        let c = Dbscan1D::new(1, 3).run(&unit(&[10, 50, 90]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn weights_make_isolated_value_core() {
+        // A single value with weight 10 is core on its own.
+        let c = Dbscan1D::new(1, 10).run(&[(42, 10), (100, 1)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].min, c[0].max), (42, 42));
+        assert_eq!(c[0].weight, 10);
+    }
+
+    #[test]
+    fn border_points_join_but_do_not_extend() {
+        // 1,2,3 are dense (min_weight 3, eps 1); 4 is a border point
+        // (only 2 neighbors within eps: 3 and itself + ...) attach to
+        // the cluster; 6 is too far from the last core point (3)?
+        // With eps 1: neighbors of 4 = {3,4}; weight 2 < 3 -> border.
+        // 4 attaches (gap 4-3=1 <= eps) but the chain cannot extend
+        // through it to 5.. (none here).
+        let c = Dbscan1D::new(1, 3).run(&unit(&[1, 2, 3, 4, 6]));
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].min, c[0].max), (1, 4));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let c = Dbscan1D::new(1, 3).run(&unit(&[14, 10, 12, 13, 11]));
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].min, c[0].max), (10, 14));
+    }
+
+    #[test]
+    fn adjacent_chains_with_small_gap_merge() {
+        // eps 2 bridges the gap between 5 and 7.
+        let c = Dbscan1D::new(2, 3).run(&unit(&[1, 2, 3, 4, 5, 7, 8, 9]));
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].min, c[0].max), (1, 9));
+    }
+
+    #[test]
+    fn extreme_values_no_overflow() {
+        let pts = [(0u128, 5u64), (u128::MAX, 5u64)];
+        let c = Dbscan1D::new(10, 3).run(&pts);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn uniform_random_like_segment_is_one_big_range() {
+        // Values spread over 0..1000 every 3 units with eps 4:
+        // everything chains into one cluster — how the paper's G14
+        // "whole-IID pseudo-random" ranges come about.
+        let vals: Vec<u128> = (0..300u128).map(|i| i * 3).collect();
+        let c = Dbscan1D::new(4, 3).run(&unit(&vals));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].min, 0);
+        assert_eq!(c[0].max, 897);
+    }
+}

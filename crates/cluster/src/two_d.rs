@@ -1,0 +1,253 @@
+//! Two-dimensional DBSCAN over histogram points.
+//!
+//! §4.3 step (c): "we run the DBSCAN algorithm again, but on a
+//! histogram of D_k, that is, on a vector of values vs. their counts.
+//! We tune the algorithm to find ranges of values that are both
+//! uniformly distributed and relatively continuous."
+//!
+//! Each point is a `(value, count)` histogram entry. Both axes are
+//! normalized to `[0, 1]` before distance computation (value by the
+//! observed span, count by the maximum count), so ε is scale-free:
+//! a cluster is a run of values that are *close together* (continuity
+//! on the x-axis) *with similar frequencies* (uniformity on the
+//! y-axis) — exactly the C6 box of the paper's Fig. 4.
+
+/// Point classification produced by [`Dbscan2D::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// Not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with the given 0-based id.
+    Cluster(usize),
+}
+
+impl Label {
+    /// The cluster id, if any.
+    pub fn cluster(self) -> Option<usize> {
+        match self {
+            Label::Noise => None,
+            Label::Cluster(id) => Some(id),
+        }
+    }
+}
+
+/// Parameters for the normalized 2-D DBSCAN.
+#[derive(Clone, Copy, Debug)]
+pub struct Dbscan2D {
+    /// Neighborhood radius in the normalized space (both axes in
+    /// `[0, 1]`).
+    pub eps: f64,
+    /// Minimum number of points (including the point itself) inside
+    /// a neighborhood for a core point.
+    pub min_pts: usize,
+}
+
+impl Dbscan2D {
+    /// Creates a parameter set.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        Dbscan2D { eps, min_pts }
+    }
+
+    /// Clusters histogram entries `(value, count)`. Returns one
+    /// [`Label`] per input point, in input order, plus the number of
+    /// clusters found.
+    ///
+    /// Classic DBSCAN with a sorted-by-x sweep for neighborhood
+    /// queries: candidates are limited to the ε-window on the value
+    /// axis, then filtered by Euclidean distance.
+    pub fn run(&self, points: &[(u128, u64)]) -> (Vec<Label>, usize) {
+        let n = points.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+
+        // Normalize. Degenerate spans collapse to 0.
+        let xmin = points.iter().map(|&(v, _)| v).min().unwrap();
+        let xmax = points.iter().map(|&(v, _)| v).max().unwrap();
+        let ymax = points.iter().map(|&(_, c)| c).max().unwrap().max(1);
+        let span = xmax - xmin;
+        let norm: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(v, c)| {
+                let x = if span == 0 {
+                    0.0
+                } else {
+                    // Split before converting so u128 precision loss
+                    // stays bounded by f64 rounding, not magnitude.
+                    (v - xmin) as f64 / span as f64
+                };
+                let y = c as f64 / ymax as f64;
+                (x, y)
+            })
+            .collect();
+
+        // Sort indices by x for windowed neighborhood queries.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| norm[a].0.total_cmp(&norm[b].0));
+        let xs: Vec<f64> = order.iter().map(|&i| norm[i].0).collect();
+
+        let neighbors = |rank: usize| -> Vec<usize> {
+            let x = xs[rank];
+            let (px, py) = norm[order[rank]];
+            debug_assert_eq!(px, x);
+            let mut out = Vec::new();
+            // Walk left and right within the eps x-window.
+            let mut l = rank;
+            while l > 0 && x - xs[l - 1] <= self.eps {
+                l -= 1;
+            }
+            let mut r = rank;
+            while r + 1 < xs.len() && xs[r + 1] - x <= self.eps {
+                r += 1;
+            }
+            for k in l..=r {
+                let (qx, qy) = norm[order[k]];
+                let d2 = (qx - px) * (qx - px) + (qy - py) * (qy - py);
+                if d2 <= self.eps * self.eps {
+                    out.push(k);
+                }
+            }
+            out
+        };
+
+        // Standard DBSCAN over ranks.
+        const UNVISITED: usize = usize::MAX;
+        const NOISE: usize = usize::MAX - 1;
+        let mut label = vec![UNVISITED; n]; // by rank
+        let mut clusters = 0usize;
+        for rank in 0..n {
+            if label[rank] != UNVISITED {
+                continue;
+            }
+            let nb = neighbors(rank);
+            if nb.len() < self.min_pts {
+                label[rank] = NOISE;
+                continue;
+            }
+            let cid = clusters;
+            clusters += 1;
+            label[rank] = cid;
+            let mut queue: Vec<usize> = nb;
+            while let Some(q) = queue.pop() {
+                if label[q] == NOISE {
+                    label[q] = cid; // border point
+                }
+                if label[q] != UNVISITED {
+                    continue;
+                }
+                label[q] = cid;
+                let qn = neighbors(q);
+                if qn.len() >= self.min_pts {
+                    queue.extend(qn);
+                }
+            }
+        }
+
+        // Map rank labels back to input order.
+        let mut out = vec![Label::Noise; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            out[idx] = match label[rank] {
+                NOISE | UNVISITED => Label::Noise,
+                cid => Label::Cluster(cid),
+            };
+        }
+        (out, clusters)
+    }
+
+    /// Convenience: returns the value ranges `(min, max, members)` of
+    /// each cluster, ordered by minimum value.
+    pub fn ranges(&self, points: &[(u128, u64)]) -> Vec<(u128, u128, usize)> {
+        let (labels, k) = self.run(points);
+        let mut ranges: Vec<Option<(u128, u128, usize)>> = vec![None; k];
+        for (i, lab) in labels.iter().enumerate() {
+            if let Some(cid) = lab.cluster() {
+                let v = points[i].0;
+                let e = ranges[cid].get_or_insert((v, v, 0));
+                e.0 = e.0.min(v);
+                e.1 = e.1.max(v);
+                e.2 += 1;
+            }
+        }
+        let mut out: Vec<(u128, u128, usize)> = ranges.into_iter().flatten().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let (labels, k) = Dbscan2D::new(0.1, 3).run(&[]);
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn uniform_continuous_run_is_one_cluster() {
+        // 50 consecutive values all with count 10: the paper's "C6"
+        // shape.
+        let pts: Vec<(u128, u64)> = (0..50u128).map(|v| (v, 10)).collect();
+        let (labels, k) = Dbscan2D::new(0.08, 4).run(&pts);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|l| l.cluster() == Some(0)));
+    }
+
+    #[test]
+    fn outlier_count_is_noise() {
+        // Same run, but one value is 100x more frequent: it sits far
+        // away on the normalized count axis -> noise.
+        let mut pts: Vec<(u128, u64)> = (0..50u128).map(|v| (v, 10)).collect();
+        pts.push((25, 1000)); // a duplicate value won't occur in a
+                              // histogram; use a separate value
+        pts[25] = (25, 1000);
+        pts.pop();
+        let (labels, k) = Dbscan2D::new(0.08, 4).run(&pts);
+        assert!(k >= 1);
+        assert_eq!(labels[25], Label::Noise);
+    }
+
+    #[test]
+    fn two_separated_runs_two_clusters() {
+        let mut pts: Vec<(u128, u64)> = (0..30u128).map(|v| (v, 5)).collect();
+        pts.extend((1000..1030u128).map(|v| (v, 5)));
+        let (_, k) = Dbscan2D::new(0.02, 4).run(&pts);
+        assert_eq!(k, 2);
+        let ranges = Dbscan2D::new(0.02, 4).ranges(&pts);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], (0, 29, 30));
+        assert_eq!(ranges[1], (1000, 1029, 30));
+    }
+
+    #[test]
+    fn sparse_points_all_noise() {
+        let pts: Vec<(u128, u64)> = (0..10u128).map(|v| (v * 1000, 1)).collect();
+        let (labels, k) = Dbscan2D::new(0.01, 3).run(&pts);
+        assert_eq!(k, 0);
+        assert!(labels.iter().all(|&l| l == Label::Noise));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let (labels, k) = Dbscan2D::new(0.1, 1).run(&[(7, 3)]);
+        assert_eq!(k, 1);
+        assert_eq!(labels[0], Label::Cluster(0));
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let pts: Vec<(u128, u64)> = (0..5u128).map(|v| (v * 100, 1)).collect();
+        let (labels, k) = Dbscan2D::new(0.01, 1).run(&pts);
+        assert_eq!(k, 5);
+        assert!(labels.iter().all(|l| l.cluster().is_some()));
+    }
+
+    #[test]
+    fn huge_values_normalize_without_overflow() {
+        let pts = vec![(0u128, 2u64), (u128::MAX / 2, 2), (u128::MAX, 2)];
+        let (_, k) = Dbscan2D::new(0.6, 2).run(&pts);
+        assert!(k >= 1);
+    }
+}

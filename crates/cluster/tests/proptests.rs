@@ -1,0 +1,109 @@
+//! Property-based tests for the DBSCAN implementations.
+
+use eip_cluster::{Dbscan1D, Dbscan2D};
+use proptest::prelude::*;
+
+proptest! {
+    /// 1-D clusters never overlap and are ordered by min value.
+    #[test]
+    fn clusters_disjoint_and_ordered(
+        vals in prop::collection::btree_map(0u128..10_000, 1u64..20, 0..200),
+        eps in 1u128..50, minw in 1u64..10,
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let clusters = Dbscan1D::new(eps, minw).run(&pts);
+        for c in &clusters {
+            prop_assert!(c.min <= c.max);
+            prop_assert!(c.weight >= 1);
+            prop_assert!(c.distinct >= 1);
+        }
+        for w in clusters.windows(2) {
+            prop_assert!(w[0].max < w[1].min, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Every 1-D cluster's weight is the sum of member weights, and
+    /// total clustered weight never exceeds the input weight.
+    #[test]
+    fn cluster_weight_conserved(
+        vals in prop::collection::btree_map(0u128..1_000, 1u64..20, 0..100),
+        eps in 1u128..20, minw in 1u64..10,
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let total: u64 = pts.iter().map(|&(_, w)| w).sum();
+        let clusters = Dbscan1D::new(eps, minw).run(&pts);
+        let clustered: u64 = clusters.iter().map(|c| c.weight).sum();
+        prop_assert!(clustered <= total);
+        for c in &clusters {
+            let expect: u64 = pts
+                .iter()
+                .filter(|&&(v, _)| (c.min..=c.max).contains(&v))
+                .map(|&(_, w)| w)
+                .sum();
+            prop_assert_eq!(c.weight, expect);
+        }
+    }
+
+    /// With min_weight 1 every point lands in some cluster and all
+    /// weight is clustered.
+    #[test]
+    fn min_weight_one_covers_everything(
+        vals in prop::collection::btree_map(0u128..10_000, 1u64..10, 1..100),
+        eps in 0u128..100,
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let total: u64 = pts.iter().map(|&(_, w)| w).sum();
+        let clusters = Dbscan1D::new(eps, 1).run(&pts);
+        let clustered: u64 = clusters.iter().map(|c| c.weight).sum();
+        prop_assert_eq!(clustered, total);
+    }
+
+    /// 1-D clustering is insensitive to input order.
+    #[test]
+    fn order_invariant(
+        vals in prop::collection::btree_map(0u128..1_000, 1u64..10, 0..60),
+        eps in 1u128..20, minw in 1u64..6, seed in any::<u64>(),
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let a = Dbscan1D::new(eps, minw).run(&pts);
+        // Pseudo-shuffle deterministically.
+        let mut shuffled = pts.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let b = Dbscan1D::new(eps, minw).run(&shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// 2-D labels: the number of distinct cluster ids equals the
+    /// reported count, and ids are 0..k.
+    #[test]
+    fn two_d_label_consistency(
+        vals in prop::collection::btree_map(0u128..500, 1u64..30, 0..80),
+        eps in 0.01f64..0.5, min_pts in 1usize..6,
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let (labels, k) = Dbscan2D::new(eps, min_pts).run(&pts);
+        prop_assert_eq!(labels.len(), pts.len());
+        let ids: std::collections::HashSet<usize> =
+            labels.iter().filter_map(|l| l.cluster()).collect();
+        prop_assert_eq!(ids.len(), k);
+        for id in ids {
+            prop_assert!(id < k);
+        }
+    }
+
+    /// 2-D: with min_pts = 1 no point is noise.
+    #[test]
+    fn two_d_min_pts_one_no_noise(
+        vals in prop::collection::btree_map(0u128..500, 1u64..30, 1..60),
+        eps in 0.01f64..0.5,
+    ) {
+        let pts: Vec<(u128, u64)> = vals.into_iter().collect();
+        let (labels, _) = Dbscan2D::new(eps, 1).run(&pts);
+        prop_assert!(labels.iter().all(|l| l.cluster().is_some()));
+    }
+}

@@ -1,0 +1,115 @@
+//! The measurement half of the pipeline: entropy profile, ACR
+//! profile, total entropy, and the resulting segmentation.
+//!
+//! An [`Analysis`] is everything the paper's Fig. 7(a)/9(a)/10(a)
+//! panels display — the solid entropy line, the dashed ACR line, the
+//! Ĥ_S value in the legend, and the lettered segment boundaries.
+
+use eip_addr::{AddressSet, Ip6};
+use eip_stats::{acr4, nybble_entropy};
+
+use crate::segments::{segment_entropy_profile, Segment, SegmentationOptions};
+
+/// Entropy + ACR profiles and segmentation of an address set.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Normalized per-nybble entropy, Ĥ(X₁)…Ĥ(X₃₂). Entries past
+    /// `width` are zero in top-64 mode.
+    pub entropy: [f64; 32],
+    /// Normalized 4-bit aggregate count ratios.
+    pub acr: [f64; 32],
+    /// Total entropy Ĥ_S (sum over the analyzed width).
+    pub total_entropy: f64,
+    /// The discovered segments, left to right.
+    pub segments: Vec<Segment>,
+    /// Number of (distinct) addresses analyzed.
+    pub num_addresses: usize,
+    /// Analysis width in nybbles (32, or 16 in top-64 mode).
+    pub width: usize,
+}
+
+impl Analysis {
+    /// Runs entropy analysis + segmentation on a set.
+    ///
+    /// In top-64 mode (`opts.width == 16`) the caller should already
+    /// have reduced the set to /64 networks; the profile is computed
+    /// on the addresses as given, but only the first 16 nybbles are
+    /// segmented and summed into Ĥ_S.
+    pub fn compute(ips: &AddressSet, opts: &SegmentationOptions) -> Analysis {
+        let addrs: Vec<Ip6> = ips.iter().collect();
+        let entropy = nybble_entropy(&addrs);
+        let acr = acr4(ips);
+        let total_entropy = entropy[..opts.width].iter().sum();
+        let segments = segment_entropy_profile(&entropy, opts);
+        Analysis {
+            entropy,
+            acr,
+            total_entropy,
+            segments,
+            num_addresses: ips.len(),
+            width: opts.width,
+        }
+    }
+
+    /// The segment containing 1-based nybble `pos`, if any.
+    pub fn segment_at(&self, pos: usize) -> Option<&Segment> {
+        self.segments.iter().find(|s| (s.start..=s.end).contains(&pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured_set() -> AddressSet {
+        // One /48, 16 subnets in nybble 13..16, tiny IID counter.
+        let mut v = Vec::new();
+        for subnet in 0..16u128 {
+            for host in 1..=8u128 {
+                v.push(Ip6((0x2001_0db8_0001u128 << 80) | (subnet << 64) | host));
+            }
+        }
+        AddressSet::from_iter(v)
+    }
+
+    #[test]
+    fn profile_shapes() {
+        let a = Analysis::compute(&structured_set(), &SegmentationOptions::default());
+        assert_eq!(a.num_addresses, 128);
+        assert_eq!(a.width, 32);
+        // Constant prefix nybbles: zero entropy.
+        for pos in 1..=12 {
+            assert_eq!(a.entropy[pos - 1], 0.0, "pos {pos}");
+        }
+        // Subnet nybble (16) fully uniform.
+        assert!((a.entropy[15] - 1.0).abs() < 1e-9);
+        // ACR flags the subnet nybble as discriminating.
+        assert!(a.acr[15] > 0.9);
+        // Ĥ_S equals the profile sum.
+        let sum: f64 = a.entropy.iter().sum();
+        assert!((a.total_entropy - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_cover_width_and_lookup_works() {
+        let a = Analysis::compute(&structured_set(), &SegmentationOptions::default());
+        assert_eq!(a.segments.first().unwrap().start, 1);
+        assert_eq!(a.segments.last().unwrap().end, 32);
+        let s = a.segment_at(16).unwrap();
+        assert!((s.start..=s.end).contains(&16));
+        assert!(a.segment_at(33).is_none());
+    }
+
+    #[test]
+    fn top64_mode_sums_only_prefix_entropy() {
+        let set = structured_set();
+        let prefixes: AddressSet = set.iter().map(|ip| ip.slash64()).collect();
+        let a = Analysis::compute(&prefixes, &SegmentationOptions::top64());
+        assert_eq!(a.width, 16);
+        assert_eq!(a.segments.last().unwrap().end, 16);
+        // All IID nybbles are zero in the truncated set.
+        for pos in 17..=32 {
+            assert_eq!(a.entropy[pos - 1], 0.0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The conditional probability browser (§4, Fig. 1b–c).
+//!
+//! The paper's web UI shows, for every segment, the distribution over
+//! its dictionary values as a colored heat map; clicking a value
+//! conditions the Bayesian network on it and refreshes all columns.
+//! [`Browser`] is that interaction model without the pixels: it holds
+//! the current evidence set and serves per-segment posterior
+//! distributions ready for rendering (which `eip-viz` does).
+
+use eip_bayes::Evidence;
+
+use crate::mining::ValueKind;
+use crate::model::IpModel;
+
+/// One segment's posterior distribution over its dictionary values.
+#[derive(Clone, Debug)]
+pub struct SegmentDistribution {
+    /// Segment letter label.
+    pub label: String,
+    /// `(code, kind, probability)` per dictionary element, in
+    /// dictionary order.
+    pub entries: Vec<(String, ValueKind, f64)>,
+    /// Whether this segment is currently clamped by evidence.
+    pub observed: bool,
+}
+
+/// Interactive conditioning session over a model.
+#[derive(Clone, Debug)]
+pub struct Browser<'m> {
+    model: &'m IpModel,
+    evidence: Evidence,
+}
+
+impl<'m> Browser<'m> {
+    /// Opens a browser with no evidence.
+    pub fn new(model: &'m IpModel) -> Self {
+        Browser { model, evidence: Vec::new() }
+    }
+
+    /// Clamps a segment (by label) to a dictionary code (e.g. "J1").
+    /// Replaces any previous evidence on the same segment. Returns
+    /// `false` if the label or code does not exist.
+    pub fn select(&mut self, label: &str, code: &str) -> bool {
+        let Some((seg, val)) = self.model.evidence_for(label, code) else {
+            return false;
+        };
+        self.evidence.retain(|&(v, _)| v != seg);
+        self.evidence.push((seg, val));
+        true
+    }
+
+    /// Removes evidence from a segment. Returns `false` if none was
+    /// set.
+    pub fn deselect(&mut self, label: &str) -> bool {
+        let Some(seg) = self.model.segment_index(label) else {
+            return false;
+        };
+        let before = self.evidence.len();
+        self.evidence.retain(|&(v, _)| v != seg);
+        self.evidence.len() != before
+    }
+
+    /// Clears all evidence.
+    pub fn clear(&mut self) {
+        self.evidence.clear();
+    }
+
+    /// Current evidence (segment index, code index) pairs.
+    pub fn evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// Posterior distributions of all segments under the current
+    /// evidence — the full browser state (Fig. 1b/c).
+    pub fn distributions(&self) -> Vec<SegmentDistribution> {
+        let post = self.model.posterior(&self.evidence);
+        self.model
+            .mined()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SegmentDistribution {
+                label: m.segment.label.clone(),
+                entries: m
+                    .values
+                    .iter()
+                    .zip(&post[i])
+                    .map(|(sv, &p)| (sv.code.clone(), sv.kind, p))
+                    .collect(),
+                observed: self.evidence.iter().any(|&(v, _)| v == i),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntropyIp;
+    use eip_addr::{AddressSet, Ip6};
+
+    /// Two /32s with *different* subnet nybble distributions, so
+    /// evidence on the subnet segment shifts the /32 posterior.
+    fn model() -> IpModel {
+        let mut v = Vec::new();
+        for i in 0..600u128 {
+            // 2001:db8: subnets 0..4
+            v.push(Ip6((0x2001_0db8u128 << 96) | ((i % 4) << 80) | (i + 1)));
+        }
+        for i in 0..400u128 {
+            // 3001:db8: subnets 8..16
+            v.push(Ip6((0x3001_0db8u128 << 96) | ((8 + i % 8) << 80) | (i + 1)));
+        }
+        EntropyIp::new().analyze(&AddressSet::from_iter(v)).unwrap()
+    }
+
+    #[test]
+    fn distributions_sum_to_one() {
+        let m = model();
+        let b = Browser::new(&m);
+        for d in b.distributions() {
+            let s: f64 = d.entries.iter().map(|&(_, _, p)| p).sum();
+            assert!((s - 1.0).abs() < 1e-6, "segment {} sums to {s}", d.label);
+            assert!(!d.observed);
+        }
+    }
+
+    #[test]
+    fn select_conditions_and_flags_segment() {
+        let m = model();
+        let mut b = Browser::new(&m);
+        assert!(b.select("A", "A1"));
+        let dists = b.distributions();
+        let a = dists.iter().find(|d| d.label == "A").unwrap();
+        assert!(a.observed);
+        // The observed segment's distribution is deterministic.
+        let ones: Vec<f64> = a.entries.iter().map(|&(_, _, p)| p).collect();
+        assert!((ones.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(ones.iter().any(|&p| (p - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn evidence_moves_other_segments() {
+        let m = model();
+        let mut b = Browser::new(&m);
+        let before = b.distributions();
+        // Clamp A to the second /32 (code order follows frequency;
+        // find the code whose posterior then forces things).
+        assert!(b.select("A", "A2"));
+        let after = b.distributions();
+        // Find the subnet segment (the one covering nybble 12) and
+        // check its distribution moved.
+        let idx = m.segment_index(&m.analysis().segment_at(12).unwrap().label).unwrap();
+        let delta: f64 = before[idx]
+            .entries
+            .iter()
+            .zip(&after[idx].entries)
+            .map(|(x, y)| (x.2 - y.2).abs())
+            .sum();
+        assert!(delta > 0.05, "subnet distribution barely moved: {delta}");
+    }
+
+    #[test]
+    fn deselect_restores_prior() {
+        let m = model();
+        let mut b = Browser::new(&m);
+        let prior = b.distributions();
+        b.select("A", "A1");
+        assert!(b.deselect("A"));
+        let back = b.distributions();
+        for (x, y) in prior.iter().zip(&back) {
+            for (e1, e2) in x.entries.iter().zip(&y.entries) {
+                assert!((e1.2 - e2.2).abs() < 1e-12);
+            }
+        }
+        assert!(!b.deselect("A"), "nothing left to deselect");
+    }
+
+    #[test]
+    fn selecting_same_segment_replaces_evidence() {
+        let m = model();
+        let mut b = Browser::new(&m);
+        b.select("A", "A1");
+        b.select("A", "A2");
+        assert_eq!(b.evidence().len(), 1);
+        b.clear();
+        assert!(b.evidence().is_empty());
+    }
+
+    #[test]
+    fn unknown_labels_rejected() {
+        let m = model();
+        let mut b = Browser::new(&m);
+        assert!(!b.select("Q9", "Q91"));
+        assert!(!b.select("A", "A999"));
+        assert!(!b.deselect("Q9"));
+    }
+}

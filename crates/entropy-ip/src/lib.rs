@@ -1,0 +1,57 @@
+//! # Entropy/IP — uncovering structure in IPv6 addresses
+//!
+//! A from-scratch reproduction of *Entropy/IP: Uncovering Structure
+//! in IPv6 Addresses* (Foremski, Plonka & Berger, IMC 2016). Given a
+//! set of active IPv6 addresses, the pipeline:
+//!
+//! 1. computes the normalized entropy of each of the 32 hex-character
+//!    positions ([`eip_stats::nybble_entropy`], §4.1);
+//! 2. groups adjacent nybbles of similar entropy into *segments*
+//!    ([`segments`], §4.2 — threshold set `{0.025, 0.1, 0.3, 0.5,
+//!    0.9}` with 0.05 hysteresis, hard boundaries after bits 32/64);
+//! 3. mines each segment for popular values and dense ranges
+//!    ([`mining`], §4.3 — IQR outliers, then two DBSCAN passes);
+//! 4. re-codes every address as a categorical vector and learns a
+//!    Bayesian network over the segments ([`model`], §4.4);
+//! 5. serves exploration and generation: the conditional probability
+//!    browser ([`browser`]) and the candidate target generator
+//!    ([`generate`], §5.5–5.6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eip_addr::{AddressSet, Ip6};
+//! use entropy_ip::{EntropyIp, Options};
+//!
+//! // A toy "network": one /64, IIDs counting upward.
+//! let ips: AddressSet = (0..512u128)
+//!     .map(|i| Ip6((0x2001_0db8_0001_0000u128 << 64) | i))
+//!     .collect();
+//!
+//! let model = EntropyIp::with_options(Options::default()).analyze(&ips).unwrap();
+//! assert!(model.analysis().total_entropy < 4.0); // highly structured
+//!
+//! // Generate fresh candidates that match the discovered structure.
+//! let mut rng = rand::thread_rng();
+//! let candidates = model.generate(100, 10_000, &mut rng);
+//! assert!(!candidates.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod browser;
+pub mod generate;
+pub mod mining;
+pub mod model;
+pub mod profile;
+pub mod segments;
+
+pub use analysis::Analysis;
+pub use browser::{Browser, SegmentDistribution};
+pub use generate::Generator;
+pub use mining::{MinedSegment, MiningOptions, SegmentValue, ValueKind};
+pub use model::{EntropyIp, IpModel, ModelError, Options};
+pub use segments::{segment_entropy_profile, Segment, SegmentationOptions};

@@ -1,0 +1,354 @@
+//! Segment mining (§4.3): discovering each segment's popular values
+//! and dense ranges.
+//!
+//! For segment `k`, reduce the dataset to the segment's values `D_k`
+//! and build the ordered value dictionary `V_k` in three steps, each
+//! nominating at most the top 10 elements and removing them from
+//! `D_k`; stop as soon as ≤0.1% of the original observations remain:
+//!
+//! * **(a) frequencies** — values more common than `Q3 + 1.5·IQR`
+//!   over the count distribution (outlier rule);
+//! * **(b) values** — DBSCAN over the values, "parametrized to find
+//!   highly dense ranges", nominated as `(min, max)` ranges;
+//! * **(c) both** — DBSCAN over the histogram (value vs. count),
+//!   tuned for ranges that are "uniformly distributed and relatively
+//!   continuous".
+//!
+//! Whatever remains is closed with a `(min D_k, max D_k)` range — or,
+//! if only a handful of observations remain, they are enumerated
+//! verbatim. Codes are the segment letter plus a 1-based index
+//! ("C3"), and every element keeps its empirical frequency, exactly
+//! like the paper's Table 3.
+
+use eip_cluster::{Dbscan1D, Dbscan2D};
+use eip_stats::Histogram;
+
+use crate::segments::Segment;
+
+/// What a dictionary element denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A single exact segment value.
+    Exact(u128),
+    /// A closed range of values `[lo, hi]`. Encoding a value into a
+    /// range code loses the low-order detail, "acceptable for our
+    /// purposes" per the paper.
+    Range {
+        /// Low bound (inclusive).
+        lo: u128,
+        /// High bound (inclusive).
+        hi: u128,
+    },
+}
+
+impl ValueKind {
+    /// Whether this element matches a concrete segment value.
+    pub fn matches(&self, v: u128) -> bool {
+        match *self {
+            ValueKind::Exact(x) => v == x,
+            ValueKind::Range { lo, hi } => (lo..=hi).contains(&v),
+        }
+    }
+}
+
+/// One dictionary element of `V_k`, with its empirical frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegmentValue {
+    /// Code, e.g. "C3": segment letter + 1-based element index.
+    pub code: String,
+    /// The value or range.
+    pub kind: ValueKind,
+    /// Number of training observations this element claimed when it
+    /// was nominated.
+    pub count: u64,
+    /// `count` over the total observations of the segment.
+    pub freq: f64,
+}
+
+/// The mining result for one segment: the ordered dictionary `V_k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedSegment {
+    /// The segment this dictionary describes.
+    pub segment: Segment,
+    /// Ordered dictionary (insertion order = nomination order).
+    pub values: Vec<SegmentValue>,
+    /// Total observations mined.
+    pub total: u64,
+}
+
+impl MinedSegment {
+    /// Encodes a segment value as the index of the first matching
+    /// dictionary element (exact values are nominated before the
+    /// ranges that might also cover them). `None` if nothing matches
+    /// — possible only for values never seen in training.
+    pub fn encode(&self, v: u128) -> Option<usize> {
+        self.values.iter().position(|sv| sv.kind.matches(v))
+    }
+
+    /// Number of dictionary elements (the BN variable's cardinality).
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Mining parameters. The defaults mirror the paper's description and
+/// its published examples; DESIGN.md discusses the two DBSCAN
+/// parameterizations.
+#[derive(Clone, Debug)]
+pub struct MiningOptions {
+    /// Elements nominated per step ("at most the top 10").
+    pub top_per_step: usize,
+    /// Stop when at most this fraction of observations remains
+    /// ("≤0.1% of values left").
+    pub leftover_frac: f64,
+    /// Enumerate the remainder verbatim when it has at most this many
+    /// distinct values ("if |D_k| ≤ 10 we take the whole D_k").
+    pub enumerate_limit: usize,
+    /// Step (b): DBSCAN ε as a fraction of the remaining value span.
+    pub value_eps_frac: f64,
+    /// Step (b): core-point weight as a fraction of the segment's
+    /// total observations.
+    pub value_min_frac: f64,
+    /// Step (c): DBSCAN ε in the normalized (value, count) space.
+    pub hist_eps: f64,
+    /// Step (c): DBSCAN minPts.
+    pub hist_min_pts: usize,
+}
+
+impl Default for MiningOptions {
+    fn default() -> Self {
+        MiningOptions {
+            top_per_step: 10,
+            leftover_frac: 0.001,
+            enumerate_limit: 10,
+            value_eps_frac: 0.02,
+            value_min_frac: 0.02,
+            hist_eps: 0.05,
+            hist_min_pts: 5,
+        }
+    }
+}
+
+/// Mines one segment's value dictionary from the raw segment values
+/// (one entry per training address).
+pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) -> MinedSegment {
+    let total = values.len() as u64;
+    let mut dict: Vec<SegmentValue> = Vec::new();
+    if total == 0 {
+        return MinedSegment { segment: segment.clone(), values: dict, total };
+    }
+    let mut hist = Histogram::from_values(values);
+    let threshold = (total as f64 * opts.leftover_frac).max(0.0);
+
+    let push = |dict: &mut Vec<SegmentValue>, label: &str, kind: ValueKind, count: u64| {
+        let code = format!("{}{}", label, dict.len() + 1);
+        dict.push(SegmentValue { code, kind, count, freq: count as f64 / total as f64 });
+    };
+
+    // Step (a): frequency outliers. A value must also carry at least
+    // the stop-rule's share of observations (0.1% by default):
+    // in a near-uniform segment the Q3+1.5·IQR rule degenerates
+    // (IQR = 0) and would otherwise nominate count-2 noise.
+    let floor = (total as f64 * opts.leftover_frac).ceil().max(2.0) as u64;
+    let outliers = hist.frequency_outliers();
+    for &(v, c) in outliers.iter().filter(|&&(_, c)| c >= floor).take(opts.top_per_step) {
+        push(&mut dict, &segment.label, ValueKind::Exact(v), c);
+        hist.remove_values(&[v]);
+    }
+
+    // Step (b): dense value ranges.
+    if hist.total() as f64 > threshold && hist.distinct() > 1 {
+        let span = hist.max().unwrap() - hist.min().unwrap();
+        let eps = ((span as f64 * opts.value_eps_frac) as u128).max(1);
+        let min_weight = ((total as f64 * opts.value_min_frac) as u64).max(2);
+        let mut clusters = Dbscan1D::new(eps, min_weight).run(hist.entries());
+        clusters.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.min.cmp(&b.min)));
+        for c in clusters.into_iter().take(opts.top_per_step) {
+            let kind = if c.min == c.max {
+                ValueKind::Exact(c.min)
+            } else {
+                ValueKind::Range { lo: c.min, hi: c.max }
+            };
+            push(&mut dict, &segment.label, kind, c.weight);
+            hist.remove_range(c.min, c.max);
+        }
+    }
+
+    // Step (c): uniform continuous histogram ranges.
+    if hist.total() as f64 > threshold && hist.distinct() > 1 {
+        let ranges = Dbscan2D::new(opts.hist_eps, opts.hist_min_pts).ranges(hist.entries());
+        let mut with_weight: Vec<(u128, u128, u64)> = ranges
+            .into_iter()
+            .map(|(lo, hi, _)| {
+                let w: u64 = hist
+                    .entries()
+                    .iter()
+                    .filter(|&&(v, _)| (lo..=hi).contains(&v))
+                    .map(|&(_, c)| c)
+                    .sum();
+                (lo, hi, w)
+            })
+            .collect();
+        with_weight.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        for (lo, hi, w) in with_weight.into_iter().take(opts.top_per_step) {
+            let kind = if lo == hi {
+                ValueKind::Exact(lo)
+            } else {
+                ValueKind::Range { lo, hi }
+            };
+            push(&mut dict, &segment.label, kind, w);
+            hist.remove_range(lo, hi);
+        }
+    }
+
+    // Close the dictionary.
+    if hist.total() as f64 > threshold && !hist.is_empty() {
+        if hist.distinct() <= opts.enumerate_limit {
+            let leftovers: Vec<(u128, u64)> = hist.entries().to_vec();
+            for (v, c) in leftovers {
+                push(&mut dict, &segment.label, ValueKind::Exact(v), c);
+            }
+        } else {
+            let (lo, hi) = (hist.min().unwrap(), hist.max().unwrap());
+            push(
+                &mut dict,
+                &segment.label,
+                ValueKind::Range { lo, hi },
+                hist.total(),
+            );
+        }
+    } else if dict.is_empty() && !hist.is_empty() {
+        // Degenerate guard: tiny leftover below the stop threshold
+        // but nothing nominated yet (can happen for single-value
+        // segments with pathological options). Never return an empty
+        // dictionary for a non-empty segment.
+        let (lo, hi) = (hist.min().unwrap(), hist.max().unwrap());
+        let kind = if lo == hi { ValueKind::Exact(lo) } else { ValueKind::Range { lo, hi } };
+        push(&mut dict, &segment.label, kind, hist.total());
+    }
+
+    MinedSegment { segment: segment.clone(), values: dict, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment { label: "C".into(), start: 9, end: 10 }
+    }
+
+    #[test]
+    fn constant_segment_single_exact_value() {
+        let values = vec![0x10u128; 100];
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        assert_eq!(m.values.len(), 1);
+        assert_eq!(m.values[0].kind, ValueKind::Exact(0x10));
+        assert_eq!(m.values[0].code, "C1");
+        assert!((m.values[0].freq - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popular_values_nominated_first() {
+        // Value 0x10 dominates (60%), a few uniform stragglers.
+        let mut values = vec![0x10u128; 600];
+        for i in 0..400u128 {
+            values.push(i % 100 + 0x20);
+        }
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        assert_eq!(m.values[0].kind, ValueKind::Exact(0x10));
+        assert!((m.values[0].freq - 0.6).abs() < 0.01);
+        // Every training value must encode.
+        for &v in &values {
+            assert!(m.encode(v).is_some(), "value {v:#x} did not encode");
+        }
+    }
+
+    #[test]
+    fn uniform_random_segment_becomes_range() {
+        // Pseudo-uniform over 0..=255: no frequency outliers; DBSCAN
+        // should produce one covering range (the paper's G14-style
+        // element).
+        let values: Vec<u128> = (0..2000u128).map(|i| (i * 37) % 256).collect();
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        assert!(!m.values.is_empty());
+        let covered: u64 = m.values.iter().map(|v| v.count).sum();
+        assert!(covered as f64 >= 0.999 * values.len() as f64);
+        let has_range = m.values.iter().any(|v| matches!(v.kind, ValueKind::Range { .. }));
+        assert!(has_range, "{:?}", m.values);
+        for &v in &values {
+            assert!(m.encode(v).is_some());
+        }
+    }
+
+    #[test]
+    fn mixed_structure_yields_exacts_and_ranges() {
+        // 40% value 0, 30% value 0x80, rest uniform in 0x20..0x60.
+        let mut values = vec![0u128; 400];
+        values.extend(std::iter::repeat(0x80u128).take(300));
+        for i in 0..300u128 {
+            values.push(0x20 + (i * 7) % 0x40);
+        }
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        assert_eq!(m.values[0].kind, ValueKind::Exact(0));
+        assert_eq!(m.values[1].kind, ValueKind::Exact(0x80));
+        for &v in &values {
+            assert!(m.encode(v).is_some());
+        }
+        // Exact codes win over any covering range.
+        assert_eq!(m.encode(0), Some(0));
+        assert_eq!(m.encode(0x80), Some(1));
+    }
+
+    #[test]
+    fn tiny_remainder_enumerated_verbatim() {
+        // Dominant value + 3 stragglers: the stragglers are few
+        // enough to be enumerated.
+        let mut values = vec![7u128; 500];
+        values.extend([100u128, 200, 300]);
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        for &v in &[100u128, 200, 300] {
+            let idx = m.encode(v).unwrap();
+            assert_eq!(m.values[idx].kind, ValueKind::Exact(v));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dictionary() {
+        let m = mine_segment(&seg(), &[], &MiningOptions::default());
+        assert!(m.values.is_empty());
+        assert_eq!(m.total, 0);
+        assert_eq!(m.encode(0), None);
+    }
+
+    #[test]
+    fn codes_are_sequential() {
+        let values: Vec<u128> = (0..100u128).map(|i| i % 5).collect();
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        for (i, sv) in m.values.iter().enumerate() {
+            assert_eq!(sv.code, format!("C{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn counts_never_exceed_total() {
+        let values: Vec<u128> = (0..1000u128).map(|i| (i * 13) % 64).collect();
+        let m = mine_segment(&seg(), &values, &MiningOptions::default());
+        let sum: u64 = m.values.iter().map(|v| v.count).sum();
+        assert!(sum <= m.total);
+        for v in &m.values {
+            assert!(v.freq <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn range_matching_is_inclusive() {
+        let k = ValueKind::Range { lo: 10, hi: 20 };
+        assert!(k.matches(10));
+        assert!(k.matches(20));
+        assert!(!k.matches(9));
+        assert!(!k.matches(21));
+        assert!(ValueKind::Exact(5).matches(5));
+        assert!(!ValueKind::Exact(5).matches(6));
+    }
+}

@@ -1,0 +1,450 @@
+//! The end-to-end Entropy/IP model: analysis → mining → Bayesian
+//! network → encoding/decoding/generation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use eip_addr::{AddressSet, Ip6, Nybbles};
+use eip_bayes::{learn_structure, BayesNet, Dataset, Evidence, LearnOptions};
+use rand::Rng;
+
+use crate::analysis::Analysis;
+use crate::mining::{mine_segment, MinedSegment, MiningOptions, ValueKind};
+use crate::segments::SegmentationOptions;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Segmentation parameters (§4.2).
+    pub segmentation: SegmentationOptions,
+    /// Mining parameters (§4.3).
+    pub mining: MiningOptions,
+    /// Structure-learning parameters (§4.4).
+    pub learning: LearnOptions,
+}
+
+impl Options {
+    /// Configuration for /64-prefix prediction (§5.6): the paper
+    /// "constrained Entropy/IP to the top 64 bits, without any other
+    /// modification".
+    pub fn top64() -> Self {
+        Options { segmentation: SegmentationOptions::top64(), ..Default::default() }
+    }
+}
+
+/// Errors from model construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The training set was empty.
+    EmptySet,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySet => f.write_str("cannot analyze an empty address set"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The Entropy/IP system: builds [`IpModel`]s from address sets.
+#[derive(Clone, Debug, Default)]
+pub struct EntropyIp {
+    opts: Options,
+}
+
+impl EntropyIp {
+    /// System with default (paper) parameters.
+    pub fn new() -> Self {
+        EntropyIp::default()
+    }
+
+    /// System with explicit parameters.
+    pub fn with_options(opts: Options) -> Self {
+        EntropyIp { opts }
+    }
+
+    /// Runs the full pipeline on a training set.
+    ///
+    /// In top-64 mode the set is first reduced to its distinct /64
+    /// networks, as §5.6 trains on prefixes.
+    pub fn analyze(&self, ips: &AddressSet) -> Result<IpModel, ModelError> {
+        if ips.is_empty() {
+            return Err(ModelError::EmptySet);
+        }
+        let working: AddressSet = if self.opts.segmentation.width <= 16 {
+            ips.iter().map(|ip| ip.slash64()).collect()
+        } else {
+            ips.clone()
+        };
+        let analysis = Analysis::compute(&working, &self.opts.segmentation);
+
+        // Mine every segment.
+        let addrs: Vec<Ip6> = working.iter().collect();
+        let mut mined: Vec<MinedSegment> = Vec::with_capacity(analysis.segments.len());
+        for seg in &analysis.segments {
+            let values: Vec<u128> = addrs
+                .iter()
+                .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
+                .collect();
+            mined.push(mine_segment(seg, &values, &self.opts.mining));
+        }
+
+        // Encode the training set as categorical rows. The mining
+        // stop rule ("if there is <=0.1% of values left, we finish")
+        // can leave a sliver of rare segment values outside every
+        // dictionary; those addresses are dropped from BN training,
+        // exactly as the paper's V_k construction implies.
+        let cardinalities: Vec<usize> = mined.iter().map(|m| m.cardinality()).collect();
+        let rows: Vec<Vec<usize>> = addrs
+            .iter()
+            .filter_map(|ip| {
+                let ny = ip.nybbles();
+                mined
+                    .iter()
+                    .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
+                    .collect::<Option<Vec<usize>>>()
+            })
+            .collect();
+        if rows.is_empty() {
+            return Err(ModelError::EmptySet);
+        }
+        let dataset = Dataset::new(cardinalities, rows);
+
+        // Learn the BN with segment letters as variable names.
+        let mut learn_opts = self.opts.learning.clone();
+        learn_opts.names = analysis.segments.iter().map(|s| s.label.clone()).collect();
+        let bn = learn_structure(&dataset, &learn_opts);
+
+        Ok(IpModel { analysis, mined, bn })
+    }
+}
+
+/// A trained Entropy/IP model for one network.
+#[derive(Clone, Debug)]
+pub struct IpModel {
+    pub(crate) analysis: Analysis,
+    pub(crate) mined: Vec<MinedSegment>,
+    pub(crate) bn: BayesNet,
+}
+
+impl IpModel {
+    /// Assembles a model from parts (used by profile import; the
+    /// pieces must be mutually consistent).
+    pub fn from_parts(analysis: Analysis, mined: Vec<MinedSegment>, bn: BayesNet) -> Self {
+        assert_eq!(analysis.segments.len(), mined.len(), "segment count mismatch");
+        assert_eq!(bn.num_vars(), mined.len(), "BN variable count mismatch");
+        for (i, m) in mined.iter().enumerate() {
+            assert_eq!(bn.node(i).cardinality, m.cardinality(), "cardinality mismatch at {i}");
+        }
+        IpModel { analysis, mined, bn }
+    }
+
+    /// The entropy/ACR/segmentation analysis.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Mined value dictionaries, one per segment.
+    pub fn mined(&self) -> &[MinedSegment] {
+        &self.mined
+    }
+
+    /// The learned Bayesian network.
+    pub fn bn(&self) -> &BayesNet {
+        &self.bn
+    }
+
+    /// Analysis width in nybbles (32 full / 16 top-64).
+    pub fn width(&self) -> usize {
+        self.analysis.width
+    }
+
+    /// Index of the segment with the given letter label.
+    pub fn segment_index(&self, label: &str) -> Option<usize> {
+        self.analysis.segments.iter().position(|s| s.label == label)
+    }
+
+    /// Encodes an address as its categorical code vector; `None` if
+    /// some segment value was never seen in training.
+    pub fn encode(&self, ip: Ip6) -> Option<Vec<usize>> {
+        let ny = ip.nybbles();
+        self.mined
+            .iter()
+            .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
+            .collect()
+    }
+
+    /// Decodes a code vector into a concrete address, sampling range
+    /// codes uniformly within their bounds. Positions outside the
+    /// analysis width are zero (top-64 mode yields /64 network
+    /// addresses).
+    ///
+    /// # Panics
+    /// Panics if the row width or any code is out of range.
+    pub fn decode<R: Rng + ?Sized>(&self, row: &[usize], rng: &mut R) -> Ip6 {
+        assert_eq!(row.len(), self.mined.len(), "row width mismatch");
+        let mut ny = Nybbles::from_ip(Ip6(0));
+        for (m, &code) in self.mined.iter().zip(row) {
+            let value = match m.values[code].kind {
+                ValueKind::Exact(v) => v,
+                ValueKind::Range { lo, hi } => sample_u128_inclusive(lo, hi, rng),
+            };
+            ny.set_segment_value(m.segment.start, m.segment.end, value);
+        }
+        ny.to_ip()
+    }
+
+    /// Generates up to `n` *unique* candidate addresses by ancestral
+    /// sampling (§5.5 trains on 1K and generates 1M candidates this
+    /// way), giving up after `max_attempts` draws.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, max_attempts: usize, rng: &mut R) -> Vec<Ip6> {
+        let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..max_attempts {
+            if out.len() >= n {
+                break;
+            }
+            let row = eip_bayes::sample_row(&self.bn, rng);
+            let ip = self.decode(&row, rng);
+            if seen.insert(ip) {
+                out.push(ip);
+            }
+        }
+        out
+    }
+
+    /// Generates up to `n` unique candidates with some segments
+    /// clamped to given dictionary codes (exact conditional
+    /// sampling; §4.4's "optionally constrained to certain segment
+    /// values").
+    pub fn generate_constrained<R: Rng + ?Sized>(
+        &self,
+        evidence: &Evidence,
+        n: usize,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Vec<Ip6> {
+        let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..max_attempts {
+            if out.len() >= n {
+                break;
+            }
+            let row = eip_bayes::sample_conditional(&self.bn, evidence, rng);
+            let ip = self.decode(&row, rng);
+            if seen.insert(ip) {
+                out.push(ip);
+            }
+        }
+        out
+    }
+
+    /// Looks up evidence `(segment index, code index)` from a segment
+    /// label and dictionary code string, e.g. `("J", "J1")`.
+    pub fn evidence_for(&self, label: &str, code: &str) -> Option<(usize, usize)> {
+        let seg = self.segment_index(label)?;
+        let val = self.mined[seg].values.iter().position(|v| v.code == code)?;
+        Some((seg, val))
+    }
+
+    /// Posterior distributions of every segment given evidence — the
+    /// data behind the conditional probability browser.
+    pub fn posterior(&self, evidence: &Evidence) -> Vec<Vec<f64>> {
+        eip_bayes::posterior_marginals(&self.bn, evidence)
+    }
+}
+
+/// Uniform sample in the inclusive range `[lo, hi]` without overflow
+/// at the `u128` extremes.
+fn sample_u128_inclusive<R: Rng + ?Sized>(lo: u128, hi: u128, rng: &mut R) -> u128 {
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    let span = hi - lo;
+    if span == u128::MAX {
+        return rng.gen();
+    }
+    lo + rng.gen_range(0..=span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A structured network: 2 /32s (70/30), 8 subnets, two IID
+    /// styles (low counters and a dependent constant).
+    fn training_set() -> AddressSet {
+        let mut v = Vec::new();
+        for i in 0..700u128 {
+            let subnet = i % 8;
+            v.push(Ip6((0x2001_0db8u128 << 96) | (subnet << 80) | (i % 50 + 1)));
+        }
+        for i in 0..300u128 {
+            let subnet = i % 8;
+            v.push(Ip6((0x3001_0db8u128 << 96) | (subnet << 80) | 0x1000 + (i % 40)));
+        }
+        AddressSet::from_iter(v)
+    }
+
+    #[test]
+    fn pipeline_builds_model() {
+        let model = EntropyIp::new().analyze(&training_set()).unwrap();
+        assert!(model.analysis().segments.len() >= 3);
+        assert_eq!(model.mined().len(), model.analysis().segments.len());
+        assert_eq!(model.bn().num_vars(), model.mined().len());
+        // Segment A (first 8 nybbles) must expose the two /32 values.
+        assert_eq!(model.mined()[0].cardinality(), 2);
+    }
+
+    #[test]
+    fn empty_set_errors() {
+        assert!(matches!(
+            EntropyIp::new().analyze(&AddressSet::new()),
+            Err(ModelError::EmptySet)
+        ));
+    }
+
+    #[test]
+    fn training_addresses_encode() {
+        let set = training_set();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        for ip in set.iter() {
+            assert!(model.encode(ip).is_some(), "{ip} failed to encode");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_exact_codes() {
+        let set = training_set();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Encoding then decoding must land in the same code vector
+        // (ranges may change the concrete value but not its code).
+        for ip in set.iter().take(100) {
+            let row = model.encode(ip).unwrap();
+            let back = model.decode(&row, &mut rng);
+            assert_eq!(model.encode(back).unwrap(), row, "{ip} vs {back}");
+        }
+    }
+
+    #[test]
+    fn generation_produces_unique_plausible_addresses() {
+        let set = training_set();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = model.generate(500, 50_000, &mut rng);
+        assert!(out.len() >= 400, "got {}", out.len());
+        let uniq: HashSet<Ip6> = out.iter().copied().collect();
+        assert_eq!(uniq.len(), out.len(), "candidates must be unique");
+        // Every candidate must re-encode (it matches the model).
+        for ip in &out {
+            assert!(model.encode(*ip).is_some());
+        }
+        // And stay within the two known /32s.
+        for ip in &out {
+            let top = ip.bits(0, 32);
+            assert!(top == 0x2001_0db8 || top == 0x3001_0db8, "{ip}");
+        }
+    }
+
+    #[test]
+    fn constrained_generation_respects_evidence() {
+        let set = training_set();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        // Clamp segment A to its second /32 code.
+        let a_idx = model.segment_index("A").unwrap();
+        let code_3001 = model.mined()[a_idx]
+            .values
+            .iter()
+            .position(|v| v.kind.matches(0x3001_0db8))
+            .unwrap();
+        let evidence = vec![(a_idx, code_3001)];
+        let out = model.generate_constrained(&evidence, 50, 5_000, &mut rng);
+        assert!(!out.is_empty());
+        for ip in &out {
+            assert_eq!(ip.bits(0, 32), 0x3001_0db8, "{ip}");
+        }
+    }
+
+    #[test]
+    fn top64_mode_generates_prefixes() {
+        let set = training_set();
+        let model = EntropyIp::with_options(Options::top64()).analyze(&set).unwrap();
+        assert_eq!(model.width(), 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = model.generate(20, 2_000, &mut rng);
+        assert!(!out.is_empty());
+        for ip in &out {
+            assert_eq!(ip.value() & u128::from(u64::MAX), 0, "{ip} is not a /64 network");
+        }
+    }
+
+    #[test]
+    fn evidence_lookup_by_code() {
+        let model = EntropyIp::new().analyze(&training_set()).unwrap();
+        let (seg, val) = model.evidence_for("A", "A1").unwrap();
+        assert_eq!(seg, 0);
+        assert_eq!(val, 0);
+        assert!(model.evidence_for("A", "A99").is_none());
+        assert!(model.evidence_for("ZZ", "ZZ1").is_none());
+    }
+
+    #[test]
+    fn posterior_reacts_to_evidence() {
+        // Two /32s with a distinctive IID marker: 2001:db8 hosts use
+        // low IIDs (nybbles 29-30 = 00), 3001:db8 hosts use 0xff00+
+        // (nybbles 29-30 = ff). Evidence on the marker segment must
+        // flow backwards into segment A.
+        let mut v = Vec::new();
+        for subnet in 0..8u128 {
+            for host in 0..88u128 {
+                v.push(Ip6((0x2001_0db8u128 << 96) | (subnet << 80) | host));
+            }
+        }
+        for subnet in 0..8u128 {
+            for host in 0..38u128 {
+                v.push(Ip6((0x3001_0db8u128 << 96) | (subnet << 80) | (0xff00 + host)));
+            }
+        }
+        let model = EntropyIp::new().analyze(&AddressSet::from_iter(v)).unwrap();
+        let marker = model.analysis().segment_at(29).unwrap().label.clone();
+        let mseg = model.segment_index(&marker).unwrap();
+        // Find the code that matches the 0xff-side marker value.
+        let seg = &model.mined()[mseg];
+        let probe = seg
+            .encode(seg.values.iter().find_map(|sv| match sv.kind {
+                ValueKind::Exact(x) if x != 0 => Some(x),
+                ValueKind::Range { lo, hi } if lo > 0 => Some((lo + hi) / 2),
+                _ => None,
+            }).expect("marker segment should have a nonzero code"))
+            .unwrap();
+        let prior = model.posterior(&vec![]);
+        let post = model.posterior(&vec![(mseg, probe)]);
+        let a_idx = model.segment_index("A").unwrap();
+        let delta: f64 = prior[a_idx]
+            .iter()
+            .zip(&post[a_idx])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta > 0.1, "evidence on {marker} should move segment A, delta {delta}");
+    }
+
+    #[test]
+    fn sample_u128_inclusive_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = sample_u128_inclusive(10, 20, &mut rng);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(sample_u128_inclusive(7, 7, &mut rng), 7);
+        // Full-space range must not overflow.
+        let _ = sample_u128_inclusive(0, u128::MAX, &mut rng);
+    }
+}

@@ -1,0 +1,317 @@
+//! Address segmentation (§4.2).
+//!
+//! Entropy exposes which parts of the address vary; segmentation
+//! groups adjacent nybbles of similar entropy into contiguous blocks.
+//! The paper's rule, quoted:
+//!
+//! > "Start a new segment at nybble i whenever Ĥ(X_i) compared with
+//! > Ĥ(X_{i−1}) passes through any of the thresholds
+//! > T = {0.025, 0.1, 0.3, 0.5, 0.9}. We also employ a hysteresis of
+//! > T_h = 0.05 […]. For example, if Ĥ(X_{i−1}) = 0.49, then in
+//! > order to start the next segment Ĥ(X_i) has to be either less
+//! > than 0.3 or greater than 0.54, with 0.3 being the lower
+//! > threshold for Ĥ(X_{i−1}) in T (without hysteresis) and 0.54
+//! > being Ĥ(X_{i−1}) + T_h (with hysteresis)."
+//!
+//! So with `prev = Ĥ(X_{i−1})`, a new segment starts at `i` iff
+//!
+//! * `Ĥ(X_i) > max(next_threshold_above(prev), prev + T_h)`, or
+//! * `Ĥ(X_i) < min(next_threshold_below(prev), prev − T_h)`.
+//!
+//! (In the worked example the upward bound is `max(0.5, 0.54) = 0.54`
+//! and the downward bound `min(0.3, 0.44) = 0.3`, matching the quote.)
+//!
+//! Two *hard* rules are always applied: "we always make the bits
+//! 1-32 a separate segment" (RIRs allocate /32s to operators), which
+//! both forces a boundary after nybble 8 and suppresses any
+//! threshold-derived boundary inside nybbles 1–8; and "we always put
+//! a boundary after the 64th bit", the customary network/interface
+//! split.
+
+use std::fmt;
+
+/// One address segment: a contiguous, inclusive run of 1-based
+/// nybble positions with a letter label ("A", "B", …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Label: "A", "B", …, "Z", "AA", … in left-to-right order.
+    pub label: String,
+    /// First nybble position (1-based, inclusive).
+    pub start: usize,
+    /// Last nybble position (1-based, inclusive).
+    pub end: usize,
+}
+
+impl Segment {
+    /// Width of the segment in nybbles.
+    pub fn len_nybbles(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Bit range `[start_bit, end_bit)` covered by the segment,
+    /// 0-based from the top of the address (the paper labels its
+    /// Table 3 segments this way, e.g. "G (64-116)").
+    pub fn bit_range(&self) -> (usize, usize) {
+        ((self.start - 1) * 4, self.end * 4)
+    }
+
+    /// Number of possible values of this segment.
+    pub fn value_space(&self) -> u128 {
+        if self.len_nybbles() >= 32 {
+            u128::MAX
+        } else {
+            1u128 << (4 * self.len_nybbles())
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.bit_range();
+        write!(f, "{} (bits {lo}-{hi})", self.label)
+    }
+}
+
+/// Parameters of the segmentation algorithm.
+#[derive(Clone, Debug)]
+pub struct SegmentationOptions {
+    /// The threshold set T. Must be sorted ascending.
+    pub thresholds: Vec<f64>,
+    /// Hysteresis T_h.
+    pub hysteresis: f64,
+    /// 1-based nybble positions *after which* a boundary is forced.
+    /// Default `[8, 16]` (bits 32 and 64). Positions beyond the
+    /// analysis width are ignored.
+    pub hard_boundaries: Vec<usize>,
+    /// Nybbles `1..=fixed_prefix` are always one segment: threshold
+    /// boundaries inside this span are suppressed ("we always make
+    /// the bits 1-32 a separate segment"). Default 8; set to 0 to
+    /// disable.
+    pub fixed_prefix: usize,
+    /// Analysis width in nybbles (32 for full addresses, 16 when
+    /// predicting /64 prefixes as in §5.6).
+    pub width: usize,
+}
+
+impl Default for SegmentationOptions {
+    fn default() -> Self {
+        SegmentationOptions {
+            thresholds: vec![0.025, 0.1, 0.3, 0.5, 0.9],
+            hysteresis: 0.05,
+            hard_boundaries: vec![8, 16],
+            fixed_prefix: 8,
+            width: 32,
+        }
+    }
+}
+
+impl SegmentationOptions {
+    /// Variant for top-64-bit (prefix) analysis: width 16, hard
+    /// boundary only at /32.
+    pub fn top64() -> Self {
+        SegmentationOptions { width: 16, hard_boundaries: vec![8], ..Default::default() }
+    }
+}
+
+/// Converts a 0-based segment index to its letter label:
+/// 0 → "A", 25 → "Z", 26 → "AA".
+pub fn label_for(index: usize) -> String {
+    let mut n = index;
+    let mut out = String::new();
+    loop {
+        out.insert(0, (b'A' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    out
+}
+
+/// Segments the entropy profile. `entropy[i]` is the normalized
+/// entropy of 1-based nybble `i + 1`; only the first `opts.width`
+/// entries are used.
+///
+/// # Panics
+/// Panics if `opts.width` is 0 or exceeds `entropy.len()`, or the
+/// threshold list is empty/unsorted.
+pub fn segment_entropy_profile(entropy: &[f64], opts: &SegmentationOptions) -> Vec<Segment> {
+    assert!(opts.width >= 1 && opts.width <= entropy.len(), "bad segmentation width");
+    assert!(!opts.thresholds.is_empty(), "empty threshold set");
+    assert!(
+        opts.thresholds.windows(2).all(|w| w[0] < w[1]),
+        "thresholds must be sorted ascending"
+    );
+
+    let mut boundaries: Vec<usize> = Vec::new(); // positions i where a NEW segment starts
+    for i in 2..=opts.width {
+        if i <= opts.fixed_prefix {
+            continue; // bits 1-32 are always one segment
+        }
+        let prev = entropy[i - 2];
+        let cur = entropy[i - 1];
+        let above = opts
+            .thresholds
+            .iter()
+            .copied()
+            .find(|&t| t > prev)
+            .unwrap_or(f64::INFINITY);
+        let below = opts
+            .thresholds
+            .iter()
+            .copied()
+            .rev()
+            .find(|&t| t < prev)
+            .unwrap_or(f64::NEG_INFINITY);
+        let up_bound = above.max(prev + opts.hysteresis);
+        let down_bound = below.min(prev - opts.hysteresis);
+        if cur > up_bound || cur < down_bound {
+            boundaries.push(i);
+        }
+    }
+    for &pos in &opts.hard_boundaries {
+        if pos < opts.width && !boundaries.contains(&(pos + 1)) {
+            boundaries.push(pos + 1);
+        }
+    }
+    boundaries.sort_unstable();
+
+    let mut segments = Vec::new();
+    let mut start = 1usize;
+    for &b in &boundaries {
+        segments.push(Segment { label: label_for(segments.len()), start, end: b - 1 });
+        start = b;
+    }
+    segments.push(Segment { label: label_for(segments.len()), start, end: opts.width });
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SegmentationOptions {
+        SegmentationOptions::default()
+    }
+
+    #[test]
+    fn worked_example_bounds() {
+        // prev = 0.49: new segment iff cur < 0.3 or cur > 0.54.
+        let mut e = [0.49f64; 32];
+        e[9] = 0.53; // within bounds: no boundary at nybble 10
+        let segs = segment_entropy_profile(&e, &opts());
+        // Only hard boundaries at 9 and 17 remain.
+        assert_eq!(segs.len(), 3);
+        assert_eq!((segs[0].start, segs[0].end), (1, 8));
+        assert_eq!((segs[1].start, segs[1].end), (9, 16));
+        assert_eq!((segs[2].start, segs[2].end), (17, 32));
+    }
+
+    #[test]
+    fn upward_crossing_starts_segment() {
+        let mut e = [0.49f64; 32];
+        e[19] = 0.55; // > 0.54 -> boundary at nybble 20
+        for x in &mut e[20..] {
+            *x = 0.55;
+        }
+        let segs = segment_entropy_profile(&e, &opts());
+        assert!(segs.iter().any(|s| s.start == 20), "{segs:?}");
+    }
+
+    #[test]
+    fn downward_crossing_starts_segment() {
+        let mut e = [0.49f64; 32];
+        for x in &mut e[19..] {
+            *x = 0.29; // < 0.3 -> boundary at nybble 20
+        }
+        let segs = segment_entropy_profile(&e, &opts());
+        assert!(segs.iter().any(|s| s.start == 20));
+    }
+
+    #[test]
+    fn hysteresis_blocks_small_threshold_crossings() {
+        // prev = 0.49, cur = 0.51 crosses threshold 0.5 but the jump
+        // (0.02) is below the hysteresis: no segment.
+        let mut e = [0.49f64; 32];
+        for x in &mut e[19..] {
+            *x = 0.51;
+        }
+        let segs = segment_entropy_profile(&e, &opts());
+        assert!(!segs.iter().any(|s| s.start == 20), "{segs:?}");
+    }
+
+    #[test]
+    fn big_jump_without_threshold_crossing_is_no_boundary() {
+        // 0.31 -> 0.45: jump 0.14 > Th but no threshold in (0.31,
+        // 0.45]: the pair does not pass through any threshold.
+        let mut e = [0.31f64; 32];
+        for x in &mut e[19..] {
+            *x = 0.45;
+        }
+        let segs = segment_entropy_profile(&e, &opts());
+        assert!(!segs.iter().any(|s| s.start == 20), "{segs:?}");
+    }
+
+    #[test]
+    fn constant_profile_gives_hard_boundaries_only() {
+        let e = [0.0f64; 32];
+        let segs = segment_entropy_profile(&e, &opts());
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].label, "A");
+        assert_eq!(segs[1].label, "B");
+        assert_eq!(segs[2].label, "C");
+    }
+
+    #[test]
+    fn segments_partition_positions() {
+        // Irregular profile: verify exact cover of 1..=32 regardless.
+        let e: Vec<f64> = (0..32).map(|i| ((i * 7) % 10) as f64 / 10.0).collect();
+        let segs = segment_entropy_profile(&e, &opts());
+        assert_eq!(segs[0].start, 1);
+        assert_eq!(segs.last().unwrap().end, 32);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start);
+        }
+    }
+
+    #[test]
+    fn top64_mode_covers_16_nybbles() {
+        let e = [0.5f64; 32];
+        let segs = segment_entropy_profile(&e, &SegmentationOptions::top64());
+        assert_eq!(segs.last().unwrap().end, 16);
+        assert_eq!(segs.len(), 2); // hard /32 boundary only
+    }
+
+    #[test]
+    fn labels_extend_past_z() {
+        assert_eq!(label_for(0), "A");
+        assert_eq!(label_for(10), "K");
+        assert_eq!(label_for(25), "Z");
+        assert_eq!(label_for(26), "AA");
+        assert_eq!(label_for(27), "AB");
+    }
+
+    #[test]
+    fn bit_ranges_match_paper_convention() {
+        let s = Segment { label: "G".into(), start: 17, end: 29 };
+        assert_eq!(s.bit_range(), (64, 116)); // Table 3: "G (64-116)"
+        assert_eq!(s.len_nybbles(), 13);
+    }
+
+    #[test]
+    fn fig1_like_profile_produces_many_segments() {
+        // A profile oscillating across thresholds: should cut several
+        // segments, not just the hard ones.
+        let mut e = [0.0f64; 32];
+        for (i, x) in e.iter_mut().enumerate() {
+            *x = match i % 4 {
+                0 => 0.05,
+                1 => 0.4,
+                2 => 0.95,
+                _ => 0.2,
+            };
+        }
+        let segs = segment_entropy_profile(&e, &opts());
+        assert!(segs.len() > 5);
+    }
+}

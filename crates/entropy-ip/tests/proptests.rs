@@ -1,0 +1,109 @@
+//! Property-based tests for the pipeline invariants.
+
+use eip_addr::{AddressSet, Ip6};
+use entropy_ip::mining::{mine_segment, MiningOptions};
+use entropy_ip::segments::{segment_entropy_profile, Segment, SegmentationOptions};
+use entropy_ip::EntropyIp;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Segmentation always partitions 1..=width, regardless of the
+    /// entropy profile.
+    #[test]
+    fn segmentation_partitions(profile in prop::collection::vec(0.0f64..=1.0, 32)) {
+        let segs = segment_entropy_profile(&profile, &SegmentationOptions::default());
+        prop_assert_eq!(segs[0].start, 1);
+        prop_assert_eq!(segs.last().unwrap().end, 32);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end + 1, w[1].start);
+        }
+        // Bits 1-32 stay one segment; a boundary follows bit 64.
+        prop_assert_eq!(segs[0].end, 8);
+        prop_assert!(segs.iter().any(|s| s.start == 17));
+        // Labels are A, B, C, ... in order.
+        for (i, s) in segs.iter().enumerate() {
+            prop_assert_eq!(&s.label, &entropy_ip::segments::label_for(i));
+        }
+    }
+
+    /// Mining never produces overlapping *exact* codes, covers every
+    /// input value unless below the leftover threshold, and keeps
+    /// count accounting consistent.
+    #[test]
+    fn mining_invariants(raw in prop::collection::vec(0u128..4096, 1..600)) {
+        let seg = Segment { label: "T".into(), start: 20, end: 22 };
+        let m = mine_segment(&seg, &raw, &MiningOptions::default());
+        prop_assert_eq!(m.total, raw.len() as u64);
+        prop_assert!(!m.values.is_empty());
+        // No duplicate exact values.
+        let exacts: Vec<u128> = m
+            .values
+            .iter()
+            .filter_map(|v| match v.kind {
+                entropy_ip::ValueKind::Exact(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        let uniq: std::collections::HashSet<&u128> = exacts.iter().collect();
+        prop_assert_eq!(uniq.len(), exacts.len());
+        // Coverage: at most 0.1% of observations may fail to encode.
+        let misses = raw.iter().filter(|&&v| m.encode(v).is_none()).count();
+        prop_assert!(misses as f64 <= (raw.len() as f64 * 0.001).ceil() + 1e-9,
+            "{} of {} observations unencodable", misses, raw.len());
+        // Frequencies are consistent with counts.
+        for sv in &m.values {
+            prop_assert!((sv.freq - sv.count as f64 / m.total as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Encode is stable: the same value always maps to the same code.
+    #[test]
+    fn encode_deterministic(raw in prop::collection::vec(0u128..512, 1..300)) {
+        let seg = Segment { label: "T".into(), start: 25, end: 27 };
+        let m = mine_segment(&seg, &raw, &MiningOptions::default());
+        for &v in raw.iter().take(50) {
+            prop_assert_eq!(m.encode(v), m.encode(v));
+        }
+    }
+
+    /// Every generated candidate re-encodes into the model, for
+    /// arbitrary structured populations.
+    #[test]
+    fn generation_is_model_consistent(
+        prefix in 0u128..0xffff,
+        subnets in 1u128..12,
+        hosts in 1u128..40,
+        seed in any::<u64>(),
+    ) {
+        let set: AddressSet = (0..subnets)
+            .flat_map(|s| {
+                (0..hosts).map(move |h| {
+                    Ip6((0x2001_0db8u128 << 96) | (prefix << 64) | (s << 16) | h)
+                })
+            })
+            .collect();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for ip in model.generate(30, 3_000, &mut rng) {
+            prop_assert!(model.encode(ip).is_some(), "{} does not re-encode", ip);
+        }
+    }
+
+    /// Profile export/import round-trips for arbitrary structured
+    /// populations.
+    #[test]
+    fn profile_round_trip(
+        prefix in 0u128..0xff,
+        hosts in 2u128..60,
+    ) {
+        let set: AddressSet = (0..hosts)
+            .map(|h| Ip6((0x2001_0db8u128 << 96) | (prefix << 80) | (h * h)))
+            .collect();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let back = entropy_ip::profile::import(&entropy_ip::profile::export(&model)).unwrap();
+        prop_assert_eq!(back.mined(), model.mined());
+        prop_assert_eq!(back.bn(), model.bn());
+    }
+}

@@ -1,0 +1,130 @@
+//! Scanning-campaign evaluation (the bookkeeping behind Tables 4–6).
+//!
+//! §5.5's protocol: train a model on 1K addresses, generate 1M
+//! candidates, then count
+//!
+//! * **Test set** — candidates present in the held-out remainder of
+//!   the dataset;
+//! * **Ping** — candidates answering an ICMPv6 echo;
+//! * **rDNS** — candidates with a genuine reverse-DNS record;
+//! * **Overall** — candidates passing at least one of the three
+//!   tests, and the success rate = overall / generated;
+//! * **New /64s** — /64 prefixes among the hits that were absent from
+//!   the training sample.
+
+use std::collections::HashSet;
+
+use eip_addr::{AddressSet, Ip6};
+
+use crate::responder::Responder;
+
+/// The counters of one scanning evaluation (one row of Table 4).
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutcome {
+    /// Candidates generated.
+    pub generated: usize,
+    /// Hits against the held-out test set.
+    pub test_hits: usize,
+    /// Candidates answering ping.
+    pub ping_hits: usize,
+    /// Candidates with reverse DNS.
+    pub rdns_hits: usize,
+    /// Candidates passing at least one test.
+    pub overall: usize,
+    /// Distinct /64s among overall hits that were not in training.
+    pub new_slash64: usize,
+}
+
+impl ScanOutcome {
+    /// Success rate = overall / generated (0 if nothing generated).
+    pub fn success_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.overall as f64 / self.generated as f64
+        }
+    }
+}
+
+/// Evaluates a candidate list against the held-out test set and the
+/// responder, counting new /64s relative to the training sample.
+pub fn evaluate_scan(
+    candidates: &[Ip6],
+    training: &AddressSet,
+    test: &AddressSet,
+    responder: &Responder,
+) -> ScanOutcome {
+    let train64: HashSet<Ip6> = training.iter().map(|ip| ip.slash64()).collect();
+    let mut out = ScanOutcome { generated: candidates.len(), ..Default::default() };
+    let mut new64: HashSet<Ip6> = HashSet::new();
+    for &ip in candidates {
+        let in_test = test.contains(ip);
+        let ping = responder.ping(ip);
+        let rdns = responder.rdns(ip);
+        if in_test {
+            out.test_hits += 1;
+        }
+        if ping {
+            out.ping_hits += 1;
+        }
+        if rdns {
+            out.rdns_hits += 1;
+        }
+        if in_test || ping || rdns {
+            out.overall += 1;
+            let p64 = ip.slash64();
+            if !train64.contains(&p64) {
+                new64.insert(p64);
+            }
+        }
+    }
+    out.new_slash64 = new64.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(i: u128) -> Ip6 {
+        Ip6((0x2001_0db8u128 << 96) | i)
+    }
+
+    #[test]
+    fn counts_each_test_independently() {
+        let training: AddressSet = (0..10u128).map(base).collect();
+        let test: AddressSet = (10..20u128).map(base).collect();
+        // Active = training + test (the usual situation).
+        let responder = Responder::new(training.union(&test), 1.0, 1);
+        let candidates = vec![base(11), base(5000), base(12)];
+        let o = evaluate_scan(&candidates, &training, &test, &responder);
+        assert_eq!(o.generated, 3);
+        assert_eq!(o.test_hits, 2);
+        assert_eq!(o.ping_hits, 2);
+        assert_eq!(o.rdns_hits, 2);
+        assert_eq!(o.overall, 2);
+        assert!((o.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_slash64_excludes_training_prefixes() {
+        let training: AddressSet = vec![base(1)].into_iter().collect();
+        // Test addresses in a *different* /64.
+        let other = Ip6((0x2001_0db8_0000_0001u128 << 64) | 7);
+        let test: AddressSet = vec![other].into_iter().collect();
+        let responder = Responder::new(test.clone(), 0.0, 1);
+        let o = evaluate_scan(&[other, base(1)], &training, &test, &responder);
+        assert_eq!(o.new_slash64, 1);
+    }
+
+    #[test]
+    fn misses_score_zero() {
+        let training: AddressSet = (0..5u128).map(base).collect();
+        let test: AddressSet = (5..10u128).map(base).collect();
+        let responder = Responder::new(test.clone(), 0.5, 1);
+        let o = evaluate_scan(&[base(100), base(200)], &training, &test, &responder);
+        assert_eq!(o.overall, 0);
+        assert_eq!(o.success_rate(), 0.0);
+        assert_eq!(o.new_slash64, 0);
+    }
+}

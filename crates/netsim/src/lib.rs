@@ -1,0 +1,43 @@
+//! A simulated IPv6 Internet for the Entropy/IP reproduction.
+//!
+//! The paper trains and evaluates on 3.5 billion addresses from
+//! proprietary sources (CDN logs, DNSDB, Rapid7 forward DNS,
+//! large-scale traceroute, a BitTorrent crawl) and actively scans 1M
+//! candidates per network with ICMPv6 and reverse DNS. None of that
+//! is available here, so this crate builds the closest synthetic
+//! equivalent (see DESIGN.md, "Substitutions"):
+//!
+//! * [`plan`] — an address-plan DSL: weighted *variants* of bit-field
+//!   layouts (constants, weighted choices, uniform ranges, sequential
+//!   pools, Modified EUI-64 IIDs, embedded IPv4 in hex or decimal).
+//!   Each of the paper's structural observations (§5.2–5.4) maps to a
+//!   plan construct.
+//! * [`catalog`] — the 16 dataset families of the paper's Table 1
+//!   (S1–S5, R1–R5, C1–C5, AS, AR, AC, AT), each parameterized to
+//!   match the *published structural description* of that network,
+//!   with populations scaled ~1:1000 for laptop-scale runs.
+//! * [`responder`] — a membership oracle playing the role of the
+//!   ICMPv6 ping + rDNS measurement: it knows the ground-truth active
+//!   population and answers probes, with optional fault injection
+//!   (probe loss, false-positive "respond to anything in my prefix"
+//!   networks — the very caveats §5.5 lists).
+//! * [`eval`] — the scanning-campaign bookkeeping of Tables 4–6:
+//!   test-set hits, ping hits, rDNS hits, overall success rate, and
+//!   newly discovered /64s.
+//! * [`temporal`] — day-indexed client /64 pools for the §5.6
+//!   one-day-vs-one-week prefix prediction experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod eval;
+pub mod plan;
+pub mod responder;
+pub mod temporal;
+
+pub use catalog::{dataset, Category, DatasetSpec, ALL_DATASETS};
+pub use eval::{evaluate_scan, ScanOutcome};
+pub use plan::{AddressPlan, FieldKind, PlanField, Variant};
+pub use responder::{FaultConfig, Responder};
+pub use temporal::TemporalPool;

@@ -1,0 +1,395 @@
+//! The address-plan DSL.
+//!
+//! A plan describes how a network assigns addresses: a weighted set
+//! of [`Variant`]s (the paper found e.g. "4 variants of addressing
+//! deployed across its /40 prefixes" in dataset S1), each a list of
+//! disjoint bit [`PlanField`]s. Sampling a plan picks a variant by
+//! weight and materializes every field; uncovered bits are zero.
+//!
+//! Field kinds map one-to-one to the structural phenomena the paper
+//! reports:
+//!
+//! | Kind | Paper observation |
+//! |---|---|
+//! | `Const` | fixed prefixes, zero runs |
+//! | `Choice` | popular values (Table 3's A1/A2, B1..B6, point-to-point `::1`/`::2` IIDs of R1/R2) |
+//! | `Uniform` | pseudo-random privacy IIDs, random subnet ids |
+//! | `Sequential` | static low-byte assignments, dynamic pools |
+//! | `Eui64` | SLAAC Modified EUI-64 (`ff:fe` at bits 88–104) |
+//! | `V4Hex` | IPv4 embedded in hex (S1's B4/B6 variant) |
+//! | `V4Decimal` | IPv4 as decimal octets in 16-bit words (R4) |
+
+use eip_addr::iid::{eui64_from_mac, iid_embed_v4_decimal_words, iid_embed_v4_hex};
+use eip_addr::{AddressSet, Ip6};
+use rand::Rng;
+
+/// How a field's value is produced.
+#[derive(Clone, Debug)]
+pub enum FieldKind {
+    /// A constant value.
+    Const(u128),
+    /// A weighted choice among fixed values.
+    Choice(Vec<(u128, f64)>),
+    /// Uniform over the inclusive range.
+    Uniform {
+        /// Low bound (inclusive).
+        lo: u128,
+        /// High bound (inclusive).
+        hi: u128,
+    },
+    /// `base + step * (k mod modulo)` where `k` is a per-sample
+    /// counter — models sequential assignment from a pool.
+    Sequential {
+        /// First value.
+        base: u128,
+        /// Increment per pool slot.
+        step: u128,
+        /// Pool size.
+        modulo: u128,
+    },
+    /// A Modified EUI-64 interface identifier built from a random MAC
+    /// whose 24-bit OUI is drawn from the given list. Field width
+    /// must be 64 bits.
+    Eui64 {
+        /// Organizationally-unique identifiers to draw from.
+        ouis: Vec<u32>,
+    },
+    /// An IPv4 address `base + (k mod count)` embedded in hex in the
+    /// low 32 bits of the field.
+    V4Hex {
+        /// First IPv4 address (as u32).
+        base: u32,
+        /// Number of consecutive addresses.
+        count: u32,
+    },
+    /// An IPv4 address embedded as decimal octets in 16-bit words
+    /// (width must be 64 bits).
+    V4Decimal {
+        /// First IPv4 address (as u32).
+        base: u32,
+        /// Number of consecutive addresses.
+        count: u32,
+    },
+}
+
+/// One field of a variant: a bit range plus a value recipe.
+#[derive(Clone, Debug)]
+pub struct PlanField {
+    /// First bit (0-based from the top of the address).
+    pub start_bit: usize,
+    /// Width in bits.
+    pub width: usize,
+    /// Value recipe.
+    pub kind: FieldKind,
+}
+
+impl PlanField {
+    /// Convenience constructor.
+    pub fn new(start_bit: usize, width: usize, kind: FieldKind) -> Self {
+        assert!(width >= 1 && start_bit + width <= 128, "field out of range");
+        PlanField { start_bit, width, kind }
+    }
+
+    /// Materializes the field value for sample counter `k`.
+    fn sample<R: Rng + ?Sized>(&self, k: u64, rng: &mut R) -> u128 {
+        let max = if self.width == 128 { u128::MAX } else { (1u128 << self.width) - 1 };
+        let v = match &self.kind {
+            FieldKind::Const(v) => *v,
+            FieldKind::Choice(options) => {
+                let total: f64 = options.iter().map(|&(_, w)| w).sum();
+                let mut u = rng.gen_range(0.0..total);
+                let mut out = options.last().expect("empty choice").0;
+                for &(v, w) in options {
+                    if u < w {
+                        out = v;
+                        break;
+                    }
+                    u -= w;
+                }
+                out
+            }
+            FieldKind::Uniform { lo, hi } => {
+                if lo == hi {
+                    *lo
+                } else if hi - lo == u128::MAX {
+                    rng.gen()
+                } else {
+                    lo + rng.gen_range(0..=(hi - lo))
+                }
+            }
+            FieldKind::Sequential { base, step, modulo } => {
+                base + step * (u128::from(k) % modulo)
+            }
+            FieldKind::Eui64 { ouis } => {
+                let oui = ouis[rng.gen_range(0..ouis.len())];
+                let tail: u32 = rng.gen::<u32>() & 0x00ff_ffff;
+                let mac = [
+                    (oui >> 16) as u8,
+                    (oui >> 8) as u8,
+                    oui as u8,
+                    (tail >> 16) as u8,
+                    (tail >> 8) as u8,
+                    tail as u8,
+                ];
+                u128::from(eui64_from_mac(mac))
+            }
+            FieldKind::V4Hex { base, count } => {
+                let v4 = base.wrapping_add((k % u64::from((*count).max(1))) as u32);
+                u128::from(iid_embed_v4_hex(v4))
+            }
+            FieldKind::V4Decimal { base, count } => {
+                let v4 = base.wrapping_add((k % u64::from((*count).max(1))) as u32);
+                u128::from(iid_embed_v4_decimal_words(v4))
+            }
+        };
+        v & max
+    }
+}
+
+/// A weighted addressing variant: the fields it sets.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Relative weight of this variant.
+    pub weight: f64,
+    /// Disjoint fields (validated by [`AddressPlan::new`]).
+    pub fields: Vec<PlanField>,
+}
+
+/// A complete address plan for one network.
+#[derive(Clone, Debug)]
+pub struct AddressPlan {
+    /// Network name (e.g. "S1").
+    pub name: String,
+    variants: Vec<Variant>,
+}
+
+impl AddressPlan {
+    /// Builds a plan, validating that each variant's fields are
+    /// in-range and non-overlapping.
+    ///
+    /// # Panics
+    /// Panics on overlapping fields, zero/negative weights, or an
+    /// empty variant list.
+    pub fn new(name: &str, variants: Vec<Variant>) -> Self {
+        assert!(!variants.is_empty(), "plan needs at least one variant");
+        for (vi, v) in variants.iter().enumerate() {
+            assert!(v.weight > 0.0, "variant {vi} has non-positive weight");
+            let mut covered = [false; 128];
+            for f in &v.fields {
+                assert!(f.width >= 1 && f.start_bit + f.width <= 128, "field out of range");
+                for (b, slot) in covered
+                    .iter_mut()
+                    .enumerate()
+                    .take(f.start_bit + f.width)
+                    .skip(f.start_bit)
+                {
+                    assert!(!*slot, "variant {vi}: bit {b} covered twice");
+                    *slot = true;
+                }
+            }
+        }
+        AddressPlan { name: name.to_string(), variants }
+    }
+
+    /// Single-variant convenience constructor.
+    pub fn single(name: &str, fields: Vec<PlanField>) -> Self {
+        AddressPlan::new(name, vec![Variant { weight: 1.0, fields }])
+    }
+
+    /// The variants.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Samples one address; `k` is the sample counter feeding
+    /// `Sequential`/`V4*` fields.
+    pub fn sample<R: Rng + ?Sized>(&self, k: u64, rng: &mut R) -> Ip6 {
+        let total: f64 = self.variants.iter().map(|v| v.weight).sum();
+        let mut u = rng.gen_range(0.0..total);
+        let mut chosen = self.variants.last().unwrap();
+        for v in &self.variants {
+            if u < v.weight {
+                chosen = v;
+                break;
+            }
+            u -= v.weight;
+        }
+        let mut out: u128 = 0;
+        for f in &chosen.fields {
+            let v = f.sample(k, rng);
+            out |= v << (128 - f.start_bit - f.width);
+        }
+        Ip6(out)
+    }
+
+    /// Generates a deduplicated population of (at most) `n` unique
+    /// addresses, drawing up to `4 n` samples. Uniques are kept in
+    /// sampling order, so truncation does not bias toward numerically
+    /// small addresses.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> AddressSet {
+        self.generate_from(n, 0, rng)
+    }
+
+    /// Like [`AddressPlan::generate`], but with the sample counter
+    /// starting at `k0` — lets callers (e.g. the temporal pools)
+    /// advance `Sequential` fields instead of replaying the same
+    /// pool slots.
+    pub fn generate_from<R: Rng + ?Sized>(&self, n: usize, k0: u64, rng: &mut R) -> AddressSet {
+        let mut seen: std::collections::HashSet<Ip6> = std::collections::HashSet::with_capacity(n);
+        for k in k0..k0 + (n as u64 * 4) {
+            if seen.len() >= n {
+                break;
+            }
+            seen.insert(self.sample(k, rng));
+        }
+        AddressSet::from_iter(seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn const_field_sets_bits() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(0, 32, FieldKind::Const(0x2001_0db8))],
+        );
+        let ip = plan.sample(0, &mut rng());
+        assert_eq!(ip.to_string(), "2001:db8::");
+    }
+
+    #[test]
+    fn choice_respects_weights() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![
+                PlanField::new(0, 32, FieldKind::Const(0x2001_0db8)),
+                PlanField::new(124, 4, FieldKind::Choice(vec![(1, 0.8), (2, 0.2)])),
+            ],
+        );
+        let mut r = rng();
+        let mut ones = 0;
+        for k in 0..5000 {
+            let ip = plan.sample(k, &mut r);
+            if ip.nybble(32) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / 5000.0;
+        assert!((frac - 0.8).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(64, 64, FieldKind::Uniform { lo: 0x100, hi: 0x1ff })],
+        );
+        let mut r = rng();
+        for k in 0..200 {
+            let iid = plan.sample(k, &mut r).bits(64, 128);
+            assert!((0x100..=0x1ff).contains(&iid));
+        }
+    }
+
+    #[test]
+    fn sequential_counts() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(120, 8, FieldKind::Sequential { base: 1, step: 1, modulo: 10 })],
+        );
+        let mut r = rng();
+        assert_eq!(plan.sample(0, &mut r).value(), 1);
+        assert_eq!(plan.sample(9, &mut r).value(), 10);
+        assert_eq!(plan.sample(10, &mut r).value(), 1); // wraps
+    }
+
+    #[test]
+    fn eui64_has_fffe_signature() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(64, 64, FieldKind::Eui64 { ouis: vec![0x00163e] })],
+        );
+        let mut r = rng();
+        for k in 0..50 {
+            let iid = plan.sample(k, &mut r).bits(64, 128) as u64;
+            assert!(eip_addr::iid::looks_like_eui64(iid));
+            // OUI with u-bit flipped: 00163e -> 02163e in the IID.
+            assert_eq!(iid >> 40, 0x02163e);
+        }
+    }
+
+    #[test]
+    fn v4_decimal_digits_are_decimal() {
+        let base = u32::from_be_bytes([127, 0, 113, 54]);
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(64, 64, FieldKind::V4Decimal { base, count: 1 })],
+        );
+        let ip = plan.sample(0, &mut rng());
+        assert_eq!(ip.bits(64, 128), 0x0127_0000_0113_0054);
+    }
+
+    #[test]
+    fn variants_partition_samples() {
+        let plan = AddressPlan::new(
+            "t",
+            vec![
+                Variant {
+                    weight: 0.7,
+                    fields: vec![PlanField::new(0, 8, FieldKind::Const(0xaa))],
+                },
+                Variant {
+                    weight: 0.3,
+                    fields: vec![PlanField::new(0, 8, FieldKind::Const(0xbb))],
+                },
+            ],
+        );
+        let mut r = rng();
+        let mut aa = 0;
+        for k in 0..2000 {
+            if plan.sample(k, &mut r).bits(0, 8) == 0xaa {
+                aa += 1;
+            }
+        }
+        let frac = aa as f64 / 2000.0;
+        assert!((frac - 0.7).abs() < 0.04, "got {frac}");
+    }
+
+    #[test]
+    fn generate_dedups_and_caps() {
+        let plan = AddressPlan::single(
+            "t",
+            vec![PlanField::new(120, 8, FieldKind::Uniform { lo: 0, hi: 255 })],
+        );
+        let set = plan.generate(100, &mut rng());
+        assert!(set.len() <= 100);
+        assert!(set.len() > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "covered twice")]
+    fn overlapping_fields_rejected() {
+        AddressPlan::single(
+            "t",
+            vec![
+                PlanField::new(0, 16, FieldKind::Const(0)),
+                PlanField::new(8, 16, FieldKind::Const(0)),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "field out of range")]
+    fn out_of_range_field_rejected() {
+        PlanField::new(120, 16, FieldKind::Const(0));
+    }
+}

@@ -1,0 +1,164 @@
+//! `eip` — the Entropy/IP command-line tool.
+//!
+//! Mirrors the original project's workflow: feed it a file of IPv6
+//! addresses, get the analysis, and optionally a model profile or
+//! generated scan targets.
+//!
+//! ```text
+//! eip analyze ips.txt                  # entropy plot + dictionaries + BN
+//! eip analyze ips.txt --top64          # prefix (top-64-bit) mode
+//! eip generate ips.txt -n 10000        # candidate targets, one per line
+//! eip export ips.txt > model.eip       # train and save a profile
+//! eip generate --profile model.eip -n 1000
+//! eip dot ips.txt > bn.dot             # BN graph for Graphviz
+//! ```
+
+use std::process::exit;
+
+use eip_addr::AddressSet;
+use entropy_ip::{profile, Browser, EntropyIp, IpModel, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    match cmd.as_str() {
+        "analyze" => analyze(&args[1..]),
+        "generate" => generate(&args[1..]),
+        "export" => export(&args[1..]),
+        "dot" => dot(&args[1..]),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("error: unknown command {other}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+/// Shared option bag for all subcommands.
+struct Cli {
+    input: Option<String>,
+    profile: Option<String>,
+    top64: bool,
+    n: usize,
+    seed: u64,
+    min_prob: f64,
+}
+
+fn parse(args: &[String]) -> Cli {
+    let mut cli = Cli { input: None, profile: None, top64: false, n: 1000, seed: 1, min_prob: 0.005 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top64" => cli.top64 = true,
+            "--profile" => {
+                i += 1;
+                cli.profile = Some(args[i].clone());
+            }
+            "-n" | "--count" => {
+                i += 1;
+                cli.n = args[i].parse().unwrap_or_else(|_| die("-n needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                cli.seed = args[i].parse().unwrap_or_else(|_| die("--seed needs a number"));
+            }
+            "--min-prob" => {
+                i += 1;
+                cli.min_prob = args[i].parse().unwrap_or_else(|_| die("--min-prob needs a float"));
+            }
+            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
+            path => {
+                if cli.input.replace(path.to_string()).is_some() {
+                    die("multiple input files");
+                }
+            }
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Loads a model either from a profile or by training on the input.
+fn load_model(cli: &Cli) -> IpModel {
+    if let Some(path) = &cli.profile {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        return profile::import(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+    }
+    let path = cli.input.as_ref().unwrap_or_else(|| die("need an address file or --profile"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let ips = AddressSet::parse_lines(&text).unwrap_or_else(|e| die(&e));
+    if ips.is_empty() {
+        die("input contains no addresses");
+    }
+    let opts = if cli.top64 { Options::top64() } else { Options::default() };
+    EntropyIp::with_options(opts)
+        .analyze(&ips)
+        .unwrap_or_else(|e| die(&e.to_string()))
+}
+
+fn analyze(args: &[String]) {
+    let cli = parse(args);
+    let model = load_model(&cli);
+    println!("{}", eip_viz::render_entropy_ascii(model.analysis(), 12));
+    let browser = Browser::new(&model);
+    println!("{}", eip_viz::render_browser(&browser.distributions(), cli.min_prob));
+    let edges: Vec<String> = model
+        .bn()
+        .edges()
+        .iter()
+        .map(|&(p, c)| format!("{}->{}", model.bn().node(p).name, model.bn().node(c).name))
+        .collect();
+    println!("BN dependencies: {}", if edges.is_empty() { "none".into() } else { edges.join(", ") });
+}
+
+fn generate(args: &[String]) {
+    let cli = parse(args);
+    let model = load_model(&cli);
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    for ip in model.generate(cli.n, cli.n.saturating_mul(10), &mut rng) {
+        println!("{ip}");
+    }
+}
+
+fn export(args: &[String]) {
+    let cli = parse(args);
+    let model = load_model(&cli);
+    print!("{}", profile::export(&model));
+}
+
+fn dot(args: &[String]) {
+    let cli = parse(args);
+    let model = load_model(&cli);
+    print!("{}", eip_viz::bn_to_dot(model.bn(), None));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}
+
+fn usage() {
+    println!(
+        "eip — Entropy/IP: discover structure in IPv6 address sets (IMC 2016)\n\n\
+         usage: eip <command> [file] [flags]\n\n\
+         commands:\n\
+           analyze <file>     entropy/ACR plot, dictionaries, browser, BN\n\
+           generate <file>    print candidate scan targets\n\
+           export <file>      train and print a model profile\n\
+           dot <file>         print the BN as Graphviz DOT\n\n\
+         flags:\n\
+           --top64            analyze only the top 64 bits (prefix mode)\n\
+           --profile <path>   load a saved profile instead of training\n\
+           -n, --count <N>    number of candidates to generate (default 1000)\n\
+           --seed <N>         RNG seed (default 1)\n\
+           --min-prob <F>     hide dictionary rows below this probability"
+    );
+}

@@ -1,0 +1,94 @@
+//! Shared plumbing for the experiment harness.
+
+use eip_addr::set::SplitMix64;
+use eip_addr::AddressSet;
+use eip_netsim::{dataset, FaultConfig, Responder};
+use entropy_ip::{EntropyIp, IpModel, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Harness-wide knobs, set from the command line.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Training sample size (paper: 1 000).
+    pub train: usize,
+    /// Candidates generated per network (paper: 1 000 000; default
+    /// scaled down for quick runs).
+    pub candidates: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Probe-loss fraction injected into the responder.
+    pub probe_loss: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { train: 1_000, candidates: 100_000, seed: 20160317, probe_loss: 0.0 }
+    }
+}
+
+/// Everything one scanning experiment needs for a dataset family.
+pub struct Workbench {
+    /// Training sample.
+    pub train: AddressSet,
+    /// Held-out remainder.
+    pub test: AddressSet,
+    /// The measurement oracle (knows observed + unobserved actives).
+    pub responder: Responder,
+    /// The trained model.
+    pub model: IpModel,
+}
+
+/// Builds the full workbench for one dataset id.
+///
+/// The responder's ground truth is the observed population plus a
+/// same-plan *unobserved* population half its size — scanning can
+/// legitimately discover hosts nobody had in their dataset, which is
+/// how the paper finds more "Ping" hits than "Test set" hits for some
+/// networks.
+pub fn workbench(id: &str, cfg: &RunConfig) -> Workbench {
+    let spec = dataset(id).unwrap_or_else(|| panic!("unknown dataset {id}"));
+    let observed = spec.population(cfg.seed);
+    let mut split_rng = SplitMix64::new(cfg.seed ^ 0xbeef);
+    let (train, test) = observed.split_sample(cfg.train, &mut split_rng);
+
+    let mut extra_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    let unobserved = spec.plan().generate(spec.default_population / 2, &mut extra_rng);
+    let active = observed.union(&unobserved);
+    let responder = Responder::new(active, spec.rdns_fraction, cfg.seed ^ 0xd15).with_faults(
+        FaultConfig { probe_loss: cfg.probe_loss, echo_prefixes: vec![], seed: cfg.seed },
+    );
+
+    let model = EntropyIp::new().analyze(&train).expect("non-empty training set");
+    Workbench { train, test, responder, model }
+}
+
+/// Builds only observed population + trained model (for figures).
+pub fn quick_model(id: &str, n: usize, seed: u64) -> (AddressSet, IpModel) {
+    let spec = dataset(id).unwrap_or_else(|| panic!("unknown dataset {id}"));
+    let observed = spec.population_sized(n, seed);
+    let model = EntropyIp::new().analyze(&observed).expect("non-empty set");
+    (observed, model)
+}
+
+/// Trains a top-64-bit (prefix) model.
+pub fn prefix_model(prefixes: &AddressSet) -> IpModel {
+    EntropyIp::with_options(Options::top64())
+        .analyze(prefixes)
+        .expect("non-empty prefix set")
+}
+
+/// Human formatting: 12345 → "12.3 K", matching the paper's table
+/// style.
+pub fn human(n: usize) -> String {
+    let n = n as f64;
+    if n >= 1e9 {
+        format!("{:.1} G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.1} M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1} K", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}

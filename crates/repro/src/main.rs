@@ -1,0 +1,151 @@
+//! `repro` — regenerates every table and figure of *Entropy/IP:
+//! Uncovering Structure in IPv6 Addresses* (IMC 2016) from the
+//! simulated substrate.
+//!
+//! ```text
+//! repro --all                 # everything (takes a few minutes)
+//! repro --table 4             # one table (1..=6)
+//! repro --figure 7            # one figure (1..=10)
+//! repro --ablation            # BN vs Markov vs independent
+//! repro --table 4 --full      # paper-scale 1M candidates
+//! repro --candidates 50000    # custom candidate count
+//! repro --train 1000          # custom training size
+//! repro --seed 42             # reproducibility
+//! ```
+
+mod common;
+mod figures;
+mod tables;
+
+use common::RunConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let mut cfg = RunConfig::default();
+    let mut table: Option<u32> = None;
+    let mut figure: Option<u32> = None;
+    let mut all = false;
+    let mut ablation = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--ablation" => ablation = true,
+            "--full" => cfg.candidates = 1_000_000,
+            "--table" => {
+                i += 1;
+                table = Some(parse_num(&args, i, "--table"));
+            }
+            "--figure" => {
+                i += 1;
+                figure = Some(parse_num(&args, i, "--figure"));
+            }
+            "--candidates" => {
+                i += 1;
+                cfg.candidates = parse_num(&args, i, "--candidates") as usize;
+            }
+            "--train" => {
+                i += 1;
+                cfg.train = parse_num(&args, i, "--train") as usize;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = u64::from(parse_num(&args, i, "--seed"));
+            }
+            "--probe-loss" => {
+                i += 1;
+                cfg.probe_loss = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| die("--probe-loss needs a float"));
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    if all {
+        for t in 1..=6 {
+            run_table(t, &cfg);
+            println!();
+        }
+        for f in 1..=10 {
+            run_figure(f, &cfg);
+            println!();
+        }
+        tables::ablation(&cfg);
+        return;
+    }
+    if let Some(t) = table {
+        run_table(t, &cfg);
+    }
+    if let Some(f) = figure {
+        run_figure(f, &cfg);
+    }
+    if ablation {
+        tables::ablation(&cfg);
+    }
+    if table.is_none() && figure.is_none() && !ablation {
+        usage();
+    }
+}
+
+fn run_table(t: u32, cfg: &RunConfig) {
+    match t {
+        1 => tables::table1(cfg),
+        2 => tables::table2(cfg),
+        3 => tables::table3(cfg),
+        4 => tables::table4(cfg),
+        5 => tables::table5(cfg),
+        6 => tables::table6(cfg),
+        _ => die("tables are 1..=6"),
+    }
+}
+
+fn run_figure(f: u32, cfg: &RunConfig) {
+    match f {
+        1 => figures::figure1(cfg),
+        2 => figures::figure2(cfg),
+        3 => figures::figure3(),
+        4 => figures::figure4(cfg),
+        5 => figures::figure5(cfg),
+        6 => figures::figure6(cfg),
+        7 => figures::figure7(cfg),
+        8 => figures::figure8(cfg),
+        9 => figures::figure9(cfg),
+        10 => figures::figure10(cfg),
+        _ => die("figures are 1..=10"),
+    }
+}
+
+fn parse_num(args: &[String], i: usize, flag: &str) -> u32 {
+    args.get(i)
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() {
+    println!(
+        "repro — regenerate the tables and figures of Entropy/IP (IMC 2016)\n\n\
+         usage: repro [--all] [--table N] [--figure N] [--ablation]\n\
+                      [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\n\
+         tables:  1 datasets   2 conditional probs   3 S1 mining\n\
+                  4 scanning   5 training-size sweep 6 prefix prediction\n\
+         figures: 1 UI        2 BN graph   3 addresses  4 histogram  5 windowing\n\
+                  6 aggregates 7 S1 panel  8 small multiples  9 R1 panel  10 C1 panel"
+    );
+}

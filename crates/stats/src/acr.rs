@@ -1,0 +1,126 @@
+//! 4-bit Aggregate Count Ratios (ACR).
+//!
+//! The paper overlays a normalized ACR series on its entropy plots
+//! (Figs. 7–10): "ACR reveals how much a segment of the address is
+//! relevant to grouping addresses into areas of the address space.
+//! The higher the ACR value, the more pertinent to prefix
+//! discrimination a given segment is." The metric descends from the
+//! Multi-Resolution Aggregate count ratios of Plonka & Berger (IMC
+//! 2015), which count distinct aggregates (prefixes) at every length.
+//!
+//! Our definition, documented in DESIGN.md: let `A(b)` be the number
+//! of distinct `b`-bit prefixes covering the set. For nybble position
+//! `i` (1-based), the growth factor when extending prefixes by that
+//! nybble is `A(4i) / A(4(i−1))`, between 1 (the nybble never
+//! discriminates) and 16 (every value splits every aggregate
+//! sixteen-fold). Taking `log` and normalizing by `log 16` maps this
+//! to `[0, 1]`:
+//!
+//! ```text
+//! ACR(i) = log(A(4i) / A(4(i−1))) / log 16
+//! ```
+//!
+//! A high value at nybble `i` means that hex character separates
+//! addresses into many distinct sub-prefixes — exactly what the
+//! paper's figures read off the dashed red line (e.g. S1's bits
+//! 40–56 "utilized for discriminating prefixes" versus segment F's
+//! "high entropy with ACR near zero").
+
+use eip_addr::AddressSet;
+
+/// The normalized 4-bit ACR profile: entry `i` (0-based) corresponds
+/// to nybble position `i + 1`. Values lie in `[0, 1]`.
+///
+/// An empty set yields all zeros.
+pub fn acr4(set: &AddressSet) -> [f64; 32] {
+    let mut out = [0.0; 32];
+    if set.is_empty() {
+        return out;
+    }
+    // A(0) = 1 by definition (the whole space is one aggregate).
+    let mut prev = 1usize;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let cur = set.count_prefixes(((i + 1) * 4) as u8);
+        *slot = ((cur as f64 / prev as f64).ln() / 16f64.ln()).clamp(0.0, 1.0);
+        prev = cur;
+    }
+    out
+}
+
+/// Raw aggregate counts `A(4i)` for `i` in `0..=32` (index 0 is
+/// `A(0) = 1`). Exposed for the windowing/MRA-style diagnostics and
+/// the benches.
+pub fn aggregate_counts(set: &AddressSet) -> [usize; 33] {
+    let mut out = [0usize; 33];
+    out[0] = if set.is_empty() { 0 } else { 1 };
+    for (i, slot) in out.iter_mut().enumerate().skip(1) {
+        *slot = set.count_prefixes((i * 4) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eip_addr::Ip6;
+
+    fn set_of(strs: &[&str]) -> AddressSet {
+        AddressSet::from_iter(strs.iter().map(|s| s.parse::<Ip6>().unwrap()))
+    }
+
+    #[test]
+    fn single_address_has_zero_acr() {
+        let s = set_of(&["2001:db8::1"]);
+        assert_eq!(acr4(&s), [0.0; 32]);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(acr4(&AddressSet::new()), [0.0; 32]);
+    }
+
+    #[test]
+    fn discriminating_nybble_has_positive_acr() {
+        // 16 addresses differing only in nybble 9 (bits 32-36):
+        // nybble 9 splits one /32 into 16 /36s -> ACR = 1 there.
+        let s: AddressSet = (0..16u128)
+            .map(|v| Ip6((0x2001_0db8u128 << 96) | (v << 92)))
+            .collect();
+        let a = acr4(&s);
+        assert!((a[8] - 1.0).abs() < 1e-12, "nybble 9: {}", a[8]);
+        for (i, &x) in a.iter().enumerate() {
+            if i != 8 {
+                assert_eq!(x, 0.0, "nybble {}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_split_is_fractional() {
+        // 4 distinct values in nybble 9 -> growth factor 4 -> ACR 0.5.
+        let s: AddressSet = (0..4u128)
+            .map(|v| Ip6((0x2001_0db8u128 << 96) | (v << 92)))
+            .collect();
+        let a = acr4(&s);
+        assert!((a[8] - 0.5).abs() < 1e-12, "got {}", a[8]);
+    }
+
+    #[test]
+    fn acr_detects_low_bit_discrimination() {
+        // Addresses differ only in the last nybble.
+        let s: AddressSet = (0..8u128).map(|v| Ip6((0x2001_0db8u128 << 96) | v)).collect();
+        let a = acr4(&s);
+        assert!(a[31] > 0.7);
+        assert!(a[..31].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn aggregate_counts_monotone() {
+        let s: AddressSet = (0..100u128).map(|v| Ip6(v * 0x1234_5678_9abcu128)).collect();
+        let c = aggregate_counts(&s);
+        for w in c.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(c[32], s.len());
+    }
+}

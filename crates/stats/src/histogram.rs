@@ -1,0 +1,253 @@
+//! Value histograms over segment values, quartiles, and the
+//! frequency-outlier rule used by segment mining (§4.3 step (a)):
+//!
+//! > "Assuming normal distribution of frequencies of values, we
+//! > select the values more common than Q3 + 1.5·IQR, where Q3 is
+//! > the third quartile and IQR is the inter-quartile range."
+
+use std::collections::HashMap;
+
+/// A histogram of (up to 128-bit) segment values: sorted unique
+/// values with their occurrence counts.
+///
+/// This is the `D_k`-derived "vector of values vs. their counts" that
+/// §4.3 feeds both to the outlier rule and to the histogram-mode
+/// DBSCAN run (its Fig. 4 scatter plot is exactly this structure).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    entries: Vec<(u128, u64)>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram from raw (unsorted, repeating) values.
+    pub fn from_values(values: &[u128]) -> Self {
+        let mut map: HashMap<u128, u64> = HashMap::new();
+        for &v in values {
+            *map.entry(v).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(u128, u64)> = map.into_iter().collect();
+        entries.sort_unstable();
+        let total = values.len() as u64;
+        Histogram { entries, total }
+    }
+
+    /// Builds directly from (value, count) pairs; duplicates are
+    /// merged, zero counts dropped.
+    pub fn from_counts<I: IntoIterator<Item = (u128, u64)>>(pairs: I) -> Self {
+        let mut map: HashMap<u128, u64> = HashMap::new();
+        for (v, c) in pairs {
+            if c > 0 {
+                *map.entry(v).or_insert(0) += c;
+            }
+        }
+        let mut entries: Vec<(u128, u64)> = map.into_iter().collect();
+        entries.sort_unstable();
+        let total = entries.iter().map(|&(_, c)| c).sum();
+        Histogram { entries, total }
+    }
+
+    /// Sorted (value, count) pairs.
+    #[inline]
+    pub fn entries(&self) -> &[(u128, u64)] {
+        &self.entries
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram holds no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The count of one value (0 if absent).
+    pub fn count_of(&self, value: u128) -> u64 {
+        match self.entries.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Minimum observed value. `None` when empty.
+    pub fn min(&self) -> Option<u128> {
+        self.entries.first().map(|&(v, _)| v)
+    }
+
+    /// Maximum observed value. `None` when empty.
+    pub fn max(&self) -> Option<u128> {
+        self.entries.last().map(|&(v, _)| v)
+    }
+
+    /// Removes a set of values (e.g. values claimed by a mining
+    /// step), returning how many *observations* were removed.
+    pub fn remove_values(&mut self, values: &[u128]) -> u64 {
+        let mut removed = 0u64;
+        let victims: std::collections::HashSet<u128> = values.iter().copied().collect();
+        self.entries.retain(|&(v, c)| {
+            if victims.contains(&v) {
+                removed += c;
+                false
+            } else {
+                true
+            }
+        });
+        self.total -= removed;
+        removed
+    }
+
+    /// Removes every value inside the closed range `[lo, hi]`,
+    /// returning how many observations were removed.
+    pub fn remove_range(&mut self, lo: u128, hi: u128) -> u64 {
+        let mut removed = 0u64;
+        self.entries.retain(|&(v, c)| {
+            if (lo..=hi).contains(&v) {
+                removed += c;
+                false
+            } else {
+                true
+            }
+        });
+        self.total -= removed;
+        removed
+    }
+
+    /// Values whose frequency exceeds the Q3 + 1.5·IQR outlier
+    /// threshold over the count distribution, most frequent first.
+    /// This is mining step (a).
+    pub fn frequency_outliers(&self) -> Vec<(u128, u64)> {
+        if self.entries.len() < 2 {
+            // With 0 or 1 distinct values the outlier rule is
+            // meaningless; a single dominant value is still "unusually
+            // prevalent" if it is the only one, so return it.
+            return self.entries.clone();
+        }
+        let counts: Vec<u64> = self.entries.iter().map(|&(_, c)| c).collect();
+        let thr = outlier_threshold(&counts);
+        let mut out: Vec<(u128, u64)> =
+            self.entries.iter().copied().filter(|&(_, c)| (c as f64) > thr).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Linearly interpolated quartiles (Q1, Q3) of a count sample
+/// (the common "type 7" estimator used by NumPy's default
+/// percentile). The input need not be sorted.
+///
+/// Returns `(0.0, 0.0)` for an empty sample.
+pub fn quartiles(counts: &[u64]) -> (f64, f64) {
+    if counts.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    (percentile_sorted(&sorted, 0.25), percentile_sorted(&sorted, 0.75))
+}
+
+/// The Q3 + 1.5·IQR threshold over a count sample: values strictly
+/// above this are "unusually prevalent" (§4.3 step (a)).
+pub fn outlier_threshold(counts: &[u64]) -> f64 {
+    let (q1, q3) = quartiles(counts);
+    q3 + 1.5 * (q3 - q1)
+}
+
+/// Type-7 percentile of a pre-sorted slice, `p` in `[0, 1]`.
+fn percentile_sorted(sorted: &[u64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0] as f64;
+    }
+    let rank = p * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_counts() {
+        let h = Histogram::from_values(&[5, 3, 5, 5, 3, 9]);
+        assert_eq!(h.entries(), &[(3, 2), (5, 3), (9, 1)]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.count_of(5), 3);
+        assert_eq!(h.count_of(4), 0);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(9));
+    }
+
+    #[test]
+    fn from_counts_merges_and_drops_zero() {
+        let h = Histogram::from_counts([(1, 2), (1, 3), (2, 0)]);
+        assert_eq!(h.entries(), &[(1, 5)]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn quartiles_linear_interpolation() {
+        // [1,2,3,4]: Q1 at rank 0.75 -> 1.75; Q3 at rank 2.25 -> 3.25.
+        let (q1, q3) = quartiles(&[4, 1, 3, 2]);
+        assert!((q1 - 1.75).abs() < 1e-12);
+        assert!((q3 - 3.25).abs() < 1e-12);
+        assert_eq!(quartiles(&[]), (0.0, 0.0));
+        assert_eq!(quartiles(&[7]), (7.0, 7.0));
+    }
+
+    #[test]
+    fn outlier_rule_finds_prevalent_values() {
+        // 20 values with count 1 and one value with count 50.
+        let mut pairs: Vec<(u128, u64)> = (0..20u128).map(|v| (v, 1)).collect();
+        pairs.push((99, 50));
+        let h = Histogram::from_counts(pairs);
+        let out = h.frequency_outliers();
+        assert_eq!(out, vec![(99, 50)]);
+    }
+
+    #[test]
+    fn uniform_counts_have_no_outliers() {
+        let h = Histogram::from_counts((0..32u128).map(|v| (v, 4)));
+        assert!(h.frequency_outliers().is_empty());
+    }
+
+    #[test]
+    fn outliers_sorted_by_count_desc() {
+        let mut pairs: Vec<(u128, u64)> = (0..30u128).map(|v| (v, 1)).collect();
+        pairs.push((100, 40));
+        pairs.push((101, 90));
+        let h = Histogram::from_counts(pairs);
+        let out = h.frequency_outliers();
+        assert_eq!(out[0].0, 101);
+        assert_eq!(out[1].0, 100);
+    }
+
+    #[test]
+    fn remove_values_and_ranges() {
+        let mut h = Histogram::from_counts([(1, 2), (2, 3), (5, 1), (9, 4)]);
+        assert_eq!(h.remove_values(&[2, 9]), 7);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.remove_range(0, 5), 3);
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn singleton_histogram_returns_itself_as_outlier() {
+        let h = Histogram::from_values(&[42, 42, 42]);
+        assert_eq!(h.frequency_outliers(), vec![(42, 3)]);
+    }
+}

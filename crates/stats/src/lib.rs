@@ -1,0 +1,33 @@
+//! Information-theoretic and statistical primitives for Entropy/IP.
+//!
+//! This crate implements the measurement layer of the paper:
+//!
+//! * [`entropy`] — Shannon entropy of empirical distributions, the
+//!   normalized per-nybble entropy profile Ĥ(X₁)…Ĥ(X₃₂) of an address
+//!   set (§4.1, Eq. 1–2), and the total entropy Ĥ_S (Eq. 3).
+//! * [`acr`] — the 4-bit Aggregate Count Ratio overlay that the paper
+//!   borrows from Plonka & Berger's Multi-Resolution Aggregate
+//!   analysis and plots alongside entropy in Figs. 7–10.
+//! * [`window`] — the "windowing analysis" of §4.5 / Fig. 5:
+//!   unnormalized entropy of every (position, length) address window.
+//! * [`histogram`] — value histograms over segment values, plus the
+//!   quartile/IQR frequency-outlier rule (Q3 + 1.5·IQR) that seeds
+//!   segment mining (§4.3 step (a)).
+//!
+//! All entropies are in **bits** (log base 2) unless a function name
+//! says `normalized`, in which case the value is divided by the
+//! maximum attainable entropy so it falls in `[0, 1]` exactly as the
+//! paper plots it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acr;
+pub mod entropy;
+pub mod histogram;
+pub mod window;
+
+pub use acr::acr4;
+pub use entropy::{entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
+pub use histogram::{outlier_threshold, quartiles, Histogram};
+pub use window::{window_entropy, window_measure, WindowGrid, WindowMeasure};

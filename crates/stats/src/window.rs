@@ -1,0 +1,301 @@
+//! Windowing analysis of entropy (§4.5, Fig. 5).
+//!
+//! For every address window — determined by a starting nybble
+//! position and a length in nybbles — compute the *unnormalized*
+//! entropy (in bits) of the windowed values across the set. Plotted
+//! as a heat map this "may be especially useful … for visual
+//! discovery of patterns": constant regions show as 0, pseudo-random
+//! regions grow linearly with window length until they saturate at
+//! `log2(N)` for a set of `N` addresses.
+
+use std::collections::HashMap;
+
+use eip_addr::Ip6;
+
+use crate::entropy::entropy_bits;
+
+/// Entropy (bits, unnormalized) of the values of the window covering
+/// 1-based nybble positions `start..start+len_nybbles` across the
+/// set.
+///
+/// # Panics
+/// Panics if the window falls outside positions 1..=32 or has zero
+/// length.
+pub fn window_entropy(addrs: &[Ip6], start: usize, len_nybbles: usize) -> f64 {
+    assert!(len_nybbles >= 1, "window length must be >= 1");
+    let end = start + len_nybbles - 1;
+    assert!(start >= 1 && end <= 32, "window out of range");
+    let mut counts: HashMap<u128, u64> = HashMap::new();
+    for &ip in addrs {
+        let v = ip.bits((start - 1) * 4, end * 4);
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    entropy_bits(counts.into_values())
+}
+
+
+/// Alternative variability measures for windowing analysis.
+///
+/// §4.5: "note that one could use a different variability measure
+/// than the entropy, e.g., number of distinct values, inter-quartile
+/// range, frequency of the most popular value, or a weighted mean
+/// thereof." These are those alternatives, over the same windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowMeasure {
+    /// Shannon entropy in bits (the default used by Fig. 5).
+    EntropyBits,
+    /// Number of distinct window values.
+    DistinctValues,
+    /// Inter-quartile range of the window values (as f64).
+    InterQuartileRange,
+    /// Frequency (fraction) of the most popular value — *low* values
+    /// mean high variability, so this is reported as
+    /// `1 − max-frequency` to keep "bigger = more variable".
+    TopValueComplement,
+}
+
+/// Evaluates one window under the chosen variability measure.
+///
+/// # Panics
+/// Panics on out-of-range windows (see [`window_entropy`]).
+pub fn window_measure(
+    addrs: &[Ip6],
+    start: usize,
+    len_nybbles: usize,
+    measure: WindowMeasure,
+) -> f64 {
+    assert!(len_nybbles >= 1, "window length must be >= 1");
+    let end = start + len_nybbles - 1;
+    assert!(start >= 1 && end <= 32, "window out of range");
+    let mut counts: HashMap<u128, u64> = HashMap::new();
+    for &ip in addrs {
+        let v = ip.bits((start - 1) * 4, end * 4);
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    match measure {
+        WindowMeasure::EntropyBits => entropy_bits(counts.into_values()),
+        WindowMeasure::DistinctValues => counts.len() as f64,
+        WindowMeasure::InterQuartileRange => {
+            // IQR over the multiset of window *values*.
+            let mut vals: Vec<u128> = Vec::with_capacity(addrs.len());
+            for (v, c) in counts {
+                for _ in 0..c {
+                    vals.push(v);
+                }
+            }
+            vals.sort_unstable();
+            if vals.is_empty() {
+                return 0.0;
+            }
+            let q = |p: f64| -> f64 {
+                let rank = p * (vals.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let frac = rank - lo as f64;
+                vals[lo] as f64 * (1.0 - frac) + vals[hi] as f64 * frac
+            };
+            q(0.75) - q(0.25)
+        }
+        WindowMeasure::TopValueComplement => {
+            let total: u64 = counts.values().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let top = counts.values().copied().max().unwrap_or(0);
+            1.0 - top as f64 / total as f64
+        }
+    }
+}
+
+/// The full triangular grid of window entropies: every valid
+/// (start position, length) pair at nybble granularity — the data
+/// behind Fig. 5.
+#[derive(Clone, Debug)]
+pub struct WindowGrid {
+    /// `cells[start - 1][len - 1]` = entropy (bits) of the window at
+    /// 1-based nybble `start` with length `len` nybbles; windows
+    /// exceeding position 32 are absent (the row is shorter).
+    cells: Vec<Vec<f64>>,
+    /// Number of addresses the grid was computed from.
+    n: usize,
+}
+
+impl WindowGrid {
+    /// Computes the grid over the set. Costs
+    /// O(32² · N) hashing work; fine for the ≤100K-address sets the
+    /// analyses use.
+    pub fn compute(addrs: &[Ip6]) -> Self {
+        let mut cells = Vec::with_capacity(32);
+        for start in 1..=32usize {
+            let max_len = 32 - start + 1;
+            let mut row = Vec::with_capacity(max_len);
+            for len in 1..=max_len {
+                row.push(window_entropy(addrs, start, len));
+            }
+            cells.push(row);
+        }
+        WindowGrid { cells, n: addrs.len() }
+    }
+
+    /// Entropy of the window at 1-based `start` with `len` nybbles,
+    /// or `None` if the window exceeds the address.
+    pub fn get(&self, start: usize, len: usize) -> Option<f64> {
+        if start == 0 || len == 0 || start > 32 {
+            return None;
+        }
+        self.cells.get(start - 1).and_then(|row| row.get(len - 1)).copied()
+    }
+
+    /// Number of addresses the grid was computed from.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Upper bound for any cell: `log2(N)` (a window cannot carry
+    /// more information than the sample provides).
+    pub fn max_possible(&self) -> f64 {
+        if self.n <= 1 {
+            0.0
+        } else {
+            (self.n as f64).log2()
+        }
+    }
+
+    /// Iterates `(start, len, entropy_bits)` over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.cells.iter().enumerate().flat_map(|(s, row)| {
+            row.iter().enumerate().map(move |(l, &h)| (s + 1, l + 1, h))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_addrs() -> Vec<Ip6> {
+        [
+            "20010db840011111000000000000111c",
+            "20010db840011111000000000000111f",
+            "20010db840031c13000000000000200c",
+            "20010db8400a2f2a000000000000200f",
+            "20010db840011111000000000000111f",
+        ]
+        .iter()
+        .map(|s| Ip6::from_hex32(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn constant_window_zero_entropy() {
+        let a = fig3_addrs();
+        assert_eq!(window_entropy(&a, 1, 11), 0.0);
+        assert_eq!(window_entropy(&a, 17, 12), 0.0);
+    }
+
+    #[test]
+    fn varying_window_positive_entropy() {
+        let a = fig3_addrs();
+        // Window 12..16 has values {11111 (x3), 31c13, a2f2a}.
+        let h = window_entropy(&a, 12, 5);
+        let expect = entropy_bits([3u64, 1, 1]);
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_address_window_counts_distinct_addresses() {
+        let a = fig3_addrs();
+        // 5 lines, 4 distinct addresses: one appears twice.
+        let h = window_entropy(&a, 1, 32);
+        let expect = entropy_bits([2u64, 1, 1, 1]);
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_matches_pointwise_queries() {
+        let a = fig3_addrs();
+        let g = WindowGrid::compute(&a);
+        assert_eq!(g.get(1, 11), Some(0.0));
+        let direct = window_entropy(&a, 12, 5);
+        assert_eq!(g.get(12, 5), Some(direct));
+        assert_eq!(g.get(32, 2), None); // exceeds the address
+        assert_eq!(g.get(0, 1), None);
+        assert_eq!(g.population(), 5);
+    }
+
+    #[test]
+    fn grid_cells_bounded_by_log_n() {
+        let a = fig3_addrs();
+        let g = WindowGrid::compute(&a);
+        let cap = g.max_possible() + 1e-12;
+        for (_, _, h) in g.iter() {
+            assert!(h <= cap);
+        }
+    }
+
+    #[test]
+    fn entropy_monotone_in_window_extension() {
+        // Extending a window can only add information:
+        // H(start, len+1) >= H(start, len).
+        let a = fig3_addrs();
+        let g = WindowGrid::compute(&a);
+        for start in 1..=32usize {
+            let max_len = 32 - start + 1;
+            for len in 1..max_len {
+                let h1 = g.get(start, len).unwrap();
+                let h2 = g.get(start, len + 1).unwrap();
+                assert!(h2 + 1e-12 >= h1, "window ({start},{len})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of range")]
+    fn window_bounds_checked() {
+        window_entropy(&fig3_addrs(), 30, 5);
+    }
+
+    #[test]
+    fn alternative_measures_agree_on_constant_windows() {
+        let a = fig3_addrs();
+        for m in [
+            WindowMeasure::EntropyBits,
+            WindowMeasure::InterQuartileRange,
+            WindowMeasure::TopValueComplement,
+        ] {
+            assert_eq!(window_measure(&a, 1, 11, m), 0.0, "{m:?}");
+        }
+        assert_eq!(window_measure(&a, 1, 11, WindowMeasure::DistinctValues), 1.0);
+    }
+
+    #[test]
+    fn distinct_values_counts_support() {
+        let a = fig3_addrs();
+        // Window 12..16 has 3 distinct values across the 5 lines.
+        assert_eq!(window_measure(&a, 12, 5, WindowMeasure::DistinctValues), 3.0);
+    }
+
+    #[test]
+    fn top_value_complement_matches_hand_computation() {
+        let a = fig3_addrs();
+        // Window 12..16: top value 11111 appears 3 of 5 times.
+        let v = window_measure(&a, 12, 5, WindowMeasure::TopValueComplement);
+        assert!((v - (1.0 - 3.0 / 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iqr_positive_only_when_values_spread() {
+        let a = fig3_addrs();
+        assert_eq!(window_measure(&a, 17, 12, WindowMeasure::InterQuartileRange), 0.0);
+        assert!(window_measure(&a, 29, 4, WindowMeasure::InterQuartileRange) > 0.0);
+    }
+
+    #[test]
+    fn entropy_measure_matches_window_entropy() {
+        let a = fig3_addrs();
+        for (s, l) in [(1usize, 11usize), (12, 5), (29, 4)] {
+            let via_measure = window_measure(&a, s, l, WindowMeasure::EntropyBits);
+            assert!((via_measure - window_entropy(&a, s, l)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the statistical primitives.
+
+use eip_addr::{AddressSet, Ip6};
+use eip_stats::{acr4, entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
+use eip_stats::acr::aggregate_counts;
+use eip_stats::histogram::{outlier_threshold, quartiles, Histogram};
+use eip_stats::window::window_entropy;
+use proptest::prelude::*;
+
+proptest! {
+    /// Entropy is non-negative and bounded by log2 of the support.
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(1u64..1000, 1..64)) {
+        let h = entropy_bits(counts.iter().copied());
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9);
+    }
+
+    /// Entropy is invariant under permutation of the counts.
+    #[test]
+    fn entropy_permutation_invariant(mut counts in prop::collection::vec(0u64..1000, 2..32)) {
+        let h1 = entropy_bits(counts.iter().copied());
+        counts.reverse();
+        let h2 = entropy_bits(counts.iter().copied());
+        prop_assert!((h1 - h2).abs() < 1e-9);
+    }
+
+    /// Normalized entropy stays in [0, 1].
+    #[test]
+    fn normalized_in_unit_interval(counts in prop::collection::vec(0u64..100, 1..16)) {
+        let k = counts.len().max(1);
+        let h = normalized_entropy(counts.iter().copied(), k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&h));
+    }
+
+    /// Duplicating every address leaves the entropy profile unchanged
+    /// (entropy depends on frequencies, not raw counts).
+    #[test]
+    fn entropy_scale_invariant(vs in prop::collection::vec(any::<u128>(), 1..50)) {
+        let a: Vec<Ip6> = vs.iter().map(|&v| Ip6(v)).collect();
+        let doubled: Vec<Ip6> = a.iter().chain(a.iter()).copied().collect();
+        let h1 = nybble_entropy(&a);
+        let h2 = nybble_entropy(&doubled);
+        for i in 0..32 {
+            prop_assert!((h1[i] - h2[i]).abs() < 1e-9, "pos {}", i + 1);
+        }
+    }
+
+    /// Total entropy is within [0, 32].
+    #[test]
+    fn total_entropy_bounds(vs in prop::collection::vec(any::<u128>(), 0..100)) {
+        let a: Vec<Ip6> = vs.iter().map(|&v| Ip6(v)).collect();
+        let t = total_entropy(&a);
+        prop_assert!((0.0..=32.0 + 1e-9).contains(&t));
+    }
+
+    /// ACR values stay in [0, 1] and the product of growth factors
+    /// reconstructs the distinct-address count.
+    #[test]
+    fn acr_consistency(vs in prop::collection::vec(any::<u128>(), 1..100)) {
+        let set: AddressSet = vs.iter().map(|&v| Ip6(v)).collect();
+        let a = acr4(&set);
+        prop_assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Sum of log16 growth factors = log16(A(128)/A(0)) = log16(len).
+        let sum: f64 = a.iter().sum();
+        let expect = (set.len() as f64).ln() / 16f64.ln();
+        prop_assert!((sum - expect).abs() < 1e-6, "sum {} expect {}", sum, expect);
+        let counts = aggregate_counts(&set);
+        prop_assert_eq!(counts[32], set.len());
+    }
+
+    /// The outlier threshold never falls below Q3.
+    #[test]
+    fn threshold_at_least_q3(counts in prop::collection::vec(1u64..500, 2..64)) {
+        let (_, q3) = quartiles(&counts);
+        prop_assert!(outlier_threshold(&counts) >= q3 - 1e-9);
+    }
+
+    /// Histogram totals and distinct counts match a reference map.
+    #[test]
+    fn histogram_totals(vals in prop::collection::vec(0u128..64, 0..200)) {
+        let h = Histogram::from_values(&vals);
+        prop_assert_eq!(h.total(), vals.len() as u64);
+        let distinct: std::collections::HashSet<u128> = vals.iter().copied().collect();
+        prop_assert_eq!(h.distinct(), distinct.len());
+        for &v in &distinct {
+            prop_assert_eq!(h.count_of(v), vals.iter().filter(|&&x| x == v).count() as u64);
+        }
+    }
+
+    /// Window entropy of adjacent windows is superadditive-bounded:
+    /// H(window A+B) <= H(A) + H(B), and >= max(H(A), H(B)).
+    #[test]
+    fn window_entropy_composition(vs in prop::collection::vec(any::<u128>(), 1..60),
+                                  start in 1usize..=30, l1 in 1usize..=8, l2 in 1usize..=8) {
+        let a: Vec<Ip6> = vs.iter().map(|&v| Ip6(v)).collect();
+        prop_assume!(start + l1 + l2 - 1 <= 32);
+        let ha = window_entropy(&a, start, l1);
+        let hb = window_entropy(&a, start + l1, l2);
+        let hab = window_entropy(&a, start, l1 + l2);
+        prop_assert!(hab <= ha + hb + 1e-9);
+        prop_assert!(hab + 1e-9 >= ha.max(hb));
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphviz DOT export of the learned Bayesian network (Fig. 2).
+//!
+//! Nodes are segments; an edge `C -> J` means segment J's CPT is
+//! conditioned on C. Optionally a focus node's incoming edges are
+//! highlighted red, matching the paper's Fig. 2 ("red edges show that
+//! the segment J is directly dependent on segments C and H").
+
+use eip_bayes::BayesNet;
+
+/// Renders the network as a DOT digraph. `focus` highlights the
+/// incoming edges of the named node in red.
+pub fn bn_to_dot(bn: &BayesNet, focus: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("digraph entropy_ip {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=circle, fontname=\"monospace\"];\n");
+    for node in bn.nodes() {
+        out.push_str(&format!("  \"{}\";\n", node.name));
+    }
+    for (parent, child) in bn.edges() {
+        let p = &bn.node(parent).name;
+        let c = &bn.node(child).name;
+        let attr = match focus {
+            Some(f) if f == c => " [color=red, penwidth=2]",
+            _ => "",
+        };
+        out.push_str(&format!("  \"{p}\" -> \"{c}\"{attr};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eip_bayes::{BayesNet, Cpt, Node};
+
+    fn bn() -> BayesNet {
+        let n0 = Node {
+            name: "C".into(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: Cpt::from_probs(2, vec![], vec![0.5, 0.5]),
+        };
+        let n1 = Node {
+            name: "H".into(),
+            cardinality: 2,
+            parents: vec![],
+            cpt: Cpt::from_probs(2, vec![], vec![0.5, 0.5]),
+        };
+        let n2 = Node {
+            name: "J".into(),
+            cardinality: 2,
+            parents: vec![0, 1],
+            cpt: Cpt::from_probs(2, vec![2, 2], vec![0.5; 8]),
+        };
+        BayesNet::new(vec![n0, n1, n2])
+    }
+
+    #[test]
+    fn dot_lists_nodes_and_edges() {
+        let s = bn_to_dot(&bn(), None);
+        assert!(s.starts_with("digraph"));
+        assert!(s.contains("\"C\";"));
+        assert!(s.contains("\"C\" -> \"J\";"));
+        assert!(s.contains("\"H\" -> \"J\";"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn focus_highlights_incoming_edges() {
+        let s = bn_to_dot(&bn(), Some("J"));
+        assert!(s.contains("\"C\" -> \"J\" [color=red, penwidth=2];"));
+        let unfocused = bn_to_dot(&bn(), Some("C"));
+        assert!(!unfocused.contains("color=red"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The conditional probability browser rendering (Fig. 1b/c).
+//!
+//! One column per segment; each column lists the segment's dictionary
+//! values with their (posterior) probabilities, shaded by a coarse
+//! block ramp. Clamped segments are marked with `[*]`, matching the
+//! paper's "mouse click" interaction.
+
+use entropy_ip::{SegmentDistribution, ValueKind};
+
+/// Probability → shading character, a 5-step ramp.
+fn shade(p: f64) -> char {
+    match p {
+        p if p >= 0.75 => '█',
+        p if p >= 0.50 => '▓',
+        p if p >= 0.25 => '▒',
+        p if p >= 0.01 => '░',
+        _ => ' ',
+    }
+}
+
+/// Formats a dictionary value compactly: exact values as hex, ranges
+/// as `lo-hi` (abbreviated to the first 12 hex chars each).
+fn fmt_kind(kind: &ValueKind) -> String {
+    fn hex(v: u128) -> String {
+        let s = format!("{v:x}");
+        if s.len() > 12 {
+            format!("{}…", &s[..12])
+        } else {
+            s
+        }
+    }
+    match kind {
+        ValueKind::Exact(v) => hex(*v),
+        ValueKind::Range { lo, hi } => format!("{}-{}", hex(*lo), hex(*hi)),
+    }
+}
+
+/// Renders the browser state as a text table.
+///
+/// `min_prob` suppresses rows below the given probability (the paper
+/// also skips "<0.1%" rows "for brevity" in Fig. 7b).
+pub fn render_browser(dists: &[SegmentDistribution], min_prob: f64) -> String {
+    let mut out = String::new();
+    out.push_str("Conditional Probability Browser\n");
+    for d in dists {
+        let flag = if d.observed { " [*]" } else { "" };
+        out.push_str(&format!("── segment {}{}\n", d.label, flag));
+        for (code, kind, p) in &d.entries {
+            if *p < min_prob {
+                continue;
+            }
+            out.push_str(&format!(
+                "   {} {:<6} {:>6.1}%  {}\n",
+                shade(*p),
+                code,
+                p * 100.0,
+                fmt_kind(kind)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> Vec<SegmentDistribution> {
+        vec![
+            SegmentDistribution {
+                label: "A".into(),
+                entries: vec![
+                    ("A1".into(), ValueKind::Exact(0x2001_0db8), 0.8),
+                    ("A2".into(), ValueKind::Exact(0x3001_0db8), 0.2),
+                ],
+                observed: false,
+            },
+            SegmentDistribution {
+                label: "J".into(),
+                entries: vec![
+                    ("J1".into(), ValueKind::Exact(0), 1.0),
+                    (
+                        "J2".into(),
+                        ValueKind::Range { lo: 0xed18068, hi: 0xfffb2bc655b },
+                        0.0,
+                    ),
+                ],
+                observed: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_all_segments_and_flags_evidence() {
+        let s = render_browser(&dist(), 0.0);
+        assert!(s.contains("segment A"));
+        assert!(s.contains("segment J [*]"));
+        assert!(s.contains("A1"));
+        assert!(s.contains("80.0%"));
+    }
+
+    #[test]
+    fn min_prob_suppresses_rows() {
+        let s = render_browser(&dist(), 0.001);
+        assert!(!s.contains("J2"));
+        let s_all = render_browser(&dist(), 0.0);
+        assert!(s_all.contains("J2"));
+    }
+
+    #[test]
+    fn ranges_render_with_dash() {
+        let s = render_browser(&dist(), 0.0);
+        assert!(s.contains("ed18068-fffb2bc655b"));
+    }
+
+    #[test]
+    fn shade_ramp_is_monotone() {
+        assert_eq!(shade(0.9), '█');
+        assert_eq!(shade(0.6), '▓');
+        assert_eq!(shade(0.3), '▒');
+        assert_eq!(shade(0.05), '░');
+        assert_eq!(shade(0.001), ' ');
+    }
+
+    #[test]
+    fn long_hex_values_are_abbreviated() {
+        let k = ValueKind::Exact(u128::MAX);
+        let s = fmt_kind(&k);
+        assert!(s.len() <= 16, "{s}");
+        assert!(s.contains('…'));
+    }
+}

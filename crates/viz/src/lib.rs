@@ -1,0 +1,26 @@
+//! Renderers for Entropy/IP analyses — the paper's web UI re-imagined
+//! as terminal text, SVG, and Graphviz DOT output.
+//!
+//! | Module | Paper element |
+//! |---|---|
+//! | [`plot`] | Fig. 1(a)/7(a)/8/9(a)/10(a): entropy + ACR line plot with segment boundaries |
+//! | [`heatmap`] | Fig. 1(b,c): the conditional probability browser's value columns |
+//! | [`dot`] | Fig. 2: the BN dependency graph |
+//! | [`windowmap`] | Fig. 5: the windowing-entropy heat map |
+//!
+//! Everything returns `String`s; callers decide where to write them.
+//! ASCII output is deliberate (works in CI logs and SSH sessions);
+//! SVG output is available for every plot as well.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod heatmap;
+pub mod plot;
+pub mod windowmap;
+
+pub use dot::bn_to_dot;
+pub use heatmap::render_browser;
+pub use plot::{render_entropy_ascii, render_entropy_svg};
+pub use windowmap::{render_window_ascii, render_window_svg};

@@ -1,0 +1,193 @@
+//! Entropy + ACR line plots (the paper's Figs. 1a, 7a, 8, 9a, 10a).
+//!
+//! The solid line is per-nybble normalized entropy, the dashed line
+//! 4-bit ACR, vertical bars mark segment boundaries, and the header
+//! carries the Ĥ_S value — everything the paper's "(a)" panels show.
+
+use entropy_ip::Analysis;
+
+/// Renders the analysis as an ASCII chart of `height` rows.
+///
+/// Entropy is drawn with `*`, ACR with `.` (where both fall in the
+/// same cell, `#`). Segment boundaries appear as `|` columns in a
+/// header row carrying segment letters.
+pub fn render_entropy_ascii(analysis: &Analysis, height: usize) -> String {
+    let height = height.max(4);
+    let width = analysis.width;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Entropy (*) vs 4-bit ACR (.)   H_S = {:.1}   n = {}\n",
+        analysis.total_entropy, analysis.num_addresses
+    ));
+
+    // Segment label row: letter at each segment start.
+    let mut labels = vec![b' '; width * 2];
+    for seg in &analysis.segments {
+        let col = (seg.start - 1) * 2;
+        for (i, b) in seg.label.bytes().enumerate() {
+            if col + i < labels.len() {
+                labels[col + i] = b;
+            }
+        }
+    }
+    out.push_str("      ");
+    out.push_str(std::str::from_utf8(&labels).unwrap());
+    out.push('\n');
+
+    // Chart body, top row = 1.0.
+    for row in 0..height {
+        let upper = 1.0 - row as f64 / height as f64;
+        let lower = 1.0 - (row + 1) as f64 / height as f64;
+        out.push_str(&format!("{:4.2} |", (upper + lower) / 2.0));
+        for pos in 0..width {
+            let h = analysis.entropy[pos];
+            let a = analysis.acr[pos];
+            let h_in = h > lower && h <= upper || (row == height - 1 && h <= lower + 1e-12);
+            let a_in = a > lower && a <= upper || (row == height - 1 && a <= lower + 1e-12);
+            let cell = match (h_in, a_in) {
+                (true, true) => '#',
+                (true, false) => '*',
+                (false, true) => '.',
+                (false, false) => {
+                    if analysis.segments.iter().any(|s| s.start == pos + 1 && s.start > 1) {
+                        '|'
+                    } else {
+                        ' '
+                    }
+                }
+            };
+            out.push(cell);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+
+    // X axis in bits.
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width * 2));
+    out.push('\n');
+    out.push_str("      bits: 0");
+    let tail = format!("{}", width * 4);
+    let pad = width * 2usize - 1 - tail.len();
+    out.push_str(&" ".repeat(pad));
+    out.push_str(&tail);
+    out.push('\n');
+    out
+}
+
+/// Renders the analysis as a standalone SVG document (solid entropy
+/// polyline, dashed ACR polyline, segment boundary rules and labels).
+pub fn render_entropy_svg(analysis: &Analysis, width_px: usize, height_px: usize) -> String {
+    let w = width_px.max(200) as f64;
+    let h = height_px.max(120) as f64;
+    let ml = 40.0; // margins
+    let mb = 30.0;
+    let mt = 20.0;
+    let plot_w = w - ml - 10.0;
+    let plot_h = h - mt - mb;
+    let n = analysis.width;
+    let x = |i: usize| ml + plot_w * i as f64 / (n - 1).max(1) as f64;
+    let y = |v: f64| mt + plot_h * (1.0 - v.clamp(0.0, 1.0));
+
+    let polyline = |series: &[f64]| -> String {
+        series
+            .iter()
+            .take(n)
+            .enumerate()
+            .map(|(i, &v)| format!("{:.1},{:.1}", x(i), y(v)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    ));
+    svg.push_str(&format!(
+        r#"<rect width="{w}" height="{h}" fill="white"/>"#
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        y(0.0), ml + plot_w, y(0.0)
+    ));
+    svg.push_str(&format!(
+        r#"<line x1="{ml}" y1="{}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        y(0.0), y(1.0)
+    ));
+    // Segment boundaries + labels.
+    for seg in &analysis.segments {
+        let bx = x(seg.start - 1);
+        if seg.start > 1 {
+            svg.push_str(&format!(
+                r##"<line x1="{bx:.1}" y1="{}" x2="{bx:.1}" y2="{}" stroke="#bbb" stroke-dasharray="2,3"/>"##,
+                y(0.0), y(1.0)
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace">{}</text>"#,
+            bx + 2.0, mt - 6.0, seg.label
+        ));
+    }
+    // Series.
+    svg.push_str(&format!(
+        r##"<polyline points="{}" fill="none" stroke="#1f77b4" stroke-width="1.5"/>"##,
+        polyline(&analysis.entropy)
+    ));
+    svg.push_str(&format!(
+        r##"<polyline points="{}" fill="none" stroke="#d62728" stroke-width="1.2" stroke-dasharray="4,3"/>"##,
+        polyline(&analysis.acr)
+    ));
+    // Caption.
+    svg.push_str(&format!(
+        r#"<text x="{ml}" y="{:.1}" font-size="11" font-family="monospace">entropy (blue) vs 4-bit ACR (red dashed), H_S={:.1}, n={}</text>"#,
+        h - 8.0, analysis.total_entropy, analysis.num_addresses
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eip_addr::{AddressSet, Ip6};
+    use entropy_ip::{Analysis, SegmentationOptions};
+
+    fn analysis() -> Analysis {
+        let set: AddressSet = (0..256u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | ((i % 16) << 64) | (i % 32)))
+            .collect();
+        Analysis::compute(&set, &SegmentationOptions::default())
+    }
+
+    #[test]
+    fn ascii_contains_header_and_axis() {
+        let s = render_entropy_ascii(&analysis(), 12);
+        assert!(s.contains("H_S ="));
+        assert!(s.contains("bits: 0"));
+        assert!(s.contains('A'));
+        // 12 chart rows plus header/labels/axis.
+        assert!(s.lines().count() >= 15);
+    }
+
+    #[test]
+    fn ascii_marks_entropy_cells() {
+        let s = render_entropy_ascii(&analysis(), 10);
+        assert!(s.contains('*') || s.contains('#'), "no entropy marks:\n{s}");
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let s = render_entropy_svg(&analysis(), 640, 240);
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>"));
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert!(s.contains("H_S="));
+    }
+
+    #[test]
+    fn svg_respects_minimum_size() {
+        let s = render_entropy_svg(&analysis(), 1, 1);
+        assert!(s.contains("width=\"200\""));
+    }
+}

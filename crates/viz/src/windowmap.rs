@@ -1,0 +1,118 @@
+//! The windowing-entropy heat map (Fig. 5).
+//!
+//! X axis: window length; Y axis: window position (both in bits in
+//! the paper, nybbles here — same picture at 4× coarser ticks).
+//! Cell intensity: unnormalized entropy of the windowed values.
+
+use eip_stats::WindowGrid;
+
+const RAMP: &[char] = &[' ', '░', '▒', '▓', '█'];
+
+/// Renders the grid as ASCII: rows are window start positions 1..=32,
+/// columns are lengths 1..=32, intensity scaled to the grid maximum.
+pub fn render_window_ascii(grid: &WindowGrid) -> String {
+    let max = grid
+        .iter()
+        .map(|(_, _, h)| h)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Windowing entropy (max {:.1} bits, n = {})\n",
+        max,
+        grid.population()
+    ));
+    out.push_str("pos\\len 1       8        16       24       32\n");
+    for start in 1..=32usize {
+        out.push_str(&format!("{start:>5} | "));
+        for len in 1..=32usize {
+            match grid.get(start, len) {
+                Some(h) => {
+                    let idx = ((h / max) * (RAMP.len() - 1) as f64).round() as usize;
+                    out.push(RAMP[idx.min(RAMP.len() - 1)]);
+                }
+                None => out.push('·'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the grid as an SVG heat map with a blue→red color ramp.
+pub fn render_window_svg(grid: &WindowGrid, cell_px: usize) -> String {
+    let c = cell_px.max(4) as f64;
+    let ml = 30.0;
+    let mt = 20.0;
+    let w = ml + 32.0 * c + 10.0;
+    let h = mt + 32.0 * c + 30.0;
+    let max = grid
+        .iter()
+        .map(|(_, _, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    ));
+    svg.push_str(&format!(r#"<rect width="{w}" height="{h}" fill="white"/>"#));
+    for (start, len, v) in grid.iter() {
+        let t = (v / max).clamp(0.0, 1.0);
+        // Blue (cold) to red (hot).
+        let r = (255.0 * t) as u8;
+        let b = (255.0 * (1.0 - t)) as u8;
+        let x = ml + (len - 1) as f64 * c;
+        let y = mt + (start - 1) as f64 * c;
+        svg.push_str(&format!(
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{c:.1}" height="{c:.1}" fill="rgb({r},64,{b})"/>"#
+        ));
+    }
+    svg.push_str(&format!(
+        r#"<text x="{ml}" y="{:.1}" font-size="11" font-family="monospace">window length (nybbles) vs position; max {max:.1} bits</text>"#,
+        h - 8.0
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eip_addr::Ip6;
+
+    fn grid() -> WindowGrid {
+        let addrs: Vec<Ip6> = (0..64u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | i))
+            .collect();
+        WindowGrid::compute(&addrs)
+    }
+
+    #[test]
+    fn ascii_has_32_rows() {
+        let s = render_window_ascii(&grid());
+        let rows = s.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(rows, 32);
+        // Out-of-range cells are dotted.
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn hot_cells_only_in_varying_region() {
+        let s = render_window_ascii(&grid());
+        // Row for position 1 (constant prefix region at short
+        // lengths) should start blank; the full-width window picks up
+        // the variation.
+        let row1 = s.lines().find(|l| l.trim_start().starts_with("1 |")).unwrap();
+        assert!(row1.contains('█') || row1.contains('▓'), "{row1}");
+    }
+
+    #[test]
+    fn svg_has_cells_and_caption() {
+        let s = render_window_svg(&grid(), 6);
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>"));
+        // 32+31+…+1 = 528 cells + background rect.
+        assert_eq!(s.matches("<rect").count(), 529);
+        assert!(s.contains("window length"));
+    }
+}

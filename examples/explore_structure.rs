@@ -1,0 +1,49 @@
+//! Interactive-style structure exploration: the conditional
+//! probability browser driven from the command line (Fig. 1 of the
+//! paper, without the web page).
+//!
+//! ```sh
+//! cargo run --release --example explore_structure -- C1 G=G1 E=E1
+//! ```
+//!
+//! Each `SEGMENT=CODE` argument clicks that value in the browser; the
+//! posterior distributions of all other segments update through the
+//! Bayesian network (including *backwards*, into earlier segments).
+//! Run without clicks to see the priors, pick a code from the output,
+//! and re-run with it. Also writes `entropy.svg` and `bn.dot` for the
+//! graphical views.
+
+use eip_netsim::dataset;
+use entropy_ip::{Browser, EntropyIp};
+use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii, render_entropy_svg};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("C1");
+    let spec = dataset(id).unwrap_or_else(|| panic!("unknown dataset {id}"));
+    println!("network {id}: {}\n", spec.description);
+
+    let ips = spec.population_sized(24_000, 11);
+    let model = EntropyIp::new().analyze(&ips).unwrap();
+    println!("{}", render_entropy_ascii(model.analysis(), 12));
+
+    let mut browser = Browser::new(&model);
+    for click in &args[1.min(args.len())..] {
+        let Some((seg, code)) = click.split_once('=') else {
+            panic!("clicks look like G=G1, got {click}");
+        };
+        if browser.select(seg, code) {
+            println!("clicked: segment {seg} = {code}");
+        } else {
+            println!("no such value: {click} (run without clicks to list codes)");
+        }
+    }
+    println!();
+    println!("{}", render_browser(&browser.distributions(), 0.005));
+
+    // Side outputs for graphical tooling.
+    std::fs::write("entropy.svg", render_entropy_svg(model.analysis(), 800, 300))
+        .expect("write entropy.svg");
+    std::fs::write("bn.dot", bn_to_dot(model.bn(), None)).expect("write bn.dot");
+    println!("wrote entropy.svg and bn.dot (render with: dot -Tsvg bn.dot > bn.svg)");
+}

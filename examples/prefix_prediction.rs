@@ -1,0 +1,57 @@
+//! Client /64-prefix prediction (the paper's §5.6 / Table 6).
+//!
+//! ```sh
+//! cargo run --release --example prefix_prediction -- C4
+//! ```
+//!
+//! Client IIDs are pseudo-random, so guessing full addresses is
+//! hopeless; instead Entropy/IP is constrained to the top 64 bits and
+//! predicts *prefixes*. We train on prefixes seen "today" and test
+//! against today and the following week of a churning prefix pool.
+
+use eip_addr::set::SplitMix64;
+use eip_netsim::{dataset, TemporalPool};
+use entropy_ip::{EntropyIp, Generator, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "C4".into());
+    let spec = dataset(&id).unwrap_or_else(|| panic!("unknown dataset {id} (try C1..C5)"));
+    println!("network {id}: {}", spec.description);
+
+    // A churning pool of active /64s: 70% stable core, 30% re-drawn
+    // daily.
+    let pool = TemporalPool::new(spec.plan(), spec.default_population / 4, 0.7, 2024);
+    let day0 = pool.day(0);
+    let week = pool.window(0, 7);
+    println!("day 0: {} active /64s; 7-day union: {}", day0.len(), week.len());
+
+    // Train a top-64-bit model on 1K prefixes from day 0.
+    let mut rng = SplitMix64::new(17);
+    let (train, _) = day0.split_sample(1_000, &mut rng);
+    let model = EntropyIp::with_options(Options::top64())
+        .analyze(&train)
+        .unwrap();
+    println!(
+        "model: {} segments over the top 64 bits, H_S = {:.1}",
+        model.analysis().segments.len(),
+        model.analysis().total_entropy
+    );
+
+    // Generate candidate prefixes and check them against both
+    // horizons.
+    let mut gen_rng = StdRng::seed_from_u64(3);
+    let candidates = Generator::new(&model)
+        .excluding(&train)
+        .attempts_per_candidate(8)
+        .run(50_000, &mut gen_rng)
+        .candidates;
+    let d0 = candidates.iter().filter(|&&p| day0.contains(p)).count();
+    let d7 = candidates.iter().filter(|&&p| week.contains(p)).count();
+    println!("\ngenerated {} candidate /64s", candidates.len());
+    println!("active on day 0   : {d0} ({:.2}%)", 100.0 * d0 as f64 / candidates.len() as f64);
+    println!("active in the week: {d7} ({:.2}%)", 100.0 * d7 as f64 / candidates.len() as f64);
+    println!("\n(the paper predicted 12K-150K prefixes per network at 1-20% rates; a");
+    println!("larger 7-day count than day-0 count indicates a dynamic assignment pool)");
+}

@@ -1,0 +1,12 @@
+//! Workspace facade for the Entropy/IP reproduction.
+//!
+//! Re-exports the crates so integration tests and examples can write
+//! `entropy_ip_repro::...` or use the individual crates directly.
+
+pub use eip_addr as addr;
+pub use eip_bayes as bayes;
+pub use eip_cluster as cluster;
+pub use eip_netsim as netsim;
+pub use eip_stats as stats;
+pub use eip_viz as viz;
+pub use entropy_ip as core;

@@ -1,0 +1,111 @@
+//! Integration: the headline *shapes* of the paper's evaluation hold
+//! on the simulated substrate (§5.1's aggregate observations and the
+//! per-family structural signatures of §5.2-5.4).
+
+use eip_addr::Ip6;
+use eip_netsim::dataset;
+use eip_stats::nybble_entropy;
+
+fn profile(id: &str, n: usize) -> [f64; 32] {
+    let set = dataset(id).unwrap().population_sized(n, 33);
+    let addrs: Vec<Ip6> = set.iter().collect();
+    nybble_entropy(&addrs)
+}
+
+/// §5.1 / Fig. 6: clients have near-1 entropy in the low 64 bits with
+/// the u-bit dip at bits 68-72 (not a full drop: not all addresses
+/// are standard privacy addresses).
+#[test]
+fn client_aggregate_ubit_dip() {
+    let h = profile("AC", 20_000);
+    // Nybble 18 covers bits 68-72.
+    assert!(h[17] < 0.95, "u-bit nybble should dip: {}", h[17]);
+    assert!(h[17] > 0.6, "but not collapse: {}", h[17]);
+    for pos in [19, 22, 27, 31] {
+        assert!(h[pos] > 0.95, "IID nybble {} should be ~1: {}", pos + 1, h[pos]);
+    }
+}
+
+/// §5.1: routers show a deeper drop at bits 88-104 (EUI-64 fffe), but
+/// not to zero — "a major portion of router addresses did not have
+/// MAC-based Modified EUI-64 IIDs".
+#[test]
+fn router_aggregate_eui64_drop() {
+    let h = profile("AR", 20_000);
+    let mid: f64 = h[22..26].iter().sum::<f64>() / 4.0; // nybbles 23-26 = bits 88-104
+    let neighbors: f64 = (h[20] + h[27]) / 2.0;
+    assert!(mid < neighbors - 0.1, "fffe region {mid} vs neighbors {neighbors}");
+    assert!(mid > 0.1, "the drop must not reach zero: {mid}");
+}
+
+/// §5.1: BitTorrent clients (AT) show more EUI-64 than web clients
+/// (AC) — the only place the two aggregates differ.
+#[test]
+fn bittorrent_vs_web_clients() {
+    let at = profile("AT", 20_000);
+    let ac = profile("AC", 20_000);
+    let at_mid: f64 = at[22..26].iter().sum();
+    let ac_mid: f64 = ac[22..26].iter().sum();
+    assert!(at_mid < ac_mid - 0.2, "AT {at_mid} vs AC {ac_mid}");
+    // Elsewhere in the IID the two should roughly agree.
+    assert!((at[30] - ac[30]).abs() < 0.15);
+}
+
+/// §5.1: servers' entropy rises toward bit 128 (static low-bit
+/// assignment) and stays lowest overall.
+#[test]
+fn server_aggregate_rises_toward_low_bits() {
+    let h = profile("AS", 20_000);
+    assert!(h[31] > h[24], "last nybble {} vs nybble 25 {}", h[31], h[24]);
+    assert!(h[31] > h[18] + 0.15, "steady increase from bit 80");
+    let hs: f64 = h.iter().sum();
+    let hc: f64 = profile("AC", 20_000).iter().sum();
+    assert!(hs < hc, "servers {hs} must be less random than clients {hc}");
+}
+
+/// §5.2: S1's two /32s and its IPv4-embedding variant.
+#[test]
+fn s1_signatures() {
+    let set = dataset("S1").unwrap().population_sized(20_000, 33);
+    assert_eq!(set.count_prefixes(32), 2);
+    // Some addresses embed an IPv4 with first octet 127 in hex at
+    // bits 96-104.
+    let v4ish = set
+        .iter()
+        .filter(|ip| ip.bits(96, 104) == 127 && ip.bits(32, 40) == 0x07)
+        .count();
+    assert!(v4ish > 0, "no IPv4-embedded variant addresses");
+}
+
+/// §5.3: R1/R2 point-to-point IIDs; R4 decimal-octet IIDs.
+#[test]
+fn router_iid_signatures() {
+    let r1 = dataset("R1").unwrap().population_sized(5_000, 33);
+    let low = r1.iter().filter(|ip| ip.bits(64, 128) <= 2).count();
+    assert!(
+        low as f64 > 0.8 * r1.len() as f64,
+        "R1 IIDs should be mostly 1 or 2: {low}/{}",
+        r1.len()
+    );
+
+    let r4 = dataset("R4").unwrap().population_sized(2_000, 33);
+    for ip in r4.iter().take(50) {
+        let iid = ip.bits(64, 128) as u64;
+        for w in 0..4 {
+            let word = (iid >> (16 * (3 - w))) & 0xffff;
+            assert!((word >> 4) & 0xf <= 9 && word & 0xf <= 9, "{ip}: non-decimal word");
+        }
+    }
+}
+
+/// §5.4: C1's Android share; C2's missing u-bit dip.
+#[test]
+fn client_signatures() {
+    let c1 = dataset("C1").unwrap().population_sized(20_000, 33);
+    let enders = c1.iter().filter(|ip| ip.bits(120, 128) == 1).count();
+    let share = enders as f64 / c1.len() as f64;
+    assert!((share - 0.47).abs() < 0.05, "C1 01-ender share {share}");
+
+    let h2 = profile("C2", 10_000);
+    assert!(h2[17] > 0.95, "C2 must NOT dip at the u-bit: {}", h2[17]);
+}

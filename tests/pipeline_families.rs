@@ -1,0 +1,114 @@
+//! Integration: the full pipeline runs on every simulated dataset
+//! family and produces structurally sane models.
+
+use eip_netsim::dataset;
+use entropy_ip::{EntropyIp, ValueKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FAMILIES: [&str; 16] = [
+    "S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5", "C1", "C2", "C3", "C4", "C5",
+    "AT",
+];
+
+#[test]
+fn every_family_builds_a_model() {
+    for id in FAMILIES {
+        let set = dataset(id).unwrap().population_sized(3_000, 42);
+        let model = EntropyIp::new().analyze(&set).unwrap();
+
+        // Segments tile 1..=32 exactly.
+        let segs = &model.analysis().segments;
+        assert_eq!(segs.first().unwrap().start, 1, "{id}");
+        assert_eq!(segs.last().unwrap().end, 32, "{id}");
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start, "{id}: gap between segments");
+        }
+        // Bits 1-32 are one segment; a boundary exists after bit 64.
+        assert_eq!(segs[0].end, 8, "{id}: segment A must span bits 1-32");
+        assert!(segs.iter().any(|s| s.start == 17), "{id}: no /64 boundary");
+
+        // Every segment has a non-empty dictionary with sane freqs.
+        for m in model.mined() {
+            assert!(!m.values.is_empty(), "{id}: empty dictionary in {}", m.segment.label);
+            for sv in &m.values {
+                assert!(sv.freq > 0.0 && sv.freq <= 1.0 + 1e-9, "{id}: freq {}", sv.freq);
+                if let ValueKind::Range { lo, hi } = sv.kind {
+                    assert!(lo < hi, "{id}: degenerate range");
+                }
+            }
+        }
+
+        // Nearly all training addresses encode (mining may drop
+        // <=0.1% per segment).
+        let encodable = set.iter().filter(|&ip| model.encode(ip).is_some()).count();
+        assert!(
+            encodable as f64 >= 0.97 * set.len() as f64,
+            "{id}: only {encodable}/{} encodable",
+            set.len()
+        );
+    }
+}
+
+#[test]
+fn every_family_generates_model_consistent_candidates() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for id in FAMILIES {
+        let set = dataset(id).unwrap().population_sized(3_000, 1);
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let out = model.generate(200, 20_000, &mut rng);
+        assert!(out.len() >= 100, "{id}: only {} candidates", out.len());
+        for ip in &out {
+            assert!(model.encode(*ip).is_some(), "{id}: {ip} does not match the model");
+        }
+    }
+}
+
+#[test]
+fn total_entropy_orders_clients_above_servers() {
+    // §5.1: client addresses are the most random, servers the least.
+    let h = |id: &str| {
+        let set = dataset(id).unwrap().population_sized(5_000, 3);
+        EntropyIp::new().analyze(&set).unwrap().analysis().total_entropy
+    };
+    let c2 = h("C2");
+    let r1 = h("R1");
+    let s3 = h("S3");
+    assert!(c2 > r1, "client {c2} should exceed router {r1}");
+    assert!(r1 > s3, "router {r1} should exceed anycast server {s3}");
+}
+
+#[test]
+fn paper_hs_values_have_the_right_magnitude() {
+    // The paper reports H_S = 4.6 for R1 and 21.2 for C1.
+    let h = |id: &str| {
+        let set = dataset(id).unwrap().population_sized(10_000, 3);
+        EntropyIp::new().analyze(&set).unwrap().analysis().total_entropy
+    };
+    let r1 = h("R1");
+    assert!((2.0..8.0).contains(&r1), "R1 H_S = {r1}, paper says 4.6");
+    let c1 = h("C1");
+    assert!((14.0..26.0).contains(&c1), "C1 H_S = {c1}, paper says 21.2");
+}
+
+#[test]
+fn degenerate_inputs_are_handled() {
+    use eip_addr::{AddressSet, Ip6};
+    // Single address.
+    let one: AddressSet = vec![Ip6(0x2001_0db8u128 << 96 | 1)].into_iter().collect();
+    let model = EntropyIp::new().analyze(&one).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let out = model.generate(5, 100, &mut rng);
+    assert_eq!(out.len(), 1, "a constant model can only emit one address");
+    assert_eq!(out[0], one.iter().next().unwrap());
+
+    // All-identical set.
+    let same: AddressSet = std::iter::repeat(Ip6(77)).take(100).collect();
+    assert!(EntropyIp::new().analyze(&same).is_ok());
+
+    // Fully random set still builds and generates.
+    let mut r = StdRng::seed_from_u64(2);
+    let random: AddressSet = (0..500).map(|_| Ip6(rand::Rng::gen(&mut r))).collect();
+    let model = EntropyIp::new().analyze(&random).unwrap();
+    assert!(!model.generate(50, 5_000, &mut rng).is_empty());
+}

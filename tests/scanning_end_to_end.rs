@@ -1,0 +1,127 @@
+//! Integration: the scanning evaluation (Tables 4-6) end to end at
+//! reduced scale, asserting the paper's qualitative findings.
+
+use eip_addr::set::SplitMix64;
+use eip_netsim::{dataset, evaluate_scan, FaultConfig, Responder, TemporalPool};
+use entropy_ip::{EntropyIp, Generator, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct MiniRow {
+    rate: f64,
+    new64: usize,
+    ping: usize,
+}
+
+fn mini_scan(id: &str, probe_loss: f64) -> MiniRow {
+    let spec = dataset(id).unwrap();
+    let observed = spec.population_sized(spec.default_population.min(12_000), 11);
+    let mut rng = SplitMix64::new(5);
+    let (train, test) = observed.split_sample(1_000, &mut rng);
+    let responder = Responder::new(observed.clone(), spec.rdns_fraction, 3)
+        .with_faults(FaultConfig { probe_loss, echo_prefixes: vec![], seed: 9 });
+    let model = EntropyIp::new().analyze(&train).unwrap();
+    let mut gen_rng = StdRng::seed_from_u64(13);
+    let candidates = Generator::new(&model)
+        .excluding(&train)
+        .run(10_000, &mut gen_rng)
+        .candidates;
+    let o = evaluate_scan(&candidates, &train, &test, &responder);
+    MiniRow { rate: o.success_rate(), new64: o.new_slash64, ping: o.ping_hits }
+}
+
+#[test]
+fn s1_is_nearly_unscannable_and_s3_is_easy() {
+    // Paper Table 4: S1 ~0%, S3 43% (the extremes among servers).
+    let s1 = mini_scan("S1", 0.0);
+    let s3 = mini_scan("S3", 0.0);
+    assert!(s1.rate < 0.01, "S1 rate {} should be ~0", s1.rate);
+    assert!(s3.rate > 0.10, "S3 rate {} should be high", s3.rate);
+    assert!(s3.rate > 20.0 * s1.rate.max(1e-6));
+}
+
+#[test]
+fn routers_discover_new_slash64s() {
+    // Paper: the method predicts /64 prefixes not seen in training
+    // (its key advance over IID-only scanning).
+    let r1 = mini_scan("R1", 0.0);
+    assert!(r1.rate > 0.005, "R1 rate {}", r1.rate);
+    assert!(r1.new64 > 10, "R1 should discover new /64s, got {}", r1.new64);
+}
+
+#[test]
+fn probe_loss_reduces_ping_hits() {
+    let clean = mini_scan("R1", 0.0);
+    let lossy = mini_scan("R1", 0.5);
+    assert!(
+        (lossy.ping as f64) < 0.8 * clean.ping as f64,
+        "50% probe loss should depress ping hits: {} vs {}",
+        lossy.ping,
+        clean.ping
+    );
+}
+
+#[test]
+fn echo_prefix_inflates_success() {
+    let spec = dataset("R3").unwrap();
+    let observed = spec.population_sized(6_000, 11);
+    let mut rng = SplitMix64::new(5);
+    let (train, test) = observed.split_sample(1_000, &mut rng);
+    let model = EntropyIp::new().analyze(&train).unwrap();
+    let mut gen_rng = StdRng::seed_from_u64(13);
+    let candidates = Generator::new(&model)
+        .excluding(&train)
+        .run(5_000, &mut gen_rng)
+        .candidates;
+
+    let clean = Responder::new(observed.clone(), 0.0, 3);
+    let echo = Responder::new(observed.clone(), 0.0, 3).with_faults(FaultConfig {
+        probe_loss: 0.0,
+        echo_prefixes: vec!["2001:db8::/32".parse().unwrap()],
+        seed: 1,
+    });
+    let o_clean = evaluate_scan(&candidates, &train, &test, &clean);
+    let o_echo = evaluate_scan(&candidates, &train, &test, &echo);
+    assert!(o_echo.ping_hits > 5 * o_clean.ping_hits.max(1));
+    assert!(o_echo.success_rate() > 0.9, "every in-prefix candidate pings");
+}
+
+#[test]
+fn prefix_prediction_finds_active_slash64s() {
+    // §5.6 at small scale: a top-64 model predicts prefixes active in
+    // a churning pool.
+    let spec = dataset("C5").unwrap();
+    let pool = TemporalPool::new(spec.plan(), 4_000, 0.7, 21);
+    let day0 = pool.day(0);
+    let week = pool.window(0, 7);
+    let mut rng = SplitMix64::new(5);
+    let (train, _) = day0.split_sample(1_000, &mut rng);
+    let model = EntropyIp::with_options(Options::top64()).analyze(&train).unwrap();
+    let mut gen_rng = StdRng::seed_from_u64(3);
+    let candidates = Generator::new(&model)
+        .excluding(&train)
+        .run(10_000, &mut gen_rng)
+        .candidates;
+    let d0 = candidates.iter().filter(|&&p| day0.contains(p)).count();
+    let d7 = candidates.iter().filter(|&&p| week.contains(p)).count();
+    assert!(d0 > 20, "day-0 hits {d0}");
+    assert!(d7 >= d0, "the week contains day 0");
+    // All candidates are /64 networks.
+    for p in &candidates {
+        assert_eq!(p.value() & u128::from(u64::MAX), 0);
+    }
+}
+
+#[test]
+fn training_set_exclusion_is_respected() {
+    let spec = dataset("S3").unwrap();
+    let observed = spec.population_sized(6_000, 11);
+    let mut rng = SplitMix64::new(5);
+    let (train, _) = observed.split_sample(1_000, &mut rng);
+    let model = EntropyIp::new().analyze(&train).unwrap();
+    let mut gen_rng = StdRng::seed_from_u64(13);
+    let report = Generator::new(&model).excluding(&train).run(5_000, &mut gen_rng);
+    for ip in &report.candidates {
+        assert!(!train.contains(*ip));
+    }
+}
