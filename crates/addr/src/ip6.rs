@@ -124,7 +124,9 @@ impl Ip6 {
         if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(ParseIp6Error);
         }
-        u128::from_str_radix(s, 16).map(Ip6).map_err(|_| ParseIp6Error)
+        u128::from_str_radix(s, 16)
+            .map(Ip6)
+            .map_err(|_| ParseIp6Error)
     }
 
     /// Expands the address into its 32 nybble values.
@@ -170,7 +172,9 @@ impl FromStr for Ip6 {
     /// [`Ipv6Addr`]) or the paper's fixed-width 32-hex-char form.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.contains(':') {
-            Ipv6Addr::from_str(s).map(Ip6::from).map_err(|_| ParseIp6Error)
+            Ipv6Addr::from_str(s)
+                .map(Ip6::from)
+                .map_err(|_| ParseIp6Error)
         } else {
             Ip6::from_hex32(s)
         }

@@ -66,7 +66,10 @@ impl Nybbles {
     /// # Panics
     /// Panics unless `1 <= start <= end <= 32`.
     pub fn segment_value(&self, start: usize, end: usize) -> u128 {
-        assert!(1 <= start && start <= end && end <= 32, "bad segment bounds");
+        assert!(
+            1 <= start && start <= end && end <= 32,
+            "bad segment bounds"
+        );
         let mut v: u128 = 0;
         for pos in start..=end {
             v = (v << 4) | u128::from(self.get(pos));
@@ -81,7 +84,10 @@ impl Nybbles {
     /// Panics unless `1 <= start <= end <= 32`, or if `value` does not
     /// fit in the segment width.
     pub fn set_segment_value(&mut self, start: usize, end: usize, value: u128) {
-        assert!(1 <= start && start <= end && end <= 32, "bad segment bounds");
+        assert!(
+            1 <= start && start <= end && end <= 32,
+            "bad segment bounds"
+        );
         let width = end - start + 1;
         if width < 32 {
             assert!(value < (1u128 << (4 * width)), "value too wide for segment");

@@ -29,7 +29,10 @@ impl Prefix {
     /// Panics if `len > 128`.
     pub fn new(addr: Ip6, len: u8) -> Self {
         assert!(len <= 128, "prefix length must be <= 128");
-        Prefix { net: addr.network(len), len }
+        Prefix {
+            net: addr.network(len),
+            len,
+        }
     }
 
     /// The canonical network address (host bits zero).

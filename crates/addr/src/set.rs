@@ -118,7 +118,9 @@ impl AddressSet {
         // form one contiguous run.
         let lo = self.addrs.partition_point(|&a| a < prefix.first());
         let hi = self.addrs.partition_point(|&a| a <= prefix.last());
-        AddressSet { addrs: self.addrs[lo..hi].to_vec() }
+        AddressSet {
+            addrs: self.addrs[lo..hi].to_vec(),
+        }
     }
 
     /// Distinct `len`-bit prefixes covering the set, in order.
@@ -201,7 +203,9 @@ impl AddressSet {
         while start < self.addrs.len() {
             let net = self.addrs[start].network(32);
             let end = self.addrs.partition_point(|&a| a.network(32) <= net);
-            let stratum = AddressSet { addrs: self.addrs[start..end].to_vec() };
+            let stratum = AddressSet {
+                addrs: self.addrs[start..end].to_vec(),
+            };
             let (sample, _) = stratum.split_sample(per_slash32, rng);
             out.extend(sample.iter());
             start = end;
@@ -295,7 +299,12 @@ mod tests {
 
     #[test]
     fn prefix_counting() {
-        let s = ips(&["2001:db8::1", "2001:db8::2", "2001:db8:0:1::1", "2001:db9::1"]);
+        let s = ips(&[
+            "2001:db8::1",
+            "2001:db8::2",
+            "2001:db8:0:1::1",
+            "2001:db9::1",
+        ]);
         assert_eq!(s.count_prefixes(32), 2);
         assert_eq!(s.count_prefixes(64), 3);
         assert_eq!(s.count_prefixes(128), 4);
@@ -328,7 +337,10 @@ mod tests {
             }
         }
         for (i, &h) in hits.iter().enumerate() {
-            assert!(h > 2 && h < 60, "element {i} sampled {h} times of ~20 expected");
+            assert!(
+                h > 2 && h < 60,
+                "element {i} sampled {h} times of ~20 expected"
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the address substrate invariants.
 
-use eip_addr::{anonymize_addr, AddressSet, Ip6, Nybbles, Prefix};
 use eip_addr::set::SplitMix64;
+use eip_addr::{anonymize_addr, AddressSet, Ip6, Nybbles, Prefix};
 use proptest::prelude::*;
 
 proptest! {

@@ -39,7 +39,11 @@ impl Cpt {
     ) -> Self {
         assert!(child_card > 0, "child cardinality must be positive");
         let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
-        assert_eq!(counts.len(), child_card * num_configs, "counts length mismatch");
+        assert_eq!(
+            counts.len(),
+            child_card * num_configs,
+            "counts length mismatch"
+        );
         let mut probs = vec![0.0; counts.len()];
         for cfg in 0..num_configs {
             let row = &counts[cfg * child_card..(cfg + 1) * child_card];
@@ -53,7 +57,11 @@ impl Cpt {
                 };
             }
         }
-        Cpt { child_card, parent_cards, probs }
+        Cpt {
+            child_card,
+            parent_cards,
+            probs,
+        }
     }
 
     /// Builds a CPT directly from probabilities (for tests and
@@ -64,12 +72,20 @@ impl Cpt {
     /// within 1e-6.
     pub fn from_probs(child_card: usize, parent_cards: Vec<usize>, probs: Vec<f64>) -> Self {
         let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
-        assert_eq!(probs.len(), child_card * num_configs, "probs length mismatch");
+        assert_eq!(
+            probs.len(),
+            child_card * num_configs,
+            "probs length mismatch"
+        );
         for cfg in 0..num_configs {
             let s: f64 = probs[cfg * child_card..(cfg + 1) * child_card].iter().sum();
             assert!((s - 1.0).abs() < 1e-6, "config {cfg} sums to {s}");
         }
-        Cpt { child_card, parent_cards, probs }
+        Cpt {
+            child_card,
+            parent_cards,
+            probs,
+        }
     }
 
     /// Child cardinality.
@@ -96,7 +112,11 @@ impl Cpt {
     /// # Panics
     /// Panics if the assignment length or any value is out of range.
     pub fn config_index(&self, parent_values: &[usize]) -> usize {
-        assert_eq!(parent_values.len(), self.parent_cards.len(), "wrong parent count");
+        assert_eq!(
+            parent_values.len(),
+            self.parent_cards.len(),
+            "wrong parent count"
+        );
         let mut idx = 0usize;
         for (&v, &k) in parent_values.iter().zip(&self.parent_cards) {
             assert!(v < k, "parent value {v} out of range {k}");

@@ -31,7 +31,10 @@ impl Dataset {
                 assert!(code < k, "row {r}, var {v}: code {code} >= cardinality {k}");
             }
         }
-        Dataset { cardinalities, rows }
+        Dataset {
+            cardinalities,
+            rows,
+        }
     }
 
     /// Number of variables (columns).

@@ -25,15 +25,26 @@ impl Factor {
     /// length does not equal the product of cardinalities.
     pub fn new(scope: Vec<usize>, cards: Vec<usize>, values: Vec<f64>) -> Self {
         assert_eq!(scope.len(), cards.len(), "scope/cards length mismatch");
-        assert!(scope.windows(2).all(|w| w[0] < w[1]), "scope must be sorted");
+        assert!(
+            scope.windows(2).all(|w| w[0] < w[1]),
+            "scope must be sorted"
+        );
         let size: usize = cards.iter().product::<usize>().max(1);
         assert_eq!(values.len(), size, "value table size mismatch");
-        Factor { scope, cards, values }
+        Factor {
+            scope,
+            cards,
+            values,
+        }
     }
 
     /// The constant factor 1 (empty scope).
     pub fn unit() -> Self {
-        Factor { scope: vec![], cards: vec![], values: vec![1.0] }
+        Factor {
+            scope: vec![],
+            cards: vec![],
+            values: vec![1.0],
+        }
     }
 
     /// Scope variable ids.
@@ -72,8 +83,11 @@ impl Factor {
         flat: &[f64],
     ) -> Self {
         // Scope variables and cards, sorted by id.
-        let mut vars: Vec<(usize, usize)> =
-            parents.iter().copied().zip(parent_cards.iter().copied()).collect();
+        let mut vars: Vec<(usize, usize)> = parents
+            .iter()
+            .copied()
+            .zip(parent_cards.iter().copied())
+            .collect();
         vars.push((child, child_card));
         vars.sort_unstable();
         let scope: Vec<usize> = vars.iter().map(|&(v, _)| v).collect();
@@ -120,7 +134,11 @@ impl Factor {
                 break;
             }
         }
-        Factor { scope, cards, values }
+        Factor {
+            scope,
+            cards,
+            values,
+        }
     }
 
     /// Restricts the factor to `var = value`, removing `var` from the
@@ -130,8 +148,7 @@ impl Factor {
             return self.clone();
         };
         assert!(value < self.cards[pos], "evidence value out of range");
-        let new_scope: Vec<usize> =
-            self.scope.iter().copied().filter(|&v| v != var).collect();
+        let new_scope: Vec<usize> = self.scope.iter().copied().filter(|&v| v != var).collect();
         let new_cards: Vec<usize> = self
             .scope
             .iter()
@@ -164,7 +181,11 @@ impl Factor {
             }
             *v = self.values[idx];
         }
-        Factor { scope: new_scope, cards: new_cards, values }
+        Factor {
+            scope: new_scope,
+            cards: new_cards,
+            values,
+        }
     }
 
     /// Factor product: joins scopes, multiplying matching entries.
@@ -199,10 +220,14 @@ impl Factor {
         };
         let sa = strides(self);
         let sb = strides(other);
-        let map_a: Vec<Option<usize>> =
-            scope.iter().map(|v| self.scope.iter().position(|x| x == v)).collect();
-        let map_b: Vec<Option<usize>> =
-            scope.iter().map(|v| other.scope.iter().position(|x| x == v)).collect();
+        let map_a: Vec<Option<usize>> = scope
+            .iter()
+            .map(|v| self.scope.iter().position(|x| x == v))
+            .collect();
+        let map_b: Vec<Option<usize>> = scope
+            .iter()
+            .map(|v| other.scope.iter().position(|x| x == v))
+            .collect();
 
         let mut values = vec![0.0; size];
         let mut assign = vec![0usize; scope.len()];
@@ -224,7 +249,11 @@ impl Factor {
             }
             *out = self.values[ia] * other.values[ib];
         }
-        Factor { scope, cards, values }
+        Factor {
+            scope,
+            cards,
+            values,
+        }
     }
 
     /// Sums a variable out of the factor. No-op (clone) if the
@@ -233,8 +262,7 @@ impl Factor {
         let Some(pos) = self.scope.iter().position(|&v| v == var) else {
             return self.clone();
         };
-        let new_scope: Vec<usize> =
-            self.scope.iter().copied().filter(|&v| v != var).collect();
+        let new_scope: Vec<usize> = self.scope.iter().copied().filter(|&v| v != var).collect();
         let new_cards: Vec<usize> = self
             .scope
             .iter()
@@ -259,7 +287,11 @@ impl Factor {
             }
             values[idx] += v;
         }
-        Factor { scope: new_scope, cards: new_cards, values }
+        Factor {
+            scope: new_scope,
+            cards: new_cards,
+            values,
+        }
     }
 
     /// Normalizes the table to sum to 1 (no-op on an all-zero table).
@@ -269,7 +301,11 @@ impl Factor {
             return self.clone();
         }
         let values = self.values.iter().map(|v| v / total).collect();
-        Factor { scope: self.scope.clone(), cards: self.cards.clone(), values }
+        Factor {
+            scope: self.scope.clone(),
+            cards: self.cards.clone(),
+            values,
+        }
     }
 
     /// Total mass of the table.

@@ -21,9 +21,18 @@ fn restricted_factors(bn: &BayesNet, evidence: &Evidence) -> Vec<Factor> {
         .iter()
         .enumerate()
         .map(|(i, node)| {
-            let parent_cards: Vec<usize> =
-                node.parents.iter().map(|&p| bn.node(p).cardinality).collect();
-            Factor::from_cpt(i, node.cardinality, &node.parents, &parent_cards, node.cpt.flat())
+            let parent_cards: Vec<usize> = node
+                .parents
+                .iter()
+                .map(|&p| bn.node(p).cardinality)
+                .collect();
+            Factor::from_cpt(
+                i,
+                node.cardinality,
+                &node.parents,
+                &parent_cards,
+                node.cpt.flat(),
+            )
         })
         .collect();
     for &(var, val) in evidence {
@@ -34,7 +43,12 @@ fn restricted_factors(bn: &BayesNet, evidence: &Evidence) -> Vec<Factor> {
 
 /// Eliminates all variables except `keep` from the factor list and
 /// returns the single remaining (unnormalized) factor over `keep`.
-fn eliminate_all_but(bn: &BayesNet, mut factors: Vec<Factor>, keep: &[usize], evidence: &Evidence) -> Factor {
+fn eliminate_all_but(
+    bn: &BayesNet,
+    mut factors: Vec<Factor>,
+    keep: &[usize],
+    evidence: &Evidence,
+) -> Factor {
     let observed: Vec<usize> = evidence.iter().map(|&(v, _)| v).collect();
     for var in 0..bn.num_vars() {
         if keep.contains(&var) || observed.contains(&var) {
@@ -68,7 +82,10 @@ fn eliminate_all_but(bn: &BayesNet, mut factors: Vec<Factor>, keep: &[usize], ev
 pub fn posterior_marginals(bn: &BayesNet, evidence: &Evidence) -> Vec<Vec<f64>> {
     for &(var, val) in evidence {
         assert!(var < bn.num_vars(), "evidence variable out of range");
-        assert!(val < bn.node(var).cardinality, "evidence value out of range");
+        assert!(
+            val < bn.node(var).cardinality,
+            "evidence value out of range"
+        );
     }
     let mut out = Vec::with_capacity(bn.num_vars());
     for i in 0..bn.num_vars() {
@@ -169,6 +186,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn prior_marginals_match_brute_force() {
         let bn = chain3();
         let post = posterior_marginals(&bn, &vec![]);

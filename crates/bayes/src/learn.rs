@@ -42,7 +42,11 @@ pub struct LearnOptions {
 
 impl Default for LearnOptions {
     fn default() -> Self {
-        LearnOptions { max_parents: 2, alpha: 0.5, names: Vec::new() }
+        LearnOptions {
+            max_parents: 2,
+            alpha: 0.5,
+            names: Vec::new(),
+        }
     }
 }
 
@@ -65,7 +69,12 @@ pub fn learn_structure(data: &Dataset, opts: &LearnOptions) -> BayesNet {
             .get(i)
             .cloned()
             .unwrap_or_else(|| format!("X{i}"));
-        nodes.push(Node { name, cardinality: data.cardinality(i), parents, cpt });
+        nodes.push(Node {
+            name,
+            cardinality: data.cardinality(i),
+            parents,
+            cpt,
+        });
     }
     BayesNet::new(nodes)
 }
@@ -86,7 +95,10 @@ pub fn family_score(data: &Dataset, child: usize, parents: &[usize]) -> f64 {
         let total = config_totals[&cfg] as f64;
         loglik += c as f64 * ((c as f64 / total).ln());
     }
-    let num_configs: f64 = parents.iter().map(|&p| data.cardinality(p) as f64).product();
+    let num_configs: f64 = parents
+        .iter()
+        .map(|&p| data.cardinality(p) as f64)
+        .product();
     let params = num_configs * (child_card as f64 - 1.0);
     loglik - 0.5 * n.ln() * params
 }
@@ -104,8 +116,10 @@ fn best_parents(data: &Dataset, child: usize, max_parents: usize) -> Vec<usize> 
         // Admissible bound (Dojer): the max achievable score of ANY
         // set of this size is 0 (loglik) minus the MINIMUM penalty,
         // which comes from picking the lowest-cardinality parents.
-        let mut cards: Vec<f64> =
-            predecessors.iter().map(|&p| data.cardinality(p) as f64).collect();
+        let mut cards: Vec<f64> = predecessors
+            .iter()
+            .map(|&p| data.cardinality(p) as f64)
+            .collect();
         cards.sort_by(f64::total_cmp);
         let min_configs: f64 = cards.iter().take(size).product();
         let min_penalty = 0.5 * n.ln() * min_configs * (child_card - 1.0);
@@ -169,7 +183,9 @@ fn family_counts(data: &Dataset, child: usize, parents: &[usize]) -> HashMap<u64
         for &p in parents {
             cfg = cfg * data.cardinality(p) as u64 + row[p] as u64;
         }
-        *counts.entry(cfg * child_card + row[child] as u64).or_insert(0) += 1;
+        *counts
+            .entry(cfg * child_card + row[child] as u64)
+            .or_insert(0) += 1;
     }
     counts
 }
@@ -196,7 +212,9 @@ mod tests {
 
     /// Deterministic LCG for reproducible synthetic data.
     fn lcg(seed: &mut u64) -> u64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *seed >> 33
     }
 
@@ -225,7 +243,13 @@ mod tests {
     #[test]
     fn fitted_cpt_matches_generating_process() {
         let data = dependent_dataset(5000);
-        let bn = learn_structure(&data, &LearnOptions { alpha: 0.0, ..Default::default() });
+        let bn = learn_structure(
+            &data,
+            &LearnOptions {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
         // P(X1 = x0 | X0 = x0) ~ 0.9.
         let p = bn.node(1).cpt.prob(0, &[0]);
         assert!((p - 0.9).abs() < 0.05, "got {p}");
@@ -251,7 +275,10 @@ mod tests {
         let data = dependent_dataset(500);
         let bn = learn_structure(
             &data,
-            &LearnOptions { max_parents: 0, ..Default::default() },
+            &LearnOptions {
+                max_parents: 0,
+                ..Default::default()
+            },
         );
         for node in bn.nodes() {
             assert!(node.parents.is_empty());
@@ -265,7 +292,10 @@ mod tests {
         let mut seed = 3u64;
         let mut rows = Vec::new();
         for _ in 0..30 {
-            rows.push(vec![(lcg(&mut seed) % 4) as usize, (lcg(&mut seed) % 4) as usize]);
+            rows.push(vec![
+                (lcg(&mut seed) % 4) as usize,
+                (lcg(&mut seed) % 4) as usize,
+            ]);
         }
         let data = Dataset::new(vec![4, 4], rows);
         let bn = learn_structure(&data, &LearnOptions::default());

@@ -118,6 +118,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn ancestral_sampling_matches_joint() {
         let bn = chain2();
         let mut rng = StdRng::seed_from_u64(7);
@@ -131,7 +132,10 @@ mod tests {
             for b in 0..2 {
                 let freq = joint[a][b] as f64 / n as f64;
                 let expect = bn.probability_row(&[a, b]);
-                assert!((freq - expect).abs() < 0.01, "({a},{b}): {freq} vs {expect}");
+                assert!(
+                    (freq - expect).abs() < 0.01,
+                    "({a},{b}): {freq} vs {expect}"
+                );
             }
         }
     }

@@ -15,7 +15,9 @@ fn arb_bn() -> impl Strategy<Value = BayesNet> {
     (2usize..=4, any::<u64>()).prop_map(|(n, seed)| {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
         let mut nodes = Vec::new();
@@ -33,8 +35,7 @@ fn arb_bn() -> impl Strategy<Value = BayesNet> {
             let ncfg: usize = parent_cards.iter().product::<usize>().max(1);
             let mut probs = Vec::with_capacity(ncfg * card);
             for _ in 0..ncfg {
-                let mut row: Vec<f64> =
-                    (0..card).map(|_| 1.0 + (next() % 100) as f64).collect();
+                let mut row: Vec<f64> = (0..card).map(|_| 1.0 + (next() % 100) as f64).collect();
                 let t: f64 = row.iter().sum();
                 row.iter_mut().for_each(|x| *x /= t);
                 // Renormalize exactly to avoid from_probs tolerance
@@ -44,7 +45,12 @@ fn arb_bn() -> impl Strategy<Value = BayesNet> {
                 probs.extend(row);
             }
             let cpt = Cpt::from_probs(card, parent_cards, probs);
-            nodes.push(Node { name: format!("X{i}"), cardinality: card, parents, cpt });
+            nodes.push(Node {
+                name: format!("X{i}"),
+                cardinality: card,
+                parents,
+                cpt,
+            });
             cards.push(card);
         }
         BayesNet::new(nodes)
@@ -82,6 +88,7 @@ proptest! {
     /// VE posterior marginals equal brute-force conditionals for
     /// random evidence.
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn ve_matches_brute_force(bn in arb_bn(), ev_var_raw in 0usize..4, ev_val_raw in 0usize..3) {
         let ev_var = ev_var_raw % bn.num_vars();
         let ev_val = ev_val_raw % bn.node(ev_var).cardinality;

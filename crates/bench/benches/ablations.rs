@@ -22,7 +22,13 @@ fn bench_model_classes(c: &mut Criterion) {
     g.bench_function("bayes_net", |b| {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| {
-            generate_with(&model, |r| eip_bayes::sample_row(model.bn(), r), 5_000, 40_000, &mut rng)
+            generate_with(
+                &model,
+                |r| eip_bayes::sample_row(model.bn(), r),
+                5_000,
+                40_000,
+                &mut rng,
+            )
         });
     });
     g.bench_function("markov", |b| {
@@ -45,7 +51,10 @@ fn bench_in_degree(c: &mut Criterion) {
     g.sample_size(10);
     for max_parents in [1usize, 2, 3] {
         let opts = Options {
-            learning: LearnOptions { max_parents, ..Default::default() },
+            learning: LearnOptions {
+                max_parents,
+                ..Default::default()
+            },
             ..Default::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(max_parents), &opts, |b, o| {
@@ -61,7 +70,11 @@ fn bench_in_degree(c: &mut Criterion) {
 fn bench_segmentation_rules(c: &mut Criterion) {
     use eip_stats::nybble_entropy;
     use entropy_ip::{segment_entropy_profile, SegmentationOptions};
-    let addrs: Vec<_> = dataset("S1").unwrap().population_sized(5_000, 1).iter().collect();
+    let addrs: Vec<_> = dataset("S1")
+        .unwrap()
+        .population_sized(5_000, 1)
+        .iter()
+        .collect();
     let profile = nybble_entropy(&addrs);
     let paper = SegmentationOptions::default();
     // "Plain difference": a dense threshold ladder makes every
@@ -80,5 +93,10 @@ fn bench_segmentation_rules(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_model_classes, bench_in_degree, bench_segmentation_rules);
+criterion_group!(
+    benches,
+    bench_model_classes,
+    bench_in_degree,
+    bench_segmentation_rules
+);
 criterion_main!(benches);

@@ -44,7 +44,9 @@ fn bench_table6_row(c: &mut Criterion) {
             let day0 = pool.day(0);
             let mut rng = SplitMix64::new(5);
             let (train, _) = day0.split_sample(1_000, &mut rng);
-            let model = EntropyIp::with_options(Options::top64()).analyze(&train).unwrap();
+            let model = EntropyIp::with_options(Options::top64())
+                .analyze(&train)
+                .unwrap();
             let mut gen_rng = StdRng::seed_from_u64(6);
             let cands = Generator::new(&model).run(10_000, &mut gen_rng).candidates;
             cands.iter().filter(|&&p| day0.contains(p)).count()

@@ -1,2 +1,18 @@
-//! Criterion benchmark crate (see benches/).
+//! Criterion benchmark targets for the Entropy/IP workspace.
+//!
+//! This crate has no library API — it exists to host the four bench
+//! targets under `benches/` (run them with `cargo bench -p eip_bench`):
+//!
+//! | target | measures |
+//! |---|---|
+//! | `stages` | each pipeline stage in isolation: entropy profile, ACR, segmentation, windowing grid, full model training, BN inference |
+//! | `pipeline` | end-to-end paths: the figure panel, a browser click, candidate generation |
+//! | `scanning` | the Table 4/6 evaluation rows and raw responder probing |
+//! | `ablations` | model ablations: BN vs Markov vs independent sampling, structure-learning in-degree, segmentation rules |
+//!
+//! The `criterion` dependency resolves to the offline shim in
+//! `shims/criterion` (see `shims/README.md`), which runs a quick
+//! fixed-budget timing loop, so `cargo bench` completes in seconds.
+
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]

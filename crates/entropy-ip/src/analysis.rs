@@ -53,7 +53,9 @@ impl Analysis {
 
     /// The segment containing 1-based nybble `pos`, if any.
     pub fn segment_at(&self, pos: usize) -> Option<&Segment> {
-        self.segments.iter().find(|s| (s.start..=s.end).contains(&pos))
+        self.segments
+            .iter()
+            .find(|s| (s.start..=s.end).contains(&pos))
     }
 }
 

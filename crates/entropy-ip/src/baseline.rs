@@ -86,7 +86,10 @@ impl MarkovModel {
             }
             transitions.push(Cpt::from_counts(card, vec![prev_card], &counts, 0.5));
         }
-        MarkovModel { initial, transitions }
+        MarkovModel {
+            initial,
+            transitions,
+        }
     }
 
     /// Samples one code row.
@@ -105,10 +108,7 @@ impl MarkovModel {
 /// baselines on exactly the data the BN saw).
 pub fn encoded_dataset(model: &IpModel, ips: &eip_addr::AddressSet) -> Dataset {
     let cards: Vec<usize> = model.mined().iter().map(|m| m.cardinality()).collect();
-    let rows: Vec<Vec<usize>> = ips
-        .iter()
-        .filter_map(|ip| model.encode(ip))
-        .collect();
+    let rows: Vec<Vec<usize>> = ips.iter().filter_map(|ip| model.encode(ip)).collect();
     Dataset::new(cards, rows)
 }
 
@@ -160,7 +160,9 @@ mod tests {
         }
         for subnet in 0..16u128 {
             for host in 0..24u128 {
-                v.push(Ip6((0x3001_0db8u128 << 96) | (subnet << 80) | (0xff00 + host)));
+                v.push(Ip6((0x3001_0db8u128 << 96)
+                    | (subnet << 80)
+                    | (0xff00 + host)));
             }
         }
         AddressSet::from_iter(v)
@@ -201,7 +203,13 @@ mod tests {
             (top == 0x2001_0db8 && marker == 0) || (top == 0x3001_0db8 && marker == 0xff)
         };
 
-        let bn_out = generate_with(&model, |r| eip_bayes::sample_row(model.bn(), r), 400, 40_000, &mut rng);
+        let bn_out = generate_with(
+            &model,
+            |r| eip_bayes::sample_row(model.bn(), r),
+            400,
+            40_000,
+            &mut rng,
+        );
         let ind_out = generate_with(&model, |r| ind.sample_row(r), 400, 40_000, &mut rng);
         let bn_ok = bn_out.iter().filter(|&&ip| valid(ip)).count() as f64 / bn_out.len() as f64;
         let ind_ok = ind_out.iter().filter(|&&ip| valid(ip)).count() as f64 / ind_out.len() as f64;

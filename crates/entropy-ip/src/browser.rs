@@ -34,7 +34,10 @@ pub struct Browser<'m> {
 impl<'m> Browser<'m> {
     /// Opens a browser with no evidence.
     pub fn new(model: &'m IpModel) -> Self {
-        Browser { model, evidence: Vec::new() }
+        Browser {
+            model,
+            evidence: Vec::new(),
+        }
     }
 
     /// Clamps a segment (by label) to a dictionary code (e.g. "J1").
@@ -149,7 +152,9 @@ mod tests {
         let after = b.distributions();
         // Find the subnet segment (the one covering nybble 12) and
         // check its distribution moved.
-        let idx = m.segment_index(&m.analysis().segment_at(12).unwrap().label).unwrap();
+        let idx = m
+            .segment_index(&m.analysis().segment_at(12).unwrap().label)
+            .unwrap();
         let delta: f64 = before[idx]
             .entries
             .iter()

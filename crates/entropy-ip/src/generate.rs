@@ -36,7 +36,11 @@ pub struct Generator<'m> {
 impl<'m> Generator<'m> {
     /// A generator with no exclusions and a 10× attempt budget.
     pub fn new(model: &'m IpModel) -> Self {
-        Generator { model, exclude: None, attempts_per_candidate: 10 }
+        Generator {
+            model,
+            exclude: None,
+            attempts_per_candidate: 10,
+        }
     }
 
     /// Never emit addresses from `set` (typically the training
@@ -76,7 +80,12 @@ impl<'m> Generator<'m> {
             }
             out.push(ip);
         }
-        GenerationReport { candidates: out, attempts, duplicates, excluded }
+        GenerationReport {
+            candidates: out,
+            attempts,
+            duplicates,
+            excluded,
+        }
     }
 }
 
@@ -110,7 +119,9 @@ mod tests {
         let set = training_set();
         let model = EntropyIp::new().analyze(&set).unwrap();
         let mut rng = StdRng::seed_from_u64(13);
-        let report = Generator::new(&model).attempts_per_candidate(1).run(1000, &mut rng);
+        let report = Generator::new(&model)
+            .attempts_per_candidate(1)
+            .run(1000, &mut rng);
         assert!(report.attempts <= 1000);
         // With a tiny effective space, duplicates are inevitable and
         // must be counted, not returned.

@@ -135,14 +135,23 @@ pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) ->
     let total = values.len() as u64;
     let mut dict: Vec<SegmentValue> = Vec::new();
     if total == 0 {
-        return MinedSegment { segment: segment.clone(), values: dict, total };
+        return MinedSegment {
+            segment: segment.clone(),
+            values: dict,
+            total,
+        };
     }
     let mut hist = Histogram::from_values(values);
     let threshold = (total as f64 * opts.leftover_frac).max(0.0);
 
     let push = |dict: &mut Vec<SegmentValue>, label: &str, kind: ValueKind, count: u64| {
         let code = format!("{}{}", label, dict.len() + 1);
-        dict.push(SegmentValue { code, kind, count, freq: count as f64 / total as f64 });
+        dict.push(SegmentValue {
+            code,
+            kind,
+            count,
+            freq: count as f64 / total as f64,
+        });
     };
 
     // Step (a): frequency outliers. A value must also carry at least
@@ -151,7 +160,11 @@ pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) ->
     // (IQR = 0) and would otherwise nominate count-2 noise.
     let floor = (total as f64 * opts.leftover_frac).ceil().max(2.0) as u64;
     let outliers = hist.frequency_outliers();
-    for &(v, c) in outliers.iter().filter(|&&(_, c)| c >= floor).take(opts.top_per_step) {
+    for &(v, c) in outliers
+        .iter()
+        .filter(|&&(_, c)| c >= floor)
+        .take(opts.top_per_step)
+    {
         push(&mut dict, &segment.label, ValueKind::Exact(v), c);
         hist.remove_values(&[v]);
     }
@@ -167,7 +180,10 @@ pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) ->
             let kind = if c.min == c.max {
                 ValueKind::Exact(c.min)
             } else {
-                ValueKind::Range { lo: c.min, hi: c.max }
+                ValueKind::Range {
+                    lo: c.min,
+                    hi: c.max,
+                }
             };
             push(&mut dict, &segment.label, kind, c.weight);
             hist.remove_range(c.min, c.max);
@@ -223,11 +239,19 @@ pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) ->
         // segments with pathological options). Never return an empty
         // dictionary for a non-empty segment.
         let (lo, hi) = (hist.min().unwrap(), hist.max().unwrap());
-        let kind = if lo == hi { ValueKind::Exact(lo) } else { ValueKind::Range { lo, hi } };
+        let kind = if lo == hi {
+            ValueKind::Exact(lo)
+        } else {
+            ValueKind::Range { lo, hi }
+        };
         push(&mut dict, &segment.label, kind, hist.total());
     }
 
-    MinedSegment { segment: segment.clone(), values: dict, total }
+    MinedSegment {
+        segment: segment.clone(),
+        values: dict,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +259,11 @@ mod tests {
     use super::*;
 
     fn seg() -> Segment {
-        Segment { label: "C".into(), start: 9, end: 10 }
+        Segment {
+            label: "C".into(),
+            start: 9,
+            end: 10,
+        }
     }
 
     #[test]
@@ -274,7 +302,10 @@ mod tests {
         assert!(!m.values.is_empty());
         let covered: u64 = m.values.iter().map(|v| v.count).sum();
         assert!(covered as f64 >= 0.999 * values.len() as f64);
-        let has_range = m.values.iter().any(|v| matches!(v.kind, ValueKind::Range { .. }));
+        let has_range = m
+            .values
+            .iter()
+            .any(|v| matches!(v.kind, ValueKind::Range { .. }));
         assert!(has_range, "{:?}", m.values);
         for &v in &values {
             assert!(m.encode(v).is_some());
@@ -285,7 +316,7 @@ mod tests {
     fn mixed_structure_yields_exacts_and_ranges() {
         // 40% value 0, 30% value 0x80, rest uniform in 0x20..0x60.
         let mut values = vec![0u128; 400];
-        values.extend(std::iter::repeat(0x80u128).take(300));
+        values.extend(std::iter::repeat_n(0x80u128, 300));
         for i in 0..300u128 {
             values.push(0x20 + (i * 7) % 0x40);
         }

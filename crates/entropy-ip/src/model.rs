@@ -28,7 +28,10 @@ impl Options {
     /// "constrained Entropy/IP to the top 64 bits, without any other
     /// modification".
     pub fn top64() -> Self {
-        Options { segmentation: SegmentationOptions::top64(), ..Default::default() }
+        Options {
+            segmentation: SegmentationOptions::top64(),
+            ..Default::default()
+        }
     }
 }
 
@@ -118,7 +121,11 @@ impl EntropyIp {
         learn_opts.names = analysis.segments.iter().map(|s| s.label.clone()).collect();
         let bn = learn_structure(&dataset, &learn_opts);
 
-        Ok(IpModel { analysis, mined, bn })
+        Ok(IpModel {
+            analysis,
+            mined,
+            bn,
+        })
     }
 }
 
@@ -134,12 +141,24 @@ impl IpModel {
     /// Assembles a model from parts (used by profile import; the
     /// pieces must be mutually consistent).
     pub fn from_parts(analysis: Analysis, mined: Vec<MinedSegment>, bn: BayesNet) -> Self {
-        assert_eq!(analysis.segments.len(), mined.len(), "segment count mismatch");
+        assert_eq!(
+            analysis.segments.len(),
+            mined.len(),
+            "segment count mismatch"
+        );
         assert_eq!(bn.num_vars(), mined.len(), "BN variable count mismatch");
         for (i, m) in mined.iter().enumerate() {
-            assert_eq!(bn.node(i).cardinality, m.cardinality(), "cardinality mismatch at {i}");
+            assert_eq!(
+                bn.node(i).cardinality,
+                m.cardinality(),
+                "cardinality mismatch at {i}"
+            );
         }
-        IpModel { analysis, mined, bn }
+        IpModel {
+            analysis,
+            mined,
+            bn,
+        }
     }
 
     /// The entropy/ACR/segmentation analysis.
@@ -200,7 +219,12 @@ impl IpModel {
     /// Generates up to `n` *unique* candidate addresses by ancestral
     /// sampling (§5.5 trains on 1K and generates 1M candidates this
     /// way), giving up after `max_attempts` draws.
-    pub fn generate<R: Rng + ?Sized>(&self, n: usize, max_attempts: usize, rng: &mut R) -> Vec<Ip6> {
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Vec<Ip6> {
         let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
         let mut out = Vec::with_capacity(n);
         for _ in 0..max_attempts {
@@ -287,7 +311,9 @@ mod tests {
         }
         for i in 0..300u128 {
             let subnet = i % 8;
-            v.push(Ip6((0x3001_0db8u128 << 96) | (subnet << 80) | 0x1000 + (i % 40)));
+            v.push(Ip6((0x3001_0db8u128 << 96)
+                | (subnet << 80)
+                | (0x1000 + (i % 40))));
         }
         AddressSet::from_iter(v)
     }
@@ -376,13 +402,19 @@ mod tests {
     #[test]
     fn top64_mode_generates_prefixes() {
         let set = training_set();
-        let model = EntropyIp::with_options(Options::top64()).analyze(&set).unwrap();
+        let model = EntropyIp::with_options(Options::top64())
+            .analyze(&set)
+            .unwrap();
         assert_eq!(model.width(), 16);
         let mut rng = StdRng::seed_from_u64(3);
         let out = model.generate(20, 2_000, &mut rng);
         assert!(!out.is_empty());
         for ip in &out {
-            assert_eq!(ip.value() & u128::from(u64::MAX), 0, "{ip} is not a /64 network");
+            assert_eq!(
+                ip.value() & u128::from(u64::MAX),
+                0,
+                "{ip} is not a /64 network"
+            );
         }
     }
 
@@ -410,7 +442,9 @@ mod tests {
         }
         for subnet in 0..8u128 {
             for host in 0..38u128 {
-                v.push(Ip6((0x3001_0db8u128 << 96) | (subnet << 80) | (0xff00 + host)));
+                v.push(Ip6((0x3001_0db8u128 << 96)
+                    | (subnet << 80)
+                    | (0xff00 + host)));
             }
         }
         let model = EntropyIp::new().analyze(&AddressSet::from_iter(v)).unwrap();
@@ -419,11 +453,16 @@ mod tests {
         // Find the code that matches the 0xff-side marker value.
         let seg = &model.mined()[mseg];
         let probe = seg
-            .encode(seg.values.iter().find_map(|sv| match sv.kind {
-                ValueKind::Exact(x) if x != 0 => Some(x),
-                ValueKind::Range { lo, hi } if lo > 0 => Some((lo + hi) / 2),
-                _ => None,
-            }).expect("marker segment should have a nonzero code"))
+            .encode(
+                seg.values
+                    .iter()
+                    .find_map(|sv| match sv.kind {
+                        ValueKind::Exact(x) if x != 0 => Some(x),
+                        ValueKind::Range { lo, hi } if lo > 0 => Some((lo + hi) / 2),
+                        _ => None,
+                    })
+                    .expect("marker segment should have a nonzero code"),
+            )
             .unwrap();
         let prior = model.posterior(&vec![]);
         let post = model.posterior(&vec![(mseg, probe)]);
@@ -433,7 +472,10 @@ mod tests {
             .zip(&post[a_idx])
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(delta > 0.1, "evidence on {marker} should move segment A, delta {delta}");
+        assert!(
+            delta > 0.1,
+            "evidence on {marker} should move segment A, delta {delta}"
+        );
     }
 
     #[test]

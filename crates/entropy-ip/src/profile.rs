@@ -64,11 +64,18 @@ pub fn export(model: &IpModel) -> String {
             match v.kind {
                 ValueKind::Exact(x) => out.push_str(&format!(
                     "v {} exact {:x} {} {:016x}\n",
-                    v.code, x, v.count, v.freq.to_bits()
+                    v.code,
+                    x,
+                    v.count,
+                    v.freq.to_bits()
                 )),
                 ValueKind::Range { lo, hi } => out.push_str(&format!(
                     "v {} range {:x} {:x} {} {:016x}\n",
-                    v.code, lo, hi, v.count, v.freq.to_bits()
+                    v.code,
+                    lo,
+                    hi,
+                    v.count,
+                    v.freq.to_bits()
                 )),
             }
         }
@@ -76,7 +83,10 @@ pub fn export(model: &IpModel) -> String {
     let bn = model.bn();
     out.push_str(&format!("bn {}\n", bn.num_vars()));
     for (i, node) in bn.nodes().iter().enumerate() {
-        out.push_str(&format!("node {} {} {} parents", i, node.name, node.cardinality));
+        out.push_str(&format!(
+            "node {} {} {} parents",
+            i, node.name, node.cardinality
+        ));
         for &p in &node.parents {
             out.push_str(&format!(" {p}"));
         }
@@ -95,7 +105,9 @@ pub fn export(model: &IpModel) -> String {
 pub fn import(text: &str) -> Result<IpModel, String> {
     let mut lines = text.lines().peekable();
     let mut expect = |prefix: &str| -> Result<Vec<String>, String> {
-        let line = lines.next().ok_or_else(|| format!("missing line: {prefix}"))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("missing line: {prefix}"))?;
         let toks: Vec<String> = line.split_whitespace().map(String::from).collect();
         if toks.first().map(String::as_str) != Some(prefix) {
             return Err(format!("expected '{prefix}', got '{line}'"));
@@ -158,12 +170,25 @@ pub fn import(text: &str) -> Result<IpModel, String> {
                 }
                 other => return Err(format!("bad value kind {other:?}")),
             };
-            let tail_at = if matches!(kind, ValueKind::Exact(_)) { 4 } else { 5 };
+            let tail_at = if matches!(kind, ValueKind::Exact(_)) {
+                4
+            } else {
+                5
+            };
             let count: u64 = field(&v, tail_at)?;
             let freq = hex_float(v.get(tail_at + 1).ok_or("freq")?)?;
-            values.push(SegmentValue { code, kind, count, freq });
+            values.push(SegmentValue {
+                code,
+                kind,
+                count,
+                freq,
+            });
         }
-        mined.push(MinedSegment { segment: seg.clone(), values, total });
+        mined.push(MinedSegment {
+            segment: seg.clone(),
+            values,
+            total,
+        });
     }
 
     let nvars: usize = field(&expect("bn")?, 1)?;
@@ -195,10 +220,18 @@ pub fn import(text: &str) -> Result<IpModel, String> {
         let parent_cards: Vec<usize> = parents.iter().map(|&p| mined[p].cardinality()).collect();
         let expected: usize = parent_cards.iter().product::<usize>().max(1) * cardinality;
         if probs.len() != expected {
-            return Err(format!("node {i}: CPT length {} != {expected}", probs.len()));
+            return Err(format!(
+                "node {i}: CPT length {} != {expected}",
+                probs.len()
+            ));
         }
         let cpt = Cpt::from_probs(cardinality, parent_cards, probs);
-        nodes.push(Node { name, cardinality, parents, cpt });
+        nodes.push(Node {
+            name,
+            cardinality,
+            parents,
+            cpt,
+        });
     }
     expect("end")?;
     let bn = BayesNet::new(nodes);

@@ -109,7 +109,11 @@ impl SegmentationOptions {
     /// Variant for top-64-bit (prefix) analysis: width 16, hard
     /// boundary only at /32.
     pub fn top64() -> Self {
-        SegmentationOptions { width: 16, hard_boundaries: vec![8], ..Default::default() }
+        SegmentationOptions {
+            width: 16,
+            hard_boundaries: vec![8],
+            ..Default::default()
+        }
     }
 }
 
@@ -136,7 +140,10 @@ pub fn label_for(index: usize) -> String {
 /// Panics if `opts.width` is 0 or exceeds `entropy.len()`, or the
 /// threshold list is empty/unsorted.
 pub fn segment_entropy_profile(entropy: &[f64], opts: &SegmentationOptions) -> Vec<Segment> {
-    assert!(opts.width >= 1 && opts.width <= entropy.len(), "bad segmentation width");
+    assert!(
+        opts.width >= 1 && opts.width <= entropy.len(),
+        "bad segmentation width"
+    );
     assert!(!opts.thresholds.is_empty(), "empty threshold set");
     assert!(
         opts.thresholds.windows(2).all(|w| w[0] < w[1]),
@@ -179,10 +186,18 @@ pub fn segment_entropy_profile(entropy: &[f64], opts: &SegmentationOptions) -> V
     let mut segments = Vec::new();
     let mut start = 1usize;
     for &b in &boundaries {
-        segments.push(Segment { label: label_for(segments.len()), start, end: b - 1 });
+        segments.push(Segment {
+            label: label_for(segments.len()),
+            start,
+            end: b - 1,
+        });
         start = b;
     }
-    segments.push(Segment { label: label_for(segments.len()), start, end: opts.width });
+    segments.push(Segment {
+        label: label_for(segments.len()),
+        start,
+        end: opts.width,
+    });
     segments
 }
 
@@ -293,7 +308,11 @@ mod tests {
 
     #[test]
     fn bit_ranges_match_paper_convention() {
-        let s = Segment { label: "G".into(), start: 17, end: 29 };
+        let s = Segment {
+            label: "G".into(),
+            start: 17,
+            end: 29,
+        };
         assert_eq!(s.bit_range(), (64, 116)); // Table 3: "G (64-116)"
         assert_eq!(s.len_nybbles(), 13);
     }

@@ -48,8 +48,7 @@ pub struct DatasetSpec {
 
 /// Ids of all dataset families, paper order.
 pub const ALL_DATASETS: [&str; 16] = [
-    "S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5", "C1", "C2", "C3", "C4", "C5",
-    "AT",
+    "S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5", "C1", "C2", "C3", "C4", "C5", "AT",
 ];
 
 /// Ids of the aggregate families (AT is also in [`ALL_DATASETS`]).
@@ -59,28 +58,168 @@ pub const AGGREGATES: [&str; 4] = ["AS", "AR", "AC", "AT"];
 /// AS/AR/AC).
 pub fn dataset(id: &str) -> Option<DatasetSpec> {
     let mk = |id, category, description, paper_population, default_population, rdns_fraction| {
-        Some(DatasetSpec { id, category, description, paper_population, default_population, rdns_fraction })
+        Some(DatasetSpec {
+            id,
+            category,
+            description,
+            paper_population,
+            default_population,
+            rdns_fraction,
+        })
     };
     match id {
-        "S1" => mk("S1", Category::Server, "web hosting company, two /32s, four addressing variants", "290 K", 40_000, 0.5),
-        "S2" => mk("S2", Category::Server, "CDN using DNS + IP unicast: many global prefixes", "295 K", 15_000, 0.5),
-        "S3" => mk("S3", Category::Server, "CDN using IP anycast: one /96 worldwide", "72 K", 8_000, 0.5),
-        "S4" => mk("S4", Category::Server, "cloud provider: only last 32 bits discriminate", "18 K", 6_000, 0.5),
-        "S5" => mk("S5", Category::Server, "large service operator: service type in last nybbles", "65 K", 12_000, 0.5),
-        "R1" => mk("R1", Category::Router, "global carrier: subnets in bits 28-64, ::1/::2 IIDs", "6.7 M", 30_000, 0.7),
-        "R2" => mk("R2", Category::Router, "carrier: bottom 64 bits equal 1 or 2", "235 K", 12_000, 0.7),
-        "R3" => mk("R3", Category::Router, "carrier: zeros through bit 116, random last 12 bits", "21 K", 8_000, 0.7),
-        "R4" => mk("R4", Category::Router, "carrier embedding IPv4 as decimal octets in the IID", "3.4 K", 3_000, 0.7),
-        "R5" => mk("R5", Category::Router, "carrier discriminating in bits 52-64, predictable IIDs", "1.7 K", 2_000, 0.7),
-        "C1" => mk("C1", Category::Client, "mobile ISP: 47% of IIDs end 01 (Android pattern)", "83 M", 50_000, 0.02),
-        "C2" => mk("C2", Category::Client, "mobile ISP: random IIDs without the u-bit dip", "8.2 M", 20_000, 0.02),
-        "C3" => mk("C3", Category::Client, "wireline ISP: sequential /64 pools, privacy IIDs", "530 M", 60_000, 0.02),
-        "C4" => mk("C4", Category::Client, "ISP with structure from bit 20, privacy IIDs", "39 M", 30_000, 0.02),
-        "C5" => mk("C5", Category::Client, "ISP with skewed /64 pools, privacy IIDs", "43 M", 30_000, 0.02),
-        "AS" => mk("AS", Category::Server, "server aggregate: 790K IPs in 4.3K /32s (DNS)", "790 K", 40_000, 0.5),
-        "AR" => mk("AR", Category::Router, "router aggregate: 12M IPs in 5.5K /32s (traceroute)", "12 M", 40_000, 0.7),
-        "AC" => mk("AC", Category::Client, "client aggregate: 3.5G IPs in 6.0K /32s (CDN)", "3.5 G", 60_000, 0.02),
-        "AT" => mk("AT", Category::Client, "BitTorrent peers: like AC but more EUI-64", "220 K", 20_000, 0.02),
+        "S1" => mk(
+            "S1",
+            Category::Server,
+            "web hosting company, two /32s, four addressing variants",
+            "290 K",
+            40_000,
+            0.5,
+        ),
+        "S2" => mk(
+            "S2",
+            Category::Server,
+            "CDN using DNS + IP unicast: many global prefixes",
+            "295 K",
+            15_000,
+            0.5,
+        ),
+        "S3" => mk(
+            "S3",
+            Category::Server,
+            "CDN using IP anycast: one /96 worldwide",
+            "72 K",
+            8_000,
+            0.5,
+        ),
+        "S4" => mk(
+            "S4",
+            Category::Server,
+            "cloud provider: only last 32 bits discriminate",
+            "18 K",
+            6_000,
+            0.5,
+        ),
+        "S5" => mk(
+            "S5",
+            Category::Server,
+            "large service operator: service type in last nybbles",
+            "65 K",
+            12_000,
+            0.5,
+        ),
+        "R1" => mk(
+            "R1",
+            Category::Router,
+            "global carrier: subnets in bits 28-64, ::1/::2 IIDs",
+            "6.7 M",
+            30_000,
+            0.7,
+        ),
+        "R2" => mk(
+            "R2",
+            Category::Router,
+            "carrier: bottom 64 bits equal 1 or 2",
+            "235 K",
+            12_000,
+            0.7,
+        ),
+        "R3" => mk(
+            "R3",
+            Category::Router,
+            "carrier: zeros through bit 116, random last 12 bits",
+            "21 K",
+            8_000,
+            0.7,
+        ),
+        "R4" => mk(
+            "R4",
+            Category::Router,
+            "carrier embedding IPv4 as decimal octets in the IID",
+            "3.4 K",
+            3_000,
+            0.7,
+        ),
+        "R5" => mk(
+            "R5",
+            Category::Router,
+            "carrier discriminating in bits 52-64, predictable IIDs",
+            "1.7 K",
+            2_000,
+            0.7,
+        ),
+        "C1" => mk(
+            "C1",
+            Category::Client,
+            "mobile ISP: 47% of IIDs end 01 (Android pattern)",
+            "83 M",
+            50_000,
+            0.02,
+        ),
+        "C2" => mk(
+            "C2",
+            Category::Client,
+            "mobile ISP: random IIDs without the u-bit dip",
+            "8.2 M",
+            20_000,
+            0.02,
+        ),
+        "C3" => mk(
+            "C3",
+            Category::Client,
+            "wireline ISP: sequential /64 pools, privacy IIDs",
+            "530 M",
+            60_000,
+            0.02,
+        ),
+        "C4" => mk(
+            "C4",
+            Category::Client,
+            "ISP with structure from bit 20, privacy IIDs",
+            "39 M",
+            30_000,
+            0.02,
+        ),
+        "C5" => mk(
+            "C5",
+            Category::Client,
+            "ISP with skewed /64 pools, privacy IIDs",
+            "43 M",
+            30_000,
+            0.02,
+        ),
+        "AS" => mk(
+            "AS",
+            Category::Server,
+            "server aggregate: 790K IPs in 4.3K /32s (DNS)",
+            "790 K",
+            40_000,
+            0.5,
+        ),
+        "AR" => mk(
+            "AR",
+            Category::Router,
+            "router aggregate: 12M IPs in 5.5K /32s (traceroute)",
+            "12 M",
+            40_000,
+            0.7,
+        ),
+        "AC" => mk(
+            "AC",
+            Category::Client,
+            "client aggregate: 3.5G IPs in 6.0K /32s (CDN)",
+            "3.5 G",
+            60_000,
+            0.02,
+        ),
+        "AT" => mk(
+            "AT",
+            Category::Client,
+            "BitTorrent peers: like AC but more EUI-64",
+            "220 K",
+            20_000,
+            0.02,
+        ),
         _ => None,
     }
 }
@@ -150,7 +289,14 @@ fn privacy_iid_fields() -> Vec<PlanField> {
     vec![
         f(64, 6, FieldKind::Uniform { lo: 0, hi: 0x3f }),
         f(70, 1, FieldKind::Const(0)),
-        f(71, 57, FieldKind::Uniform { lo: 0, hi: (1 << 57) - 1 }),
+        f(
+            71,
+            57,
+            FieldKind::Uniform {
+                lo: 0,
+                hi: (1 << 57) - 1,
+            },
+        ),
     ]
 }
 
@@ -202,7 +348,14 @@ fn s1() -> AddressPlan {
                     f(48, 4, d.clone()),
                     f(52, 4, e.clone()),
                     f(56, 8, FieldKind::Uniform { lo: 0x01, hi: 0xff }),
-                    f(64, 64, FieldKind::Uniform { lo: 0x0103_32b0_b1e1_7000, hi: 0xfffd_8c3a_b164_3fff }),
+                    f(
+                        64,
+                        64,
+                        FieldKind::Uniform {
+                            lo: 0x0103_32b0_b1e1_7000,
+                            hi: 0xfffd_8c3a_b164_3fff,
+                        },
+                    ),
                 ],
             },
             // B2/B3 = 08/09: essentially non-random low bits.
@@ -216,7 +369,15 @@ fn s1() -> AddressPlan {
                     f(52, 4, e.clone()),
                     f(56, 8, FieldKind::Const(0)),
                     f(64, 52, FieldKind::Const(0)),
-                    f(116, 12, FieldKind::Sequential { base: 1, step: 1, modulo: 800 }),
+                    f(
+                        116,
+                        12,
+                        FieldKind::Sequential {
+                            base: 1,
+                            step: 1,
+                            modulo: 800,
+                        },
+                    ),
                 ],
             },
             // B4/B6 = 07/05: 67% embed literal IPv4 in the IID.
@@ -227,7 +388,14 @@ fn s1() -> AddressPlan {
                     f(32, 8, FieldKind::Choice(vec![(0x07, 0.6), (0x05, 0.4)])),
                     f(40, 24, FieldKind::Const(0)),
                     f(64, 32, FieldKind::Const(0)),
-                    f(96, 32, FieldKind::V4Hex { base: u32::from_be_bytes([127, 16, 0, 1]), count: 4000 }),
+                    f(
+                        96,
+                        32,
+                        FieldKind::V4Hex {
+                            base: u32::from_be_bytes([127, 16, 0, 1]),
+                            count: 4000,
+                        },
+                    ),
                 ],
             },
             // B5 = 00: small static block.
@@ -238,7 +406,15 @@ fn s1() -> AddressPlan {
                     f(32, 8, FieldKind::Const(0x00)),
                     f(40, 24, FieldKind::Const(0)),
                     f(64, 52, FieldKind::Const(0)),
-                    f(116, 12, FieldKind::Sequential { base: 0x100, step: 1, modulo: 250 }),
+                    f(
+                        116,
+                        12,
+                        FieldKind::Sequential {
+                            base: 0x100,
+                            step: 1,
+                            modulo: 250,
+                        },
+                    ),
                 ],
             },
         ],
@@ -253,9 +429,21 @@ fn s2() -> AddressPlan {
         vec![
             f(0, 32, slash32_mix(8)),
             f(32, 16, FieldKind::Uniform { lo: 0, hi: 0x1f }),
-            f(48, 16, FieldKind::Choice(vec![(0, 0.8), (1, 0.1), (2, 0.1)])),
+            f(
+                48,
+                16,
+                FieldKind::Choice(vec![(0, 0.8), (1, 0.1), (2, 0.1)]),
+            ),
             f(64, 48, FieldKind::Const(0)),
-            f(112, 16, FieldKind::Sequential { base: 1, step: 1, modulo: 200 }),
+            f(
+                112,
+                16,
+                FieldKind::Sequential {
+                    base: 1,
+                    step: 1,
+                    modulo: 200,
+                },
+            ),
         ],
     )
 }
@@ -269,14 +457,29 @@ fn s3() -> AddressPlan {
                 weight: 0.9,
                 fields: vec![
                     f(0, 96, FieldKind::Const(0x2001_0db8_0003_0000_0000_0000)),
-                    f(96, 32, FieldKind::Sequential { base: 0x100, step: 1, modulo: 9000 }),
+                    f(
+                        96,
+                        32,
+                        FieldKind::Sequential {
+                            base: 0x100,
+                            step: 1,
+                            modulo: 9000,
+                        },
+                    ),
                 ],
             },
             Variant {
                 weight: 0.1,
                 fields: vec![
                     f(0, 96, FieldKind::Const(0x2001_0db8_0003_0000_0000_0000)),
-                    f(96, 32, FieldKind::Uniform { lo: 0x1_0000, hi: 0x4_ffff }),
+                    f(
+                        96,
+                        32,
+                        FieldKind::Uniform {
+                            lo: 0x1_0000,
+                            hi: 0x4_ffff,
+                        },
+                    ),
                 ],
             },
         ],
@@ -290,9 +493,20 @@ fn s4() -> AddressPlan {
         "S4",
         vec![
             f(0, 32, FieldKind::Const(0x2001_0db8)),
-            f(32, 16, FieldKind::Choice(vec![(0x4000, 0.5), (0x8000, 0.3), (0xc000, 0.2)])),
+            f(
+                32,
+                16,
+                FieldKind::Choice(vec![(0x4000, 0.5), (0x8000, 0.3), (0xc000, 0.2)]),
+            ),
             f(48, 48, FieldKind::Const(0)),
-            f(96, 32, FieldKind::Uniform { lo: 0x1, hi: 0x1_ffff }),
+            f(
+                96,
+                32,
+                FieldKind::Uniform {
+                    lo: 0x1,
+                    hi: 0x1_ffff,
+                },
+            ),
         ],
     )
 }
@@ -304,17 +518,29 @@ fn s5() -> AddressPlan {
         "S5",
         vec![
             f(0, 32, FieldKind::Const(0x2001_0db8)),
-            f(32, 32, FieldKind::Sequential { base: 0x10, step: 0x10, modulo: 300 }),
+            f(
+                32,
+                32,
+                FieldKind::Sequential {
+                    base: 0x10,
+                    step: 0x10,
+                    modulo: 300,
+                },
+            ),
             f(64, 32, FieldKind::Const(0)),
             f(96, 16, FieldKind::Uniform { lo: 0x1, hi: 0xff }),
-            f(112, 16, FieldKind::Choice(vec![
-                (0x0050, 0.30), // www
-                (0x0035, 0.20), // dns
-                (0x0019, 0.10), // smtp
-                (0x0443, 0.20), // https (vanity hex)
-                (0x0081, 0.10),
-                (0x1001, 0.10),
-            ])),
+            f(
+                112,
+                16,
+                FieldKind::Choice(vec![
+                    (0x0050, 0.30), // www
+                    (0x0035, 0.20), // dns
+                    (0x0019, 0.10), // smtp
+                    (0x0443, 0.20), // https (vanity hex)
+                    (0x0081, 0.10),
+                    (0x1001, 0.10),
+                ]),
+            ),
         ],
     )
 }
@@ -329,9 +555,20 @@ fn r1() -> AddressPlan {
         vec![
             f(0, 28, FieldKind::Const(0x0200_10db)),
             f(28, 4, FieldKind::Choice(vec![(0x8, 0.6), (0x9, 0.4)])),
-            f(32, 32, FieldKind::Uniform { lo: 0, hi: 0x1_ffff }),
+            f(
+                32,
+                32,
+                FieldKind::Uniform {
+                    lo: 0,
+                    hi: 0x1_ffff,
+                },
+            ),
             f(64, 60, FieldKind::Const(0)),
-            f(124, 4, FieldKind::Choice(vec![(1, 0.50), (2, 0.40), (0xe, 0.06), (5, 0.04)])),
+            f(
+                124,
+                4,
+                FieldKind::Choice(vec![(1, 0.50), (2, 0.40), (0xe, 0.06), (5, 0.04)]),
+            ),
         ],
     )
 }
@@ -373,7 +610,14 @@ fn r4() -> AddressPlan {
             f(0, 32, FieldKind::Const(0x2001_0db8)),
             f(32, 20, FieldKind::Uniform { lo: 0, hi: 0x3f }),
             f(52, 12, FieldKind::Const(0)),
-            f(64, 64, FieldKind::V4Decimal { base: u32::from_be_bytes([127, 0, 16, 1]), count: 3000 }),
+            f(
+                64,
+                64,
+                FieldKind::V4Decimal {
+                    base: u32::from_be_bytes([127, 0, 16, 1]),
+                    count: 3000,
+                },
+            ),
         ],
     )
 }
@@ -407,16 +651,36 @@ fn c1() -> AddressPlan {
     let mut android = Vec::new();
     prefix_fields(&mut android);
     android.push(f(64, 20, FieldKind::Const(0))); // segment D = 00000
-    android.push(f(84, 36, FieldKind::Uniform { lo: 0, hi: (1 << 36) - 1 })); // E
+    android.push(f(
+        84,
+        36,
+        FieldKind::Uniform {
+            lo: 0,
+            hi: (1 << 36) - 1,
+        },
+    )); // E
     android.push(f(120, 8, FieldKind::Const(0x01))); // F1
     let mut random = Vec::new();
     prefix_fields(&mut random);
-    random.push(f(64, 64, FieldKind::Uniform { lo: 0, hi: u64::MAX as u128 }));
+    random.push(f(
+        64,
+        64,
+        FieldKind::Uniform {
+            lo: 0,
+            hi: u64::MAX as u128,
+        },
+    ));
     AddressPlan::new(
         "C1",
         vec![
-            Variant { weight: 0.47, fields: android },
-            Variant { weight: 0.53, fields: random },
+            Variant {
+                weight: 0.47,
+                fields: android,
+            },
+            Variant {
+                weight: 0.53,
+                fields: random,
+            },
         ],
     )
 }
@@ -427,8 +691,22 @@ fn c2() -> AddressPlan {
         "C2",
         vec![
             f(0, 32, FieldKind::Const(0x2001_0db8)),
-            f(32, 32, FieldKind::Uniform { lo: 0x1000, hi: 0xfffff }),
-            f(64, 64, FieldKind::Uniform { lo: 0, hi: u64::MAX as u128 }),
+            f(
+                32,
+                32,
+                FieldKind::Uniform {
+                    lo: 0x1000,
+                    hi: 0xfffff,
+                },
+            ),
+            f(
+                64,
+                64,
+                FieldKind::Uniform {
+                    lo: 0,
+                    hi: u64::MAX as u128,
+                },
+            ),
         ],
     )
 }
@@ -437,8 +715,20 @@ fn c2() -> AddressPlan {
 fn c3() -> AddressPlan {
     let mut fields = vec![
         f(0, 32, FieldKind::Const(0x2001_0db8)),
-        f(32, 12, FieldKind::Choice(vec![(0x1, 0.4), (0x2, 0.3), (0x3, 0.2), (0x4, 0.1)])),
-        f(44, 20, FieldKind::Sequential { base: 0, step: 1, modulo: 1_000_000 }),
+        f(
+            32,
+            12,
+            FieldKind::Choice(vec![(0x1, 0.4), (0x2, 0.3), (0x3, 0.2), (0x4, 0.1)]),
+        ),
+        f(
+            44,
+            20,
+            FieldKind::Sequential {
+                base: 0,
+                step: 1,
+                modulo: 1_000_000,
+            },
+        ),
     ];
     fields.extend(privacy_iid_fields());
     AddressPlan::single("C3", fields)
@@ -449,7 +739,11 @@ fn c3() -> AddressPlan {
 fn c4() -> AddressPlan {
     let mut fields = vec![
         f(0, 20, FieldKind::Const(0x0002_0010)),
-        f(20, 12, FieldKind::Choice(vec![(0xdb8, 0.5), (0xdb9, 0.3), (0xdba, 0.2)])),
+        f(
+            20,
+            12,
+            FieldKind::Choice(vec![(0xdb8, 0.5), (0xdb9, 0.3), (0xdba, 0.2)]),
+        ),
         f(32, 32, FieldKind::Uniform { lo: 0, hi: 0xcfff }),
     ];
     fields.extend(privacy_iid_fields());
@@ -458,11 +752,21 @@ fn c4() -> AddressPlan {
 
 /// C5: skewed /64 pools (some far more popular), privacy IIDs.
 fn c5() -> AddressPlan {
-    let pool: Vec<(u128, f64)> = (0..64u128).map(|i| (i * 0x41, 1.0 / (1.0 + i as f64))).collect();
+    let pool: Vec<(u128, f64)> = (0..64u128)
+        .map(|i| (i * 0x41, 1.0 / (1.0 + i as f64)))
+        .collect();
     let mut fields = vec![
         f(0, 32, FieldKind::Const(0x2001_0db8)),
         f(32, 16, FieldKind::Choice(pool)),
-        f(48, 16, FieldKind::Sequential { base: 0, step: 1, modulo: 2_000 }),
+        f(
+            48,
+            16,
+            FieldKind::Sequential {
+                base: 0,
+                step: 1,
+                modulo: 2_000,
+            },
+        ),
     ];
     fields.extend(privacy_iid_fields());
     AddressPlan::single("C5", fields)
@@ -478,16 +782,33 @@ fn aggregate_servers() -> AddressPlan {
         fields: vec![
             f(0, 32, slash32_mix(40)),
             f(32, 8, FieldKind::Uniform { lo: 0, hi: 0xff }),
-            f(40, 8, FieldKind::Choice(vec![(0, 0.6), (1, 0.25), (0x10, 0.15)])),
+            f(
+                40,
+                8,
+                FieldKind::Choice(vec![(0, 0.6), (1, 0.25), (0x10, 0.15)]),
+            ),
             f(48, 8, FieldKind::Uniform { lo: 0, hi: 0x7f }),
             f(56, 8, FieldKind::Choice(vec![(0, 0.7), (1, 0.3)])),
             f(64, 64 - low_bits, FieldKind::Const(0)),
-            f(128 - low_bits, low_bits, FieldKind::Uniform { lo: 1, hi: (1 << low_bits) - 1 }),
+            f(
+                128 - low_bits,
+                low_bits,
+                FieldKind::Uniform {
+                    lo: 1,
+                    hi: (1 << low_bits) - 1,
+                },
+            ),
         ],
     };
     AddressPlan::new(
         "AS",
-        vec![mk(8, 0.35), mk(16, 0.30), mk(24, 0.20), mk(32, 0.10), mk(44, 0.05)],
+        vec![
+            mk(8, 0.35),
+            mk(16, 0.30),
+            mk(24, 0.20),
+            mk(32, 0.10),
+            mk(44, 0.05),
+        ],
     )
 }
 
@@ -496,11 +817,24 @@ fn aggregate_servers() -> AddressPlan {
 fn aggregate_routers() -> AddressPlan {
     let prefix = |fields: &mut Vec<PlanField>| {
         fields.push(f(0, 32, slash32_mix(30)));
-        fields.push(f(32, 32, FieldKind::Uniform { lo: 0, hi: 0xf_ffff }));
+        fields.push(f(
+            32,
+            32,
+            FieldKind::Uniform {
+                lo: 0,
+                hi: 0xf_ffff,
+            },
+        ));
     };
     let mut eui = Vec::new();
     prefix(&mut eui);
-    eui.push(f(64, 64, FieldKind::Eui64 { ouis: vec![0x00163e, 0x0002b3, 0x00d0b7, 0xac4bc8] }));
+    eui.push(f(
+        64,
+        64,
+        FieldKind::Eui64 {
+            ouis: vec![0x00163e, 0x0002b3, 0x00d0b7, 0xac4bc8],
+        },
+    ));
     let mut p2p = Vec::new();
     prefix(&mut p2p);
     p2p.push(f(64, 60, FieldKind::Const(0)));
@@ -512,9 +846,18 @@ fn aggregate_routers() -> AddressPlan {
     AddressPlan::new(
         "AR",
         vec![
-            Variant { weight: 0.45, fields: eui },
-            Variant { weight: 0.35, fields: p2p },
-            Variant { weight: 0.20, fields: low },
+            Variant {
+                weight: 0.45,
+                fields: eui,
+            },
+            Variant {
+                weight: 0.35,
+                fields: p2p,
+            },
+            Variant {
+                weight: 0.20,
+                fields: low,
+            },
         ],
     )
 }
@@ -525,23 +868,52 @@ fn aggregate_routers() -> AddressPlan {
 fn aggregate_clients(eui_share: f64) -> AddressPlan {
     let prefix = |fields: &mut Vec<PlanField>| {
         fields.push(f(0, 32, slash32_mix(48)));
-        fields.push(f(32, 32, FieldKind::Uniform { lo: 0, hi: 0xff_ffff }));
+        fields.push(f(
+            32,
+            32,
+            FieldKind::Uniform {
+                lo: 0,
+                hi: 0xff_ffff,
+            },
+        ));
     };
     let mut privacy = Vec::new();
     prefix(&mut privacy);
     privacy.extend(privacy_iid_fields());
     let mut rand_iid = Vec::new();
     prefix(&mut rand_iid);
-    rand_iid.push(f(64, 64, FieldKind::Uniform { lo: 0, hi: u64::MAX as u128 }));
+    rand_iid.push(f(
+        64,
+        64,
+        FieldKind::Uniform {
+            lo: 0,
+            hi: u64::MAX as u128,
+        },
+    ));
     let mut eui = Vec::new();
     prefix(&mut eui);
-    eui.push(f(64, 64, FieldKind::Eui64 { ouis: vec![0x3c0754, 0xa45e60, 0xdc2b2a, 0x40b395] }));
+    eui.push(f(
+        64,
+        64,
+        FieldKind::Eui64 {
+            ouis: vec![0x3c0754, 0xa45e60, 0xdc2b2a, 0x40b395],
+        },
+    ));
     AddressPlan::new(
         if eui_share > 0.3 { "AT" } else { "AC" },
         vec![
-            Variant { weight: (1.0 - eui_share) * 0.85, fields: privacy },
-            Variant { weight: (1.0 - eui_share) * 0.15, fields: rand_iid },
-            Variant { weight: eui_share, fields: eui },
+            Variant {
+                weight: (1.0 - eui_share) * 0.85,
+                fields: privacy,
+            },
+            Variant {
+                weight: (1.0 - eui_share) * 0.15,
+                fields: rand_iid,
+            },
+            Variant {
+                weight: eui_share,
+                fields: eui,
+            },
         ],
     )
 }
@@ -620,7 +992,12 @@ mod tests {
         // Nybble 18 covers bits 68-72 which contain the u-bit:
         // privacy addresses force it to 0, EUI-64 forces it to 1, so
         // the nybble is depressed relative to its neighbours.
-        assert!(h[17] < h[16] - 0.05, "u-bit dip missing: {} vs {}", h[17], h[16]);
+        assert!(
+            h[17] < h[16] - 0.05,
+            "u-bit dip missing: {} vs {}",
+            h[17],
+            h[16]
+        );
         assert!(h[17] > 0.6, "dip too deep: {}", h[17]);
         // The IID is otherwise near-random.
         assert!(h[20] > 0.95);
@@ -661,7 +1038,13 @@ mod tests {
     #[test]
     fn populations_are_deterministic_per_seed() {
         let spec = dataset("S2").unwrap();
-        assert_eq!(spec.population_sized(1000, 9), spec.population_sized(1000, 9));
-        assert_ne!(spec.population_sized(1000, 9), spec.population_sized(1000, 10));
+        assert_eq!(
+            spec.population_sized(1000, 9),
+            spec.population_sized(1000, 9)
+        );
+        assert_ne!(
+            spec.population_sized(1000, 9),
+            spec.population_sized(1000, 10)
+        );
     }
 }

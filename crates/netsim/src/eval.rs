@@ -55,7 +55,10 @@ pub fn evaluate_scan(
     responder: &Responder,
 ) -> ScanOutcome {
     let train64: HashSet<Ip6> = training.iter().map(|ip| ip.slash64()).collect();
-    let mut out = ScanOutcome { generated: candidates.len(), ..Default::default() };
+    let mut out = ScanOutcome {
+        generated: candidates.len(),
+        ..Default::default()
+    };
     let mut new64: HashSet<Ip6> = HashSet::new();
     for &ip in candidates {
         let in_test = test.contains(ip);

@@ -87,12 +87,20 @@ impl PlanField {
     /// Convenience constructor.
     pub fn new(start_bit: usize, width: usize, kind: FieldKind) -> Self {
         assert!(width >= 1 && start_bit + width <= 128, "field out of range");
-        PlanField { start_bit, width, kind }
+        PlanField {
+            start_bit,
+            width,
+            kind,
+        }
     }
 
     /// Materializes the field value for sample counter `k`.
     fn sample<R: Rng + ?Sized>(&self, k: u64, rng: &mut R) -> u128 {
-        let max = if self.width == 128 { u128::MAX } else { (1u128 << self.width) - 1 };
+        let max = if self.width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.width) - 1
+        };
         let v = match &self.kind {
             FieldKind::Const(v) => *v,
             FieldKind::Choice(options) => {
@@ -117,9 +125,7 @@ impl PlanField {
                     lo + rng.gen_range(0..=(hi - lo))
                 }
             }
-            FieldKind::Sequential { base, step, modulo } => {
-                base + step * (u128::from(k) % modulo)
-            }
+            FieldKind::Sequential { base, step, modulo } => base + step * (u128::from(k) % modulo),
             FieldKind::Eui64 { ouis } => {
                 let oui = ouis[rng.gen_range(0..ouis.len())];
                 let tail: u32 = rng.gen::<u32>() & 0x00ff_ffff;
@@ -176,7 +182,10 @@ impl AddressPlan {
             assert!(v.weight > 0.0, "variant {vi} has non-positive weight");
             let mut covered = [false; 128];
             for f in &v.fields {
-                assert!(f.width >= 1 && f.start_bit + f.width <= 128, "field out of range");
+                assert!(
+                    f.width >= 1 && f.start_bit + f.width <= 128,
+                    "field out of range"
+                );
                 for (b, slot) in covered
                     .iter_mut()
                     .enumerate()
@@ -188,12 +197,21 @@ impl AddressPlan {
                 }
             }
         }
-        AddressPlan { name: name.to_string(), variants }
+        AddressPlan {
+            name: name.to_string(),
+            variants,
+        }
     }
 
     /// Single-variant convenience constructor.
     pub fn single(name: &str, fields: Vec<PlanField>) -> Self {
-        AddressPlan::new(name, vec![Variant { weight: 1.0, fields }])
+        AddressPlan::new(
+            name,
+            vec![Variant {
+                weight: 1.0,
+                fields,
+            }],
+        )
     }
 
     /// The variants.
@@ -291,7 +309,14 @@ mod tests {
     fn uniform_stays_in_range() {
         let plan = AddressPlan::single(
             "t",
-            vec![PlanField::new(64, 64, FieldKind::Uniform { lo: 0x100, hi: 0x1ff })],
+            vec![PlanField::new(
+                64,
+                64,
+                FieldKind::Uniform {
+                    lo: 0x100,
+                    hi: 0x1ff,
+                },
+            )],
         );
         let mut r = rng();
         for k in 0..200 {
@@ -304,7 +329,15 @@ mod tests {
     fn sequential_counts() {
         let plan = AddressPlan::single(
             "t",
-            vec![PlanField::new(120, 8, FieldKind::Sequential { base: 1, step: 1, modulo: 10 })],
+            vec![PlanField::new(
+                120,
+                8,
+                FieldKind::Sequential {
+                    base: 1,
+                    step: 1,
+                    modulo: 10,
+                },
+            )],
         );
         let mut r = rng();
         assert_eq!(plan.sample(0, &mut r).value(), 1);
@@ -316,7 +349,13 @@ mod tests {
     fn eui64_has_fffe_signature() {
         let plan = AddressPlan::single(
             "t",
-            vec![PlanField::new(64, 64, FieldKind::Eui64 { ouis: vec![0x00163e] })],
+            vec![PlanField::new(
+                64,
+                64,
+                FieldKind::Eui64 {
+                    ouis: vec![0x00163e],
+                },
+            )],
         );
         let mut r = rng();
         for k in 0..50 {
@@ -332,7 +371,11 @@ mod tests {
         let base = u32::from_be_bytes([127, 0, 113, 54]);
         let plan = AddressPlan::single(
             "t",
-            vec![PlanField::new(64, 64, FieldKind::V4Decimal { base, count: 1 })],
+            vec![PlanField::new(
+                64,
+                64,
+                FieldKind::V4Decimal { base, count: 1 },
+            )],
         );
         let ip = plan.sample(0, &mut rng());
         assert_eq!(ip.bits(64, 128), 0x0127_0000_0113_0054);
@@ -368,7 +411,11 @@ mod tests {
     fn generate_dedups_and_caps() {
         let plan = AddressPlan::single(
             "t",
-            vec![PlanField::new(120, 8, FieldKind::Uniform { lo: 0, hi: 255 })],
+            vec![PlanField::new(
+                120,
+                8,
+                FieldKind::Uniform { lo: 0, hi: 255 },
+            )],
         );
         let set = plan.generate(100, &mut rng());
         assert!(set.len() <= 100);

@@ -48,7 +48,12 @@ impl Responder {
         let mut rng = SplitMix64::new(seed);
         let k = ((active.len() as f64) * rdns_fraction).round() as usize;
         let (rdns, _) = active.split_sample(k, &mut rng);
-        Responder { active, rdns, faults: FaultConfig::default(), probes: std::cell::Cell::new(0) }
+        Responder {
+            active,
+            rdns,
+            faults: FaultConfig::default(),
+            probes: std::cell::Cell::new(0),
+        }
     }
 
     /// Adds fault injection.
@@ -78,7 +83,9 @@ impl Responder {
         }
         if self.faults.probe_loss > 0.0 {
             // Hash-deterministic loss: same address, same verdict.
-            let mut h = SplitMix64::new(self.faults.seed ^ (ip.value() as u64) ^ ((ip.value() >> 64) as u64));
+            let mut h = SplitMix64::new(
+                self.faults.seed ^ (ip.value() as u64) ^ ((ip.value() >> 64) as u64),
+            );
             let u = h.next_u64() as f64 / u64::MAX as f64;
             if u < self.faults.probe_loss {
                 return false;
@@ -101,7 +108,9 @@ mod tests {
     use super::*;
 
     fn actives() -> AddressSet {
-        (0..1000u128).map(|i| Ip6((0x2001_0db8u128 << 96) | i)).collect()
+        (0..1000u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | i))
+            .collect()
     }
 
     #[test]
@@ -130,7 +139,11 @@ mod tests {
 
     #[test]
     fn probe_loss_is_deterministic_and_roughly_calibrated() {
-        let faults = FaultConfig { probe_loss: 0.2, echo_prefixes: vec![], seed: 3 };
+        let faults = FaultConfig {
+            probe_loss: 0.2,
+            echo_prefixes: vec![],
+            seed: 3,
+        };
         let r = Responder::new(actives(), 0.0, 1).with_faults(faults);
         let mut answered = 0;
         for i in 0..1000u128 {

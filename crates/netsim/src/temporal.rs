@@ -35,8 +35,16 @@ impl TemporalPool {
     /// them come from a stable core that recurs daily, the rest are
     /// re-drawn (the dynamic share).
     pub fn new(plan: AddressPlan, per_day: usize, stable_fraction: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&stable_fraction), "fraction out of range");
-        TemporalPool { plan, per_day, stable_fraction, seed }
+        assert!(
+            (0.0..=1.0).contains(&stable_fraction),
+            "fraction out of range"
+        );
+        TemporalPool {
+            plan,
+            per_day,
+            stable_fraction,
+            seed,
+        }
     }
 
     /// The /64 prefixes observed on `day` (0-based).
@@ -93,7 +101,10 @@ mod tests {
         let shared = d0.iter().filter(|&ip| d1.contains(ip)).count();
         // At least the stable fraction recurs (dedup across /64
         // truncation can only merge prefixes).
-        assert!(shared as f64 >= 0.5 * d0.len() as f64, "only {shared} shared");
+        assert!(
+            shared as f64 >= 0.5 * d0.len() as f64,
+            "only {shared} shared"
+        );
         assert!(shared < d0.len(), "days should differ in the dynamic share");
     }
 

@@ -51,7 +51,14 @@ struct Cli {
 }
 
 fn parse(args: &[String]) -> Cli {
-    let mut cli = Cli { input: None, profile: None, top64: false, n: 1000, seed: 1, min_prob: 0.005 };
+    let mut cli = Cli {
+        input: None,
+        profile: None,
+        top64: false,
+        n: 1000,
+        seed: 1,
+        min_prob: 0.005,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,11 +73,15 @@ fn parse(args: &[String]) -> Cli {
             }
             "--seed" => {
                 i += 1;
-                cli.seed = args[i].parse().unwrap_or_else(|_| die("--seed needs a number"));
+                cli.seed = args[i]
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs a number"));
             }
             "--min-prob" => {
                 i += 1;
-                cli.min_prob = args[i].parse().unwrap_or_else(|_| die("--min-prob needs a float"));
+                cli.min_prob = args[i]
+                    .parse()
+                    .unwrap_or_else(|_| die("--min-prob needs a float"));
             }
             flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
             path => {
@@ -87,18 +98,24 @@ fn parse(args: &[String]) -> Cli {
 /// Loads a model either from a profile or by training on the input.
 fn load_model(cli: &Cli) -> IpModel {
     if let Some(path) = &cli.profile {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
         return profile::import(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
     }
-    let path = cli.input.as_ref().unwrap_or_else(|| die("need an address file or --profile"));
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let path = cli
+        .input
+        .as_ref()
+        .unwrap_or_else(|| die("need an address file or --profile"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let ips = AddressSet::parse_lines(&text).unwrap_or_else(|e| die(&e));
     if ips.is_empty() {
         die("input contains no addresses");
     }
-    let opts = if cli.top64 { Options::top64() } else { Options::default() };
+    let opts = if cli.top64 {
+        Options::top64()
+    } else {
+        Options::default()
+    };
     EntropyIp::with_options(opts)
         .analyze(&ips)
         .unwrap_or_else(|e| die(&e.to_string()))
@@ -109,14 +126,24 @@ fn analyze(args: &[String]) {
     let model = load_model(&cli);
     println!("{}", eip_viz::render_entropy_ascii(model.analysis(), 12));
     let browser = Browser::new(&model);
-    println!("{}", eip_viz::render_browser(&browser.distributions(), cli.min_prob));
+    println!(
+        "{}",
+        eip_viz::render_browser(&browser.distributions(), cli.min_prob)
+    );
     let edges: Vec<String> = model
         .bn()
         .edges()
         .iter()
         .map(|&(p, c)| format!("{}->{}", model.bn().node(p).name, model.bn().node(c).name))
         .collect();
-    println!("BN dependencies: {}", if edges.is_empty() { "none".into() } else { edges.join(", ") });
+    println!(
+        "BN dependencies: {}",
+        if edges.is_empty() {
+            "none".into()
+        } else {
+            edges.join(", ")
+        }
+    );
 }
 
 fn generate(args: &[String]) {

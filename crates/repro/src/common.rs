@@ -23,7 +23,12 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { train: 1_000, candidates: 100_000, seed: 20160317, probe_loss: 0.0 }
+        RunConfig {
+            train: 1_000,
+            candidates: 100_000,
+            seed: 20160317,
+            probe_loss: 0.0,
+        }
     }
 }
 
@@ -53,14 +58,26 @@ pub fn workbench(id: &str, cfg: &RunConfig) -> Workbench {
     let (train, test) = observed.split_sample(cfg.train, &mut split_rng);
 
     let mut extra_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
-    let unobserved = spec.plan().generate(spec.default_population / 2, &mut extra_rng);
+    let unobserved = spec
+        .plan()
+        .generate(spec.default_population / 2, &mut extra_rng);
     let active = observed.union(&unobserved);
-    let responder = Responder::new(active, spec.rdns_fraction, cfg.seed ^ 0xd15).with_faults(
-        FaultConfig { probe_loss: cfg.probe_loss, echo_prefixes: vec![], seed: cfg.seed },
-    );
+    let responder =
+        Responder::new(active, spec.rdns_fraction, cfg.seed ^ 0xd15).with_faults(FaultConfig {
+            probe_loss: cfg.probe_loss,
+            echo_prefixes: vec![],
+            seed: cfg.seed,
+        });
 
-    let model = EntropyIp::new().analyze(&train).expect("non-empty training set");
-    Workbench { train, test, responder, model }
+    let model = EntropyIp::new()
+        .analyze(&train)
+        .expect("non-empty training set");
+    Workbench {
+        train,
+        test,
+        responder,
+        model,
+    }
 }
 
 /// Builds only observed population + trained model (for figures).

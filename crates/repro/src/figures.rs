@@ -2,8 +2,8 @@
 
 use eip_addr::Ip6;
 use eip_stats::WindowGrid;
-use entropy_ip::{Analysis, Browser, SegmentationOptions};
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii, render_window_ascii};
+use entropy_ip::{Analysis, Browser, SegmentationOptions};
 
 use crate::common::{quick_model, RunConfig};
 
@@ -122,7 +122,12 @@ pub fn figure4(cfg: &RunConfig) {
     }
     println!("\ndiscovered codes:");
     for sv in &mined.values {
-        println!("  {:<5} {:?}  freq {:.2}%", sv.code, sv.kind, sv.freq * 100.0);
+        println!(
+            "  {:<5} {:?}  freq {:.2}%",
+            sv.code,
+            sv.kind,
+            sv.freq * 100.0
+        );
     }
 }
 
@@ -145,7 +150,11 @@ pub fn figure6(cfg: &RunConfig) {
         let mut rng = eip_addr::set::SplitMix64::new(cfg.seed);
         let sampled = population.stratified_sample(1_000, &mut rng);
         let analysis = Analysis::compute(&sampled, &SegmentationOptions::default());
-        println!("--- {id}: {} ({} IPs sampled) ---", spec.description, sampled.len());
+        println!(
+            "--- {id}: {} ({} IPs sampled) ---",
+            spec.description,
+            sampled.len()
+        );
         println!("{}", render_entropy_ascii(&analysis, 8));
     }
     println!("Expected shape (paper §5.1): AC/AT near 1.0 in the low 64 bits with a dip");
@@ -272,7 +281,9 @@ pub fn figure10(cfg: &RunConfig) {
 /// Fig. 8: brief entropy/ACR panels for S2-S5, R2-R5, C2-C5.
 pub fn figure8(cfg: &RunConfig) {
     println!("=== Figure 8: brief entropy vs ACR panels ===\n");
-    for id in ["S2", "S3", "S4", "S5", "R2", "R3", "R4", "R5", "C2", "C3", "C4", "C5"] {
+    for id in [
+        "S2", "S3", "S4", "S5", "R2", "R3", "R4", "R5", "C2", "C3", "C4", "C5",
+    ] {
         let (_, model) = quick_model(id, 8_000, cfg.seed);
         println!("--- {id} (H_S = {:.1}) ---", model.analysis().total_entropy);
         println!("{}", render_entropy_ascii(model.analysis(), 6));

@@ -11,8 +11,14 @@ use crate::common::{human, prefix_model, quick_model, workbench, RunConfig};
 /// Table 1: the dataset census.
 pub fn table1(cfg: &RunConfig) {
     println!("=== Table 1: datasets (paper population vs simulated) ===\n");
-    println!("{:<4} {:<8} {:>10} {:>12}  description", "ID", "category", "paper", "simulated");
-    for id in eip_netsim::ALL_DATASETS.iter().chain(["AS", "AR", "AC"].iter()) {
+    println!(
+        "{:<4} {:<8} {:>10} {:>12}  description",
+        "ID", "category", "paper", "simulated"
+    );
+    for id in eip_netsim::ALL_DATASETS
+        .iter()
+        .chain(["AS", "AR", "AC"].iter())
+    {
         let spec = dataset(id).unwrap();
         let pop = spec.population_sized(spec.default_population.min(20_000), cfg.seed);
         println!(
@@ -76,7 +82,10 @@ pub fn table2(cfg: &RunConfig) {
         Some(c1) => {
             println!(
                 "P({t_label} | {} , {}):  rows = {}, cols = {}\n",
-                name(c1), name(c0), name(c1), name(c0)
+                name(c1),
+                name(c0),
+                name(c1),
+                name(c0)
             );
             print!("{:>8} |", "");
             for j in 0..model.mined()[c0].cardinality() {
@@ -108,7 +117,11 @@ pub fn table2(cfg: &RunConfig) {
                     &vec![(c0, j)],
                 )
                 .unwrap_or(0.0);
-                println!("  {} = {:>7.2}%", model.mined()[c0].values[j].code, p * 100.0);
+                println!(
+                    "  {} = {:>7.2}%",
+                    model.mined()[c0].values[j].code,
+                    p * 100.0
+                );
             }
         }
     }
@@ -118,7 +131,10 @@ pub fn table2(cfg: &RunConfig) {
 pub fn table3(cfg: &RunConfig) {
     println!("=== Table 3: segment mining results for dataset S1 ===\n");
     let (_, model) = quick_model("S1", 40_000, cfg.seed);
-    println!("{:<6} {:<30} {:>8}   segment (bits)", "Code", "Value", "Freq");
+    println!(
+        "{:<6} {:<30} {:>8}   segment (bits)",
+        "Code", "Value", "Freq"
+    );
     for m in model.mined() {
         let (lo, hi) = m.segment.bit_range();
         for sv in &m.values {
@@ -126,7 +142,11 @@ pub fn table3(cfg: &RunConfig) {
                 ValueKind::Exact(v) => format!("{v:x}"),
                 ValueKind::Range { lo, hi } => format!("{lo:x}-{hi:x}"),
             };
-            let val = if val.len() > 30 { format!("{}…", &val[..29]) } else { val };
+            let val = if val.len() > 30 {
+                format!("{}…", &val[..29])
+            } else {
+                val
+            };
             println!(
                 "{:<6} {:<30} {:>7.2}%   {} ({lo}-{hi})",
                 sv.code,
@@ -178,7 +198,10 @@ pub fn scan_one(id: &str, cfg: &RunConfig) -> Table4Row {
 
 /// Table 4: scanning results for S1-S5, R1-R5.
 pub fn table4(cfg: &RunConfig) {
-    println!("=== Table 4: IPv6 scanning results (train {} / generate {}) ===\n", cfg.train, cfg.candidates);
+    println!(
+        "=== Table 4: IPv6 scanning results (train {} / generate {}) ===\n",
+        cfg.train, cfg.candidates
+    );
     println!(
         "{:<4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
         "Set", "Test set", "Ping", "rDNS", "Overall", "Rate", "New /64s"
@@ -196,7 +219,13 @@ pub fn table4(cfg: &RunConfig) {
             r.rate * 100.0,
             human(r.new64)
         );
-        tot = (tot.0 + r.test, tot.1 + r.ping, tot.2 + r.rdns, tot.3 + r.overall, tot.4 + r.new64);
+        tot = (
+            tot.0 + r.test,
+            tot.1 + r.ping,
+            tot.2 + r.rdns,
+            tot.3 + r.overall,
+            tot.4 + r.new64,
+        );
     }
     println!(
         "{:<4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
@@ -216,7 +245,10 @@ pub fn table4(cfg: &RunConfig) {
 pub fn table5(cfg: &RunConfig) {
     println!("=== Table 5: success rate vs training sample size ===\n");
     let sizes = [100usize, 1_000, 10_000, 100_000];
-    println!("{:<4} {:>9} {:>9} {:>9} {:>9}", "Set", "100", "1 K", "10 K", "100 K");
+    println!(
+        "{:<4} {:>9} {:>9} {:>9} {:>9}",
+        "Set", "100", "1 K", "10 K", "100 K"
+    );
     for id in ["S5", "R1", "C5"] {
         print!("{id:<4}");
         for &train in &sizes {
@@ -266,19 +298,35 @@ pub fn predict_prefixes(id: &str, cfg: &RunConfig) -> ((usize, f64), usize) {
         .candidates;
     let day0_hits = candidates.iter().filter(|&&p| day0.contains(p)).count();
     let week_hits = candidates.iter().filter(|&&p| week.contains(p)).count();
-    let rate7 = if candidates.is_empty() { 0.0 } else { week_hits as f64 / candidates.len() as f64 };
+    let rate7 = if candidates.is_empty() {
+        0.0
+    } else {
+        week_hits as f64 / candidates.len() as f64
+    };
     ((day0_hits, rate7), week_hits)
 }
 
 /// Table 6: client /64-prefix prediction, day 0 vs the week.
 pub fn table6(cfg: &RunConfig) {
-    println!("=== Table 6: /64 prefix prediction for clients (train {} prefixes) ===\n", cfg.train);
-    println!("{:<4} {:>10} {:>10} {:>10}", "Set", "day 0", "7 days", "rate(7d)");
+    println!(
+        "=== Table 6: /64 prefix prediction for clients (train {} prefixes) ===\n",
+        cfg.train
+    );
+    println!(
+        "{:<4} {:>10} {:>10} {:>10}",
+        "Set", "day 0", "7 days", "rate(7d)"
+    );
     let mut t0 = 0usize;
     let mut t7 = 0usize;
     for id in ["C1", "C2", "C3", "C4", "C5"] {
         let ((d0, rate7), week) = predict_prefixes(id, cfg);
-        println!("{:<4} {:>10} {:>10} {:>9.2}%", id, human(d0), human(week), rate7 * 100.0);
+        println!(
+            "{:<4} {:>10} {:>10} {:>9.2}%",
+            id,
+            human(d0),
+            human(week),
+            rate7 * 100.0
+        );
         t0 += d0;
         t7 += week;
     }
@@ -299,7 +347,13 @@ pub fn ablation(cfg: &RunConfig) {
         let n = cfg.candidates.min(20_000);
         let budget = n * 8;
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0x111);
-        let bn_c = generate_with(&wb.model, |r| sample_row(wb.model.bn(), r), n, budget, &mut rng);
+        let bn_c = generate_with(
+            &wb.model,
+            |r| sample_row(wb.model.bn(), r),
+            n,
+            budget,
+            &mut rng,
+        );
         let mm_c = generate_with(&wb.model, |r| mm.sample_row(r), n, budget, &mut rng);
         let in_c = generate_with(&wb.model, |r| ind.sample_row(r), n, budget, &mut rng);
         let rate = |cands: &[eip_addr::Ip6]| {

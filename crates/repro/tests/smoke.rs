@@ -1,0 +1,72 @@
+//! Binary smoke tests: the `repro` harness regenerates paper artifacts
+//! at toy scale (small `--train` / `--candidates`, i.e. a small
+//! `RunConfig`) without panicking, and the `eip` CLI prints usage.
+
+use std::process::Command;
+
+fn run_repro(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {args:?} exited with {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table4_toy_scale() {
+    let stdout = run_repro(&[
+        "--table",
+        "4",
+        "--train",
+        "300",
+        "--candidates",
+        "3000",
+        "--seed",
+        "7",
+    ]);
+    assert!(stdout.contains("Table 4"), "missing header:\n{stdout}");
+    for family in ["S1", "S3", "R1", "R5"] {
+        assert!(stdout.contains(family), "missing row {family}:\n{stdout}");
+    }
+}
+
+#[test]
+fn table1_lists_all_dataset_families() {
+    let stdout = run_repro(&["--table", "1", "--train", "300", "--candidates", "1000"]);
+    assert!(stdout.contains("Table 1"), "missing header:\n{stdout}");
+    for family in ["S1", "S5", "R1", "R5", "C1", "C5"] {
+        assert!(
+            stdout.contains(family),
+            "missing family {family}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn figure2_emits_dot_graph() {
+    let stdout = run_repro(&["--figure", "2", "--train", "300", "--candidates", "1000"]);
+    assert!(
+        stdout.contains("digraph"),
+        "figure 2 should embed DOT:\n{stdout}"
+    );
+}
+
+#[test]
+fn eip_cli_prints_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_eip"))
+        .arg("help")
+        .output()
+        .expect("spawn eip");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("analyze"),
+        "usage should list subcommands:\n{stdout}"
+    );
+}

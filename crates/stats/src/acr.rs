@@ -108,7 +108,9 @@ mod tests {
     #[test]
     fn acr_detects_low_bit_discrimination() {
         // Addresses differ only in the last nybble.
-        let s: AddressSet = (0..8u128).map(|v| Ip6((0x2001_0db8u128 << 96) | v)).collect();
+        let s: AddressSet = (0..8u128)
+            .map(|v| Ip6((0x2001_0db8u128 << 96) | v))
+            .collect();
         let a = acr4(&s);
         assert!(a[31] > 0.7);
         assert!(a[..31].iter().all(|&x| x == 0.0));
@@ -116,7 +118,9 @@ mod tests {
 
     #[test]
     fn aggregate_counts_monotone() {
-        let s: AddressSet = (0..100u128).map(|v| Ip6(v * 0x1234_5678_9abcu128)).collect();
+        let s: AddressSet = (0..100u128)
+            .map(|v| Ip6(v * 0x1234_5678_9abcu128))
+            .collect();
         let c = aggregate_counts(&s);
         for w in c.windows(2) {
             assert!(w[0] <= w[1]);

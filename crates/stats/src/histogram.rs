@@ -134,8 +134,12 @@ impl Histogram {
         }
         let counts: Vec<u64> = self.entries.iter().map(|&(_, c)| c).collect();
         let thr = outlier_threshold(&counts);
-        let mut out: Vec<(u128, u64)> =
-            self.entries.iter().copied().filter(|&(_, c)| (c as f64) > thr).collect();
+        let mut out: Vec<(u128, u64)> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(|&(_, c)| (c as f64) > thr)
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -152,7 +156,10 @@ pub fn quartiles(counts: &[u64]) -> (f64, f64) {
     }
     let mut sorted: Vec<u64> = counts.to_vec();
     sorted.sort_unstable();
-    (percentile_sorted(&sorted, 0.25), percentile_sorted(&sorted, 0.75))
+    (
+        percentile_sorted(&sorted, 0.25),
+        percentile_sorted(&sorted, 0.75),
+    )
 }
 
 /// The Q3 + 1.5·IQR threshold over a count sample: values strictly

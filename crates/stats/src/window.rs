@@ -33,7 +33,6 @@ pub fn window_entropy(addrs: &[Ip6], start: usize, len_nybbles: usize) -> f64 {
     entropy_bits(counts.into_values())
 }
 
-
 /// Alternative variability measures for windowing analysis.
 ///
 /// §4.5: "note that one could use a different variability measure
@@ -134,7 +133,10 @@ impl WindowGrid {
             }
             cells.push(row);
         }
-        WindowGrid { cells, n: addrs.len() }
+        WindowGrid {
+            cells,
+            n: addrs.len(),
+        }
     }
 
     /// Entropy of the window at 1-based `start` with `len` nybbles,
@@ -143,7 +145,10 @@ impl WindowGrid {
         if start == 0 || len == 0 || start > 32 {
             return None;
         }
-        self.cells.get(start - 1).and_then(|row| row.get(len - 1)).copied()
+        self.cells
+            .get(start - 1)
+            .and_then(|row| row.get(len - 1))
+            .copied()
     }
 
     /// Number of addresses the grid was computed from.
@@ -163,9 +168,10 @@ impl WindowGrid {
 
     /// Iterates `(start, len, entropy_bits)` over all cells.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.cells.iter().enumerate().flat_map(|(s, row)| {
-            row.iter().enumerate().map(move |(l, &h)| (s + 1, l + 1, h))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .flat_map(|(s, row)| row.iter().enumerate().map(move |(l, &h)| (s + 1, l + 1, h)))
     }
 }
 
@@ -265,14 +271,20 @@ mod tests {
         ] {
             assert_eq!(window_measure(&a, 1, 11, m), 0.0, "{m:?}");
         }
-        assert_eq!(window_measure(&a, 1, 11, WindowMeasure::DistinctValues), 1.0);
+        assert_eq!(
+            window_measure(&a, 1, 11, WindowMeasure::DistinctValues),
+            1.0
+        );
     }
 
     #[test]
     fn distinct_values_counts_support() {
         let a = fig3_addrs();
         // Window 12..16 has 3 distinct values across the 5 lines.
-        assert_eq!(window_measure(&a, 12, 5, WindowMeasure::DistinctValues), 3.0);
+        assert_eq!(
+            window_measure(&a, 12, 5, WindowMeasure::DistinctValues),
+            3.0
+        );
     }
 
     #[test]
@@ -286,7 +298,10 @@ mod tests {
     #[test]
     fn iqr_positive_only_when_values_spread() {
         let a = fig3_addrs();
-        assert_eq!(window_measure(&a, 17, 12, WindowMeasure::InterQuartileRange), 0.0);
+        assert_eq!(
+            window_measure(&a, 17, 12, WindowMeasure::InterQuartileRange),
+            0.0
+        );
         assert!(window_measure(&a, 29, 4, WindowMeasure::InterQuartileRange) > 0.0);
     }
 

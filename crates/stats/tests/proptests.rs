@@ -1,10 +1,10 @@
 //! Property-based tests for the statistical primitives.
 
 use eip_addr::{AddressSet, Ip6};
-use eip_stats::{acr4, entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
 use eip_stats::acr::aggregate_counts;
 use eip_stats::histogram::{outlier_threshold, quartiles, Histogram};
 use eip_stats::window::window_entropy;
+use eip_stats::{acr4, entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
 use proptest::prelude::*;
 
 proptest! {

@@ -81,7 +81,10 @@ mod tests {
                     ("J1".into(), ValueKind::Exact(0), 1.0),
                     (
                         "J2".into(),
-                        ValueKind::Range { lo: 0xed18068, hi: 0xfffb2bc655b },
+                        ValueKind::Range {
+                            lo: 0xed18068,
+                            hi: 0xfffb2bc655b,
+                        },
                         0.0,
                     ),
                 ],

@@ -49,7 +49,11 @@ pub fn render_entropy_ascii(analysis: &Analysis, height: usize) -> String {
                 (true, false) => '*',
                 (false, true) => '.',
                 (false, false) => {
-                    if analysis.segments.iter().any(|s| s.start == pos + 1 && s.start > 1) {
+                    if analysis
+                        .segments
+                        .iter()
+                        .any(|s| s.start == pos + 1 && s.start > 1)
+                    {
                         '|'
                     } else {
                         ' '
@@ -103,17 +107,18 @@ pub fn render_entropy_svg(analysis: &Analysis, width_px: usize, height_px: usize
     svg.push_str(&format!(
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
     ));
-    svg.push_str(&format!(
-        r#"<rect width="{w}" height="{h}" fill="white"/>"#
-    ));
+    svg.push_str(&format!(r#"<rect width="{w}" height="{h}" fill="white"/>"#));
     // Axes.
     svg.push_str(&format!(
         r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
-        y(0.0), ml + plot_w, y(0.0)
+        y(0.0),
+        ml + plot_w,
+        y(0.0)
     ));
     svg.push_str(&format!(
         r#"<line x1="{ml}" y1="{}" x2="{ml}" y2="{}" stroke="black"/>"#,
-        y(0.0), y(1.0)
+        y(0.0),
+        y(1.0)
     ));
     // Segment boundaries + labels.
     for seg in &analysis.segments {
@@ -126,7 +131,9 @@ pub fn render_entropy_svg(analysis: &Analysis, width_px: usize, height_px: usize
         }
         svg.push_str(&format!(
             r#"<text x="{:.1}" y="{:.1}" font-size="10" font-family="monospace">{}</text>"#,
-            bx + 2.0, mt - 6.0, seg.label
+            bx + 2.0,
+            mt - 6.0,
+            seg.label
         ));
     }
     // Series.

@@ -102,7 +102,10 @@ mod tests {
         // Row for position 1 (constant prefix region at short
         // lengths) should start blank; the full-width window picks up
         // the variation.
-        let row1 = s.lines().find(|l| l.trim_start().starts_with("1 |")).unwrap();
+        let row1 = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 |"))
+            .unwrap();
         assert!(row1.contains('█') || row1.contains('▓'), "{row1}");
     }
 

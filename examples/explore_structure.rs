@@ -14,8 +14,8 @@
 //! graphical views.
 
 use eip_netsim::dataset;
-use entropy_ip::{Browser, EntropyIp};
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii, render_entropy_svg};
+use entropy_ip::{Browser, EntropyIp};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,8 +42,11 @@ fn main() {
     println!("{}", render_browser(&browser.distributions(), 0.005));
 
     // Side outputs for graphical tooling.
-    std::fs::write("entropy.svg", render_entropy_svg(model.analysis(), 800, 300))
-        .expect("write entropy.svg");
+    std::fs::write(
+        "entropy.svg",
+        render_entropy_svg(model.analysis(), 800, 300),
+    )
+    .expect("write entropy.svg");
     std::fs::write("bn.dot", bn_to_dot(model.bn(), None)).expect("write bn.dot");
     println!("wrote entropy.svg and bn.dot (render with: dot -Tsvg bn.dot > bn.svg)");
 }

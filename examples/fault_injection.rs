@@ -29,13 +29,20 @@ fn main() {
         .run(30_000, &mut gen_rng)
         .candidates;
     println!("R1 campaign: {} candidates\n", candidates.len());
-    println!("{:<28} {:>8} {:>8} {:>9} {:>8}", "responder", "ping", "overall", "rate", "new/64");
+    println!(
+        "{:<28} {:>8} {:>8} {:>9} {:>8}",
+        "responder", "ping", "overall", "rate", "new/64"
+    );
 
     let scenarios: [(&str, FaultConfig); 3] = [
         ("clean", FaultConfig::default()),
         (
             "30% probe loss",
-            FaultConfig { probe_loss: 0.3, echo_prefixes: vec![], seed: 5 },
+            FaultConfig {
+                probe_loss: 0.3,
+                echo_prefixes: vec![],
+                seed: 5,
+            },
         ),
         (
             "echo prefix (false pos.)",
@@ -47,8 +54,7 @@ fn main() {
         ),
     ];
     for (name, faults) in scenarios {
-        let responder =
-            Responder::new(observed.clone(), spec.rdns_fraction, 5).with_faults(faults);
+        let responder = Responder::new(observed.clone(), spec.rdns_fraction, 5).with_faults(faults);
         let o = evaluate_scan(&candidates, &train, &test, &responder);
         println!(
             "{:<28} {:>8} {:>8} {:>8.2}% {:>8}",

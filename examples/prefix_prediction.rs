@@ -25,7 +25,11 @@ fn main() {
     let pool = TemporalPool::new(spec.plan(), spec.default_population / 4, 0.7, 2024);
     let day0 = pool.day(0);
     let week = pool.window(0, 7);
-    println!("day 0: {} active /64s; 7-day union: {}", day0.len(), week.len());
+    println!(
+        "day 0: {} active /64s; 7-day union: {}",
+        day0.len(),
+        week.len()
+    );
 
     // Train a top-64-bit model on 1K prefixes from day 0.
     let mut rng = SplitMix64::new(17);
@@ -50,8 +54,14 @@ fn main() {
     let d0 = candidates.iter().filter(|&&p| day0.contains(p)).count();
     let d7 = candidates.iter().filter(|&&p| week.contains(p)).count();
     println!("\ngenerated {} candidate /64s", candidates.len());
-    println!("active on day 0   : {d0} ({:.2}%)", 100.0 * d0 as f64 / candidates.len() as f64);
-    println!("active in the week: {d7} ({:.2}%)", 100.0 * d7 as f64 / candidates.len() as f64);
+    println!(
+        "active on day 0   : {d0} ({:.2}%)",
+        100.0 * d0 as f64 / candidates.len() as f64
+    );
+    println!(
+        "active in the week: {d7} ({:.2}%)",
+        100.0 * d7 as f64 / candidates.len() as f64
+    );
     println!("\n(the paper predicted 12K-150K prefixes per network at 1-20% rates; a");
     println!("larger 7-day count than day-0 count indicates a dynamic assignment pool)");
 }

@@ -11,8 +11,8 @@
 
 use eip_addr::AddressSet;
 use eip_netsim::dataset;
-use entropy_ip::{Browser, EntropyIp};
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii};
+use entropy_ip::{Browser, EntropyIp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,7 +51,10 @@ fn main() {
     }
 
     // 5. The Bayesian network (Fig. 2) as Graphviz DOT.
-    println!("\nBN dependency graph (pipe into `dot -Tsvg`):\n{}", bn_to_dot(model.bn(), None));
+    println!(
+        "\nBN dependency graph (pipe into `dot -Tsvg`):\n{}",
+        bn_to_dot(model.bn(), None)
+    );
 
     // 6. The conditional probability browser (Fig. 1b).
     let browser = Browser::new(&model);

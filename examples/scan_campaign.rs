@@ -42,13 +42,24 @@ fn main() {
     let observed = spec.population(7);
     let mut rng = SplitMix64::new(99);
     let (train, test) = observed.split_sample(1_000, &mut rng);
-    println!("observed {} addresses; training on {}", observed.len(), train.len());
+    println!(
+        "observed {} addresses; training on {}",
+        observed.len(),
+        train.len()
+    );
 
     // The measurement oracle also knows unobserved-but-active hosts.
     let mut extra_rng = StdRng::seed_from_u64(1234);
-    let unobserved = spec.plan().generate(spec.default_population / 2, &mut extra_rng);
-    let responder = Responder::new(observed.union(&unobserved), spec.rdns_fraction, 5)
-        .with_faults(FaultConfig { probe_loss, echo_prefixes: vec![], seed: 5 });
+    let unobserved = spec
+        .plan()
+        .generate(spec.default_population / 2, &mut extra_rng);
+    let responder = Responder::new(observed.union(&unobserved), spec.rdns_fraction, 5).with_faults(
+        FaultConfig {
+            probe_loss,
+            echo_prefixes: vec![],
+            seed: 5,
+        },
+    );
 
     // Train, generate, scan.
     let model = EntropyIp::new().analyze(&train).unwrap();
@@ -67,9 +78,16 @@ fn main() {
     let outcome = evaluate_scan(&report.candidates, &train, &test, &responder);
     println!("\n--- results (one Table 4 row) ---");
     println!("test-set hits : {}", outcome.test_hits);
-    println!("ping hits     : {} (probe loss {probe_loss})", outcome.ping_hits);
+    println!(
+        "ping hits     : {} (probe loss {probe_loss})",
+        outcome.ping_hits
+    );
     println!("rDNS hits     : {}", outcome.rdns_hits);
-    println!("overall       : {} ({:.2}%)", outcome.overall, outcome.success_rate() * 100.0);
+    println!(
+        "overall       : {} ({:.2}%)",
+        outcome.overall,
+        outcome.success_rate() * 100.0
+    );
     println!("new /64s      : {}", outcome.new_slash64);
     println!("probes sent   : {}", responder.probes_sent());
 }

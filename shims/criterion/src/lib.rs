@@ -1,0 +1,206 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim
+//! implements the slice of the criterion API the workspace's four
+//! bench targets use. Instead of criterion's full statistical
+//! machinery it runs a fixed-budget timing loop (~100 ms or
+//! `sample_size` iterations per benchmark, whichever is smaller) and
+//! prints `name: mean ns/iter over N iters` to stdout, so
+//! `cargo bench` finishes in seconds and still catches regressions at
+//! order-of-magnitude granularity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Soft per-benchmark time budget for the measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(100);
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher, &D),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing handle, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    max_iters: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up run, which also sizes the loop.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed();
+        let budget_iters = if once.is_zero() {
+            self.max_iters
+        } else {
+            (TIME_BUDGET.as_nanos() / once.as_nanos()).clamp(1, self.max_iters as u128) as usize
+        };
+        let start = Instant::now();
+        for _ in 0..budget_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = budget_iters as u64;
+    }
+}
+
+/// An identity function that hides a value from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        max_iters: sample_size.max(1),
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {name}: routine never called b.iter()");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!("bench {name}: {per_iter} ns/iter (n = {})", b.iters);
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-target `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test`/`cargo bench` cargo may pass harness
+            // flags (`--test`, `--bench`); the shim runs the same
+            // quick loop either way, so they are ignored.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,96 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value, with mild biasing toward boundary
+    /// values (zero, max, small integers) like the real crate.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Any<T> {}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 cases draw from the boundary set so edge
+                // conditions (zero, max, off-by-one) get exercised.
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [u128; 6] = [0, 1, 2, 3, <$t>::MAX as u128, <$t>::MAX as u128 - 1];
+                    EDGES[(rng.next_u64() % 6) as usize] as $t
+                } else {
+                    rng.next_u128() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.next_u64() % 8 == 0 {
+                    const EDGES: [i128; 6] =
+                        [0, 1, -1, <$t>::MAX as i128, <$t>::MIN as i128, <$t>::MIN as i128 + 1];
+                    EDGES[(rng.next_u64() % 6) as usize] as $t
+                } else {
+                    rng.next_u128() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles spanning many magnitudes; no NaN/inf (the
+        // real crate gates those behind flags the workspace never
+        // enables).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mantissa * (2f64).powi(exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}

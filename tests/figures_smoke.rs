@@ -4,11 +4,11 @@
 use eip_addr::Ip6;
 use eip_netsim::dataset;
 use eip_stats::WindowGrid;
-use entropy_ip::{Browser, EntropyIp};
 use eip_viz::{
     bn_to_dot, render_browser, render_entropy_ascii, render_entropy_svg, render_window_ascii,
     render_window_svg,
 };
+use entropy_ip::{Browser, EntropyIp};
 
 fn model(id: &str) -> (eip_addr::AddressSet, entropy_ip::IpModel) {
     let set = dataset(id).unwrap().population_sized(3_000, 9);
@@ -47,7 +47,11 @@ fn dot_export_contains_every_segment() {
     let (_, m) = model("S1");
     let dot = bn_to_dot(m.bn(), None);
     for seg in &m.analysis().segments {
-        assert!(dot.contains(&format!("\"{}\"", seg.label)), "{} missing", seg.label);
+        assert!(
+            dot.contains(&format!("\"{}\"", seg.label)),
+            "{} missing",
+            seg.label
+        );
     }
     // Each learned edge appears.
     assert_eq!(dot.matches(" -> ").count(), m.bn().edges().len());

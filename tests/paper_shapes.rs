@@ -22,7 +22,12 @@ fn client_aggregate_ubit_dip() {
     assert!(h[17] < 0.95, "u-bit nybble should dip: {}", h[17]);
     assert!(h[17] > 0.6, "but not collapse: {}", h[17]);
     for pos in [19, 22, 27, 31] {
-        assert!(h[pos] > 0.95, "IID nybble {} should be ~1: {}", pos + 1, h[pos]);
+        assert!(
+            h[pos] > 0.95,
+            "IID nybble {} should be ~1: {}",
+            pos + 1,
+            h[pos]
+        );
     }
 }
 
@@ -34,7 +39,10 @@ fn router_aggregate_eui64_drop() {
     let h = profile("AR", 20_000);
     let mid: f64 = h[22..26].iter().sum::<f64>() / 4.0; // nybbles 23-26 = bits 88-104
     let neighbors: f64 = (h[20] + h[27]) / 2.0;
-    assert!(mid < neighbors - 0.1, "fffe region {mid} vs neighbors {neighbors}");
+    assert!(
+        mid < neighbors - 0.1,
+        "fffe region {mid} vs neighbors {neighbors}"
+    );
     assert!(mid > 0.1, "the drop must not reach zero: {mid}");
 }
 
@@ -56,11 +64,19 @@ fn bittorrent_vs_web_clients() {
 #[test]
 fn server_aggregate_rises_toward_low_bits() {
     let h = profile("AS", 20_000);
-    assert!(h[31] > h[24], "last nybble {} vs nybble 25 {}", h[31], h[24]);
+    assert!(
+        h[31] > h[24],
+        "last nybble {} vs nybble 25 {}",
+        h[31],
+        h[24]
+    );
     assert!(h[31] > h[18] + 0.15, "steady increase from bit 80");
     let hs: f64 = h.iter().sum();
     let hc: f64 = profile("AC", 20_000).iter().sum();
-    assert!(hs < hc, "servers {hs} must be less random than clients {hc}");
+    assert!(
+        hs < hc,
+        "servers {hs} must be less random than clients {hc}"
+    );
 }
 
 /// §5.2: S1's two /32s and its IPv4-embedding variant.
@@ -93,7 +109,10 @@ fn router_iid_signatures() {
         let iid = ip.bits(64, 128) as u64;
         for w in 0..4 {
             let word = (iid >> (16 * (3 - w))) & 0xffff;
-            assert!((word >> 4) & 0xf <= 9 && word & 0xf <= 9, "{ip}: non-decimal word");
+            assert!(
+                (word >> 4) & 0xf <= 9 && word & 0xf <= 9,
+                "{ip}: non-decimal word"
+            );
         }
     }
 }

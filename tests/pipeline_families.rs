@@ -7,8 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const FAMILIES: [&str; 16] = [
-    "S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5", "C1", "C2", "C3", "C4", "C5",
-    "AT",
+    "S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5", "C1", "C2", "C3", "C4", "C5", "AT",
 ];
 
 #[test]
@@ -30,9 +29,17 @@ fn every_family_builds_a_model() {
 
         // Every segment has a non-empty dictionary with sane freqs.
         for m in model.mined() {
-            assert!(!m.values.is_empty(), "{id}: empty dictionary in {}", m.segment.label);
+            assert!(
+                !m.values.is_empty(),
+                "{id}: empty dictionary in {}",
+                m.segment.label
+            );
             for sv in &m.values {
-                assert!(sv.freq > 0.0 && sv.freq <= 1.0 + 1e-9, "{id}: freq {}", sv.freq);
+                assert!(
+                    sv.freq > 0.0 && sv.freq <= 1.0 + 1e-9,
+                    "{id}: freq {}",
+                    sv.freq
+                );
                 if let ValueKind::Range { lo, hi } = sv.kind {
                     assert!(lo < hi, "{id}: degenerate range");
                 }
@@ -59,7 +66,10 @@ fn every_family_generates_model_consistent_candidates() {
         let out = model.generate(200, 20_000, &mut rng);
         assert!(out.len() >= 100, "{id}: only {} candidates", out.len());
         for ip in &out {
-            assert!(model.encode(*ip).is_some(), "{id}: {ip} does not match the model");
+            assert!(
+                model.encode(*ip).is_some(),
+                "{id}: {ip} does not match the model"
+            );
         }
     }
 }
@@ -69,7 +79,11 @@ fn total_entropy_orders_clients_above_servers() {
     // §5.1: client addresses are the most random, servers the least.
     let h = |id: &str| {
         let set = dataset(id).unwrap().population_sized(5_000, 3);
-        EntropyIp::new().analyze(&set).unwrap().analysis().total_entropy
+        EntropyIp::new()
+            .analyze(&set)
+            .unwrap()
+            .analysis()
+            .total_entropy
     };
     let c2 = h("C2");
     let r1 = h("R1");
@@ -83,7 +97,11 @@ fn paper_hs_values_have_the_right_magnitude() {
     // The paper reports H_S = 4.6 for R1 and 21.2 for C1.
     let h = |id: &str| {
         let set = dataset(id).unwrap().population_sized(10_000, 3);
-        EntropyIp::new().analyze(&set).unwrap().analysis().total_entropy
+        EntropyIp::new()
+            .analyze(&set)
+            .unwrap()
+            .analysis()
+            .total_entropy
     };
     let r1 = h("R1");
     assert!((2.0..8.0).contains(&r1), "R1 H_S = {r1}, paper says 4.6");
@@ -103,7 +121,7 @@ fn degenerate_inputs_are_handled() {
     assert_eq!(out[0], one.iter().next().unwrap());
 
     // All-identical set.
-    let same: AddressSet = std::iter::repeat(Ip6(77)).take(100).collect();
+    let same: AddressSet = std::iter::repeat_n(Ip6(77), 100).collect();
     assert!(EntropyIp::new().analyze(&same).is_ok());
 
     // Fully random set still builds and generates.

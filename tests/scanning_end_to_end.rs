@@ -18,8 +18,12 @@ fn mini_scan(id: &str, probe_loss: f64) -> MiniRow {
     let observed = spec.population_sized(spec.default_population.min(12_000), 11);
     let mut rng = SplitMix64::new(5);
     let (train, test) = observed.split_sample(1_000, &mut rng);
-    let responder = Responder::new(observed.clone(), spec.rdns_fraction, 3)
-        .with_faults(FaultConfig { probe_loss, echo_prefixes: vec![], seed: 9 });
+    let responder =
+        Responder::new(observed.clone(), spec.rdns_fraction, 3).with_faults(FaultConfig {
+            probe_loss,
+            echo_prefixes: vec![],
+            seed: 9,
+        });
     let model = EntropyIp::new().analyze(&train).unwrap();
     let mut gen_rng = StdRng::seed_from_u64(13);
     let candidates = Generator::new(&model)
@@ -27,7 +31,11 @@ fn mini_scan(id: &str, probe_loss: f64) -> MiniRow {
         .run(10_000, &mut gen_rng)
         .candidates;
     let o = evaluate_scan(&candidates, &train, &test, &responder);
-    MiniRow { rate: o.success_rate(), new64: o.new_slash64, ping: o.ping_hits }
+    MiniRow {
+        rate: o.success_rate(),
+        new64: o.new_slash64,
+        ping: o.ping_hits,
+    }
 }
 
 #[test]
@@ -46,7 +54,11 @@ fn routers_discover_new_slash64s() {
     // (its key advance over IID-only scanning).
     let r1 = mini_scan("R1", 0.0);
     assert!(r1.rate > 0.005, "R1 rate {}", r1.rate);
-    assert!(r1.new64 > 10, "R1 should discover new /64s, got {}", r1.new64);
+    assert!(
+        r1.new64 > 10,
+        "R1 should discover new /64s, got {}",
+        r1.new64
+    );
 }
 
 #[test]
@@ -83,7 +95,10 @@ fn echo_prefix_inflates_success() {
     let o_clean = evaluate_scan(&candidates, &train, &test, &clean);
     let o_echo = evaluate_scan(&candidates, &train, &test, &echo);
     assert!(o_echo.ping_hits > 5 * o_clean.ping_hits.max(1));
-    assert!(o_echo.success_rate() > 0.9, "every in-prefix candidate pings");
+    assert!(
+        o_echo.success_rate() > 0.9,
+        "every in-prefix candidate pings"
+    );
 }
 
 #[test]
@@ -96,7 +111,9 @@ fn prefix_prediction_finds_active_slash64s() {
     let week = pool.window(0, 7);
     let mut rng = SplitMix64::new(5);
     let (train, _) = day0.split_sample(1_000, &mut rng);
-    let model = EntropyIp::with_options(Options::top64()).analyze(&train).unwrap();
+    let model = EntropyIp::with_options(Options::top64())
+        .analyze(&train)
+        .unwrap();
     let mut gen_rng = StdRng::seed_from_u64(3);
     let candidates = Generator::new(&model)
         .excluding(&train)
@@ -120,7 +137,9 @@ fn training_set_exclusion_is_respected() {
     let (train, _) = observed.split_sample(1_000, &mut rng);
     let model = EntropyIp::new().analyze(&train).unwrap();
     let mut gen_rng = StdRng::seed_from_u64(13);
-    let report = Generator::new(&model).excluding(&train).run(5_000, &mut gen_rng);
+    let report = Generator::new(&model)
+        .excluding(&train)
+        .run(5_000, &mut gen_rng);
     for ip in &report.candidates {
         assert!(!train.contains(*ip));
     }

@@ -1,0 +1,97 @@
+//! Workspace smoke test: the entire Entropy/IP pipeline at toy scale,
+//! touching every crate in one pass — address substrate, simulated
+//! network, analysis, mining, Bayesian network, browsing, generation,
+//! scanning evaluation, and all four renderers. Runs in well under a
+//! second so end-to-end regressions fail fast.
+
+use eip_addr::set::SplitMix64;
+use eip_netsim::{dataset, evaluate_scan, Responder};
+use eip_stats::WindowGrid;
+use eip_viz::{
+    bn_to_dot, render_browser, render_entropy_ascii, render_entropy_svg, render_window_ascii,
+};
+use entropy_ip::{Browser, EntropyIp, Generator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Toy-scale knobs (the `repro` harness defaults to train=1000 /
+/// candidates=100000; the smoke test shrinks both ~4-20x).
+const POPULATION: usize = 2_000;
+const TRAIN: usize = 400;
+const CANDIDATES: usize = 2_000;
+
+#[test]
+fn pipeline_end_to_end_at_toy_scale() {
+    // eip_netsim: a simulated network from the paper's Table 1.
+    let spec = dataset("S2").expect("catalog has S2");
+    let observed = spec.population_sized(POPULATION, 77);
+    assert!(observed.len() > POPULATION / 2, "population generated");
+
+    // eip_addr: deterministic train/test split.
+    let mut split_rng = SplitMix64::new(7);
+    let (train, test) = observed.split_sample(TRAIN, &mut split_rng);
+    assert_eq!(train.len(), TRAIN);
+    assert_eq!(train.len() + test.len(), observed.len());
+
+    // entropy_ip (+ eip_stats, eip_cluster, eip_bayes underneath):
+    // the five-stage pipeline.
+    let model = EntropyIp::new()
+        .analyze(&train)
+        .expect("non-empty training set");
+    let analysis = model.analysis();
+    assert_eq!(analysis.entropy.len(), 32, "one entropy per nybble");
+    assert!(!analysis.segments.is_empty(), "segmentation found segments");
+    assert!(!model.mined().is_empty(), "mining produced dictionaries");
+
+    // eip_bayes: evidence propagation through the learned network.
+    let prior = model.posterior(&vec![]);
+    assert_eq!(prior.len(), model.bn().num_vars());
+    for dist in &prior {
+        let total: f64 = dist.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "marginal sums to 1, got {total}"
+        );
+    }
+
+    // entropy_ip::browser: the conditional probability browser.
+    let browser = Browser::new(&model);
+    assert!(!browser.distributions().is_empty());
+
+    // entropy_ip::generate: candidate targets, training set excluded.
+    let mut gen_rng = StdRng::seed_from_u64(13);
+    let report = Generator::new(&model)
+        .excluding(&train)
+        .run(CANDIDATES, &mut gen_rng);
+    assert!(
+        !report.candidates.is_empty(),
+        "generator produced candidates"
+    );
+    for ip in &report.candidates {
+        assert!(!train.contains(*ip), "training addresses must be excluded");
+    }
+
+    // eip_netsim::responder + eval: the simulated scanning campaign.
+    let responder = Responder::new(observed.clone(), spec.rdns_fraction, 3);
+    let outcome = evaluate_scan(&report.candidates, &train, &test, &responder);
+    assert!(
+        outcome.ping_hits > 0,
+        "a structured network must be scannable"
+    );
+    assert!(outcome.success_rate() > 0.0);
+
+    // eip_viz: every renderer emits plausible, non-empty output.
+    let ascii = render_entropy_ascii(analysis, 10);
+    assert!(ascii.lines().count() > 5, "ascii plot has a body");
+    let svg = render_entropy_svg(analysis, 640, 240);
+    assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    let dot = bn_to_dot(model.bn(), None);
+    assert!(dot.starts_with("digraph"), "DOT output: {dot}");
+    let heat = render_browser(&browser.distributions(), 0.01);
+    assert!(!heat.is_empty());
+
+    // eip_stats: the windowing analysis renders too.
+    let addrs: Vec<_> = train.iter().collect();
+    let grid = WindowGrid::compute(&addrs);
+    assert!(!render_window_ascii(&grid).is_empty());
+}
