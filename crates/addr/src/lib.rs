@@ -15,7 +15,9 @@
 //!   (the paper reasons about /32 allocations and /64 subnets).
 //! * [`AddressSet`] — a deduplicated, sorted address collection with
 //!   the sampling operations used by the evaluation (random training
-//!   splits, stratified sampling by /32, /64 extraction).
+//!   splits, stratified sampling by /32, /64 extraction), plus
+//!   [`AddressSetBuilder`] for streaming construction from any
+//!   address iterator with bounded memory.
 //! * [`anonymize`] — the paper's anonymization scheme (first 32 bits
 //!   rewritten to `2001:db8::/32`; embedded IPv4 first octet to 127).
 //! * [`iid`] — interface-identifier construction helpers (Modified
@@ -52,4 +54,4 @@ pub use anonymize::{anonymize_addr, anonymize_set};
 pub use ip6::{Ip6, ParseIp6Error};
 pub use nybbles::Nybbles;
 pub use prefix::{ParsePrefixError, Prefix};
-pub use set::AddressSet;
+pub use set::{AddressSet, AddressSetBuilder};

@@ -220,6 +220,89 @@ impl FromIterator<Ip6> for AddressSet {
     }
 }
 
+/// Incremental [`AddressSet`] construction for streaming ingestion.
+///
+/// Addresses are buffered and periodically compacted (sort + dedup),
+/// so memory stays proportional to the number of *distinct* addresses
+/// seen, not the raw stream length — feeding a line reader with heavy
+/// duplication (e.g. repeated flow records) does not balloon the
+/// buffer. `finish` yields the same set `AddressSet::from_iter` would.
+///
+/// ```
+/// use eip_addr::{AddressSetBuilder, Ip6};
+///
+/// let mut b = AddressSetBuilder::new();
+/// for i in 0..100u128 {
+///     b.push(Ip6(i % 10)); // 90% duplicates
+/// }
+/// assert_eq!(b.finish().len(), 10);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AddressSetBuilder {
+    addrs: Vec<Ip6>,
+    /// Length of the sorted, deduplicated prefix of `addrs`.
+    compacted: usize,
+}
+
+impl AddressSetBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        AddressSetBuilder::default()
+    }
+
+    /// Adds one address.
+    #[inline]
+    pub fn push(&mut self, ip: Ip6) {
+        self.addrs.push(ip);
+        // Compact when the unsorted tail outgrows the distinct
+        // prefix: amortized O(n log n) overall, and the buffer never
+        // exceeds ~2x the distinct count (plus a small constant).
+        if self.addrs.len() - self.compacted > self.compacted.max(1024) {
+            self.compact();
+        }
+    }
+
+    /// Adds every address of an iterator.
+    pub fn extend<I: IntoIterator<Item = Ip6>>(&mut self, ips: I) {
+        for ip in ips {
+            self.push(ip);
+        }
+    }
+
+    /// Number of distinct addresses ingested so far (compacts first).
+    pub fn len(&mut self) -> usize {
+        self.compact();
+        self.addrs.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    fn compact(&mut self) {
+        if self.addrs.len() > self.compacted {
+            self.addrs.sort_unstable();
+            self.addrs.dedup();
+            self.compacted = self.addrs.len();
+        }
+    }
+
+    /// Finalizes the set.
+    pub fn finish(mut self) -> AddressSet {
+        self.compact();
+        AddressSet { addrs: self.addrs }
+    }
+}
+
+impl FromIterator<Ip6> for AddressSetBuilder {
+    fn from_iter<I: IntoIterator<Item = Ip6>>(iter: I) -> Self {
+        let mut b = AddressSetBuilder::new();
+        b.extend(iter);
+        b
+    }
+}
+
 impl<'a> IntoIterator for &'a AddressSet {
     type Item = Ip6;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, Ip6>>;
@@ -360,6 +443,43 @@ mod tests {
         let b = sample.restrict("2001:db9::/32".parse().unwrap());
         assert_eq!(a.len(), 50);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn builder_matches_from_iter() {
+        // A duplicate-heavy, unsorted stream in several shapes.
+        let stream: Vec<Ip6> = (0..10_000u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | ((i * 7919) % 512)))
+            .collect();
+        let mut b = AddressSetBuilder::new();
+        for &ip in &stream {
+            b.push(ip);
+        }
+        let built = b.finish();
+        assert_eq!(built, AddressSet::from_iter(stream.iter().copied()));
+        assert_eq!(built.len(), 512);
+        // extend + FromIterator agree; len() reports distinct count.
+        let mut b2: AddressSetBuilder = stream.iter().copied().collect();
+        assert_eq!(b2.len(), 512);
+        assert!(!b2.is_empty());
+        assert_eq!(b2.finish(), built);
+        assert!(AddressSetBuilder::new().finish().is_empty());
+    }
+
+    #[test]
+    fn builder_memory_stays_near_distinct_count() {
+        // 100K pushes of 256 distinct values: the internal buffer must
+        // stay bounded by ~2x distinct + compaction slack, not 100K.
+        let mut b = AddressSetBuilder::new();
+        for i in 0..100_000u128 {
+            b.push(Ip6(i % 256));
+        }
+        assert!(
+            b.addrs.capacity() < 8_192,
+            "buffer grew to {}",
+            b.addrs.capacity()
+        );
+        assert_eq!(b.finish().len(), 256);
     }
 
     #[test]

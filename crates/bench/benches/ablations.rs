@@ -16,7 +16,7 @@ fn bench_model_classes(c: &mut Criterion) {
     let model = EntropyIp::new().analyze(&set).unwrap();
     let data = encoded_dataset(&model, &set);
     let ind = IndependentModel::fit(&data);
-    let mm = MarkovModel::fit(&data);
+    let mm = MarkovModel::fit(&data).expect("non-empty training data");
 
     let mut g = c.benchmark_group("sample_5k_rows");
     g.bench_function("bayes_net", |b| {

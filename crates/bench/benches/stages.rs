@@ -1,47 +1,86 @@
-//! Per-stage benchmarks of the Entropy/IP pipeline: entropy profile,
-//! ACR, segmentation, mining, BN structure learning, inference.
+//! Per-stage benchmarks of the Entropy/IP pipeline, timed at the real
+//! stage boundaries of the typed [`Pipeline`] API: profile (streaming
+//! ingestion + entropy/ACR), segmentation, mining (serial and
+//! parallel), and BN training — plus the windowing grid and posterior
+//! inference that sit beside the pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eip_addr::{AddressSet, Ip6};
 use eip_netsim::dataset;
-use eip_stats::{acr4, nybble_entropy, WindowGrid};
-use entropy_ip::{segment_entropy_profile, EntropyIp, SegmentationOptions};
+use eip_stats::WindowGrid;
+use entropy_ip::{Config, Mined, Pipeline, Profiled, Segmented};
 
 fn population(n: usize) -> AddressSet {
     dataset("S1").unwrap().population_sized(n, 1)
 }
 
-fn bench_entropy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("entropy_profile");
-    for n in [1_000usize, 10_000] {
-        let addrs: Vec<Ip6> = population(n).iter().collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &addrs, |b, a| {
-            b.iter(|| nybble_entropy(a));
-        });
-    }
-    g.finish();
+fn profiled(n: usize) -> Profiled {
+    Pipeline::new(Config::default())
+        .profile(population(n).iter())
+        .unwrap()
 }
 
-fn bench_acr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("acr4");
+fn segmented(n: usize) -> Segmented {
+    profiled(n).segment()
+}
+
+fn mined(n: usize) -> Mined {
+    segmented(n).mine()
+}
+
+/// Stage 1: streaming ingestion + entropy/ACR profile.
+fn bench_profile_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_profile");
     for n in [1_000usize, 10_000] {
         let set = population(n);
+        let pipeline = Pipeline::new(Config::default());
         g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
-            b.iter(|| acr4(s));
+            b.iter(|| pipeline.profile(s.iter()).unwrap());
         });
     }
     g.finish();
 }
 
-fn bench_segmentation(c: &mut Criterion) {
-    let addrs: Vec<Ip6> = population(10_000).iter().collect();
-    let profile = nybble_entropy(&addrs);
-    let opts = SegmentationOptions::default();
-    c.bench_function("segmentation", |b| {
-        b.iter(|| segment_entropy_profile(&profile, &opts));
+/// Stage 2: segmentation of an existing profile.
+fn bench_segment_stage(c: &mut Criterion) {
+    let p = profiled(10_000);
+    c.bench_function("stage_segment", |b| {
+        b.iter(|| p.segment());
     });
 }
 
+/// Stage 3: mining an existing segmentation, serial vs parallel.
+fn bench_mine_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_mine");
+    g.sample_size(10);
+    let serial = segmented(10_000);
+    g.bench_function("serial_10000", |b| {
+        b.iter(|| serial.mine());
+    });
+    let parallel = Pipeline::new(Config::default().with_parallelism(4))
+        .profile(population(10_000).iter())
+        .unwrap()
+        .segment();
+    g.bench_function("parallel4_10000", |b| {
+        b.iter(|| parallel.mine());
+    });
+    g.finish();
+}
+
+/// Stage 4: BN training on existing dictionaries.
+fn bench_train_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_train");
+    g.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let m = mined(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.train().unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// The windowing analysis (§4.5), beside the pipeline proper.
 fn bench_window_grid(c: &mut Criterion) {
     let addrs: Vec<Ip6> = population(1_000).iter().collect();
     c.bench_function("window_grid_1k", |b| {
@@ -49,20 +88,9 @@ fn bench_window_grid(c: &mut Criterion) {
     });
 }
 
-fn bench_full_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("train_model");
-    g.sample_size(10);
-    for n in [1_000usize, 5_000] {
-        let set = population(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
-            b.iter(|| EntropyIp::new().analyze(s).unwrap());
-        });
-    }
-    g.finish();
-}
-
+/// Posterior inference on the trained model (one browser refresh).
 fn bench_inference(c: &mut Criterion) {
-    let model = EntropyIp::new().analyze(&population(2_000)).unwrap();
+    let model = mined(2_000).train().unwrap().into_model();
     c.bench_function("posterior_marginals", |b| {
         b.iter(|| model.posterior(&vec![(0, 0)]));
     });
@@ -70,11 +98,11 @@ fn bench_inference(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_entropy,
-    bench_acr,
-    bench_segmentation,
+    bench_profile_stage,
+    bench_segment_stage,
+    bench_mine_stage,
+    bench_train_stage,
     bench_window_grid,
-    bench_full_model,
     bench_inference
 );
 criterion_main!(benches);

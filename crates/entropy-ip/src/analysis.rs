@@ -5,13 +5,13 @@
 //! panels display — the solid entropy line, the dashed ACR line, the
 //! Ĥ_S value in the legend, and the lettered segment boundaries.
 
-use eip_addr::{AddressSet, Ip6};
-use eip_stats::{acr4, nybble_entropy};
+use eip_addr::AddressSet;
+use eip_stats::{acr4, NybbleCounts};
 
 use crate::segments::{segment_entropy_profile, Segment, SegmentationOptions};
 
 /// Entropy + ACR profiles and segmentation of an address set.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Analysis {
     /// Normalized per-nybble entropy, Ĥ(X₁)…Ĥ(X₃₂). Entries past
     /// `width` are zero in top-64 mode.
@@ -36,9 +36,21 @@ impl Analysis {
     /// on the addresses as given, but only the first 16 nybbles are
     /// segmented and summed into Ĥ_S.
     pub fn compute(ips: &AddressSet, opts: &SegmentationOptions) -> Analysis {
-        let addrs: Vec<Ip6> = ips.iter().collect();
-        let entropy = nybble_entropy(&addrs);
-        let acr = acr4(ips);
+        let mut counts = NybbleCounts::new();
+        counts.observe_all(ips.iter());
+        Analysis::from_profile(counts.entropy(), acr4(ips), ips.len(), opts)
+    }
+
+    /// Assembles an analysis from already-computed entropy and ACR
+    /// profiles (the segmentation and Ĥ_S are derived here). This is
+    /// the single construction path shared by [`Analysis::compute`]
+    /// and the staged pipeline's segment stage.
+    pub fn from_profile(
+        entropy: [f64; 32],
+        acr: [f64; 32],
+        num_addresses: usize,
+        opts: &SegmentationOptions,
+    ) -> Analysis {
         let total_entropy = entropy[..opts.width].iter().sum();
         let segments = segment_entropy_profile(&entropy, opts);
         Analysis {
@@ -46,7 +58,7 @@ impl Analysis {
             acr,
             total_entropy,
             segments,
-            num_addresses: ips.len(),
+            num_addresses,
             width: opts.width,
         }
     }
@@ -62,6 +74,7 @@ impl Analysis {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eip_addr::Ip6;
 
     fn structured_set() -> AddressSet {
         // One /48, 16 subnets in nybble 13..16, tiny IID counter.

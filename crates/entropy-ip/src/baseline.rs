@@ -23,6 +23,7 @@ use eip_addr::Ip6;
 use eip_bayes::{Cpt, Dataset};
 use rand::Rng;
 
+use crate::error::EipError;
 use crate::model::IpModel;
 
 /// Independent per-segment sampler (BN with no edges).
@@ -65,10 +66,15 @@ pub struct MarkovModel {
 impl MarkovModel {
     /// Fits the chain from an encoded dataset.
     ///
-    /// # Panics
-    /// Panics on an empty dataset or fewer than one variable.
-    pub fn fit(data: &Dataset) -> Self {
-        assert!(!data.is_empty() && data.num_vars() >= 1, "need data");
+    /// An empty dataset (or one with no variables) cannot anchor the
+    /// initial distribution and yields
+    /// [`EipError::InsufficientData`].
+    pub fn fit(data: &Dataset) -> Result<Self, EipError> {
+        if data.is_empty() || data.num_vars() == 0 {
+            return Err(EipError::InsufficientData(
+                "Markov baseline needs a non-empty encoded dataset".into(),
+            ));
+        }
         let mut counts0 = vec![0u64; data.cardinality(0)];
         for row in data.rows() {
             counts0[row[0]] += 1;
@@ -86,10 +92,10 @@ impl MarkovModel {
             }
             transitions.push(Cpt::from_counts(card, vec![prev_card], &counts, 0.5));
         }
-        MarkovModel {
+        Ok(MarkovModel {
             initial,
             transitions,
-        }
+        })
     }
 
     /// Samples one code row.
@@ -174,7 +180,7 @@ mod tests {
         let model = EntropyIp::new().analyze(&set).unwrap();
         let data = encoded_dataset(&model, &set);
         let ind = IndependentModel::fit(&data);
-        let mm = MarkovModel::fit(&data);
+        let mm = MarkovModel::fit(&data).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let r1 = ind.sample_row(&mut rng);
@@ -226,15 +232,17 @@ mod tests {
         let set = correlated_set();
         let model = EntropyIp::new().analyze(&set).unwrap();
         let data = encoded_dataset(&model, &set);
-        let mm = MarkovModel::fit(&data);
+        let mm = MarkovModel::fit(&data).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let out = generate_with(&model, |r| mm.sample_row(r), 200, 20_000, &mut rng);
         assert!(out.len() >= 100);
     }
 
     #[test]
-    #[should_panic(expected = "need data")]
     fn markov_rejects_empty() {
-        MarkovModel::fit(&Dataset::new(vec![2], vec![]));
+        assert!(matches!(
+            MarkovModel::fit(&Dataset::new(vec![2], vec![])),
+            Err(EipError::InsufficientData(_))
+        ));
     }
 }

@@ -17,25 +17,56 @@
 //!    browser ([`browser`]) and the candidate target generator
 //!    ([`generate`], §5.5–5.6).
 //!
-//! ## Quickstart
+//! ## Quickstart — the staged pipeline
+//!
+//! The canonical entry point is [`Pipeline`]: each stage is a typed,
+//! `Clone`-able artifact that can be inspected and re-run on its own
+//! (re-mine with different [`MiningOptions`] without recomputing the
+//! entropy profile; retrain the BN without re-mining). Ingestion is
+//! streaming: [`Pipeline::profile`] takes any `Iterator<Item = Ip6>`.
 //!
 //! ```
-//! use eip_addr::{AddressSet, Ip6};
-//! use entropy_ip::{EntropyIp, Options};
+//! use eip_addr::Ip6;
+//! use entropy_ip::{Config, Pipeline};
 //!
-//! // A toy "network": one /64, IIDs counting upward.
-//! let ips: AddressSet = (0..512u128)
-//!     .map(|i| Ip6((0x2001_0db8_0001_0000u128 << 64) | i))
-//!     .collect();
+//! // A toy "network": one /64, IIDs counting upward — streamed
+//! // straight from the iterator, no intermediate Vec.
+//! let pipeline = Pipeline::new(Config::default());
+//! let profiled = pipeline
+//!     .profile((0..512u128).map(|i| Ip6((0x2001_0db8_0001_0000u128 << 64) | i)))
+//!     .unwrap();
+//! assert!(profiled.total_entropy() < 4.0); // highly structured
 //!
-//! let model = EntropyIp::with_options(Options::default()).analyze(&ips).unwrap();
-//! assert!(model.analysis().total_entropy < 4.0); // highly structured
+//! // Segment, mine, and train — each artifact is inspectable.
+//! let segmented = profiled.segment();
+//! let mined = segmented.mine();
+//! assert_eq!(mined.mined().len(), segmented.segments().len());
+//! let model = mined.train().unwrap().into_model();
 //!
 //! // Generate fresh candidates that match the discovered structure.
 //! let mut rng = rand::thread_rng();
 //! let candidates = model.generate(100, 10_000, &mut rng);
 //! assert!(!candidates.is_empty());
 //! ```
+//!
+//! The one-shot convenience is still there — `EntropyIp::analyze`
+//! runs all four stages and returns the same model byte-for-byte:
+//!
+//! ```
+//! use eip_addr::{AddressSet, Ip6};
+//! use entropy_ip::EntropyIp;
+//!
+//! let ips: AddressSet = (0..512u128)
+//!     .map(|i| Ip6((0x2001_0db8_0001_0000u128 << 64) | i))
+//!     .collect();
+//! let model = EntropyIp::new().analyze(&ips).unwrap();
+//! assert!(model.analysis().total_entropy < 4.0);
+//! ```
+//!
+//! All fallible operations report the unified [`EipError`];
+//! [`Config::parallelism`] fans per-segment mining out over scoped
+//! worker threads (and [`Generator::run_seeded`] does the same for
+//! batched generation) without changing any result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,15 +74,19 @@
 pub mod analysis;
 pub mod baseline;
 pub mod browser;
+pub mod error;
 pub mod generate;
 pub mod mining;
 pub mod model;
+pub mod pipeline;
 pub mod profile;
 pub mod segments;
 
 pub use analysis::Analysis;
 pub use browser::{Browser, SegmentDistribution};
+pub use error::EipError;
 pub use generate::Generator;
 pub use mining::{MinedSegment, MiningOptions, SegmentValue, ValueKind};
 pub use model::{EntropyIp, IpModel, ModelError, Options};
+pub use pipeline::{Config, Mined, Pipeline, Profiled, Segmented, Trained};
 pub use segments::{segment_entropy_profile, Segment, SegmentationOptions};

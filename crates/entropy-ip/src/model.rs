@@ -2,14 +2,13 @@
 //! network → encoding/decoding/generation.
 
 use std::collections::HashSet;
-use std::fmt;
 
 use eip_addr::{AddressSet, Ip6, Nybbles};
-use eip_bayes::{learn_structure, BayesNet, Dataset, Evidence, LearnOptions};
+use eip_bayes::{BayesNet, Evidence, LearnOptions};
 use rand::Rng;
 
 use crate::analysis::Analysis;
-use crate::mining::{mine_segment, MinedSegment, MiningOptions, ValueKind};
+use crate::mining::{MinedSegment, MiningOptions, ValueKind};
 use crate::segments::SegmentationOptions;
 
 /// Pipeline configuration.
@@ -36,21 +35,11 @@ impl Options {
 }
 
 /// Errors from model construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ModelError {
-    /// The training set was empty.
-    EmptySet,
-}
-
-impl fmt::Display for ModelError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ModelError::EmptySet => f.write_str("cannot analyze an empty address set"),
-        }
-    }
-}
-
-impl std::error::Error for ModelError {}
+///
+/// Historical alias: model construction now reports the unified
+/// [`EipError`](crate::error::EipError) (`ModelError::EmptySet` still
+/// matches).
+pub type ModelError = crate::error::EipError;
 
 /// The Entropy/IP system: builds [`IpModel`]s from address sets.
 #[derive(Clone, Debug, Default)]
@@ -69,63 +58,15 @@ impl EntropyIp {
         EntropyIp { opts }
     }
 
-    /// Runs the full pipeline on a training set.
+    /// Runs the full pipeline on a training set — a thin convenience
+    /// over the staged [`Pipeline`](crate::Pipeline) API (the staged
+    /// path produces a byte-identical model; see
+    /// [`crate::pipeline`]).
     ///
     /// In top-64 mode the set is first reduced to its distinct /64
     /// networks, as §5.6 trains on prefixes.
     pub fn analyze(&self, ips: &AddressSet) -> Result<IpModel, ModelError> {
-        if ips.is_empty() {
-            return Err(ModelError::EmptySet);
-        }
-        let working: AddressSet = if self.opts.segmentation.width <= 16 {
-            ips.iter().map(|ip| ip.slash64()).collect()
-        } else {
-            ips.clone()
-        };
-        let analysis = Analysis::compute(&working, &self.opts.segmentation);
-
-        // Mine every segment.
-        let addrs: Vec<Ip6> = working.iter().collect();
-        let mut mined: Vec<MinedSegment> = Vec::with_capacity(analysis.segments.len());
-        for seg in &analysis.segments {
-            let values: Vec<u128> = addrs
-                .iter()
-                .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
-                .collect();
-            mined.push(mine_segment(seg, &values, &self.opts.mining));
-        }
-
-        // Encode the training set as categorical rows. The mining
-        // stop rule ("if there is <=0.1% of values left, we finish")
-        // can leave a sliver of rare segment values outside every
-        // dictionary; those addresses are dropped from BN training,
-        // exactly as the paper's V_k construction implies.
-        let cardinalities: Vec<usize> = mined.iter().map(|m| m.cardinality()).collect();
-        let rows: Vec<Vec<usize>> = addrs
-            .iter()
-            .filter_map(|ip| {
-                let ny = ip.nybbles();
-                mined
-                    .iter()
-                    .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
-                    .collect::<Option<Vec<usize>>>()
-            })
-            .collect();
-        if rows.is_empty() {
-            return Err(ModelError::EmptySet);
-        }
-        let dataset = Dataset::new(cardinalities, rows);
-
-        // Learn the BN with segment letters as variable names.
-        let mut learn_opts = self.opts.learning.clone();
-        learn_opts.names = analysis.segments.iter().map(|s| s.label.clone()).collect();
-        let bn = learn_structure(&dataset, &learn_opts);
-
-        Ok(IpModel {
-            analysis,
-            mined,
-            bn,
-        })
+        crate::Pipeline::new(crate::Config::from(self.opts.clone())).run(ips.iter())
     }
 }
 

@@ -1,0 +1,584 @@
+//! The staged pipeline API: typed, independently re-runnable stages.
+//!
+//! Entropy/IP is a five-stage pipeline (profile → segment → mine →
+//! train → generate), but callers rarely need all of it at once: the
+//! figures want only the entropy profile, parameter sweeps want to
+//! re-mine with new options without re-counting entropy, and a saved
+//! profile wants to retrain the BN without touching the raw
+//! addresses. [`Pipeline`] exposes each stage as a typed artifact:
+//!
+//! ```text
+//! Pipeline::new(Config)
+//!     .profile(ips)?      -> Profiled    entropy + ACR counters
+//!     .segment()          -> Segmented   + lettered segments (§4.2)
+//!     .mine()             -> Mined       + value dictionaries (§4.3)
+//!     .train()?           -> Trained     + Bayesian network (§4.4)
+//!     .into_model()       -> IpModel     browse / generate (§5)
+//! ```
+//!
+//! Every stage is `Clone` and borrows nothing, so intermediate
+//! artifacts can be kept, compared, and re-run: [`Segmented::mine_with`]
+//! re-mines under different [`MiningOptions`] without recomputing the
+//! entropy profile, and [`Mined::train_with`] retrains the BN without
+//! re-mining. The address set is shared behind an [`Arc`], so cloning
+//! a stage is cheap.
+//!
+//! **Streaming ingestion.** [`Pipeline::profile`] accepts any
+//! `IntoIterator<Item = Ip6>` and feeds an
+//! [`AddressSetBuilder`] plus
+//! counter-based entropy ([`eip_stats::NybbleCounts`]) — no
+//! intermediate `Vec<Ip6>` is materialized beyond the deduplicated
+//! set itself. [`Pipeline::profile_lines`] does the same from a line
+//! reader (one address per line, `#` comments allowed).
+//!
+//! **Parallelism.** [`Config::parallelism`] > 1 runs per-segment
+//! mining on [`std::thread::scope`] worker chunks; results are joined
+//! in segment order, so the model is identical at any worker count
+//! (see the stage-equivalence and determinism integration tests).
+//! Batched candidate generation parallelizes the same way through
+//! [`Generator::run_seeded`](crate::Generator::run_seeded).
+//!
+//! The one-shot [`EntropyIp::analyze`](crate::EntropyIp::analyze) is
+//! now a thin convenience over these stages and produces
+//! byte-identical models (via [`crate::profile::export`]).
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::thread;
+
+use eip_addr::{AddressSet, AddressSetBuilder, Ip6};
+use eip_bayes::{learn_structure, Dataset, LearnOptions};
+use eip_stats::{acr4, NybbleCounts};
+
+use crate::analysis::Analysis;
+use crate::error::EipError;
+use crate::mining::{mine_segment, MinedSegment, MiningOptions};
+use crate::model::{IpModel, Options};
+use crate::segments::{Segment, SegmentationOptions};
+
+/// Full pipeline configuration: the per-stage options plus the
+/// worker-thread budget for the parallel hot paths.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Segmentation parameters (§4.2).
+    pub segmentation: SegmentationOptions,
+    /// Mining parameters (§4.3).
+    pub mining: MiningOptions,
+    /// Structure-learning parameters (§4.4).
+    pub learning: LearnOptions,
+    /// Worker threads for per-segment mining (1 = serial). The model
+    /// produced is identical at any setting; only wall-clock changes.
+    pub parallelism: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            segmentation: SegmentationOptions::default(),
+            mining: MiningOptions::default(),
+            learning: LearnOptions::default(),
+            parallelism: 1,
+        }
+    }
+}
+
+impl Config {
+    /// Configuration for /64-prefix prediction (§5.6): analysis
+    /// constrained to the top 64 bits.
+    pub fn top64() -> Self {
+        Config {
+            segmentation: SegmentationOptions::top64(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the worker-thread budget (clamped to at least 1).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+}
+
+impl From<Options> for Config {
+    fn from(opts: Options) -> Self {
+        Config {
+            segmentation: opts.segmentation,
+            mining: opts.mining,
+            learning: opts.learning,
+            parallelism: 1,
+        }
+    }
+}
+
+/// The staged Entropy/IP pipeline. See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    cfg: Config,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(cfg: Config) -> Self {
+        Pipeline { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Stage 1 — streaming ingestion and profiling. Deduplicates the
+    /// addresses (reducing them to their /64 networks first in top-64
+    /// mode, as §5.6 trains on prefixes) and accumulates the entropy
+    /// and ACR profiles.
+    ///
+    /// Fails with [`EipError::EmptySet`] if the iterator yields
+    /// nothing.
+    pub fn profile<I>(&self, ips: I) -> Result<Profiled, EipError>
+    where
+        I: IntoIterator<Item = Ip6>,
+    {
+        let top64 = self.cfg.segmentation.width <= 16;
+        let mut builder = AddressSetBuilder::new();
+        for ip in ips {
+            builder.push(if top64 { ip.slash64() } else { ip });
+        }
+        self.profile_working(builder.finish())
+    }
+
+    /// Profiles an already-ingested working set (top-64 reduction and
+    /// deduplication must have happened during ingestion).
+    fn profile_working(&self, working: AddressSet) -> Result<Profiled, EipError> {
+        if working.is_empty() {
+            return Err(EipError::EmptySet);
+        }
+        let mut counts = NybbleCounts::new();
+        counts.observe_all(working.iter());
+        let entropy = counts.entropy();
+        let acr = acr4(&working);
+        Ok(Profiled {
+            cfg: self.cfg.clone(),
+            working: Arc::new(working),
+            entropy,
+            acr,
+        })
+    }
+
+    /// Stage 1 from a line reader: one address per line (colon or
+    /// fixed-width hex format), blank lines and `#` comments skipped.
+    /// This is the `eip analyze ips.txt` ingestion path — the stream
+    /// is profiled as it is read.
+    pub fn profile_lines<R: BufRead>(&self, reader: R) -> Result<Profiled, EipError> {
+        let top64 = self.cfg.segmentation.width <= 16;
+        let mut builder = AddressSetBuilder::new();
+        for (no, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| EipError::io(format!("line {}", no + 1), e))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let ip: Ip6 = line.parse().map_err(|_| {
+                EipError::Parse(format!("line {}: invalid address: {line}", no + 1))
+            })?;
+            builder.push(if top64 { ip.slash64() } else { ip });
+        }
+        self.profile_working(builder.finish())
+    }
+
+    /// All four stages in one call (the staged equivalent of
+    /// [`EntropyIp::analyze`](crate::EntropyIp::analyze)).
+    pub fn run<I>(&self, ips: I) -> Result<IpModel, EipError>
+    where
+        I: IntoIterator<Item = Ip6>,
+    {
+        Ok(self.profile(ips)?.segment().mine().train()?.into_model())
+    }
+}
+
+/// Stage-1 artifact: the deduplicated working set with its entropy
+/// and ACR profiles.
+#[derive(Clone, Debug)]
+pub struct Profiled {
+    cfg: Config,
+    working: Arc<AddressSet>,
+    entropy: [f64; 32],
+    acr: [f64; 32],
+}
+
+impl Profiled {
+    /// The configuration this artifact was produced under.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The deduplicated working set (already /64-reduced in top-64
+    /// mode).
+    pub fn addresses(&self) -> &AddressSet {
+        &self.working
+    }
+
+    /// Normalized per-nybble entropy Ĥ(X₁)…Ĥ(X₃₂).
+    pub fn entropy(&self) -> &[f64; 32] {
+        &self.entropy
+    }
+
+    /// Normalized 4-bit aggregate count ratios.
+    pub fn acr(&self) -> &[f64; 32] {
+        &self.acr
+    }
+
+    /// Total entropy Ĥ_S over the analyzed width.
+    pub fn total_entropy(&self) -> f64 {
+        self.entropy[..self.cfg.segmentation.width].iter().sum()
+    }
+
+    /// Number of distinct addresses profiled.
+    pub fn num_addresses(&self) -> usize {
+        self.working.len()
+    }
+
+    /// Stage 2 — segmentation of the entropy profile (§4.2).
+    pub fn segment(&self) -> Segmented {
+        let analysis = Analysis::from_profile(
+            self.entropy,
+            self.acr,
+            self.working.len(),
+            &self.cfg.segmentation,
+        );
+        Segmented {
+            profiled: self.clone(),
+            analysis,
+        }
+    }
+}
+
+/// Stage-2 artifact: the profile plus its lettered segments, packaged
+/// as the [`Analysis`] the figures and the model display.
+#[derive(Clone, Debug)]
+pub struct Segmented {
+    profiled: Profiled,
+    analysis: Analysis,
+}
+
+impl Segmented {
+    /// The configuration this artifact was produced under.
+    pub fn config(&self) -> &Config {
+        &self.profiled.cfg
+    }
+
+    /// The deduplicated working set.
+    pub fn addresses(&self) -> &AddressSet {
+        self.profiled.addresses()
+    }
+
+    /// The full analysis (entropy, ACR, Ĥ_S, segments).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The discovered segments, left to right.
+    pub fn segments(&self) -> &[Segment] {
+        &self.analysis.segments
+    }
+
+    /// Stage 3 — mines every segment's value dictionary with the
+    /// configured [`MiningOptions`].
+    pub fn mine(&self) -> Mined {
+        self.mine_with(&self.profiled.cfg.mining)
+    }
+
+    /// Stage 3 with explicit options: re-mines this artifact without
+    /// recomputing the entropy profile or segmentation. Mining runs
+    /// on `config().parallelism` worker threads; the result is
+    /// identical at any worker count.
+    pub fn mine_with(&self, opts: &MiningOptions) -> Mined {
+        let mined = mine_all(
+            self.addresses(),
+            &self.analysis.segments,
+            opts,
+            self.profiled.cfg.parallelism,
+        );
+        Mined {
+            segmented: self.clone(),
+            mined,
+        }
+    }
+}
+
+/// Stage-3 artifact: the segmentation plus one mined value dictionary
+/// per segment.
+#[derive(Clone, Debug)]
+pub struct Mined {
+    segmented: Segmented,
+    mined: Vec<MinedSegment>,
+}
+
+impl Mined {
+    /// The configuration this artifact was produced under.
+    pub fn config(&self) -> &Config {
+        self.segmented.config()
+    }
+
+    /// The deduplicated working set.
+    pub fn addresses(&self) -> &AddressSet {
+        self.segmented.addresses()
+    }
+
+    /// The analysis this mining was based on.
+    pub fn analysis(&self) -> &Analysis {
+        self.segmented.analysis()
+    }
+
+    /// Mined value dictionaries, one per segment.
+    pub fn mined(&self) -> &[MinedSegment] {
+        &self.mined
+    }
+
+    /// Stage 4 — encodes the working set as categorical rows and
+    /// learns the Bayesian network with the configured
+    /// [`LearnOptions`].
+    pub fn train(&self) -> Result<Trained, EipError> {
+        self.train_with(&self.config().learning)
+    }
+
+    /// Stage 4 with explicit options: retrains the BN on this
+    /// artifact without re-mining. Variable names are always the
+    /// segment letters.
+    ///
+    /// The mining stop rule ("if there is <=0.1% of values left, we
+    /// finish") can leave a sliver of rare segment values outside
+    /// every dictionary; those addresses are dropped from BN
+    /// training, exactly as the paper's V_k construction implies. If
+    /// *no* address encodes, this fails with [`EipError::EmptySet`].
+    pub fn train_with(&self, opts: &LearnOptions) -> Result<Trained, EipError> {
+        let cardinalities: Vec<usize> = self.mined.iter().map(|m| m.cardinality()).collect();
+        let rows: Vec<Vec<usize>> = self
+            .addresses()
+            .iter()
+            .filter_map(|ip| {
+                let ny = ip.nybbles();
+                self.mined
+                    .iter()
+                    .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
+                    .collect::<Option<Vec<usize>>>()
+            })
+            .collect();
+        if rows.is_empty() {
+            return Err(EipError::EmptySet);
+        }
+        let dataset = Dataset::new(cardinalities, rows);
+        let mut learn_opts = opts.clone();
+        learn_opts.names = self
+            .analysis()
+            .segments
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
+        let bn = learn_structure(&dataset, &learn_opts);
+        Ok(Trained {
+            model: IpModel::from_parts(self.analysis().clone(), self.mined.clone(), bn),
+        })
+    }
+}
+
+/// Stage-4 artifact: the trained model.
+#[derive(Clone, Debug)]
+pub struct Trained {
+    model: IpModel,
+}
+
+impl Trained {
+    /// The trained model.
+    pub fn model(&self) -> &IpModel {
+        &self.model
+    }
+
+    /// Consumes the artifact into the model.
+    pub fn into_model(self) -> IpModel {
+        self.model
+    }
+}
+
+/// Mines every segment, fanning the segments out over `parallelism`
+/// scoped worker threads. Results are joined in segment order, so the
+/// output is independent of the worker count (mining itself is
+/// deterministic — no RNG is involved).
+fn mine_all(
+    working: &AddressSet,
+    segments: &[Segment],
+    opts: &MiningOptions,
+    parallelism: usize,
+) -> Vec<MinedSegment> {
+    let mine_one = |seg: &Segment| {
+        let values: Vec<u128> = working
+            .iter()
+            .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
+            .collect();
+        mine_segment(seg, &values, opts)
+    };
+    let workers = parallelism.clamp(1, segments.len().max(1));
+    if workers == 1 {
+        return segments.iter().map(mine_one).collect();
+    }
+    let mut out: Vec<Option<MinedSegment>> = vec![None; segments.len()];
+    let per = segments.len().div_ceil(workers);
+    let mine_one = &mine_one;
+    thread::scope(|s| {
+        for (slots, segs) in out.chunks_mut(per).zip(segments.chunks(per)) {
+            s.spawn(move || {
+                for (slot, seg) in slots.iter_mut().zip(segs) {
+                    *slot = Some(mine_one(seg));
+                }
+            });
+        }
+    });
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EntropyIp;
+    use crate::profile;
+
+    fn training_set() -> AddressSet {
+        (0..900u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | ((i % 8) << 80) | (i % 120)))
+            .collect()
+    }
+
+    #[test]
+    fn staged_matches_one_shot_exactly() {
+        let set = training_set();
+        let staged = Pipeline::new(Config::default())
+            .profile(set.iter())
+            .unwrap()
+            .segment()
+            .mine()
+            .train()
+            .unwrap()
+            .into_model();
+        let one_shot = EntropyIp::new().analyze(&set).unwrap();
+        assert_eq!(profile::export(&staged), profile::export(&one_shot));
+    }
+
+    #[test]
+    fn stages_expose_their_artifacts() {
+        let set = training_set();
+        let profiled = Pipeline::new(Config::default())
+            .profile(set.iter())
+            .unwrap();
+        assert_eq!(profiled.num_addresses(), set.len());
+        assert!(profiled.total_entropy() > 0.0);
+        assert_eq!(profiled.entropy()[0], 0.0, "constant top nybble");
+        let segmented = profiled.segment();
+        assert!(segmented.segments().len() >= 3);
+        assert_eq!(segmented.analysis().width, 32);
+        let mined = segmented.mine();
+        assert_eq!(mined.mined().len(), segmented.segments().len());
+        let trained = mined.train().unwrap();
+        assert_eq!(trained.model().mined().len(), mined.mined().len());
+    }
+
+    #[test]
+    fn remine_without_reprofiling() {
+        // Last byte: dominant value 7 plus three stragglers — the
+        // stragglers are enumerated verbatim by the default miner but
+        // collapse into one range when enumeration is disabled.
+        let base = 0x2001_0db8u128 << 96;
+        let mut v: Vec<Ip6> = (0..500u128).map(|i| Ip6(base | (i << 8) | 7)).collect();
+        v.extend(
+            [100u128, 200, 300]
+                .iter()
+                .map(|&x| Ip6(base | (600 << 8) | x)),
+        );
+        let segmented = Pipeline::new(Config::default())
+            .profile(v)
+            .unwrap()
+            .segment();
+        let default = segmented.mine();
+        let coarse = segmented.mine_with(&MiningOptions {
+            enumerate_limit: 0,
+            ..MiningOptions::default()
+        });
+        // Same segmentation, different dictionaries.
+        assert_eq!(default.analysis(), coarse.analysis());
+        assert_ne!(
+            default
+                .mined()
+                .iter()
+                .map(|m| m.cardinality())
+                .sum::<usize>(),
+            coarse
+                .mined()
+                .iter()
+                .map(|m| m.cardinality())
+                .sum::<usize>(),
+        );
+        // Both still train.
+        assert!(coarse.train().is_ok());
+    }
+
+    #[test]
+    fn retrain_without_remining() {
+        let mined = Pipeline::new(Config::default())
+            .profile(training_set().iter())
+            .unwrap()
+            .segment()
+            .mine();
+        let dense = mined.train().unwrap();
+        let edgeless = mined
+            .train_with(&LearnOptions {
+                max_parents: 0,
+                ..LearnOptions::default()
+            })
+            .unwrap();
+        assert!(edgeless.model().bn().edges().is_empty());
+        // Dictionaries are shared; only the BN differs.
+        assert_eq!(dense.model().mined(), edgeless.model().mined());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert_eq!(
+            Pipeline::new(Config::default())
+                .profile(std::iter::empty())
+                .unwrap_err(),
+            EipError::EmptySet
+        );
+    }
+
+    #[test]
+    fn profile_lines_streams_and_reports_errors() {
+        let p = Pipeline::new(Config::default());
+        let good = "# header\n2001:db8::1\n\n20010db8000000000000000000000002\n";
+        let profiled = p.profile_lines(good.as_bytes()).unwrap();
+        assert_eq!(profiled.num_addresses(), 2);
+        let bad = "2001:db8::1\nbogus\n";
+        match p.profile_lines(bad.as_bytes()) {
+            Err(EipError::Parse(msg)) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top64_config_reduces_to_prefixes() {
+        let profiled = Pipeline::new(Config::top64())
+            .profile(training_set().iter())
+            .unwrap();
+        assert_eq!(profiled.num_addresses(), 8, "8 distinct /64s");
+        for ip in profiled.addresses().iter() {
+            assert_eq!(ip.value() & u128::from(u64::MAX), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_mining_matches_serial() {
+        let set = training_set();
+        let serial = Pipeline::new(Config::default()).run(set.iter()).unwrap();
+        let parallel = Pipeline::new(Config::default().with_parallelism(4))
+            .run(set.iter())
+            .unwrap();
+        assert_eq!(profile::export(&serial), profile::export(&parallel));
+    }
+}

@@ -28,6 +28,7 @@
 use eip_bayes::{BayesNet, Cpt, Node};
 
 use crate::analysis::Analysis;
+use crate::error::EipError;
 use crate::mining::{MinedSegment, SegmentValue, ValueKind};
 use crate::model::IpModel;
 use crate::segments::Segment;
@@ -102,7 +103,14 @@ pub fn export(model: &IpModel) -> String {
 }
 
 /// Parses a profile back into a model.
-pub fn import(text: &str) -> Result<IpModel, String> {
+///
+/// Format violations are reported as [`EipError::Profile`] with the
+/// offending line's context.
+pub fn import(text: &str) -> Result<IpModel, EipError> {
+    import_inner(text).map_err(EipError::Profile)
+}
+
+fn import_inner(text: &str) -> Result<IpModel, String> {
     let mut lines = text.lines().peekable();
     let mut expect = |prefix: &str| -> Result<Vec<String>, String> {
         let line = lines

@@ -8,34 +8,62 @@
 //! eip analyze ips.txt                  # entropy plot + dictionaries + BN
 //! eip analyze ips.txt --top64          # prefix (top-64-bit) mode
 //! eip generate ips.txt -n 10000        # candidate targets, one per line
+//! eip generate ips.txt -n 1000000 --jobs 8   # parallel batched sampling
 //! eip export ips.txt > model.eip       # train and save a profile
 //! eip generate --profile model.eip -n 1000
 //! eip dot ips.txt > bn.dot             # BN graph for Graphviz
 //! ```
+//!
+//! Input files are ingested through the streaming pipeline
+//! ([`Pipeline::profile_lines`]): addresses are profiled as the file
+//! is read, line by line, without materializing an intermediate
+//! address vector.
+//!
+//! All failures flow through [`EipError`] and a single exit point:
+//! usage errors exit 2, runtime errors (I/O, parse, empty input)
+//! exit 1.
 
+use std::fs::File;
+use std::io::BufReader;
 use std::process::exit;
 
-use eip_addr::AddressSet;
-use entropy_ip::{profile, Browser, EntropyIp, IpModel, Options};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use entropy_ip::{profile, Browser, Config, EipError, Generator, IpModel, Pipeline};
 
 fn main() {
+    exit(match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, EipError::Usage(_)) {
+                eprintln!("run `eip help` for usage");
+            }
+            e.exit_code()
+        }
+    });
+}
+
+fn run() -> Result<(), EipError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
-        exit(2);
+        return Err(EipError::Usage("missing command".into()));
     };
     match cmd.as_str() {
-        "analyze" => analyze(&args[1..]),
-        "generate" => generate(&args[1..]),
-        "export" => export(&args[1..]),
-        "dot" => dot(&args[1..]),
-        "--help" | "-h" | "help" => usage(),
-        other => {
-            eprintln!("error: unknown command {other}");
+        "analyze" => analyze(&parse(&args[1..])?),
+        "generate" => generate(&parse(&args[1..])?),
+        "export" => export(&parse(&args[1..])?),
+        "dot" => dot(&parse(&args[1..])?),
+        "--help" | "-h" | "help" => {
             usage();
-            exit(2);
+            Ok(())
+        }
+        "--version" | "-V" | "version" => {
+            println!("eip {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
+        other => {
+            usage();
+            Err(EipError::Usage(format!("unknown command {other}")))
         }
     }
 }
@@ -48,9 +76,10 @@ struct Cli {
     n: usize,
     seed: u64,
     min_prob: f64,
+    jobs: usize,
 }
 
-fn parse(args: &[String]) -> Cli {
+fn parse(args: &[String]) -> Result<Cli, EipError> {
     let mut cli = Cli {
         input: None,
         profile: None,
@@ -58,72 +87,91 @@ fn parse(args: &[String]) -> Cli {
         n: 1000,
         seed: 1,
         min_prob: 0.005,
+        jobs: 1,
     };
     let mut i = 0;
+    let operand = |args: &[String], i: usize, flag: &str| -> Result<String, EipError> {
+        args.get(i)
+            .cloned()
+            .ok_or_else(|| EipError::Usage(format!("{flag} needs an operand")))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--top64" => cli.top64 = true,
             "--profile" => {
                 i += 1;
-                cli.profile = Some(args[i].clone());
+                cli.profile = Some(operand(args, i, "--profile")?);
             }
             "-n" | "--count" => {
                 i += 1;
-                cli.n = args[i].parse().unwrap_or_else(|_| die("-n needs a number"));
+                cli.n = operand(args, i, "-n")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("-n needs a number".into()))?;
             }
             "--seed" => {
                 i += 1;
-                cli.seed = args[i]
+                cli.seed = operand(args, i, "--seed")?
                     .parse()
-                    .unwrap_or_else(|_| die("--seed needs a number"));
+                    .map_err(|_| EipError::Usage("--seed needs a number".into()))?;
             }
             "--min-prob" => {
                 i += 1;
-                cli.min_prob = args[i]
+                cli.min_prob = operand(args, i, "--min-prob")?
                     .parse()
-                    .unwrap_or_else(|_| die("--min-prob needs a float"));
+                    .map_err(|_| EipError::Usage("--min-prob needs a float".into()))?;
             }
-            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
+            "--jobs" => {
+                i += 1;
+                cli.jobs = operand(args, i, "--jobs")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--jobs needs a number".into()))?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(EipError::Usage(format!("unknown flag {flag}")));
+            }
             path => {
                 if cli.input.replace(path.to_string()).is_some() {
-                    die("multiple input files");
+                    return Err(EipError::Usage("multiple input files".into()));
                 }
             }
         }
         i += 1;
     }
-    cli
+    Ok(cli)
 }
 
-/// Loads a model either from a profile or by training on the input.
-fn load_model(cli: &Cli) -> IpModel {
+/// The pipeline a command-line configuration implies.
+fn pipeline(cli: &Cli) -> Pipeline {
+    let cfg = if cli.top64 {
+        Config::top64()
+    } else {
+        Config::default()
+    };
+    Pipeline::new(cfg.with_parallelism(cli.jobs))
+}
+
+/// Loads a model either from a saved profile or by training on the
+/// input file via the streaming pipeline.
+fn load_model(cli: &Cli) -> Result<IpModel, EipError> {
     if let Some(path) = &cli.profile {
-        let text =
-            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-        return profile::import(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+        let text = std::fs::read_to_string(path).map_err(|e| EipError::io(path, e))?;
+        return profile::import(&text);
     }
     let path = cli
         .input
         .as_ref()
-        .unwrap_or_else(|| die("need an address file or --profile"));
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-    let ips = AddressSet::parse_lines(&text).unwrap_or_else(|e| die(&e));
-    if ips.is_empty() {
-        die("input contains no addresses");
-    }
-    let opts = if cli.top64 {
-        Options::top64()
-    } else {
-        Options::default()
-    };
-    EntropyIp::with_options(opts)
-        .analyze(&ips)
-        .unwrap_or_else(|e| die(&e.to_string()))
+        .ok_or_else(|| EipError::Usage("need an address file or --profile".into()))?;
+    let file = File::open(path).map_err(|e| EipError::io(path, e))?;
+    Ok(pipeline(cli)
+        .profile_lines(BufReader::new(file))?
+        .segment()
+        .mine()
+        .train()?
+        .into_model())
 }
 
-fn analyze(args: &[String]) {
-    let cli = parse(args);
-    let model = load_model(&cli);
+fn analyze(cli: &Cli) -> Result<(), EipError> {
+    let model = load_model(cli)?;
     println!("{}", eip_viz::render_entropy_ascii(model.analysis(), 12));
     let browser = Browser::new(&model);
     println!(
@@ -144,32 +192,30 @@ fn analyze(args: &[String]) {
             edges.join(", ")
         }
     );
+    Ok(())
 }
 
-fn generate(args: &[String]) {
-    let cli = parse(args);
-    let model = load_model(&cli);
-    let mut rng = StdRng::seed_from_u64(cli.seed);
-    for ip in model.generate(cli.n, cli.n.saturating_mul(10), &mut rng) {
+fn generate(cli: &Cli) -> Result<(), EipError> {
+    let model = load_model(cli)?;
+    let report = Generator::new(&model)
+        .parallelism(cli.jobs)
+        .run_seeded(cli.n, cli.seed);
+    for ip in &report.candidates {
         println!("{ip}");
     }
+    Ok(())
 }
 
-fn export(args: &[String]) {
-    let cli = parse(args);
-    let model = load_model(&cli);
+fn export(cli: &Cli) -> Result<(), EipError> {
+    let model = load_model(cli)?;
     print!("{}", profile::export(&model));
+    Ok(())
 }
 
-fn dot(args: &[String]) {
-    let cli = parse(args);
-    let model = load_model(&cli);
+fn dot(cli: &Cli) -> Result<(), EipError> {
+    let model = load_model(cli)?;
     print!("{}", eip_viz::bn_to_dot(model.bn(), None));
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    exit(2);
+    Ok(())
 }
 
 fn usage() {
@@ -180,12 +226,15 @@ fn usage() {
            analyze <file>     entropy/ACR plot, dictionaries, browser, BN\n\
            generate <file>    print candidate scan targets\n\
            export <file>      train and print a model profile\n\
-           dot <file>         print the BN as Graphviz DOT\n\n\
+           dot <file>         print the BN as Graphviz DOT\n\
+           version            print the version\n\n\
          flags:\n\
            --top64            analyze only the top 64 bits (prefix mode)\n\
            --profile <path>   load a saved profile instead of training\n\
            -n, --count <N>    number of candidates to generate (default 1000)\n\
            --seed <N>         RNG seed (default 1)\n\
-           --min-prob <F>     hide dictionary rows below this probability"
+           --min-prob <F>     hide dictionary rows below this probability\n\
+           --jobs <N>         worker threads for mining/generation (default 1)\n\n\
+         exit codes: 0 ok, 1 runtime error, 2 usage error"
     );
 }

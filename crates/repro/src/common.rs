@@ -1,9 +1,10 @@
-//! Shared plumbing for the experiment harness.
+//! Shared plumbing for the experiment harness, built on the staged
+//! [`Pipeline`] API.
 
 use eip_addr::set::SplitMix64;
 use eip_addr::AddressSet;
 use eip_netsim::{dataset, FaultConfig, Responder};
-use entropy_ip::{EntropyIp, IpModel, Options};
+use entropy_ip::{Config, EipError, IpModel, Pipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,6 +20,12 @@ pub struct RunConfig {
     pub seed: u64,
     /// Probe-loss fraction injected into the responder.
     pub probe_loss: f64,
+    /// Worker threads for per-segment mining. Results are identical
+    /// at any setting. (Generation in `repro` stays on the serial
+    /// sampler so the printed tables remain bit-stable across PRs;
+    /// the `eip` binary's `--jobs` also parallelizes batched
+    /// generation via `Generator::run_seeded`.)
+    pub jobs: usize,
 }
 
 impl Default for RunConfig {
@@ -28,7 +35,20 @@ impl Default for RunConfig {
             candidates: 100_000,
             seed: 20160317,
             probe_loss: 0.0,
+            jobs: 1,
         }
+    }
+}
+
+impl RunConfig {
+    /// The pipeline configuration these knobs imply (full-width).
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new(Config::default().with_parallelism(self.jobs))
+    }
+
+    /// The top-64-bit (prefix) pipeline.
+    pub fn prefix_pipeline(&self) -> Pipeline {
+        Pipeline::new(Config::top64().with_parallelism(self.jobs))
     }
 }
 
@@ -69,8 +89,9 @@ pub fn workbench(id: &str, cfg: &RunConfig) -> Workbench {
             seed: cfg.seed,
         });
 
-    let model = EntropyIp::new()
-        .analyze(&train)
+    let model = cfg
+        .pipeline()
+        .run(train.iter())
         .expect("non-empty training set");
     Workbench {
         train,
@@ -84,15 +105,15 @@ pub fn workbench(id: &str, cfg: &RunConfig) -> Workbench {
 pub fn quick_model(id: &str, n: usize, seed: u64) -> (AddressSet, IpModel) {
     let spec = dataset(id).unwrap_or_else(|| panic!("unknown dataset {id}"));
     let observed = spec.population_sized(n, seed);
-    let model = EntropyIp::new().analyze(&observed).expect("non-empty set");
+    let model = Pipeline::new(Config::default())
+        .run(observed.iter())
+        .expect("non-empty set");
     (observed, model)
 }
 
 /// Trains a top-64-bit (prefix) model.
-pub fn prefix_model(prefixes: &AddressSet) -> IpModel {
-    EntropyIp::with_options(Options::top64())
-        .analyze(prefixes)
-        .expect("non-empty prefix set")
+pub fn prefix_model(prefixes: &AddressSet, cfg: &RunConfig) -> Result<IpModel, EipError> {
+    cfg.prefix_pipeline().run(prefixes.iter())
 }
 
 /// Human formatting: 12345 → "12.3 K", matching the paper's table

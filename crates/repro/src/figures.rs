@@ -3,7 +3,7 @@
 use eip_addr::Ip6;
 use eip_stats::WindowGrid;
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii, render_window_ascii};
-use entropy_ip::{Analysis, Browser, SegmentationOptions};
+use entropy_ip::Browser;
 
 use crate::common::{quick_model, RunConfig};
 
@@ -141,7 +141,9 @@ pub fn figure5(cfg: &RunConfig) {
 }
 
 /// Fig. 6: entropy of the aggregate datasets (AS, AR, AC, AT) with
-/// stratified 1K-per-/32 sampling, as §5.1.
+/// stratified 1K-per-/32 sampling, as §5.1. Only the profile and
+/// segmentation stages run — no mining or BN training, which is
+/// exactly what the staged pipeline is for.
 pub fn figure6(cfg: &RunConfig) {
     println!("=== Figure 6: entropy of aggregate datasets ===\n");
     for id in ["AS", "AR", "AC", "AT"] {
@@ -149,13 +151,17 @@ pub fn figure6(cfg: &RunConfig) {
         let population = spec.population(cfg.seed);
         let mut rng = eip_addr::set::SplitMix64::new(cfg.seed);
         let sampled = population.stratified_sample(1_000, &mut rng);
-        let analysis = Analysis::compute(&sampled, &SegmentationOptions::default());
+        let segmented = cfg
+            .pipeline()
+            .profile(sampled.iter())
+            .expect("non-empty sample")
+            .segment();
         println!(
             "--- {id}: {} ({} IPs sampled) ---",
             spec.description,
             sampled.len()
         );
-        println!("{}", render_entropy_ascii(&analysis, 8));
+        println!("{}", render_entropy_ascii(segmented.analysis(), 8));
     }
     println!("Expected shape (paper §5.1): AC/AT near 1.0 in the low 64 bits with a dip");
     println!("at bits 68-72 (u-bit); AR dips at bits 88-104 (EUI-64 fffe); AS lowest");

@@ -11,6 +11,7 @@
 //! repro --candidates 50000    # custom candidate count
 //! repro --train 1000          # custom training size
 //! repro --seed 42             # reproducibility
+//! repro --all --jobs 8        # parallel per-segment mining (same output)
 //! ```
 
 mod common;
@@ -52,6 +53,10 @@ fn main() {
             "--train" => {
                 i += 1;
                 cfg.train = parse_num(&args, i, "--train") as usize;
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = (parse_num(&args, i, "--jobs") as usize).max(1);
             }
             "--seed" => {
                 i += 1;
@@ -142,7 +147,8 @@ fn usage() {
     println!(
         "repro — regenerate the tables and figures of Entropy/IP (IMC 2016)\n\n\
          usage: repro [--all] [--table N] [--figure N] [--ablation]\n\
-                      [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\n\
+                      [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\
+                      [--jobs N]\n\n\
          tables:  1 datasets   2 conditional probs   3 S1 mining\n\
                   4 scanning   5 training-size sweep 6 prefix prediction\n\
          figures: 1 UI        2 BN graph   3 addresses  4 histogram  5 windowing\n\

@@ -207,8 +207,12 @@ pub fn table4(cfg: &RunConfig) {
         "Set", "Test set", "Ping", "rDNS", "Overall", "Rate", "New /64s"
     );
     let mut tot = (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut server_rates: Vec<(String, f64)> = Vec::new();
     for id in ["S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5"] {
         let r = scan_one(id, cfg);
+        if id.starts_with('S') {
+            server_rates.push((r.id.clone(), r.rate));
+        }
         println!(
             "{:<4} {:>9} {:>9} {:>9} {:>9} {:>7.2}% {:>9}",
             r.id,
@@ -237,8 +241,24 @@ pub fn table4(cfg: &RunConfig) {
         "",
         human(tot.4)
     );
-    println!("\nExpected shape (paper): S1 ~0% (pseudo-random IIDs); S3 the best server");
-    println!("rate (one /96 worldwide); routers ~1-5%; most sets discover new /64s.");
+    // Report the shape this run actually produced, not a fixed claim.
+    let rate = |id: &str| {
+        server_rates
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0)
+    };
+    let s3_best = server_rates.iter().all(|&(_, r)| r <= rate("S3"));
+    if s3_best && rate("S1") < 0.01 {
+        println!("\nShape matches the paper: S1 ~0% (pseudo-random IIDs); S3 the best server");
+        println!("rate (one /96 worldwide, 43% in the paper); routers ~1-5%; most sets");
+        println!("discover new /64s.");
+    } else {
+        println!("\nNOTE: this run deviates from the paper's shape (expected: S1 ~0% from");
+        println!("pseudo-random IIDs, S3 the best server rate at 43%) — small training");
+        println!("samples, probe loss, or non-default knobs can do that.");
+    }
 }
 
 /// Table 5: success rate vs training-set size for S5, R1, C5.
@@ -289,7 +309,7 @@ pub fn predict_prefixes(id: &str, cfg: &RunConfig) -> ((usize, f64), usize) {
     let week = pool.window(0, 7);
     let mut rng = SplitMix64::new(cfg.seed);
     let (train, _) = day0.split_sample(cfg.train, &mut rng);
-    let model = prefix_model(&train);
+    let model = prefix_model(&train, cfg).expect("non-empty prefix training set");
     let mut gen_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xabc);
     let candidates = Generator::new(&model)
         .excluding(&train)
@@ -343,7 +363,7 @@ pub fn ablation(cfg: &RunConfig) {
         let wb = workbench(id, cfg);
         let data = encoded_dataset(&wb.model, &wb.train);
         let ind = IndependentModel::fit(&data);
-        let mm = MarkovModel::fit(&data);
+        let mm = MarkovModel::fit(&data).expect("non-empty training data");
         let n = cfg.candidates.min(20_000);
         let budget = n * 8;
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0x111);

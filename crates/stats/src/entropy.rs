@@ -52,33 +52,106 @@ where
     entropy_bits(counts) / (k as f64).log2()
 }
 
-/// Per-position nybble value counts across an address set:
-/// `counts[i][v]` is how many addresses have hex value `v` at 1-based
-/// position `i + 1`.
-pub fn nybble_counts(addrs: &[Ip6]) -> [[u64; 16]; 32] {
-    let mut counts = [[0u64; 16]; 32];
-    for &ip in addrs {
+/// Streaming per-position nybble value counts: the sufficient
+/// statistic behind the entropy profile, accumulated one address at a
+/// time so callers can profile any `Iterator<Item = Ip6>` without
+/// materializing an intermediate `Vec<Ip6>`.
+///
+/// ```
+/// use eip_addr::Ip6;
+/// use eip_stats::NybbleCounts;
+///
+/// let mut counts = NybbleCounts::new();
+/// for i in 0..16u128 {
+///     counts.observe(Ip6((0x2001_0db8u128 << 96) | i));
+/// }
+/// let h = counts.entropy();
+/// assert!((h[31] - 1.0).abs() < 1e-12); // last nybble fully uniform
+/// assert_eq!(h[0], 0.0); // first nybble constant
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NybbleCounts {
+    counts: [[u64; 16]; 32],
+    total: u64,
+}
+
+impl Default for NybbleCounts {
+    fn default() -> Self {
+        NybbleCounts::new()
+    }
+}
+
+impl NybbleCounts {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        NybbleCounts {
+            counts: [[0u64; 16]; 32],
+            total: 0,
+        }
+    }
+
+    /// Accumulates one address into the per-position counts.
+    #[inline]
+    pub fn observe(&mut self, ip: Ip6) {
         let mut v = ip.value();
         // Walk nybbles from the least significant (position 32) up,
         // avoiding 32 shifts per address.
         for pos in (0..32).rev() {
-            counts[pos][(v & 0xf) as usize] += 1;
+            self.counts[pos][(v & 0xf) as usize] += 1;
             v >>= 4;
         }
+        self.total += 1;
     }
-    counts
+
+    /// Accumulates every address of an iterator.
+    pub fn observe_all<I: IntoIterator<Item = Ip6>>(&mut self, ips: I) {
+        for ip in ips {
+            self.observe(ip);
+        }
+    }
+
+    /// Number of addresses observed so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw counts: `counts()[i][v]` is how many observed
+    /// addresses have hex value `v` at 1-based position `i + 1`.
+    pub fn counts(&self) -> &[[u64; 16]; 32] {
+        &self.counts
+    }
+
+    /// The normalized per-nybble entropy profile of everything
+    /// observed so far (each value in `[0, 1]`).
+    pub fn entropy(&self) -> [f64; 32] {
+        let mut out = [0.0; 32];
+        for (i, c) in self.counts.iter().enumerate() {
+            out[i] = normalized_entropy(c.iter().copied(), 16);
+        }
+        out
+    }
+}
+
+impl FromIterator<Ip6> for NybbleCounts {
+    fn from_iter<I: IntoIterator<Item = Ip6>>(iter: I) -> Self {
+        let mut c = NybbleCounts::new();
+        c.observe_all(iter);
+        c
+    }
+}
+
+/// Per-position nybble value counts across an address set:
+/// `counts[i][v]` is how many addresses have hex value `v` at 1-based
+/// position `i + 1`.
+pub fn nybble_counts(addrs: &[Ip6]) -> [[u64; 16]; 32] {
+    *addrs.iter().copied().collect::<NybbleCounts>().counts()
 }
 
 /// The normalized per-nybble entropy profile Ĥ(X₁)…Ĥ(X₃₂) of an
 /// address set: entry `i` (0-based) is the normalized entropy of hex
 /// character position `i + 1`. Each value is in `[0, 1]`.
 pub fn nybble_entropy(addrs: &[Ip6]) -> [f64; 32] {
-    let counts = nybble_counts(addrs);
-    let mut out = [0.0; 32];
-    for (i, c) in counts.iter().enumerate() {
-        out[i] = normalized_entropy(c.iter().copied(), 16);
-    }
-    out
+    addrs.iter().copied().collect::<NybbleCounts>().entropy()
 }
 
 /// Total entropy Ĥ_S (Eq. 3): the sum of the 32 normalized per-nybble
@@ -157,6 +230,23 @@ mod tests {
     fn empty_set_profile_is_zero() {
         let h = nybble_entropy(&[]);
         assert!(h.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn streaming_counts_match_batch_profile() {
+        let addrs = fig3_addrs();
+        let mut acc = NybbleCounts::new();
+        for &ip in &addrs {
+            acc.observe(ip);
+        }
+        assert_eq!(acc.total(), addrs.len() as u64);
+        assert_eq!(acc.counts(), &nybble_counts(&addrs));
+        assert_eq!(acc.entropy(), nybble_entropy(&addrs));
+        // Incremental observation in two halves gives the same state.
+        let mut half = NybbleCounts::new();
+        half.observe_all(addrs[..2].iter().copied());
+        half.observe_all(addrs[2..].iter().copied());
+        assert_eq!(half, acc);
     }
 
     #[test]

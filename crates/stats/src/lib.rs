@@ -28,6 +28,6 @@ pub mod histogram;
 pub mod window;
 
 pub use acr::acr4;
-pub use entropy::{entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
+pub use entropy::{entropy_bits, normalized_entropy, nybble_entropy, total_entropy, NybbleCounts};
 pub use histogram::{outlier_threshold, quartiles, Histogram};
 pub use window::{window_entropy, window_measure, WindowGrid, WindowMeasure};

@@ -15,7 +15,7 @@
 
 use eip_netsim::dataset;
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii, render_entropy_svg};
-use entropy_ip::{Browser, EntropyIp};
+use entropy_ip::{Browser, Config, Pipeline};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +24,9 @@ fn main() {
     println!("network {id}: {}\n", spec.description);
 
     let ips = spec.population_sized(24_000, 11);
-    let model = EntropyIp::new().analyze(&ips).unwrap();
+    let model = Pipeline::new(Config::default())
+        .run(ips.iter())
+        .expect("non-empty population");
     println!("{}", render_entropy_ascii(model.analysis(), 12));
 
     let mut browser = Browser::new(&model);

@@ -13,20 +13,19 @@
 
 use eip_addr::set::SplitMix64;
 use eip_netsim::{dataset, evaluate_scan, FaultConfig, Responder};
-use entropy_ip::{EntropyIp, Generator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use entropy_ip::{Config, Generator, Pipeline};
 
 fn main() {
     let spec = dataset("R1").unwrap();
     let observed = spec.population(7);
     let mut rng = SplitMix64::new(99);
     let (train, test) = observed.split_sample(1_000, &mut rng);
-    let model = EntropyIp::new().analyze(&train).unwrap();
-    let mut gen_rng = StdRng::seed_from_u64(42);
+    let model = Pipeline::new(Config::default())
+        .run(train.iter())
+        .expect("non-empty training sample");
     let candidates = Generator::new(&model)
         .excluding(&train)
-        .run(30_000, &mut gen_rng)
+        .run_seeded(30_000, 42)
         .candidates;
     println!("R1 campaign: {} candidates\n", candidates.len());
     println!(

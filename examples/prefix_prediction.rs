@@ -11,9 +11,7 @@
 
 use eip_addr::set::SplitMix64;
 use eip_netsim::{dataset, TemporalPool};
-use entropy_ip::{EntropyIp, Generator, Options};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use entropy_ip::{Config, Generator, Pipeline};
 
 fn main() {
     let id = std::env::args().nth(1).unwrap_or_else(|| "C4".into());
@@ -31,12 +29,13 @@ fn main() {
         week.len()
     );
 
-    // Train a top-64-bit model on 1K prefixes from day 0.
+    // Train a top-64-bit model on 1K prefixes from day 0, stage by
+    // stage (the prefix constraint is just a pipeline Config).
     let mut rng = SplitMix64::new(17);
     let (train, _) = day0.split_sample(1_000, &mut rng);
-    let model = EntropyIp::with_options(Options::top64())
-        .analyze(&train)
-        .unwrap();
+    let model = Pipeline::new(Config::top64())
+        .run(train.iter())
+        .expect("non-empty prefix sample");
     println!(
         "model: {} segments over the top 64 bits, H_S = {:.1}",
         model.analysis().segments.len(),
@@ -45,11 +44,10 @@ fn main() {
 
     // Generate candidate prefixes and check them against both
     // horizons.
-    let mut gen_rng = StdRng::seed_from_u64(3);
     let candidates = Generator::new(&model)
         .excluding(&train)
         .attempts_per_candidate(8)
-        .run(50_000, &mut gen_rng)
+        .run_seeded(50_000, 3)
         .candidates;
     let d0 = candidates.iter().filter(|&&p| day0.contains(p)).count();
     let d7 = candidates.iter().filter(|&&p| week.contains(p)).count();

@@ -1,5 +1,5 @@
-//! Quickstart: analyze a small address set, explore its structure,
-//! and generate scan candidates.
+//! Quickstart: analyze a small address set stage by stage, explore
+//! its structure, and generate scan candidates.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,36 +9,43 @@
 //! line, `#` comments allowed), or uses a bundled synthetic network
 //! when no file is given.
 
-use eip_addr::AddressSet;
 use eip_netsim::dataset;
 use eip_viz::{bn_to_dot, render_browser, render_entropy_ascii};
-use entropy_ip::{Browser, EntropyIp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use entropy_ip::{Browser, Config, Generator, Pipeline};
 
 fn main() {
-    // 1. Get addresses: a file, or the simulated S1 network.
-    let ips: AddressSet = match std::env::args().nth(1) {
+    // 1. The staged pipeline with default (paper) parameters.
+    let pipeline = Pipeline::new(Config::default());
+
+    // 2. Stage 1 — streaming ingestion + entropy/ACR profile, from a
+    //    file line reader or straight from the simulated S1 network.
+    let profiled = match std::env::args().nth(1) {
         Some(path) => {
-            let text = std::fs::read_to_string(&path).expect("read address file");
-            AddressSet::parse_lines(&text).expect("parse addresses")
+            let file = std::fs::File::open(&path).expect("open address file");
+            pipeline
+                .profile_lines(std::io::BufReader::new(file))
+                .expect("profile addresses")
         }
         None => {
             println!("(no input file given; using the simulated S1 web-hosting network)\n");
-            dataset("S1").unwrap().population_sized(20_000, 1)
+            let ips = dataset("S1").unwrap().population_sized(20_000, 1);
+            pipeline.profile(ips.iter()).expect("profile addresses")
         }
     };
-    println!("loaded {} unique addresses\n", ips.len());
+    println!(
+        "profiled {} unique addresses, H_S = {:.1}\n",
+        profiled.num_addresses(),
+        profiled.total_entropy()
+    );
 
-    // 2. Run the Entropy/IP pipeline.
-    let model = EntropyIp::new().analyze(&ips).expect("non-empty set");
+    // 3. Stage 2 — segmentation; the entropy/ACR panel (Fig. 1a).
+    let segmented = profiled.segment();
+    println!("{}", render_entropy_ascii(segmented.analysis(), 12));
 
-    // 3. The entropy/ACR profile with discovered segments (Fig. 1a).
-    println!("{}", render_entropy_ascii(model.analysis(), 12));
-
-    // 4. The mined value dictionaries (Table 3).
+    // 4. Stage 3 — the mined value dictionaries (Table 3).
+    let mined = segmented.mine();
     println!("segment dictionaries:");
-    for m in model.mined() {
+    for m in mined.mined() {
         println!(
             "  {}: {} values, most popular {}",
             m.segment.label,
@@ -50,7 +57,8 @@ fn main() {
         );
     }
 
-    // 5. The Bayesian network (Fig. 2) as Graphviz DOT.
+    // 5. Stage 4 — the Bayesian network (Fig. 2) as Graphviz DOT.
+    let model = mined.train().expect("trainable set").into_model();
     println!(
         "\nBN dependency graph (pipe into `dot -Tsvg`):\n{}",
         bn_to_dot(model.bn(), None)
@@ -61,10 +69,9 @@ fn main() {
     println!("{}", render_browser(&browser.distributions(), 0.01));
 
     // 7. Generate candidate targets (Section 5.5).
-    let mut rng = StdRng::seed_from_u64(42);
-    let candidates = model.generate(10, 1_000, &mut rng);
+    let report = Generator::new(&model).run_seeded(10, 42);
     println!("10 candidate scan targets:");
-    for c in candidates {
+    for c in &report.candidates {
         println!("  {c}");
     }
 }

@@ -10,7 +10,7 @@
 
 use eip_addr::set::SplitMix64;
 use eip_netsim::{dataset, evaluate_scan, FaultConfig, Responder};
-use entropy_ip::{EntropyIp, Generator};
+use entropy_ip::{Config, Generator, Pipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,12 +62,13 @@ fn main() {
     );
 
     // Train, generate, scan.
-    let model = EntropyIp::new().analyze(&train).unwrap();
-    let mut gen_rng = StdRng::seed_from_u64(42);
+    let model = Pipeline::new(Config::default())
+        .run(train.iter())
+        .expect("non-empty training sample");
     let report = Generator::new(&model)
         .excluding(&train)
         .attempts_per_candidate(8)
-        .run(candidates, &mut gen_rng);
+        .run_seeded(candidates, 42);
     println!(
         "generated {} unique candidates ({} attempts, {} duplicates)",
         report.candidates.len(),

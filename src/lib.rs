@@ -1,7 +1,9 @@
 //! Workspace facade for the Entropy/IP reproduction.
 //!
 //! Re-exports the crates so integration tests and examples can write
-//! `entropy_ip_repro::...` or use the individual crates directly.
+//! `entropy_ip_repro::...` or use the individual crates directly, and
+//! surfaces the staged pipeline API ([`Pipeline`], [`Config`], the
+//! stage artifacts) plus the unified [`EipError`] at the top level.
 
 pub use eip_addr as addr;
 pub use eip_bayes as bayes;
@@ -10,3 +12,7 @@ pub use eip_netsim as netsim;
 pub use eip_stats as stats;
 pub use eip_viz as viz;
 pub use entropy_ip as core;
+
+pub use entropy_ip::{
+    Config, EipError, EntropyIp, Generator, IpModel, Mined, Pipeline, Profiled, Segmented, Trained,
+};
