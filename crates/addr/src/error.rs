@@ -1,0 +1,111 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible Entropy/IP operation — address-file ingestion,
+//! pipeline stages, profile import, baseline fitting, and the `eip`
+//! CLI — reports an [`EipError`], so callers handle one type instead
+//! of a mix of `String`s, panics, and ad-hoc `exit(2)`s. It lives in
+//! `eip_addr` (the substrate crate every other crate depends on) and
+//! is re-exported as `entropy_ip::EipError`, which is the name most
+//! callers use. The variants partition by *who* is at fault, which is
+//! what the CLI maps to exit codes ([`EipError::exit_code`]: usage
+//! errors exit 2, runtime errors exit 1, matching common Unix
+//! convention).
+//!
+//! The type stays `Clone + PartialEq + Eq` (I/O failures store the
+//! rendered message, not the live `std::io::Error`) so tests can
+//! match variants directly:
+//!
+//! ```
+//! use eip_addr::{AddressSet, EipError};
+//!
+//! let err = AddressSet::parse_lines("2001:db8::1\nbogus\n").unwrap_err();
+//! assert_eq!(err, EipError::Parse("line 2: invalid address: bogus".into()));
+//! ```
+
+use std::fmt;
+
+/// Unified error for the Entropy/IP pipeline, profile I/O, and CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EipError {
+    /// The training set was empty (or every address fell outside the
+    /// mined dictionaries).
+    EmptySet,
+    /// An input line or address failed to parse.
+    Parse(String),
+    /// A saved model profile was malformed.
+    Profile(String),
+    /// A filesystem operation failed; the path and the rendered OS
+    /// error.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// Rendered `std::io::Error` message.
+        msg: String,
+    },
+    /// The command line was invalid (unknown flag, missing operand).
+    Usage(String),
+    /// A model could not be fit from the data given (e.g. fitting a
+    /// Markov baseline on an empty encoded dataset).
+    InsufficientData(String),
+}
+
+impl EipError {
+    /// Wraps a filesystem error with the path it concerns.
+    pub fn io(path: impl Into<String>, err: std::io::Error) -> Self {
+        EipError::Io {
+            path: path.into(),
+            msg: err.to_string(),
+        }
+    }
+
+    /// Process exit code for CLI front-ends: 2 for usage errors, 1
+    /// for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            EipError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for EipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EipError::EmptySet => f.write_str("cannot analyze an empty address set"),
+            EipError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EipError::Profile(msg) => write!(f, "invalid profile: {msg}"),
+            EipError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            EipError::Usage(msg) => write!(f, "usage error: {msg}"),
+            EipError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_split_usage_from_runtime() {
+        assert_eq!(EipError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(EipError::EmptySet.exit_code(), 1);
+        assert_eq!(EipError::Parse("x".into()).exit_code(), 1);
+        assert_eq!(
+            EipError::io("f.txt", std::io::Error::other("boom")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EipError::io("ips.txt", std::io::Error::other("no such file"));
+        let s = e.to_string();
+        assert!(s.contains("ips.txt") && s.contains("no such file"));
+        assert!(EipError::EmptySet.to_string().contains("empty"));
+        assert!(EipError::Profile("bad header".into())
+            .to_string()
+            .contains("bad header"));
+    }
+}

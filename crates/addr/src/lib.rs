@@ -18,6 +18,10 @@
 //!   splits, stratified sampling by /32, /64 extraction), plus
 //!   [`AddressSetBuilder`] for streaming construction from any
 //!   address iterator with bounded memory.
+//! * [`EipError`] — the workspace-wide error type (re-exported as
+//!   `entropy_ip::EipError`); it lives here, in the crate everything
+//!   depends on, so even substrate operations like
+//!   [`AddressSet::parse_lines`] report typed errors.
 //! * [`anonymize`] — the paper's anonymization scheme (first 32 bits
 //!   rewritten to `2001:db8::/32`; embedded IPv4 first octet to 127).
 //! * [`iid`] — interface-identifier construction helpers (Modified
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod anonymize;
+pub mod error;
 pub mod iid;
 pub mod ip6;
 pub mod nybbles;
@@ -51,6 +56,7 @@ pub mod prefix;
 pub mod set;
 
 pub use anonymize::{anonymize_addr, anonymize_set};
+pub use error::EipError;
 pub use ip6::{Ip6, ParseIp6Error};
 pub use nybbles::Nybbles;
 pub use prefix::{ParsePrefixError, Prefix};

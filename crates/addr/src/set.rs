@@ -11,6 +11,7 @@
 
 use std::collections::HashSet;
 
+use crate::error::EipError;
 use crate::ip6::Ip6;
 use crate::prefix::Prefix;
 
@@ -44,18 +45,14 @@ impl AddressSet {
 
     /// Parses one address per line, ignoring blank lines and lines
     /// starting with `#`. Accepts both colon and fixed-width hex
-    /// formats. Returns the first offending line on error.
-    pub fn parse_lines(text: &str) -> Result<Self, String> {
+    /// formats. Reports the first offending line as
+    /// [`EipError::Parse`].
+    pub fn parse_lines(text: &str) -> Result<Self, EipError> {
         let mut v = Vec::new();
         for (no, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+            if let Some(ip) = parse_address_line(no + 1, line)? {
+                v.push(ip);
             }
-            let ip: Ip6 = line
-                .parse()
-                .map_err(|_| format!("line {}: invalid address: {line}", no + 1))?;
-            v.push(ip);
         }
         Ok(Self::from_iter(v))
     }
@@ -220,6 +217,26 @@ impl FromIterator<Ip6> for AddressSet {
     }
 }
 
+/// Parses one line of an address list: `Ok(None)` for blank lines and
+/// `#` comments, `Ok(Some(ip))` for an address in colon or
+/// fixed-width hex format, and [`EipError::Parse`] naming the 1-based
+/// line number otherwise.
+///
+/// This is the single definition of the line format — shared by
+/// [`AddressSet::parse_lines`] and `entropy_ip`'s streaming
+/// `Pipeline::profile_lines`, so the accepted formats and the error
+/// wording cannot diverge between the batch and streaming ingestion
+/// paths.
+pub fn parse_address_line(no: usize, line: &str) -> Result<Option<Ip6>, EipError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    line.parse::<Ip6>()
+        .map(Some)
+        .map_err(|_| EipError::Parse(format!("line {no}: invalid address: {line}")))
+}
+
 /// Incremental [`AddressSet`] construction for streaming ingestion.
 ///
 /// Addresses are buffered and periodically compacted (sort + dedup),
@@ -368,7 +385,10 @@ mod tests {
         let s = AddressSet::parse_lines("# hdr\n2001:db8::1\n\n20010db8000000000000000000000002\n")
             .unwrap();
         assert_eq!(s.len(), 2);
-        assert!(AddressSet::parse_lines("2001:db8::1\nbogus\n").is_err());
+        match AddressSet::parse_lines("2001:db8::1\nbogus\n") {
+            Err(EipError::Parse(msg)) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected typed parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn mined(n: usize) -> Mined {
     segmented(n).mine()
 }
 
-/// Stage 1: streaming ingestion + entropy/ACR profile.
+/// Stage 1: streaming ingestion + entropy/ACR profile, serial and
+/// sharded (merge-based per-shard `NybbleCounts`).
 fn bench_profile_stage(c: &mut Criterion) {
     let mut g = c.benchmark_group("stage_profile");
     for n in [1_000usize, 10_000] {
@@ -38,6 +39,15 @@ fn bench_profile_stage(c: &mut Criterion) {
             b.iter(|| pipeline.profile(s.iter()).unwrap());
         });
     }
+    let set = population(10_000);
+    let sharded = Pipeline::new(Config::default().with_parallelism(4));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("parallel4_10000"),
+        &set,
+        |b, s| {
+            b.iter(|| sharded.profile(s.iter()).unwrap());
+        },
+    );
     g.finish();
 }
 
@@ -49,7 +59,11 @@ fn bench_segment_stage(c: &mut Criterion) {
     });
 }
 
-/// Stage 3: mining an existing segmentation, serial vs parallel.
+/// Stage 3: mining an existing segmentation — the serial per-segment
+/// reference vs the sharded engine (per-shard histograms for every
+/// segment in one pass, merged, then thresholded). The two produce
+/// identical dictionaries; `tools/bench_guard.sh` fails CI if the
+/// sharded path loses its speed edge.
 fn bench_mine_stage(c: &mut Criterion) {
     let mut g = c.benchmark_group("stage_mine");
     g.sample_size(10);

@@ -5,7 +5,7 @@
 //!
 //! | target | measures |
 //! |---|---|
-//! | `stages` | each typed `Pipeline` stage at its real boundary: profile (streaming ingestion), segmentation, mining (serial + parallel), BN training, plus windowing grid and BN inference |
+//! | `stages` | each typed `Pipeline` stage at its real boundary: profile (serial + sharded), segmentation, mining (serial reference vs the sharded engine — guarded by `tools/bench_guard.sh`), BN training, plus windowing grid and BN inference |
 //! | `pipeline` | end-to-end paths: the figure panel, a browser click, candidate generation |
 //! | `scanning` | the Table 4/6 evaluation rows and raw responder probing |
 //! | `ablations` | model ablations: BN vs Markov vs independent sampling, structure-learning in-degree, segmentation rules |

@@ -9,6 +9,7 @@
 use std::collections::HashSet;
 
 use eip_addr::{AddressSet, Ip6};
+use eip_exec::Scheduler;
 use rand::Rng;
 
 use crate::model::IpModel;
@@ -31,7 +32,7 @@ pub struct Generator<'m> {
     model: &'m IpModel,
     exclude: Option<&'m AddressSet>,
     attempts_per_candidate: usize,
-    parallelism: usize,
+    exec: Scheduler,
 }
 
 impl<'m> Generator<'m> {
@@ -42,7 +43,7 @@ impl<'m> Generator<'m> {
             model,
             exclude: None,
             attempts_per_candidate: 10,
-            parallelism: 1,
+            exec: Scheduler::default(),
         }
     }
 
@@ -62,7 +63,7 @@ impl<'m> Generator<'m> {
     /// Worker threads for [`Generator::run_seeded`] (clamped to at
     /// least 1). The batched output is identical at any setting.
     pub fn parallelism(mut self, n: usize) -> Self {
-        self.parallelism = n.max(1);
+        self.exec = Scheduler::new(n);
         self
     }
 
@@ -100,14 +101,16 @@ impl<'m> Generator<'m> {
 
     /// Generates up to `n` unique candidates in deterministic batched
     /// chunks, fanned out over the configured
-    /// [`parallelism`](Generator::parallelism) via
-    /// [`std::thread::scope`].
+    /// [`parallelism`](Generator::parallelism) on the
+    /// [`eip_exec::Scheduler`].
     ///
     /// Each round splits the outstanding request into fixed-size
     /// chunks (a function of the shortfall only), samples every chunk
     /// with an RNG derived from `seed` and a global chunk counter,
-    /// and merges in chunk order; candidates already produced by an
-    /// earlier chunk are dropped at the merge (counted in
+    /// and merges in chunk order (the scheduler's
+    /// [`par_map_indexed`](Scheduler::par_map_indexed) preserves
+    /// chunk order); candidates already produced by an earlier chunk
+    /// are dropped at the merge (counted in
     /// [`GenerationReport::duplicates`]) and re-requested in a
     /// top-up round, so cross-chunk collisions do not starve the
     /// request. Rounds stop at `n` candidates, or when a whole round
@@ -138,7 +141,7 @@ impl<'m> Generator<'m> {
             // Merge in chunk order, deduplicating across chunks and
             // rounds.
             let before = merged.candidates.len();
-            for local in locals.into_iter().flatten() {
+            for local in locals {
                 merged.attempts += local.attempts;
                 merged.duplicates += local.duplicates;
                 merged.excluded += local.excluded;
@@ -158,41 +161,23 @@ impl<'m> Generator<'m> {
     }
 
     /// Runs one round of `chunks` independent chunk samplers (chunk
-    /// `c` gets global id `base + c`, which seeds its RNG), over the
-    /// configured worker threads.
+    /// `c` gets global id `base + c`, which seeds its RNG) on the
+    /// scheduler, in chunk order.
     fn run_chunks(
         &self,
         base: u64,
         chunks: usize,
         quota: &(dyn Fn(usize) -> usize + Sync),
         seed: u64,
-    ) -> Vec<Option<GenerationReport>> {
+    ) -> Vec<GenerationReport> {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let rng_for = |c: usize| {
             let id = base + c as u64;
             StdRng::seed_from_u64(seed ^ (id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
         };
-        let mut locals: Vec<Option<GenerationReport>> = vec![None; chunks];
-        let workers = self.parallelism.clamp(1, chunks);
-        if workers == 1 {
-            for (c, slot) in locals.iter_mut().enumerate() {
-                *slot = Some(self.run(quota(c), &mut rng_for(c)));
-            }
-        } else {
-            let per = chunks.div_ceil(workers);
-            std::thread::scope(|s| {
-                for (w, slots) in locals.chunks_mut(per).enumerate() {
-                    s.spawn(move || {
-                        for (j, slot) in slots.iter_mut().enumerate() {
-                            let c = w * per + j;
-                            *slot = Some(self.run(quota(c), &mut rng_for(c)));
-                        }
-                    });
-                }
-            });
-        }
-        locals
+        self.exec
+            .par_map_indexed(chunks, |c| self.run(quota(c), &mut rng_for(c)))
     }
 }
 

@@ -63,10 +63,15 @@
 //! assert!(model.analysis().total_entropy < 4.0);
 //! ```
 //!
-//! All fallible operations report the unified [`EipError`];
-//! [`Config::parallelism`] fans per-segment mining out over scoped
-//! worker threads (and [`Generator::run_seeded`] does the same for
-//! batched generation) without changing any result.
+//! All fallible operations report the unified [`EipError`].
+//! [`Config::parallelism`] routes profiling and mining onto the
+//! deterministic chunked scheduler ([`eip_exec::Scheduler`]):
+//! profiling shards the address stream and merges per-shard nybble
+//! counts, and mining builds per-shard value histograms for every
+//! segment in one pass, merges them, and thresholds — so even a
+//! single heavy segment parallelizes internally.
+//! [`Generator::run_seeded`] batches candidate generation on the same
+//! scheduler. Every result is identical at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

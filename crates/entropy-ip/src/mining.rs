@@ -19,8 +19,23 @@
 //! verbatim. Codes are the segment letter plus a 1-based index
 //! ("C3"), and every element keeps its empirical frequency, exactly
 //! like the paper's Table 3.
+//!
+//! ## Shard-count-then-merge
+//!
+//! Mining splits into two phases: *counting* (reduce the raw segment
+//! values to a value histogram) and *thresholding* (the three
+//! nomination steps above, which only ever look at the histogram).
+//! The counting phase shards: [`mine_segment_sharded`] builds one
+//! histogram per input shard on an [`eip_exec::Scheduler`], merges
+//! them (exact integer-count merge, so the merged histogram is
+//! identical at any shard count), and hands the result to the same
+//! thresholding core [`mine_segment_histogram`] the serial
+//! [`mine_segment`] uses. The serial path is the reference
+//! implementation the sharded engine is verified against — see the
+//! shard-equivalence proptests in `tests/proptests.rs`.
 
 use eip_cluster::{Dbscan1D, Dbscan2D};
+use eip_exec::Scheduler;
 use eip_stats::Histogram;
 
 use crate::segments::Segment;
@@ -130,9 +145,47 @@ impl Default for MiningOptions {
 }
 
 /// Mines one segment's value dictionary from the raw segment values
-/// (one entry per training address).
+/// (one entry per training address). This is the serial reference
+/// path: one pass builds the histogram, then
+/// [`mine_segment_histogram`] thresholds it.
 pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) -> MinedSegment {
-    let total = values.len() as u64;
+    mine_segment_histogram(segment, Histogram::from_values(values), opts)
+}
+
+/// Mines one segment's value dictionary with sharded counting: the
+/// value stream is split into the scheduler's stable shards, each
+/// shard builds its own histogram, and the shard histograms are
+/// merged before thresholding. Produces a [`MinedSegment`] identical
+/// to [`mine_segment`] at **any** shard/worker count — the merge is
+/// an exact integer-count reduction and the thresholding core is
+/// shared.
+pub fn mine_segment_sharded(
+    segment: &Segment,
+    values: &[u128],
+    opts: &MiningOptions,
+    exec: &Scheduler,
+) -> MinedSegment {
+    let hist = exec
+        .par_map_reduce(
+            values.len(),
+            |range| Histogram::from_values_owned(values[range].to_vec()),
+            |acc, part| acc.merge(&part),
+        )
+        .unwrap_or_default();
+    mine_segment_histogram(segment, hist, opts)
+}
+
+/// The thresholding core of mining: nominates dictionary elements
+/// from a pre-built value histogram (steps (a)–(c) plus the closing
+/// rule), consuming the histogram (it is whittled down step by step).
+/// Both [`mine_segment`] and the sharded counting paths feed this, so
+/// a histogram built in shards yields exactly the serial dictionary.
+pub fn mine_segment_histogram(
+    segment: &Segment,
+    mut hist: Histogram,
+    opts: &MiningOptions,
+) -> MinedSegment {
+    let total = hist.total();
     let mut dict: Vec<SegmentValue> = Vec::new();
     if total == 0 {
         return MinedSegment {
@@ -141,7 +194,6 @@ pub fn mine_segment(segment: &Segment, values: &[u128], opts: &MiningOptions) ->
             total,
         };
     }
-    let mut hist = Histogram::from_values(values);
     let threshold = (total as f64 * opts.leftover_frac).max(0.0);
 
     let push = |dict: &mut Vec<SegmentValue>, label: &str, kind: ValueKind, count: u64| {
@@ -370,6 +422,46 @@ mod tests {
         for v in &m.values {
             assert!(v.freq <= 1.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn sharded_mining_matches_serial_at_any_shard_count() {
+        // A mixed-structure segment: dominant exacts + a dense range +
+        // a pseudo-random tail, exercising all three mining steps.
+        let mut values = vec![0u128; 400];
+        values.extend(std::iter::repeat_n(0x80u128, 250));
+        for i in 0..250u128 {
+            values.push(0x20 + (i * 7) % 0x40);
+        }
+        for i in 0..300u128 {
+            values.push(0x1000 + (i * 2654435761) % 0x10000);
+        }
+        let serial = mine_segment(&seg(), &values, &MiningOptions::default());
+        for shards in 1..=8 {
+            let sharded = mine_segment_sharded(
+                &seg(),
+                &values,
+                &MiningOptions::default(),
+                &Scheduler::new(shards),
+            );
+            assert_eq!(sharded, serial, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn histogram_core_matches_value_path() {
+        let values: Vec<u128> = (0..1000u128).map(|i| (i * 13) % 64).collect();
+        let via_values = mine_segment(&seg(), &values, &MiningOptions::default());
+        let via_hist = mine_segment_histogram(
+            &seg(),
+            Histogram::from_values(&values),
+            &MiningOptions::default(),
+        );
+        assert_eq!(via_values, via_hist);
+        // Empty histogram yields the empty dictionary.
+        let empty = mine_segment_histogram(&seg(), Histogram::default(), &MiningOptions::default());
+        assert!(empty.values.is_empty());
+        assert_eq!(empty.total, 0);
     }
 
     #[test]

@@ -31,11 +31,19 @@
 //! set itself. [`Pipeline::profile_lines`] does the same from a line
 //! reader (one address per line, `#` comments allowed).
 //!
-//! **Parallelism.** [`Config::parallelism`] > 1 runs per-segment
-//! mining on [`std::thread::scope`] worker chunks; results are joined
-//! in segment order, so the model is identical at any worker count
-//! (see the stage-equivalence and determinism integration tests).
-//! Batched candidate generation parallelizes the same way through
+//! **Parallelism.** [`Config::parallelism`] > 1 routes the hot
+//! stages onto the [`eip_exec::Scheduler`], uniformly across
+//! `Profiled → Segmented → Mined`: profiling shards the address
+//! stream and merges per-shard [`NybbleCounts`]; mining runs the
+//! sharded engine (one pass builds every segment's value histogram
+//! per input shard, merges them, then thresholds each segment — see
+//! `mine_all`) so even one heavy segment parallelizes *internally*
+//! instead of serializing the whole stage. Every merge is an exact
+//! integer-count reduction, so the model is identical at any worker
+//! count (see the stage-equivalence and shard-equivalence tests); at
+//! `parallelism == 1` the stages run the simple serial reference
+//! implementations the sharded engine is verified against. Batched
+//! candidate generation rides the same scheduler through
 //! [`Generator::run_seeded`](crate::Generator::run_seeded).
 //!
 //! The one-shot [`EntropyIp::analyze`](crate::EntropyIp::analyze) is
@@ -44,15 +52,15 @@
 
 use std::io::BufRead;
 use std::sync::Arc;
-use std::thread;
 
 use eip_addr::{AddressSet, AddressSetBuilder, Ip6};
 use eip_bayes::{learn_structure, Dataset, LearnOptions};
-use eip_stats::{acr4, NybbleCounts};
+use eip_exec::Scheduler;
+use eip_stats::{acr4, Histogram, NybbleCounts};
 
 use crate::analysis::Analysis;
 use crate::error::EipError;
-use crate::mining::{mine_segment, MinedSegment, MiningOptions};
+use crate::mining::{mine_segment, mine_segment_histogram, MinedSegment, MiningOptions};
 use crate::model::{IpModel, Options};
 use crate::segments::{Segment, SegmentationOptions};
 
@@ -96,6 +104,11 @@ impl Config {
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
         self
+    }
+
+    /// The scheduler this configuration's worker budget implies.
+    pub fn scheduler(&self) -> Scheduler {
+        Scheduler::new(self.parallelism)
     }
 }
 
@@ -147,13 +160,32 @@ impl Pipeline {
     }
 
     /// Profiles an already-ingested working set (top-64 reduction and
-    /// deduplication must have happened during ingestion).
+    /// deduplication must have happened during ingestion). With
+    /// `parallelism > 1` the nybble counting shards the address
+    /// stream and merges per-shard [`NybbleCounts`] — an exact
+    /// reduction, so the profile is identical at any worker count.
     fn profile_working(&self, working: AddressSet) -> Result<Profiled, EipError> {
         if working.is_empty() {
             return Err(EipError::EmptySet);
         }
-        let mut counts = NybbleCounts::new();
-        counts.observe_all(working.iter());
+        let exec = self.cfg.scheduler();
+        let counts = if exec.is_serial() {
+            let mut counts = NybbleCounts::new();
+            counts.observe_all(working.iter());
+            counts
+        } else {
+            let addrs = working.as_slice();
+            exec.par_map_reduce(
+                addrs.len(),
+                |range| {
+                    let mut counts = NybbleCounts::new();
+                    counts.observe_all(addrs[range].iter().copied());
+                    counts
+                },
+                |acc, part| acc.merge(&part),
+            )
+            .expect("non-empty working set")
+        };
         let entropy = counts.entropy();
         let acr = acr4(&working);
         Ok(Profiled {
@@ -173,14 +205,9 @@ impl Pipeline {
         let mut builder = AddressSetBuilder::new();
         for (no, line) in reader.lines().enumerate() {
             let line = line.map_err(|e| EipError::io(format!("line {}", no + 1), e))?;
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+            if let Some(ip) = eip_addr::set::parse_address_line(no + 1, &line)? {
+                builder.push(if top64 { ip.slash64() } else { ip });
             }
-            let ip: Ip6 = line.parse().map_err(|_| {
-                EipError::Parse(format!("line {}: invalid address: {line}", no + 1))
-            })?;
-            builder.push(if top64 { ip.slash64() } else { ip });
         }
         self.profile_working(builder.finish())
     }
@@ -288,15 +315,17 @@ impl Segmented {
     }
 
     /// Stage 3 with explicit options: re-mines this artifact without
-    /// recomputing the entropy profile or segmentation. Mining runs
-    /// on `config().parallelism` worker threads; the result is
+    /// recomputing the entropy profile or segmentation. With
+    /// `config().parallelism > 1` mining runs the sharded engine
+    /// (per-shard histograms for every segment in one pass over the
+    /// addresses, merged and then thresholded); the result is
     /// identical at any worker count.
     pub fn mine_with(&self, opts: &MiningOptions) -> Mined {
         let mined = mine_all(
             self.addresses(),
             &self.analysis.segments,
             opts,
-            self.profiled.cfg.parallelism,
+            &self.profiled.cfg.scheduler(),
         );
         Mined {
             segmented: self.clone(),
@@ -399,40 +428,88 @@ impl Trained {
     }
 }
 
-/// Mines every segment, fanning the segments out over `parallelism`
-/// scoped worker threads. Results are joined in segment order, so the
-/// output is independent of the worker count (mining itself is
-/// deterministic — no RNG is involved).
+/// Mines every segment. Two implementations, one result:
+///
+/// * **Serial reference** (one worker): one pass per segment, exactly
+///   the original per-segment [`mine_segment`] loop. Simple, and the
+///   oracle the sharded engine is verified against.
+/// * **Sharded engine** (`workers > 1`): the §4.3 counting phase is
+///   restructured as shard-count-then-merge. One pass over each
+///   input shard expands every address's nybbles *once* and pushes
+///   all segment values, each shard run-length-encodes its own
+///   [`Histogram`] per segment, shard histograms merge in shard
+///   order (exact integer counts), and the thresholding core then
+///   runs per segment on the scheduler. This parallelizes *within*
+///   every segment, so a single heavy segment (e.g. a pseudo-random
+///   IID segment with a huge histogram) no longer owns the critical
+///   path the way per-segment fan-out left it.
+///
+/// Both paths are deterministic and produce identical dictionaries at
+/// any worker count — no RNG is involved, and the merge is exact.
 fn mine_all(
     working: &AddressSet,
     segments: &[Segment],
     opts: &MiningOptions,
-    parallelism: usize,
+    exec: &Scheduler,
 ) -> Vec<MinedSegment> {
-    let mine_one = |seg: &Segment| {
-        let values: Vec<u128> = working
+    if exec.is_serial() {
+        return segments
             .iter()
-            .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
+            .map(|seg| {
+                let values: Vec<u128> = working
+                    .iter()
+                    .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
+                    .collect();
+                mine_segment(seg, &values, opts)
+            })
             .collect();
-        mine_segment(seg, &values, opts)
-    };
-    let workers = parallelism.clamp(1, segments.len().max(1));
-    if workers == 1 {
-        return segments.iter().map(mine_one).collect();
     }
-    let mut out: Vec<Option<MinedSegment>> = vec![None; segments.len()];
-    let per = segments.len().div_ceil(workers);
-    let mine_one = &mine_one;
-    thread::scope(|s| {
-        for (slots, segs) in out.chunks_mut(per).zip(segments.chunks(per)) {
-            s.spawn(move || {
-                for (slot, seg) in slots.iter_mut().zip(segs) {
-                    *slot = Some(mine_one(seg));
+    let addrs = working.as_slice();
+    let merged: Vec<Histogram> = exec
+        .par_map_reduce(
+            addrs.len(),
+            |range| shard_histograms(&addrs[range], segments),
+            |acc, part| {
+                for (a, b) in acc.iter_mut().zip(&part) {
+                    a.merge(b);
                 }
-            });
+            },
+        )
+        .unwrap_or_else(|| vec![Histogram::default(); segments.len()]);
+    let items: Vec<(&Segment, Histogram)> = segments.iter().zip(merged).collect();
+    exec.par_map_owned(items, |(seg, hist)| mine_segment_histogram(seg, hist, opts))
+}
+
+/// One mining shard: a single pass over `addrs` that expands each
+/// address's nybbles once and collects every segment's values, then
+/// run-length-encodes one histogram per segment.
+///
+/// The shard is processed in fixed-size sub-blocks so the transient
+/// value buffers stay at `segments × BLOCK × 16 B` (a few MB) instead
+/// of `segments × shard_len` — at paper scale (1M addresses, ~8
+/// segments) the naive all-at-once buffers would transiently hold
+/// over 100 MB. Sub-block histograms merge exactly, so the result is
+/// byte-identical to a single-block pass.
+fn shard_histograms(addrs: &[Ip6], segments: &[Segment]) -> Vec<Histogram> {
+    /// Addresses per sub-block (65 536 × 16 B = 1 MiB per segment).
+    const BLOCK: usize = 1 << 16;
+    let mut hists: Vec<Histogram> = vec![Histogram::default(); segments.len()];
+    for block in addrs.chunks(BLOCK) {
+        let mut values: Vec<Vec<u128>> = segments
+            .iter()
+            .map(|_| Vec::with_capacity(block.len()))
+            .collect();
+        for &ip in block {
+            let ny = ip.nybbles();
+            for (vs, seg) in values.iter_mut().zip(segments) {
+                vs.push(ny.segment_value(seg.start, seg.end));
+            }
         }
-    });
-    out.into_iter().map(Option::unwrap).collect()
+        for (h, vs) in hists.iter_mut().zip(values) {
+            h.merge(&Histogram::from_values_owned(vs));
+        }
+    }
+    hists
 }
 
 #[cfg(test)]
@@ -580,5 +657,26 @@ mod tests {
             .run(set.iter())
             .unwrap();
         assert_eq!(profile::export(&serial), profile::export(&parallel));
+    }
+
+    #[test]
+    fn sharded_engine_is_worker_count_independent() {
+        // Profiling and mining both shard when parallelism > 1; the
+        // model (and every intermediate artifact) must be identical
+        // at every worker count, including counts that exceed the
+        // input size.
+        let set = training_set();
+        let serial = Pipeline::new(Config::default())
+            .profile(set.iter())
+            .unwrap();
+        for workers in [2usize, 3, 5, 16] {
+            let parallel = Pipeline::new(Config::default().with_parallelism(workers))
+                .profile(set.iter())
+                .unwrap();
+            assert_eq!(parallel.entropy(), serial.entropy(), "{workers} workers");
+            assert_eq!(parallel.acr(), serial.acr());
+            let mined = parallel.segment().mine();
+            assert_eq!(mined.mined(), serial.segment().mine().mined());
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the pipeline invariants.
 
 use eip_addr::{AddressSet, Ip6};
-use entropy_ip::mining::{mine_segment, MiningOptions};
+use eip_exec::Scheduler;
+use entropy_ip::mining::{mine_segment, mine_segment_sharded, MiningOptions};
 use entropy_ip::segments::{segment_entropy_profile, Segment, SegmentationOptions};
 use entropy_ip::{Config, EntropyIp, Pipeline};
 use proptest::prelude::*;
@@ -56,6 +57,53 @@ proptest! {
         for sv in &m.values {
             prop_assert!((sv.freq - sv.count as f64 / m.total as f64).abs() < 1e-9);
         }
+    }
+
+    /// Shard-count-then-merge mining is exact: for arbitrary raw
+    /// values and any shard count 1..=8, the sharded path produces a
+    /// `MinedSegment` identical to the serial reference — same codes,
+    /// same kinds, same counts, same frequencies.
+    #[test]
+    fn sharded_mining_matches_serial(
+        raw in prop::collection::vec(0u128..4096, 1..600),
+        shards in 1usize..=8,
+    ) {
+        let seg = Segment { label: "T".into(), start: 20, end: 22 };
+        let serial = mine_segment(&seg, &raw, &MiningOptions::default());
+        let sharded = mine_segment_sharded(
+            &seg,
+            &raw,
+            &MiningOptions::default(),
+            &Scheduler::new(shards),
+        );
+        prop_assert_eq!(sharded, serial);
+    }
+
+    /// The whole staged pipeline is worker-count independent: models
+    /// built with the sharded engine export byte-identically to the
+    /// serial reference for arbitrary structured populations.
+    #[test]
+    fn pipeline_sharded_equals_serial(
+        prefix in 0u128..0xff,
+        subnets in 1u128..8,
+        hosts in 2u128..50,
+        workers in 2usize..=8,
+    ) {
+        let set: AddressSet = (0..subnets)
+            .flat_map(|s| {
+                (0..hosts).map(move |h| {
+                    Ip6((0x2001_0db8u128 << 96) | (prefix << 80) | (s << 16) | (h * 3))
+                })
+            })
+            .collect();
+        let serial = Pipeline::new(Config::default()).run(set.iter()).unwrap();
+        let parallel = Pipeline::new(Config::default().with_parallelism(workers))
+            .run(set.iter())
+            .unwrap();
+        prop_assert_eq!(
+            entropy_ip::profile::export(&parallel),
+            entropy_ip::profile::export(&serial)
+        );
     }
 
     /// Encode is stable: the same value always maps to the same code.

@@ -1,0 +1,324 @@
+//! # eip_exec — deterministic chunked execution
+//!
+//! The shared execution core behind every parallel hot path of the
+//! Entropy/IP workspace: sharded profiling (`NybbleCounts` merges),
+//! intra-segment mining (per-shard value histograms merged before
+//! thresholding), and batched candidate generation.
+//!
+//! The design contract is **determinism at any worker count**:
+//!
+//! * work is split into *stable, contiguous* chunks ([`shard_ranges`])
+//!   whose order never depends on thread scheduling;
+//! * mapped results are joined **in chunk order**, so order-sensitive
+//!   consumers observe the serial sequence;
+//! * reductions fold shard results left-to-right in shard order, so
+//!   any *associative* reduction (all of ours merge exact integer
+//!   counts) produces the same value at every worker count.
+//!
+//! Threads come from [`std::thread::scope`] — no pool is kept alive,
+//! no global state, no unsafe code. A [`Scheduler`] with one worker
+//! runs everything inline on the calling thread, which keeps the
+//! serial paths allocation- and thread-free and makes them the
+//! reference implementations the sharded paths are verified against
+//! (see the shard-equivalence proptests in `entropy-ip`).
+//!
+//! ```
+//! use eip_exec::Scheduler;
+//!
+//! let exec = Scheduler::new(4);
+//! // Order-preserving map: same output as the serial iterator.
+//! let squares = exec.par_map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//!
+//! // Shard-count-then-merge: sum 0..100 in contiguous shards.
+//! let total = exec
+//!     .par_map_reduce(
+//!         100,
+//!         |range| range.map(|i| i as u64).sum::<u64>(),
+//!         |acc, part| *acc += part,
+//!     )
+//!     .unwrap();
+//! assert_eq!(total, 4950);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::thread;
+
+/// Splits `0..len` into at most `shards` stable, contiguous,
+/// near-equal ranges (the first `len % shards` ranges are one element
+/// longer). Returns fewer ranges when `len < shards` — never an empty
+/// range — and an empty vector when `len == 0`.
+///
+/// The boundaries are a pure function of `(len, shards)`, which is
+/// what makes sharded work repeatable run to run.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// A deterministic chunked scheduler: a worker-thread budget plus the
+/// fan-out/join primitives the hot paths share. See the [module
+/// docs](self) for the determinism contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scheduler {
+    workers: usize,
+}
+
+impl Default for Scheduler {
+    /// A serial scheduler (one worker).
+    fn default() -> Self {
+        Scheduler::new(1)
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with the given worker budget (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker budget.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether this scheduler runs everything inline on the calling
+    /// thread.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// The stable shard decomposition this scheduler uses for `len`
+    /// work items (one shard per worker, fewer for tiny inputs).
+    pub fn shards(&self, len: usize) -> Vec<Range<usize>> {
+        shard_ranges(len, self.workers)
+    }
+
+    /// Maps `f` over `0..len`, returning results in index order.
+    /// Indices are fanned out in contiguous shards; with one worker
+    /// the loop runs inline.
+    pub fn par_map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.is_serial() || len <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let ranges = self.shards(len);
+        let mut out: Vec<Option<T>> = Vec::new();
+        out.resize_with(len, || None);
+        let f = &f;
+        thread::scope(|s| {
+            let mut rest = out.as_mut_slice();
+            for range in &ranges {
+                let (slots, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let start = range.start;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(start + j));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("shard filled"))
+            .collect()
+    }
+
+    /// Maps `f` over a slice, returning results in input order. The
+    /// parallel equivalent of `items.iter().map(f).collect()`.
+    pub fn par_map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps `f` over an owned vector, *consuming* the items, and
+    /// returns results in input order — the parallel equivalent of
+    /// `items.into_iter().map(f).collect()`. Use this when the mapped
+    /// values are expensive to clone (e.g. a merged histogram handed
+    /// to a consuming stage).
+    pub fn par_map_owned<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        if self.is_serial() || items.len() <= 1 {
+            return items.into_iter().map(&f).collect();
+        }
+        let ranges = self.shards(items.len());
+        // Carve the vector into owned per-shard chunks (splitting from
+        // the tail avoids any element shifting), then map each chunk
+        // on its own thread and flatten in shard order.
+        let mut tail = items;
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(ranges.len());
+        for range in ranges.iter().skip(1).rev() {
+            chunks.push(tail.split_off(range.start));
+        }
+        chunks.push(tail);
+        chunks.reverse();
+        let f = &f;
+        let mut results: Vec<Option<Vec<T>>> = Vec::new();
+        results.resize_with(chunks.len(), || None);
+        thread::scope(|s| {
+            for (slot, chunk) in results.iter_mut().zip(chunks) {
+                s.spawn(move || *slot = Some(chunk.into_iter().map(f).collect()));
+            }
+        });
+        results
+            .into_iter()
+            .flat_map(|v| v.expect("chunk mapped"))
+            .collect()
+    }
+
+    /// Shard-count-then-merge: splits `0..len` into this scheduler's
+    /// stable shards, maps every shard with `map`, and folds the
+    /// shard results **in shard order** with `reduce`. Returns `None`
+    /// for empty input.
+    ///
+    /// The fold order is fixed, so the result is independent of the
+    /// worker count whenever `reduce` is associative — which holds
+    /// exactly for the count-merging reductions this workspace uses
+    /// (`eip_stats`' `Histogram::merge` / `NybbleCounts::merge`).
+    pub fn par_map_reduce<T, M, R>(&self, len: usize, map: M, mut reduce: R) -> Option<T>
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: FnMut(&mut T, T),
+    {
+        let parts = if self.is_serial() {
+            self.shards(len).into_iter().map(&map).collect()
+        } else {
+            let ranges = self.shards(len);
+            self.par_map(&ranges, |r| map(r.clone()))
+        };
+        let mut parts = parts.into_iter();
+        let mut acc = parts.next()?;
+        for part in parts {
+            reduce(&mut acc, part);
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in 1..=9 {
+                let ranges = shard_ranges(len, shards);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= shards);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Near-equal sizes: max - min <= 1, none empty.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                assert!(sizes.iter().all(|&s| s > 0));
+                assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_are_stable() {
+        assert_eq!(shard_ranges(10, 3), shard_ranges(10, 3));
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in 1..=8 {
+            let exec = Scheduler::new(workers);
+            assert_eq!(exec.par_map(&items, |&x| x * 3 + 1), expect);
+            let indexed = exec.par_map_indexed(items.len(), |i| items[i] * 3 + 1);
+            assert_eq!(indexed, expect);
+        }
+    }
+
+    #[test]
+    fn par_map_owned_consumes_in_order() {
+        // Non-Clone payloads prove items are moved, not copied.
+        struct NoClone(u64);
+        let expect: Vec<u64> = (0..101).map(|x| x * 2).collect();
+        for workers in 1..=8 {
+            let items: Vec<NoClone> = (0..101).map(NoClone).collect();
+            let out = Scheduler::new(workers).par_map_owned(items, |i| i.0 * 2);
+            assert_eq!(out, expect, "{workers} workers");
+        }
+        assert!(Scheduler::new(3)
+            .par_map_owned(Vec::<u8>::new(), |x| x)
+            .is_empty());
+    }
+
+    #[test]
+    fn par_map_reduce_is_worker_count_independent() {
+        let serial = Scheduler::new(1)
+            .par_map_reduce(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
+            .unwrap();
+        for workers in 2..=8 {
+            let parallel = Scheduler::new(workers)
+                .par_map_reduce(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
+                .unwrap();
+            assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let exec = Scheduler::new(4);
+        assert!(exec.par_map(&[] as &[u8], |_| 0u8).is_empty());
+        assert!(exec.par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(exec.par_map_reduce(0, |_| 0u64, |a, b| *a += b), None);
+    }
+
+    #[test]
+    fn worker_budget_clamps_to_one() {
+        assert_eq!(Scheduler::new(0).workers(), 1);
+        assert!(Scheduler::new(0).is_serial());
+        assert!(!Scheduler::new(2).is_serial());
+        assert_eq!(Scheduler::default(), Scheduler::new(1));
+    }
+
+    #[test]
+    fn tiny_inputs_use_fewer_shards_than_workers() {
+        let exec = Scheduler::new(8);
+        assert_eq!(exec.shards(3).len(), 3);
+        assert_eq!(exec.par_map(&[5u8, 6, 7], |&x| x + 1), vec![6, 7, 8]);
+    }
+}

@@ -2,9 +2,9 @@
 //! [`Pipeline`] API.
 
 use eip_addr::set::SplitMix64;
-use eip_addr::AddressSet;
+use eip_addr::{AddressSet, Ip6};
 use eip_netsim::{dataset, FaultConfig, Responder};
-use entropy_ip::{Config, EipError, IpModel, Pipeline};
+use entropy_ip::{Config, EipError, Generator, IpModel, Pipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,11 +20,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Probe-loss fraction injected into the responder.
     pub probe_loss: f64,
-    /// Worker threads for per-segment mining. Results are identical
-    /// at any setting. (Generation in `repro` stays on the serial
-    /// sampler so the printed tables remain bit-stable across PRs;
-    /// the `eip` binary's `--jobs` also parallelizes batched
-    /// generation via `Generator::run_seeded`.)
+    /// Worker threads for the scheduler-backed hot paths (profiling,
+    /// mining, and — at `jobs > 1` — batched generation). Results
+    /// are identical at any `jobs > 1` setting; see
+    /// [`generate_candidates`] for the one-time stream switch between
+    /// the serial sampler and the batched scheduler.
     pub jobs: usize,
 }
 
@@ -49,6 +49,33 @@ impl RunConfig {
     /// The top-64-bit (prefix) pipeline.
     pub fn prefix_pipeline(&self) -> Pipeline {
         Pipeline::new(Config::top64().with_parallelism(self.jobs))
+    }
+}
+
+/// Generates the evaluation candidates for one experiment.
+///
+/// At `jobs == 1` this is the legacy serial sampler (one `StdRng`
+/// stream), which keeps the default `repro` table output byte-stable
+/// across PRs. At `jobs > 1` generation runs the deterministic
+/// batched scheduler ([`Generator::run_seeded`]), whose output is a
+/// *different* (but equally valid) candidate stream that is identical
+/// for every `jobs > 1` setting — so `--jobs 2` and `--jobs 8` print
+/// byte-identical tables (asserted by the binary smoke test).
+pub fn generate_candidates(
+    model: &IpModel,
+    exclude: &AddressSet,
+    n: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Ip6> {
+    let generator = Generator::new(model)
+        .excluding(exclude)
+        .attempts_per_candidate(8);
+    if jobs > 1 {
+        generator.parallelism(jobs).run_seeded(n, seed).candidates
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generator.run(n, &mut rng).candidates
     }
 }
 

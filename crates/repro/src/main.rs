@@ -8,14 +8,19 @@
 //! repro --figure 7            # one figure (1..=10)
 //! repro --ablation            # BN vs Markov vs independent
 //! repro --table 4 --full      # paper-scale 1M candidates
+//! repro --full                # timed paper-scale run (1M in / 1M out),
+//!                             # stage timings -> crates/bench/BENCH_full.json
+//! repro --full --jobs 8 --bench-out /tmp/full.json
 //! repro --candidates 50000    # custom candidate count
 //! repro --train 1000          # custom training size
 //! repro --seed 42             # reproducibility
-//! repro --all --jobs 8        # parallel per-segment mining (same output)
+//! repro --all --jobs 8        # sharded profiling/mining/generation (same output
+//!                             # at any jobs > 1)
 //! ```
 
 mod common;
 mod figures;
+mod fullrun;
 mod tables;
 
 use common::RunConfig;
@@ -31,13 +36,24 @@ fn main() {
     let mut figure: Option<u32> = None;
     let mut all = false;
     let mut ablation = false;
+    let mut full = false;
+    let mut bench_out: Option<String> = None;
+    let mut candidates: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--all" => all = true,
             "--ablation" => ablation = true,
-            "--full" => cfg.candidates = 1_000_000,
+            "--full" => full = true,
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--bench-out needs a path")),
+                );
+            }
             "--table" => {
                 i += 1;
                 table = Some(parse_num(&args, i, "--table"));
@@ -48,7 +64,7 @@ fn main() {
             }
             "--candidates" => {
                 i += 1;
-                cfg.candidates = parse_num(&args, i, "--candidates") as usize;
+                candidates = Some(parse_num(&args, i, "--candidates") as usize);
             }
             "--train" => {
                 i += 1;
@@ -77,6 +93,19 @@ fn main() {
         }
         i += 1;
     }
+    // `--full` means paper scale unless an explicit `--candidates`
+    // overrides it — in either flag order.
+    if let Some(n) = candidates {
+        cfg.candidates = n;
+    } else if full {
+        cfg.candidates = 1_000_000;
+    }
+    // `--bench-out` only makes sense for the bare `--full` timed run;
+    // reject it elsewhere instead of silently writing nothing.
+    let timed_run = full && !all && table.is_none() && figure.is_none() && !ablation;
+    if bench_out.is_some() && !timed_run {
+        die("--bench-out only applies to the bare --full timed run");
+    }
 
     if all {
         for t in 1..=6 {
@@ -99,7 +128,10 @@ fn main() {
     if ablation {
         tables::ablation(&cfg);
     }
-    if table.is_none() && figure.is_none() && !ablation {
+    if timed_run {
+        // Bare `--full`: the timed paper-scale workload.
+        fullrun::full_run(&cfg, bench_out.as_deref());
+    } else if table.is_none() && figure.is_none() && !ablation {
         usage();
     }
 }
@@ -148,10 +180,13 @@ fn usage() {
         "repro — regenerate the tables and figures of Entropy/IP (IMC 2016)\n\n\
          usage: repro [--all] [--table N] [--figure N] [--ablation]\n\
                       [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\
-                      [--jobs N]\n\n\
+                      [--jobs N] [--bench-out PATH]\n\n\
          tables:  1 datasets   2 conditional probs   3 S1 mining\n\
                   4 scanning   5 training-size sweep 6 prefix prediction\n\
          figures: 1 UI        2 BN graph   3 addresses  4 histogram  5 windowing\n\
-                  6 aggregates 7 S1 panel  8 small multiples  9 R1 panel  10 C1 panel"
+                  6 aggregates 7 S1 panel  8 small multiples  9 R1 panel  10 C1 panel\n\n\
+         bare --full runs the timed paper-scale workload (1M addresses in,\n\
+         1M candidates out) and records per-stage wall-clock to\n\
+         crates/bench/BENCH_full.json (override with --bench-out)"
     );
 }

@@ -4,9 +4,9 @@ use eip_addr::set::SplitMix64;
 use eip_bayes::sample_row;
 use eip_netsim::{dataset, evaluate_scan, TemporalPool};
 use entropy_ip::baseline::{encoded_dataset, generate_with, IndependentModel, MarkovModel};
-use entropy_ip::{Generator, ValueKind};
+use entropy_ip::ValueKind;
 
-use crate::common::{human, prefix_model, quick_model, workbench, RunConfig};
+use crate::common::{generate_candidates, human, prefix_model, quick_model, workbench, RunConfig};
 
 /// Table 1: the dataset census.
 pub fn table1(cfg: &RunConfig) {
@@ -179,12 +179,14 @@ pub struct Table4Row {
 /// Runs the Table 4 protocol for one dataset id.
 pub fn scan_one(id: &str, cfg: &RunConfig) -> Table4Row {
     let wb = workbench(id, cfg);
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xf00d);
-    let report = Generator::new(&wb.model)
-        .excluding(&wb.train)
-        .attempts_per_candidate(8)
-        .run(cfg.candidates, &mut rng);
-    let outcome = evaluate_scan(&report.candidates, &wb.train, &wb.test, &wb.responder);
+    let candidates = generate_candidates(
+        &wb.model,
+        &wb.train,
+        cfg.candidates,
+        cfg.seed ^ 0xf00d,
+        cfg.jobs,
+    );
+    let outcome = evaluate_scan(&candidates, &wb.train, &wb.test, &wb.responder);
     Table4Row {
         id: id.to_string(),
         test: outcome.test_hits,
@@ -310,12 +312,8 @@ pub fn predict_prefixes(id: &str, cfg: &RunConfig) -> ((usize, f64), usize) {
     let mut rng = SplitMix64::new(cfg.seed);
     let (train, _) = day0.split_sample(cfg.train, &mut rng);
     let model = prefix_model(&train, cfg).expect("non-empty prefix training set");
-    let mut gen_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xabc);
-    let candidates = Generator::new(&model)
-        .excluding(&train)
-        .attempts_per_candidate(8)
-        .run(cfg.candidates, &mut gen_rng)
-        .candidates;
+    let candidates =
+        generate_candidates(&model, &train, cfg.candidates, cfg.seed ^ 0xabc, cfg.jobs);
     let day0_hits = candidates.iter().filter(|&&p| day0.contains(p)).count();
     let week_hits = candidates.iter().filter(|&&p| week.contains(p)).count();
     let rate7 = if candidates.is_empty() {

@@ -58,6 +58,72 @@ fn figure2_emits_dot_graph() {
 }
 
 #[test]
+fn parallel_jobs_do_not_change_table_output() {
+    // Mining, profiling, AND generation all ride the scheduler when
+    // --jobs > 1; the printed table must be byte-identical at every
+    // parallel worker count.
+    fn args(jobs: &str) -> [&str; 10] {
+        [
+            "--table",
+            "4",
+            "--train",
+            "300",
+            "--candidates",
+            "3000",
+            "--seed",
+            "7",
+            "--jobs",
+            jobs,
+        ]
+    }
+    let two = run_repro(&args("2"));
+    let four = run_repro(&args("4"));
+    assert_eq!(two, four, "--jobs 2 vs --jobs 4 output diverged");
+    assert!(two.contains("Table 4"));
+}
+
+#[test]
+fn full_run_records_stage_timings() {
+    // Dress rehearsal of the paper-scale timed run at toy size: every
+    // stage must execute and the JSON must land at --bench-out.
+    let out_path = std::env::temp_dir().join(format!("eip_bench_full_{}.json", std::process::id()));
+    let out_str = out_path.to_str().unwrap().to_string();
+    let stdout = run_repro(&[
+        "--full",
+        "--candidates",
+        "4000",
+        "--jobs",
+        "2",
+        "--seed",
+        "7",
+        "--bench-out",
+        &out_str,
+    ]);
+    assert!(
+        stdout.contains("Paper-scale timed run"),
+        "missing header:\n{stdout}"
+    );
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_full.json written");
+    std::fs::remove_file(&out_path).ok();
+    for stage in [
+        "synthesize",
+        "profile",
+        "segment",
+        "mine",
+        "train",
+        "generate",
+        "evaluate",
+    ] {
+        assert!(
+            json.contains(&format!("\"{stage}\"")),
+            "missing {stage}:\n{json}"
+        );
+    }
+    assert!(json.contains("\"total\""), "{json}");
+    assert!(json.contains("\"candidates\": 4000"), "{json}");
+}
+
+#[test]
 fn eip_cli_prints_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_eip"))
         .arg("help")

@@ -110,6 +110,21 @@ impl NybbleCounts {
         }
     }
 
+    /// Merges another accumulator into this one, as if every address
+    /// the other observed had been observed here. Exact (integer
+    /// counts), commutative, and associative — per-shard counts built
+    /// over a partition of an address stream merge to the single-pass
+    /// result at any shard count, which is what lets profiling shard
+    /// its input (see `eip_exec`).
+    pub fn merge(&mut self, other: &NybbleCounts) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.total += other.total;
+    }
+
     /// Number of addresses observed so far.
     pub fn total(&self) -> u64 {
         self.total
@@ -247,6 +262,27 @@ mod tests {
         half.observe_all(addrs[..2].iter().copied());
         half.observe_all(addrs[2..].iter().copied());
         assert_eq!(half, acc);
+    }
+
+    #[test]
+    fn merged_counts_equal_single_pass() {
+        let addrs: Vec<Ip6> = (0..300u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | (i * 31)))
+            .collect();
+        let whole: NybbleCounts = addrs.iter().copied().collect();
+        for shards in 1..=5 {
+            let per = addrs.len().div_ceil(shards);
+            let mut acc = NybbleCounts::new();
+            for chunk in addrs.chunks(per) {
+                acc.merge(&chunk.iter().copied().collect());
+            }
+            assert_eq!(acc, whole, "{shards} shards");
+            assert_eq!(acc.entropy(), whole.entropy());
+        }
+        // Merging an empty accumulator is the identity.
+        let mut id = whole.clone();
+        id.merge(&NybbleCounts::new());
+        assert_eq!(id, whole);
     }
 
     #[test]

@@ -47,6 +47,66 @@ impl Histogram {
         Histogram { entries, total }
     }
 
+    /// Builds a histogram from an owned value buffer by sorting it in
+    /// place and run-length encoding the sorted runs. Produces exactly
+    /// the same histogram as [`Histogram::from_values`] without a hash
+    /// map — the constructor of choice for per-shard counting on the
+    /// sharded hot paths, where buffers are already owned and
+    /// duplicate-heavy segments sort in near-linear time.
+    pub fn from_values_owned(mut values: Vec<u128>) -> Self {
+        let total = values.len() as u64;
+        values.sort_unstable();
+        let mut entries: Vec<(u128, u64)> = Vec::new();
+        for v in values {
+            match entries.last_mut() {
+                Some(e) if e.0 == v => e.1 += 1,
+                _ => entries.push((v, 1)),
+            }
+        }
+        Histogram { entries, total }
+    }
+
+    /// Merges another histogram into this one, summing the counts of
+    /// shared values. Exact (integer counts), commutative, and
+    /// associative, so shard-built histograms reduce to the same
+    /// result at any shard count:
+    /// `merge(from_values(a), from_values(b)) == from_values(a ++ b)`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries = other.entries.clone();
+            self.total = other.total;
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (av, ac) = self.entries[i];
+            let (bv, bc) = other.entries[j];
+            match av.cmp(&bv) {
+                std::cmp::Ordering::Less => {
+                    merged.push((av, ac));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((bv, bc));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((av, ac + bc));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
+        self.total += other.total;
+    }
+
     /// Sorted (value, count) pairs.
     #[inline]
     pub fn entries(&self) -> &[(u128, u64)] {
@@ -250,6 +310,54 @@ mod tests {
         assert_eq!(h.remove_range(0, 5), 3);
         assert!(h.is_empty());
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_values_owned_matches_from_values() {
+        let values: Vec<u128> = (0..500u128).map(|i| (i * 37) % 97).collect();
+        assert_eq!(
+            Histogram::from_values_owned(values.clone()),
+            Histogram::from_values(&values)
+        );
+        assert_eq!(
+            Histogram::from_values_owned(Vec::new()),
+            Histogram::default()
+        );
+    }
+
+    #[test]
+    fn merge_equals_concatenated_build() {
+        let a: Vec<u128> = (0..200u128).map(|i| i % 17).collect();
+        let b: Vec<u128> = (0..300u128).map(|i| (i * 5) % 23).collect();
+        let mut merged = Histogram::from_values(&a);
+        merged.merge(&Histogram::from_values(&b));
+        let both: Vec<u128> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, Histogram::from_values(&both));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::from_values(&[1, 2, 2, 9]);
+        let mut left = h.clone();
+        left.merge(&Histogram::default());
+        assert_eq!(left, h);
+        let mut right = Histogram::default();
+        right.merge(&h);
+        assert_eq!(right, h);
+    }
+
+    #[test]
+    fn merge_is_associative_over_shards() {
+        let values: Vec<u128> = (0..600u128).map(|i| (i * 13) % 41).collect();
+        let whole = Histogram::from_values(&values);
+        for shards in 1..=6 {
+            let per = values.len().div_ceil(shards);
+            let mut acc = Histogram::default();
+            for chunk in values.chunks(per) {
+                acc.merge(&Histogram::from_values(chunk));
+            }
+            assert_eq!(acc, whole, "{shards} shards");
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@ use eip_addr::{AddressSet, Ip6};
 use eip_stats::acr::aggregate_counts;
 use eip_stats::histogram::{outlier_threshold, quartiles, Histogram};
 use eip_stats::window::window_entropy;
-use eip_stats::{acr4, entropy_bits, normalized_entropy, nybble_entropy, total_entropy};
+use eip_stats::{
+    acr4, entropy_bits, normalized_entropy, nybble_entropy, total_entropy, NybbleCounts,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -86,6 +88,42 @@ proptest! {
         for &v in &distinct {
             prop_assert_eq!(h.count_of(v), vals.iter().filter(|&&x| x == v).count() as u64);
         }
+    }
+
+    /// Sharded histogram building is exact: splitting the raw values
+    /// at any point and merging the two shard histograms equals the
+    /// single-pass build, and the sort-based owned-buffer constructor
+    /// agrees with the hash-based one.
+    #[test]
+    fn histogram_merge_equals_single_pass(
+        vals in prop::collection::vec(0u128..256, 0..300),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let whole = Histogram::from_values(&vals);
+        prop_assert_eq!(Histogram::from_values_owned(vals.clone()), whole.clone());
+        let cut = ((vals.len() as f64) * cut_frac) as usize;
+        let mut merged = Histogram::from_values(&vals[..cut]);
+        merged.merge(&Histogram::from_values(&vals[cut..]));
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Sharded profiling is exact: per-shard `NybbleCounts` merged in
+    /// any shard decomposition equal the single-pass accumulator.
+    #[test]
+    fn nybble_counts_merge_equals_single_pass(
+        vs in prop::collection::vec(any::<u128>(), 1..120),
+        shards in 1usize..=8,
+    ) {
+        let addrs: Vec<Ip6> = vs.iter().map(|&v| Ip6(v)).collect();
+        let whole: NybbleCounts = addrs.iter().copied().collect();
+        let per = addrs.len().div_ceil(shards);
+        let mut acc = NybbleCounts::new();
+        for chunk in addrs.chunks(per) {
+            acc.merge(&chunk.iter().copied().collect());
+        }
+        prop_assert_eq!(&acc, &whole);
+        prop_assert_eq!(acc.entropy(), whole.entropy());
+        prop_assert_eq!(acc.total(), addrs.len() as u64);
     }
 
     /// Window entropy of adjacent windows is superadditive-bounded:

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: runs the `stages` bench target and fails if
+# the sharded parallel mining path is not faster than the serial
+# reference by the configured margin — guarding the whole point of the
+# sharded execution core (before it, stage_mine/parallel4_10000 ~=
+# stage_mine/serial_10000 because one heavy segment owned the critical
+# path).
+#
+# Usage: tools/bench_guard.sh
+#   BENCH_MINE_MARGIN   required ratio parallel/serial (default 0.9,
+#                       i.e. the sharded path must be >=10% faster)
+set -euo pipefail
+
+margin="${BENCH_MINE_MARGIN:-0.9}"
+
+out="$(cargo bench -p eip_bench --bench stages 2>&1)"
+echo "$out"
+
+serial="$(echo "$out" | awk '/bench stage_mine\/serial_10000:/ {print $3}')"
+parallel="$(echo "$out" | awk '/bench stage_mine\/parallel4_10000:/ {print $3}')"
+
+if [[ -z "$serial" || -z "$parallel" ]]; then
+    echo "bench_guard: could not find stage_mine results in bench output" >&2
+    exit 1
+fi
+
+echo
+echo "bench_guard: serial=${serial} ns/iter, parallel4=${parallel} ns/iter," \
+     "required ratio <= ${margin}"
+
+if awk -v s="$serial" -v p="$parallel" -v m="$margin" 'BEGIN { exit !(p <= s * m) }'; then
+    awk -v s="$serial" -v p="$parallel" \
+        'BEGIN { printf "bench_guard: OK (ratio %.3f)\n", p / s }'
+else
+    awk -v s="$serial" -v p="$parallel" \
+        'BEGIN { printf "bench_guard: FAIL (ratio %.3f) — sharded mining lost its edge\n", p / s }' >&2
+    exit 1
+fi
