@@ -47,6 +47,10 @@ pub enum EipError {
     /// A model could not be fit from the data given (e.g. fitting a
     /// Markov baseline on an empty encoded dataset).
     InsufficientData(String),
+    /// The requested configuration is outside the implementation's
+    /// supported envelope (e.g. a mined dictionary larger than the
+    /// 256 values per segment the byte-columnar BN trainer stores).
+    Unsupported(String),
 }
 
 impl EipError {
@@ -77,6 +81,7 @@ impl fmt::Display for EipError {
             EipError::Io { path, msg } => write!(f, "{path}: {msg}"),
             EipError::Usage(msg) => write!(f, "usage error: {msg}"),
             EipError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            EipError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -107,5 +112,8 @@ mod tests {
         assert!(EipError::Profile("bad header".into())
             .to_string()
             .contains("bad header"));
+        assert!(EipError::Unsupported("300 values".into())
+            .to_string()
+            .contains("unsupported: 300 values"));
     }
 }

@@ -1,0 +1,375 @@
+//! Dense contingency tables: the count-reuse engine behind sharded
+//! structure learning.
+//!
+//! The serial reference scorer ([`crate::learn::family_score`])
+//! re-scans all N observations through a `HashMap` for every candidate
+//! parent set, and the reference CPT fitter scans them again — at
+//! paper scale (1M addresses, ~30 candidates per child) that is ~100
+//! full-data passes with hashing on the innermost loop. This module
+//! replaces the rescans with *one* counting pass per child:
+//!
+//! 1. enumerate the **superset families** — every parent set of the
+//!    maximum size the search may reach — and count each family's
+//!    dense `(parents × child)` joint in a single pass over the
+//!    columns ([`count_families`]);
+//! 2. the pass shards on an [`eip_exec::Scheduler`]: each shard
+//!    accumulates its own dense `u64` count arrays, and shard arrays
+//!    merge by elementwise addition — an exact integer reduction, so
+//!    the tables are identical at any worker count;
+//! 3. every *smaller* candidate's table (and the empty set's child
+//!    marginal) is derived from a superset table by
+//!    [`FamilyTable::marginalize_to`] — no further data passes;
+//! 4. the winning candidate's table feeds
+//!    [`Cpt::from_counts`](crate::Cpt::from_counts) directly (the
+//!    layout matches), so CPT fitting is free.
+//!
+//! Scores computed from a [`FamilyTable`] sum cells in a fixed dense
+//! order, making them bit-identical at every shard count. They agree
+//! with the `HashMap` reference up to floating-point summation order
+//! (~1e-12 relative), far inside the tie margin the search uses — see
+//! the equivalence proptests in `tests/proptests.rs`.
+
+use crate::data::Dataset;
+use eip_exec::Scheduler;
+
+/// A dense joint count table for one family: a child variable plus an
+/// ordered set of parent variables.
+///
+/// Layout matches [`crate::Cpt`]: `counts[cfg * child_card + x]`
+/// where `cfg` is the mixed-radix parent configuration with the
+/// *first* parent as the most significant digit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyTable {
+    parents: Vec<usize>,
+    parent_cards: Vec<usize>,
+    child_card: usize,
+    counts: Vec<u64>,
+}
+
+impl FamilyTable {
+    /// The parent variable indices, in configuration-digit order.
+    #[inline]
+    pub fn parents(&self) -> &[usize] {
+        &self.parents
+    }
+
+    /// The parent cardinalities, in parent order.
+    #[inline]
+    pub fn parent_cards(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// The child cardinality.
+    #[inline]
+    pub fn child_card(&self) -> usize {
+        self.child_card
+    }
+
+    /// The dense counts, `Cpt`-layout (see the type docs).
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of parent configurations.
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.parent_cards.iter().product::<usize>().max(1)
+    }
+
+    /// The BIC/MDL family score computed from this table (same
+    /// formula as [`crate::learn::family_score`], summed in fixed
+    /// dense-index order). `n` is the total number of observations.
+    pub fn score(&self, n: usize) -> f64 {
+        let mut loglik = 0.0;
+        for cfg in 0..self.num_configs() {
+            let row = &self.counts[cfg * self.child_card..(cfg + 1) * self.child_card];
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let tf = total as f64;
+            for &c in row {
+                if c > 0 {
+                    loglik += c as f64 * (c as f64 / tf).ln();
+                }
+            }
+        }
+        let num_configs: f64 = self.parent_cards.iter().map(|&k| k as f64).product();
+        let params = num_configs * (self.child_card as f64 - 1.0);
+        loglik - 0.5 * (n as f64).ln() * params
+    }
+
+    /// Sums out every parent not in `keep`, returning the table of
+    /// the sub-family. `keep` must be a subset of this table's
+    /// parents (in the same order). Counts are exact integers, so a
+    /// marginalized table equals the table counted directly.
+    pub fn marginalize_to(&self, keep: &[usize]) -> FamilyTable {
+        debug_assert!(
+            keep.iter().all(|p| self.parents.contains(p)),
+            "keep must be a subset of the family's parents"
+        );
+        if keep.len() == self.parents.len() {
+            return self.clone();
+        }
+        let kept: Vec<usize> = (0..self.parents.len())
+            .filter(|&i| keep.contains(&self.parents[i]))
+            .collect();
+        let new_cards: Vec<usize> = kept.iter().map(|&i| self.parent_cards[i]).collect();
+        let new_configs: usize = new_cards.iter().product::<usize>().max(1);
+        let mut out = vec![0u64; new_configs * self.child_card];
+        let mut digits = vec![0usize; self.parent_cards.len()];
+        for cfg in 0..self.num_configs() {
+            let mut rem = cfg;
+            for i in (0..self.parent_cards.len()).rev() {
+                digits[i] = rem % self.parent_cards[i];
+                rem /= self.parent_cards[i];
+            }
+            let mut new_cfg = 0usize;
+            for &i in &kept {
+                new_cfg = new_cfg * self.parent_cards[i] + digits[i];
+            }
+            let src = &self.counts[cfg * self.child_card..(cfg + 1) * self.child_card];
+            let dst = &mut out[new_cfg * self.child_card..(new_cfg + 1) * self.child_card];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        FamilyTable {
+            parents: kept.iter().map(|&i| self.parents[i]).collect(),
+            parent_cards: new_cards,
+            child_card: self.child_card,
+            counts: out,
+        }
+    }
+}
+
+/// Per-shard cell budget for one counting pass (2²² `u64` cells =
+/// 32 MiB per shard). Entropy/IP's mined cardinalities (≤ ~40 values
+/// over ≤ ~12 segments) fit every pair family in a single pass;
+/// pathological configurations (many near-256-card variables) fall
+/// back to multiple passes instead of unbounded allocation.
+const MAX_BATCH_CELLS: usize = 1 << 22;
+
+/// Counts the dense joint tables of `child` with each parent set in
+/// `families`, sharded on `exec` — one pass over the data when the
+/// tables fit the per-shard cell budget ([`MAX_BATCH_CELLS`]), and as
+/// few budget-bounded passes as needed otherwise, so memory stays
+/// bounded regardless of how many families the search enumerates.
+///
+/// Each shard walks its contiguous row range once per batch,
+/// incrementing every family's dense array; shard arrays merge by
+/// elementwise addition in shard order. The result is a pure function
+/// of the data — byte identical at any worker count or batch split.
+pub fn count_families(
+    data: &Dataset,
+    child: usize,
+    families: &[Vec<usize>],
+    exec: &Scheduler,
+) -> Vec<FamilyTable> {
+    count_families_with_budget(data, child, families, exec, MAX_BATCH_CELLS)
+}
+
+/// [`count_families`] with an explicit cell budget (split out so the
+/// multi-batch path is testable without a pathological dataset).
+fn count_families_with_budget(
+    data: &Dataset,
+    child: usize,
+    families: &[Vec<usize>],
+    exec: &Scheduler,
+    budget: usize,
+) -> Vec<FamilyTable> {
+    let child_card = data.cardinality(child);
+    let cells = |f: &Vec<usize>| -> usize {
+        f.iter()
+            .map(|&p| data.cardinality(p))
+            .product::<usize>()
+            .max(1)
+            * child_card
+    };
+    let mut out = Vec::with_capacity(families.len());
+    let mut start = 0;
+    while start < families.len() {
+        let mut end = start + 1;
+        let mut batch_cells = cells(&families[start]);
+        while end < families.len() && batch_cells + cells(&families[end]) <= budget {
+            batch_cells += cells(&families[end]);
+            end += 1;
+        }
+        out.extend(count_family_batch(data, child, &families[start..end], exec));
+        start = end;
+    }
+    out
+}
+
+/// One budget-sized batch of [`count_families`]: a single sharded
+/// pass counting every family in `families`.
+fn count_family_batch(
+    data: &Dataset,
+    child: usize,
+    families: &[Vec<usize>],
+    exec: &Scheduler,
+) -> Vec<FamilyTable> {
+    let child_card = data.cardinality(child);
+    let child_col = data.column(child);
+    struct Spec<'a> {
+        cols: Vec<&'a [u8]>,
+        cards: Vec<usize>,
+        cells: usize,
+    }
+    let specs: Vec<Spec> = families
+        .iter()
+        .map(|f| {
+            let cards: Vec<usize> = f.iter().map(|&p| data.cardinality(p)).collect();
+            Spec {
+                cols: f.iter().map(|&p| data.column(p)).collect(),
+                cells: cards.iter().product::<usize>().max(1) * child_card,
+                cards,
+            }
+        })
+        .collect();
+    let counted: Vec<Vec<u64>> = exec
+        .par_map_reduce(
+            data.len(),
+            |range| {
+                let mut tables: Vec<Vec<u64>> = specs.iter().map(|s| vec![0u64; s.cells]).collect();
+                for r in range {
+                    let x = child_col[r] as usize;
+                    for (table, spec) in tables.iter_mut().zip(&specs) {
+                        let mut cfg = 0usize;
+                        for (col, &card) in spec.cols.iter().zip(&spec.cards) {
+                            cfg = cfg * card + col[r] as usize;
+                        }
+                        table[cfg * child_card + x] += 1;
+                    }
+                }
+                tables
+            },
+            |acc, part| {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    for (x, y) in a.iter_mut().zip(p) {
+                        *x += y;
+                    }
+                }
+            },
+        )
+        .unwrap_or_else(|| specs.iter().map(|s| vec![0u64; s.cells]).collect());
+    families
+        .iter()
+        .zip(specs)
+        .zip(counted)
+        .map(|((f, spec), counts)| FamilyTable {
+            parents: f.clone(),
+            parent_cards: spec.cards,
+            child_card,
+            counts,
+        })
+        .collect()
+}
+
+/// The BIC family score of `child` with the given parents, computed
+/// through the dense engine (one sharded counting pass, fixed-order
+/// summation). Mathematically equal to
+/// [`crate::learn::family_score`]; numerically equal up to summation
+/// order.
+pub fn family_score_dense(
+    data: &Dataset,
+    child: usize,
+    parents: &[usize],
+    exec: &Scheduler,
+) -> f64 {
+    count_families(data, child, &[parents.to_vec()], exec)
+        .pop()
+        .expect("one family requested")
+        .score(data.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 3 vars, cards [2, 3, 2]; 6 rows with a visible joint.
+        Dataset::new(
+            vec![2, 3, 2],
+            vec![
+                vec![0, 0, 0],
+                vec![0, 1, 0],
+                vec![1, 2, 1],
+                vec![1, 2, 1],
+                vec![0, 0, 1],
+                vec![1, 1, 0],
+            ],
+        )
+    }
+
+    #[test]
+    fn counting_matches_hand_tally() {
+        let d = toy();
+        let t = &count_families(&d, 2, &[vec![0]], &Scheduler::new(1))[0];
+        // cfg = value of var 0; child = var 2.
+        // var0=0 rows: child 0,0,1 → counts [2,1]; var0=1: child 1,1,0 → [1,2].
+        assert_eq!(t.counts(), &[2, 1, 1, 2]);
+        assert_eq!(t.num_configs(), 2);
+        assert_eq!(t.child_card(), 2);
+    }
+
+    #[test]
+    fn sharded_counts_are_exact_at_any_worker_count() {
+        let d = toy();
+        let serial = count_families(&d, 2, &[vec![0, 1], vec![1]], &Scheduler::new(1));
+        for workers in 2..=8 {
+            let sharded = count_families(&d, 2, &[vec![0, 1], vec![1]], &Scheduler::new(workers));
+            assert_eq!(sharded, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn marginalized_table_equals_directly_counted() {
+        let d = toy();
+        let exec = Scheduler::new(1);
+        let full = &count_families(&d, 2, &[vec![0, 1]], &exec)[0];
+        for keep in [vec![0], vec![1], vec![]] {
+            let direct = &count_families(&d, 2, std::slice::from_ref(&keep), &exec)[0];
+            assert_eq!(&full.marginalize_to(&keep), direct, "keep {keep:?}");
+        }
+        assert_eq!(&full.marginalize_to(&[0, 1]), full);
+    }
+
+    #[test]
+    fn empty_family_is_child_marginal() {
+        let d = toy();
+        let t = &count_families(&d, 1, &[vec![]], &Scheduler::new(1))[0];
+        assert_eq!(t.counts(), &[2, 2, 2]);
+        assert_eq!(t.num_configs(), 1);
+    }
+
+    #[test]
+    fn score_is_shard_count_invariant_bitwise() {
+        let d = toy();
+        let serial = family_score_dense(&d, 2, &[0, 1], &Scheduler::new(1));
+        for workers in 2..=8 {
+            let s = family_score_dense(&d, 2, &[0, 1], &Scheduler::new(workers));
+            assert_eq!(s.to_bits(), serial.to_bits(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn batched_counting_matches_single_pass() {
+        // A budget of 1 cell forces one family per batch; the tables
+        // must be identical to the single-pass result.
+        let d = toy();
+        let exec = Scheduler::new(3);
+        let families = vec![vec![0, 1], vec![0], vec![1], vec![]];
+        let single = count_families(&d, 2, &families, &exec);
+        let batched = count_families_with_budget(&d, 2, &families, &exec, 1);
+        assert_eq!(batched, single);
+    }
+
+    #[test]
+    fn empty_dataset_counts_to_zero_tables() {
+        let d = Dataset::new(vec![2, 2], vec![]);
+        let t = &count_families(&d, 1, &[vec![0]], &Scheduler::new(4))[0];
+        assert_eq!(t.counts(), &[0, 0, 0, 0]);
+    }
+}

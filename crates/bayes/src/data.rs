@@ -1,40 +1,94 @@
-//! Categorical datasets: rows of small integer codes.
+//! Categorical datasets: columns of small integer codes.
 //!
 //! After segment mining, Entropy/IP re-writes each address as a
 //! vector of categorical codes, one per segment (§4.3: "we represent
 //! IPs as instances of random vectors, where each dimension
 //! corresponds to segment k and takes categorical values that
 //! reference V_k"). [`Dataset`] is that table.
+//!
+//! Storage is **columnar**: one `Vec<u8>` per variable. Every scoring
+//! and counting pass in [`crate::learn`] and [`crate::counts`] walks
+//! a handful of columns in lockstep, so columns keep the inner loops
+//! on contiguous bytes (a row-major `Vec<Vec<usize>>` layout pays a
+//! pointer chase plus a 8× memory blow-up per access). Codes are
+//! bytes, which bounds variable cardinality at 256 — far above the
+//! mined dictionary sizes (≤ ~40) this crate models.
 
-/// A table of categorical observations.
+/// A table of categorical observations, stored column-major.
 ///
-/// Row-major storage: `rows[r][v]` is the code (in
-/// `0..cardinalities[v]`) of variable `v` in observation `r`.
+/// `column(v)[r]` is the code (in `0..cardinality(v)`) of variable
+/// `v` in observation `r`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Dataset {
     cardinalities: Vec<usize>,
-    rows: Vec<Vec<usize>>,
+    columns: Vec<Vec<u8>>,
+    len: usize,
 }
 
 impl Dataset {
-    /// Creates a dataset, validating every code against its
-    /// variable's cardinality.
+    /// Creates a dataset from row-major data, validating every code
+    /// against its variable's cardinality.
     ///
     /// # Panics
-    /// Panics if any cardinality is zero, any row has the wrong
-    /// width, or any code is out of range.
+    /// Panics if any cardinality is zero or exceeds 256, any row has
+    /// the wrong width, or any code is out of range.
     pub fn new(cardinalities: Vec<usize>, rows: Vec<Vec<usize>>) -> Self {
-        assert!(cardinalities.iter().all(|&k| k > 0), "zero cardinality");
+        Self::check_cards(&cardinalities);
+        let mut columns: Vec<Vec<u8>> = cardinalities
+            .iter()
+            .map(|_| Vec::with_capacity(rows.len()))
+            .collect();
         for (r, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), cardinalities.len(), "row {r} has wrong width");
             for (v, (&code, &k)) in row.iter().zip(&cardinalities).enumerate() {
                 assert!(code < k, "row {r}, var {v}: code {code} >= cardinality {k}");
+                columns[v].push(code as u8);
             }
         }
         Dataset {
             cardinalities,
-            rows,
+            columns,
+            len: rows.len(),
         }
+    }
+
+    /// Creates a dataset directly from per-variable columns (the
+    /// sharded encode path builds these without ever materializing
+    /// rows).
+    ///
+    /// # Panics
+    /// Panics if any cardinality is zero or exceeds 256, the column
+    /// count or lengths disagree, or any code is out of range.
+    pub fn from_columns(cardinalities: Vec<usize>, columns: Vec<Vec<u8>>) -> Self {
+        Self::check_cards(&cardinalities);
+        assert_eq!(
+            columns.len(),
+            cardinalities.len(),
+            "column count mismatches cardinalities"
+        );
+        let len = columns.first().map_or(0, Vec::len);
+        for (v, (col, &k)) in columns.iter().zip(&cardinalities).enumerate() {
+            assert_eq!(col.len(), len, "column {v} has wrong length");
+            if let Some(r) = col.iter().position(|&code| code as usize >= k) {
+                panic!(
+                    "row {r}, var {v}: code {} >= cardinality {k}",
+                    col[r] as usize
+                );
+            }
+        }
+        Dataset {
+            cardinalities,
+            columns,
+            len,
+        }
+    }
+
+    fn check_cards(cardinalities: &[usize]) {
+        assert!(cardinalities.iter().all(|&k| k > 0), "zero cardinality");
+        assert!(
+            cardinalities.iter().all(|&k| k <= 256),
+            "cardinality above 256 unsupported (codes are bytes)"
+        );
     }
 
     /// Number of variables (columns).
@@ -46,13 +100,13 @@ impl Dataset {
     /// Number of observations (rows).
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether there are no observations.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// Cardinality of variable `v`.
@@ -67,10 +121,16 @@ impl Dataset {
         &self.cardinalities
     }
 
-    /// Borrow the observations.
+    /// Variable `v`'s observations, one byte code per row.
     #[inline]
-    pub fn rows(&self) -> &[Vec<usize>] {
-        &self.rows
+    pub fn column(&self, v: usize) -> &[u8] {
+        &self.columns[v]
+    }
+
+    /// One observation as a code row (allocates; the hot paths read
+    /// [`Dataset::column`] directly instead).
+    pub fn row(&self, r: usize) -> Vec<usize> {
+        self.columns.iter().map(|col| col[r] as usize).collect()
     }
 }
 
@@ -84,6 +144,9 @@ mod tests {
         assert_eq!(d.num_vars(), 2);
         assert_eq!(d.len(), 2);
         assert_eq!(d.cardinality(1), 3);
+        assert_eq!(d.column(0), &[0, 1]);
+        assert_eq!(d.column(1), &[2, 0]);
+        assert_eq!(d.row(1), vec![1, 0]);
     }
 
     #[test]
@@ -105,8 +168,41 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cardinality above 256")]
+    fn rejects_oversized_cardinality() {
+        Dataset::new(vec![2, 300], vec![]);
+    }
+
+    #[test]
     fn empty_dataset_is_fine() {
         let d = Dataset::new(vec![4], vec![]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn from_columns_matches_row_construction() {
+        let by_rows = Dataset::new(vec![2, 3], vec![vec![0, 2], vec![1, 0], vec![1, 1]]);
+        let by_cols = Dataset::from_columns(vec![2, 3], vec![vec![0, 1, 1], vec![2, 0, 1]]);
+        assert_eq!(by_rows, by_cols);
+        assert_eq!(by_cols.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_columns_rejects_ragged_columns() {
+        Dataset::from_columns(vec![2, 2], vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1, var 0: code 2 >= cardinality 2")]
+    fn from_columns_rejects_out_of_range_codes() {
+        Dataset::from_columns(vec![2], vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn from_columns_with_no_variables_is_empty() {
+        let d = Dataset::from_columns(vec![], vec![]);
+        assert_eq!(d.num_vars(), 0);
         assert!(d.is_empty());
     }
 }

@@ -20,10 +20,30 @@
 //! every candidate of size s exceeds the best total score found so
 //! far, no larger set can win and the search stops. This keeps the
 //! search exact without enumerating all 2^k subsets in typical cases.
+//!
+//! ## Two engines, one result
+//!
+//! * **Serial oracle** ([`LearnOptions::parallelism`] ≤ 1): the
+//!   reference implementation — one full-data pass per candidate
+//!   parent set through a `HashMap` ([`family_score`]) and another
+//!   per fitted CPT ([`fit_cpt`]). Simple, and the ground truth the
+//!   sharded engine is verified against.
+//! * **Sharded count-reuse engine** (`parallelism` > 1): per child,
+//!   one sharded pass over the columns counts the dense joint of
+//!   every maximum-size candidate family
+//!   ([`crate::counts::count_families`]); every smaller candidate's
+//!   score falls out of a superset table by marginalization, and the
+//!   winner's table is fitted into the CPT directly — no further data
+//!   passes. The search order, tie margin, and admissible bound are
+//!   identical to the oracle's, so the learned network (structure and
+//!   CPT bytes) matches at any worker count — see the equivalence
+//!   proptests in `tests/proptests.rs`.
 
+use crate::counts::{count_families, FamilyTable};
 use crate::cpt::Cpt;
 use crate::data::Dataset;
 use crate::network::{BayesNet, Node};
+use eip_exec::Scheduler;
 use std::collections::HashMap;
 
 /// Options for [`learn_structure`].
@@ -38,6 +58,11 @@ pub struct LearnOptions {
     pub alpha: f64,
     /// Variable names (defaults to "X0", "X1", … when empty).
     pub names: Vec<String>,
+    /// Worker threads for the counting passes (clamped to ≥ 1). At 1
+    /// the serial oracle runs; above 1 the sharded count-reuse engine
+    /// runs on an [`eip_exec::Scheduler`]. The learned network is
+    /// identical either way; only wall-clock changes.
+    pub parallelism: usize,
 }
 
 impl Default for LearnOptions {
@@ -46,6 +71,7 @@ impl Default for LearnOptions {
             max_parents: 2,
             alpha: 0.5,
             names: Vec::new(),
+            parallelism: 1,
         }
     }
 }
@@ -53,30 +79,83 @@ impl Default for LearnOptions {
 /// Learns a Bayesian network from categorical data under the
 /// ordering constraint (variable i may only have parents < i).
 ///
-/// Returns the network with fitted (smoothed) CPTs.
+/// Returns the network with fitted (smoothed) CPTs. With
+/// [`LearnOptions::parallelism`] > 1 the sharded count-reuse engine
+/// runs (see the [module docs](self)); the result is identical to the
+/// serial oracle at any worker count.
 ///
 /// # Panics
 /// Panics if the dataset is empty.
 pub fn learn_structure(data: &Dataset, opts: &LearnOptions) -> BayesNet {
+    if opts.parallelism > 1 {
+        return learn_structure_sharded(data, opts, &Scheduler::new(opts.parallelism));
+    }
     assert!(!data.is_empty(), "cannot learn from an empty dataset");
     let n_vars = data.num_vars();
     let mut nodes = Vec::with_capacity(n_vars);
     for i in 0..n_vars {
         let parents = best_parents(data, i, opts.max_parents);
         let cpt = fit_cpt(data, i, &parents, opts.alpha);
-        let name = opts
-            .names
-            .get(i)
-            .cloned()
-            .unwrap_or_else(|| format!("X{i}"));
         nodes.push(Node {
-            name,
+            name: node_name(opts, i),
             cardinality: data.cardinality(i),
             parents,
             cpt,
         });
     }
     BayesNet::new(nodes)
+}
+
+/// Learns the network on the sharded count-reuse engine with an
+/// explicit scheduler (the engine [`learn_structure`] dispatches to
+/// when `parallelism` > 1, exposed for the equivalence tests).
+///
+/// Per child: one sharded pass counts every maximum-size family's
+/// dense joint table, subset candidates are scored by marginalizing a
+/// superset table, and the winning table is fitted into the CPT
+/// without touching the data again. Candidate enumeration order, tie
+/// margin, and the admissible bound mirror the serial oracle exactly.
+///
+/// # Panics
+/// Panics if the dataset is empty.
+pub fn learn_structure_sharded(data: &Dataset, opts: &LearnOptions, exec: &Scheduler) -> BayesNet {
+    assert!(!data.is_empty(), "cannot learn from an empty dataset");
+    let n_vars = data.num_vars();
+    let mut nodes = Vec::with_capacity(n_vars);
+    for i in 0..n_vars {
+        let (parents, table) = best_family_dense(data, i, opts.max_parents, exec);
+        let cpt = Cpt::from_counts(
+            table.child_card(),
+            table.parent_cards().to_vec(),
+            table.counts(),
+            opts.alpha,
+        );
+        nodes.push(Node {
+            name: node_name(opts, i),
+            cardinality: data.cardinality(i),
+            parents,
+            cpt,
+        });
+    }
+    BayesNet::new(nodes)
+}
+
+fn node_name(opts: &LearnOptions, i: usize) -> String {
+    opts.names
+        .get(i)
+        .cloned()
+        .unwrap_or_else(|| format!("X{i}"))
+}
+
+/// The tie margin: an improvement must exceed floating-point
+/// accumulation noise (log-likelihoods are O(N·ln k), so ties between
+/// equivalent parent sets differ by ~1e-11 in practice); otherwise
+/// degenerate parents (e.g. cardinality-1 variables) sneak in on
+/// summation-order noise. Shared by both engines so they break ties
+/// identically.
+#[inline]
+fn improves(score: f64, best: f64) -> bool {
+    score > best + 1e-6 * (1.0 + best.abs().sqrt())
 }
 
 /// The BIC family score of `child` with the given parents.
@@ -104,7 +183,7 @@ pub fn family_score(data: &Dataset, child: usize, parents: &[usize]) -> f64 {
 }
 
 /// Exhaustive (bounded, pruned) search for the best parent set of
-/// `child` among `0..child`.
+/// `child` among `0..child` — the serial oracle.
 fn best_parents(data: &Dataset, child: usize, max_parents: usize) -> Vec<usize> {
     let predecessors: Vec<usize> = (0..child).collect();
     let mut best_set: Vec<usize> = Vec::new();
@@ -112,15 +191,18 @@ fn best_parents(data: &Dataset, child: usize, max_parents: usize) -> Vec<usize> 
     let n = data.len() as f64;
     let child_card = data.cardinality(child) as f64;
 
+    // Sorted predecessor cardinalities, computed once: the admissible
+    // bound below only ever needs the `size` smallest.
+    let mut cards: Vec<f64> = predecessors
+        .iter()
+        .map(|&p| data.cardinality(p) as f64)
+        .collect();
+    cards.sort_by(f64::total_cmp);
+
     for size in 1..=max_parents.min(predecessors.len()) {
         // Admissible bound (Dojer): the max achievable score of ANY
         // set of this size is 0 (loglik) minus the MINIMUM penalty,
         // which comes from picking the lowest-cardinality parents.
-        let mut cards: Vec<f64> = predecessors
-            .iter()
-            .map(|&p| data.cardinality(p) as f64)
-            .collect();
-        cards.sort_by(f64::total_cmp);
         let min_configs: f64 = cards.iter().take(size).product();
         let min_penalty = 0.5 * n.ln() * min_configs * (child_card - 1.0);
         if -min_penalty <= best_score {
@@ -130,12 +212,7 @@ fn best_parents(data: &Dataset, child: usize, max_parents: usize) -> Vec<usize> 
         }
         for combo in combinations(&predecessors, size) {
             let s = family_score(data, child, &combo);
-            // The margin must exceed floating-point accumulation
-            // noise (log-likelihoods are O(N·ln k), so ties between
-            // equivalent parent sets differ by ~1e-11 in practice);
-            // otherwise degenerate parents (e.g. cardinality-1
-            // variables) sneak in on summation-order noise.
-            if s > best_score + 1e-6 * (1.0 + best_score.abs().sqrt()) {
+            if improves(s, best_score) {
                 best_score = s;
                 best_set = combo;
             }
@@ -144,64 +221,182 @@ fn best_parents(data: &Dataset, child: usize, max_parents: usize) -> Vec<usize> 
     best_set
 }
 
-/// All size-`k` combinations of `items`, preserving order.
-fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut idx: Vec<usize> = (0..k).collect();
-    if k > items.len() {
-        return out;
+/// Count-reuse search for the best parent set of `child`: counts the
+/// maximum-size families once (sharded), scores every candidate from
+/// the dense tables, and returns the winner together with its table
+/// (ready for CPT fitting). Enumeration order and pruning mirror
+/// [`best_parents`].
+fn best_family_dense(
+    data: &Dataset,
+    child: usize,
+    max_parents: usize,
+    exec: &Scheduler,
+) -> (Vec<usize>, FamilyTable) {
+    let predecessors: Vec<usize> = (0..child).collect();
+    let m = max_parents.min(predecessors.len());
+    if m == 0 {
+        let table = count_families(data, child, &[Vec::new()], exec)
+            .pop()
+            .expect("one family requested");
+        return (Vec::new(), table);
     }
-    loop {
-        out.push(idx.iter().map(|&i| items[i]).collect());
-        // Advance the combination odometer.
+
+    // One sharded pass: the dense joint of every size-m family.
+    let families: Vec<Vec<usize>> = combinations(&predecessors, m).collect();
+    let tables = count_families(data, child, &families, exec);
+    let index: HashMap<&[usize], usize> = families
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.as_slice(), i))
+        .collect();
+    // The table of any candidate subset, marginalized out of its
+    // lexicographically-first size-m superset (counts are exact, so
+    // the choice of superset is immaterial).
+    let subset_table = |set: &[usize]| -> FamilyTable {
+        if let Some(&i) = index.get(set) {
+            return tables[i].clone();
+        }
+        let mut family: Vec<usize> = set.to_vec();
+        for &p in &predecessors {
+            if family.len() == m {
+                break;
+            }
+            if !set.contains(&p) {
+                family.push(p);
+            }
+        }
+        family.sort_unstable();
+        tables[index[family.as_slice()]].marginalize_to(set)
+    };
+    // Size-m candidates are scored straight off their counted table;
+    // cloning is reserved for the single winner at the end.
+    let subset_score = |set: &[usize], n: usize| -> f64 {
+        match index.get(set) {
+            Some(&i) => tables[i].score(n),
+            None => subset_table(set).score(n),
+        }
+    };
+
+    let n = data.len();
+    let mut best_set: Vec<usize> = Vec::new();
+    let mut best_score = subset_score(&[], n);
+    let nf = n as f64;
+    let child_card = data.cardinality(child) as f64;
+    let mut cards: Vec<f64> = predecessors
+        .iter()
+        .map(|&p| data.cardinality(p) as f64)
+        .collect();
+    cards.sort_by(f64::total_cmp);
+
+    for size in 1..=m {
+        let min_configs: f64 = cards.iter().take(size).product();
+        let min_penalty = 0.5 * nf.ln() * min_configs * (child_card - 1.0);
+        if -min_penalty <= best_score {
+            break;
+        }
+        for combo in combinations(&predecessors, size) {
+            let s = subset_score(&combo, n);
+            if improves(s, best_score) {
+                best_score = s;
+                best_set = combo;
+            }
+        }
+    }
+    let table = subset_table(&best_set);
+    (best_set, table)
+}
+
+/// Lazy iterator over all size-`k` combinations of `items`, in
+/// lexicographic position order. Yields nothing when `k >
+/// items.len()`, and the single empty combination when `k == 0`.
+pub struct Combinations<'a> {
+    items: &'a [usize],
+    idx: Vec<usize>,
+    done: bool,
+}
+
+/// All size-`k` combinations of `items`, lazily and in lexicographic
+/// order (no up-front materialization).
+pub fn combinations(items: &[usize], k: usize) -> Combinations<'_> {
+    Combinations {
+        items,
+        idx: (0..k).collect(),
+        done: k > items.len(),
+    }
+}
+
+impl Iterator for Combinations<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out: Vec<usize> = self.idx.iter().map(|&i| self.items[i]).collect();
+        // Advance the combination odometer; mark done when it rolls
+        // over.
+        let k = self.idx.len();
+        let n = self.items.len();
         let mut i = k;
         loop {
             if i == 0 {
-                return out;
+                self.done = true;
+                return Some(out);
             }
             i -= 1;
-            if idx[i] != i + items.len() - k {
+            if self.idx[i] != i + n - k {
                 break;
             }
             if i == 0 {
-                return out;
+                self.done = true;
+                return Some(out);
             }
         }
-        idx[i] += 1;
+        self.idx[i] += 1;
         for j in i + 1..k {
-            idx[j] = idx[j - 1] + 1;
+            self.idx[j] = self.idx[j - 1] + 1;
         }
+        Some(out)
     }
 }
 
 /// Sparse family counts: key = cfg * child_card + child_value.
 fn family_counts(data: &Dataset, child: usize, parents: &[usize]) -> HashMap<u64, u64> {
     let child_card = data.cardinality(child) as u64;
+    let child_col = data.column(child);
+    let parent_cols: Vec<(&[u8], u64)> = parents
+        .iter()
+        .map(|&p| (data.column(p), data.cardinality(p) as u64))
+        .collect();
     let mut counts: HashMap<u64, u64> = HashMap::new();
-    for row in data.rows() {
+    for r in 0..data.len() {
         let mut cfg: u64 = 0;
-        for &p in parents {
-            cfg = cfg * data.cardinality(p) as u64 + row[p] as u64;
+        for &(col, card) in &parent_cols {
+            cfg = cfg * card + col[r] as u64;
         }
         *counts
-            .entry(cfg * child_card + row[child] as u64)
+            .entry(cfg * child_card + child_col[r] as u64)
             .or_insert(0) += 1;
     }
     counts
 }
 
-/// Fits a dense smoothed CPT for `child` given `parents`.
+/// Fits a dense smoothed CPT for `child` given `parents` by scanning
+/// the data (the serial oracle path; the sharded engine reuses its
+/// contingency tables instead).
 pub fn fit_cpt(data: &Dataset, child: usize, parents: &[usize], alpha: f64) -> Cpt {
     let child_card = data.cardinality(child);
+    let child_col = data.column(child);
     let parent_cards: Vec<usize> = parents.iter().map(|&p| data.cardinality(p)).collect();
+    let parent_cols: Vec<&[u8]> = parents.iter().map(|&p| data.column(p)).collect();
     let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
     let mut counts = vec![0u64; num_configs * child_card];
-    for row in data.rows() {
+    for r in 0..data.len() {
         let mut cfg = 0usize;
-        for &p in parents {
-            cfg = cfg * data.cardinality(p) + row[p];
+        for (col, &card) in parent_cols.iter().zip(&parent_cards) {
+            cfg = cfg * card + col[r] as usize;
         }
-        counts[cfg * child_card + row[child]] += 1;
+        counts[cfg * child_card + child_col[r] as usize] += 1;
     }
     Cpt::from_counts(child_card, parent_cards, &counts, alpha)
 }
@@ -312,11 +507,66 @@ mod tests {
 
     #[test]
     fn combinations_enumerate_correctly() {
-        let c = combinations(&[0, 1, 2, 3], 2);
+        let c: Vec<Vec<usize>> = combinations(&[0, 1, 2, 3], 2).collect();
         assert_eq!(c.len(), 6);
         assert!(c.contains(&vec![0, 3]));
-        assert_eq!(combinations(&[0, 1], 3), Vec::<Vec<usize>>::new());
-        assert_eq!(combinations(&[5], 1), vec![vec![5]]);
+        assert_eq!(
+            combinations(&[0, 1], 3).collect::<Vec<_>>(),
+            Vec::<Vec<usize>>::new()
+        );
+        assert_eq!(combinations(&[5], 1).collect::<Vec<_>>(), vec![vec![5]]);
+    }
+
+    #[test]
+    fn combinations_are_lazy_and_lexicographic() {
+        let mut it = combinations(&[0, 1, 2], 2);
+        assert_eq!(it.next(), Some(vec![0, 1]));
+        assert_eq!(it.next(), Some(vec![0, 2]));
+        assert_eq!(it.next(), Some(vec![1, 2]));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None, "fused after exhaustion");
+        // k == 0 yields exactly the empty combination.
+        assert_eq!(
+            combinations(&[7, 8], 0).collect::<Vec<_>>(),
+            vec![Vec::<usize>::new()]
+        );
+    }
+
+    #[test]
+    fn sharded_engine_learns_identical_network() {
+        let data = dependent_dataset(2000);
+        let serial = learn_structure(&data, &LearnOptions::default());
+        for workers in [2usize, 3, 8] {
+            let sharded = learn_structure(
+                &data,
+                &LearnOptions {
+                    parallelism: workers,
+                    ..Default::default()
+                },
+            );
+            for i in 0..data.num_vars() {
+                assert_eq!(sharded.node(i).parents, serial.node(i).parents, "node {i}");
+                assert_eq!(
+                    sharded.node(i).cpt.flat(),
+                    serial.node(i).cpt.flat(),
+                    "node {i} CPT"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_detects_two_parent_interaction() {
+        let mut seed = 7u64;
+        let mut rows = Vec::new();
+        for _ in 0..3000 {
+            let a = (lcg(&mut seed) % 2) as usize;
+            let b = (lcg(&mut seed) % 2) as usize;
+            rows.push(vec![a, b, a ^ b]);
+        }
+        let data = Dataset::new(vec![2, 2, 2], rows);
+        let bn = learn_structure_sharded(&data, &LearnOptions::default(), &Scheduler::new(4));
+        assert_eq!(bn.node(2).parents, vec![0, 1]);
     }
 
     #[test]
@@ -336,5 +586,12 @@ mod tests {
     fn empty_dataset_panics() {
         let data = Dataset::new(vec![2], vec![]);
         learn_structure(&data, &LearnOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics_sharded() {
+        let data = Dataset::new(vec![2], vec![]);
+        learn_structure_sharded(&data, &LearnOptions::default(), &Scheduler::new(4));
     }
 }

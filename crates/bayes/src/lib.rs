@@ -7,13 +7,20 @@
 //! notes say as much), so this crate implements the full stack from
 //! scratch:
 //!
-//! * [`data`] — categorical datasets (rows of small integer codes).
+//! * [`data`] — categorical datasets, stored as per-variable byte
+//!   columns (the counting engines walk columns, not rows).
 //! * [`cpt`] — conditional probability tables with Laplace smoothing.
 //! * [`learn`] — score-based structure learning: per-node exhaustive
 //!   search over admissible parent sets (subsets of *earlier*
 //!   variables, bounded in-degree) under the BIC/MDL score, with the
 //!   Dojer-style admissible bound that lets the search stop early —
 //!   the same idea that makes BNFinder exact yet fast.
+//! * [`counts`] — the dense contingency engine behind sharded
+//!   learning: per child, one pass over the columns (sharded on an
+//!   [`eip_exec::Scheduler`], shard arrays merged by exact integer
+//!   addition) counts the joint of every maximum-size candidate
+//!   family; smaller candidates are scored by marginalizing a
+//!   superset table, and the winner's table feeds the CPT directly.
 //! * [`factor`] / [`infer`] — factors and exact inference by variable
 //!   elimination, powering the paper's "conditional probability
 //!   browser" (evidential reasoning flows backwards, e.g. clicking
@@ -26,10 +33,25 @@
 //! The ordering constraint means every network is already in
 //! topological order, which keeps sampling and learning simple and
 //! makes the structure search exact rather than heuristic.
+//!
+//! ## Counting engine + oracle pattern
+//!
+//! Structure learning ships two engines behind one entry point
+//! ([`learn_structure`], switched by [`LearnOptions::parallelism`]),
+//! mirroring the workspace's mining refactor: the **serial oracle**
+//! re-scans the data per candidate through a `HashMap` and stays the
+//! reference implementation, while the **sharded count-reuse engine**
+//! counts each child's maximum-size candidate families in one sharded
+//! column pass and derives every smaller candidate (and the final
+//! CPT) from those dense tables by marginalization. Both engines
+//! share the candidate enumeration order, tie margin, and admissible
+//! bound, so they learn identical networks — asserted by the
+//! equivalence proptests in `tests/proptests.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counts;
 pub mod cpt;
 pub mod data;
 pub mod factor;
@@ -38,10 +60,11 @@ pub mod learn;
 pub mod network;
 pub mod sample;
 
+pub use counts::{count_families, family_score_dense, FamilyTable};
 pub use cpt::Cpt;
 pub use data::Dataset;
 pub use factor::Factor;
 pub use infer::{joint_probability, posterior_marginals, Evidence};
-pub use learn::{learn_structure, LearnOptions};
+pub use learn::{learn_structure, learn_structure_sharded, LearnOptions};
 pub use network::{BayesNet, Node};
 pub use sample::{sample_conditional, sample_row};

@@ -1,13 +1,48 @@
 //! Property-based tests: exact inference vs brute-force enumeration
-//! on random small networks, and sampling consistency.
+//! on random small networks, sampling consistency, and the sharded
+//! count-reuse learning engine vs the serial oracle.
 
+use eip_bayes::learn::{combinations, family_score};
 use eip_bayes::{
-    joint_probability, learn_structure, posterior_marginals, sample_row, BayesNet, Cpt, Dataset,
-    LearnOptions, Node,
+    family_score_dense, joint_probability, learn_structure, learn_structure_sharded,
+    posterior_marginals, sample_row, BayesNet, Cpt, Dataset, LearnOptions, Node,
 };
+use eip_exec::Scheduler;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Strategy: a random categorical dataset — 2-5 variables with
+/// cardinalities 2-4 and 30-200 rows of seeded codes (biased so real
+/// dependencies appear: later variables sometimes copy earlier ones).
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..=5, 30usize..=200, any::<u64>()).prop_map(|(n_vars, n_rows, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let cards: Vec<usize> = (0..n_vars).map(|_| 2 + (next() % 3) as usize).collect();
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(n_vars);
+            for v in 0..n_vars {
+                // A third of the time, echo an earlier variable
+                // (clamped to this cardinality) so structure exists.
+                let code = if v > 0 && next() % 3 == 0 {
+                    row[(next() % v as u64) as usize] % cards[v]
+                } else {
+                    (next() % cards[v] as u64) as usize
+                };
+                row.push(code);
+            }
+            rows.push(row);
+        }
+        Dataset::new(cards, rows)
+    })
+}
 
 /// Strategy: a random 3-4 node network with cardinalities 2-3 and
 /// random (ordering-respecting) parents and CPTs.
@@ -145,6 +180,57 @@ proptest! {
             for val in 0..bn.node(var).cardinality {
                 prop_assert!((orig[var][val] - rec[var][val]).abs() < 0.08,
                     "var {} val {}: {} vs {}", var, val, orig[var][val], rec[var][val]);
+            }
+        }
+    }
+
+    /// Sharded training ≡ the serial oracle: for any random dataset
+    /// and every shard count 1..=8, the count-reuse engine learns the
+    /// exact same structure (parents) and the exact same CPT rows
+    /// (bit-for-bit — both fit from identical integer counts).
+    #[test]
+    fn sharded_training_matches_serial_oracle(data in arb_dataset()) {
+        let oracle = learn_structure(&data, &LearnOptions::default());
+        for shards in 1usize..=8 {
+            let sharded = learn_structure_sharded(
+                &data,
+                &LearnOptions::default(),
+                &Scheduler::new(shards),
+            );
+            for i in 0..data.num_vars() {
+                prop_assert_eq!(
+                    &sharded.node(i).parents,
+                    &oracle.node(i).parents,
+                    "node {} parents at {} shards", i, shards
+                );
+                prop_assert_eq!(
+                    sharded.node(i).cpt.flat(),
+                    oracle.node(i).cpt.flat(),
+                    "node {} CPT rows at {} shards", i, shards
+                );
+            }
+        }
+    }
+
+    /// Dense-contingency family scores ≡ the HashMap reference scores
+    /// for every candidate parent set the default search would visit,
+    /// up to floating-point summation order.
+    #[test]
+    fn dense_family_scores_match_hashmap(data in arb_dataset(), shards in 1usize..=8) {
+        let exec = Scheduler::new(shards);
+        for child in 0..data.num_vars() {
+            let preds: Vec<usize> = (0..child).collect();
+            for size in 0..=2usize.min(preds.len()) {
+                for combo in combinations(&preds, size) {
+                    let reference = family_score(&data, child, &combo);
+                    let dense = family_score_dense(&data, child, &combo, &exec);
+                    let tol = 1e-9 * (1.0 + reference.abs());
+                    prop_assert!(
+                        (dense - reference).abs() <= tol,
+                        "child {} parents {:?}: dense {} vs hashmap {}",
+                        child, combo, dense, reference
+                    );
+                }
             }
         }
     }

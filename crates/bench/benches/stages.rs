@@ -81,7 +81,12 @@ fn bench_mine_stage(c: &mut Criterion) {
     g.finish();
 }
 
-/// Stage 4: BN training on existing dictionaries.
+/// Stage 4: BN training on existing dictionaries — the serial
+/// per-candidate rescan oracle vs the sharded count-reuse engine
+/// (columnar encode + one dense contingency pass per child, CPTs
+/// fitted from the same tables). The two learn identical networks;
+/// `tools/bench_guard.sh` fails CI if the count-reuse engine stops
+/// beating the serial reference.
 fn bench_train_stage(c: &mut Criterion) {
     let mut g = c.benchmark_group("stage_train");
     g.sample_size(10);
@@ -91,6 +96,18 @@ fn bench_train_stage(c: &mut Criterion) {
             b.iter(|| m.train().unwrap());
         });
     }
+    let serial = mined(10_000);
+    g.bench_function("serial_10000", |b| {
+        b.iter(|| serial.train().unwrap());
+    });
+    let parallel = Pipeline::new(Config::default().with_parallelism(4))
+        .profile(population(10_000).iter())
+        .unwrap()
+        .segment()
+        .mine();
+    g.bench_function("parallel4_10000", |b| {
+        b.iter(|| parallel.train().unwrap());
+    });
     g.finish();
 }
 

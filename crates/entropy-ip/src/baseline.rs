@@ -38,8 +38,8 @@ impl IndependentModel {
         let mut marginals = Vec::with_capacity(data.num_vars());
         for v in 0..data.num_vars() {
             let mut counts = vec![0u64; data.cardinality(v)];
-            for row in data.rows() {
-                counts[row[v]] += 1;
+            for &code in data.column(v) {
+                counts[code as usize] += 1;
             }
             let cpt = Cpt::from_counts(data.cardinality(v), vec![], &counts, 0.5);
             marginals.push(cpt.row(&[]).to_vec());
@@ -76,8 +76,8 @@ impl MarkovModel {
             ));
         }
         let mut counts0 = vec![0u64; data.cardinality(0)];
-        for row in data.rows() {
-            counts0[row[0]] += 1;
+        for &code in data.column(0) {
+            counts0[code as usize] += 1;
         }
         let initial = Cpt::from_counts(data.cardinality(0), vec![], &counts0, 0.5)
             .row(&[])
@@ -87,8 +87,8 @@ impl MarkovModel {
             let prev_card = data.cardinality(v - 1);
             let card = data.cardinality(v);
             let mut counts = vec![0u64; prev_card * card];
-            for row in data.rows() {
-                counts[row[v - 1] * card + row[v]] += 1;
+            for (&prev, &cur) in data.column(v - 1).iter().zip(data.column(v)) {
+                counts[prev as usize * card + cur as usize] += 1;
             }
             transitions.push(Cpt::from_counts(card, vec![prev_card], &counts, 0.5));
         }

@@ -33,17 +33,22 @@
 //!
 //! **Parallelism.** [`Config::parallelism`] > 1 routes the hot
 //! stages onto the [`eip_exec::Scheduler`], uniformly across
-//! `Profiled → Segmented → Mined`: profiling shards the address
-//! stream and merges per-shard [`NybbleCounts`]; mining runs the
-//! sharded engine (one pass builds every segment's value histogram
-//! per input shard, merges them, then thresholds each segment — see
-//! `mine_all`) so even one heavy segment parallelizes *internally*
-//! instead of serializing the whole stage. Every merge is an exact
-//! integer-count reduction, so the model is identical at any worker
-//! count (see the stage-equivalence and shard-equivalence tests); at
-//! `parallelism == 1` the stages run the simple serial reference
-//! implementations the sharded engine is verified against. Batched
-//! candidate generation rides the same scheduler through
+//! `Profiled → Segmented → Mined → Trained`: profiling shards the
+//! address stream and merges per-shard [`NybbleCounts`]; mining runs
+//! the sharded engine (one pass builds every segment's value
+//! histogram per input shard, merges them, then thresholds each
+//! segment — see `mine_all`) so even one heavy segment parallelizes
+//! *internally* instead of serializing the whole stage; training
+//! encodes the addresses shard-wise into per-segment byte columns
+//! (see `encode_dataset`) and learns the BN on the count-reuse
+//! engine ([`eip_bayes::learn_structure_sharded`]), which counts each
+//! child's candidate families in one sharded column pass and fits
+//! CPTs from the same tables. Every merge is an exact integer-count
+//! reduction, so the model is identical at any worker count (see the
+//! stage-equivalence and shard-equivalence tests); at `parallelism
+//! == 1` the stages run the simple serial reference implementations
+//! the sharded engine is verified against. Batched candidate
+//! generation rides the same scheduler through
 //! [`Generator::run_seeded`](crate::Generator::run_seeded).
 //!
 //! The one-shot [`EntropyIp::analyze`](crate::EntropyIp::analyze) is
@@ -372,7 +377,12 @@ impl Mined {
 
     /// Stage 4 with explicit options: retrains the BN on this
     /// artifact without re-mining. Variable names are always the
-    /// segment letters.
+    /// segment letters, and the worker budget is always
+    /// [`Config::parallelism`] (overriding
+    /// [`LearnOptions::parallelism`]): the encode loop shards the
+    /// address stream into per-segment byte columns on the scheduler,
+    /// and structure learning runs the count-reuse engine at
+    /// `parallelism > 1` — identical network at any worker count.
     ///
     /// The mining stop rule ("if there is <=0.1% of values left, we
     /// finish") can leave a sliver of rare segment values outside
@@ -380,23 +390,23 @@ impl Mined {
     /// training, exactly as the paper's V_k construction implies. If
     /// *no* address encodes, this fails with [`EipError::EmptySet`].
     pub fn train_with(&self, opts: &LearnOptions) -> Result<Trained, EipError> {
-        let cardinalities: Vec<usize> = self.mined.iter().map(|m| m.cardinality()).collect();
-        let rows: Vec<Vec<usize>> = self
-            .addresses()
-            .iter()
-            .filter_map(|ip| {
-                let ny = ip.nybbles();
-                self.mined
-                    .iter()
-                    .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
-                    .collect::<Option<Vec<usize>>>()
-            })
-            .collect();
-        if rows.is_empty() {
+        // The columnar dataset stores codes as bytes; a dictionary
+        // past 256 values (possible only with extreme MiningOptions)
+        // must fail cleanly here, not panic inside the encoder.
+        if let Some(m) = self.mined.iter().find(|m| m.cardinality() > 256) {
+            return Err(EipError::Unsupported(format!(
+                "segment {} mined {} dictionary values; BN training supports at most 256",
+                m.segment.label,
+                m.cardinality()
+            )));
+        }
+        let exec = self.config().scheduler();
+        let dataset = encode_dataset(self.addresses(), &self.mined, &exec);
+        if dataset.is_empty() {
             return Err(EipError::EmptySet);
         }
-        let dataset = Dataset::new(cardinalities, rows);
         let mut learn_opts = opts.clone();
+        learn_opts.parallelism = self.config().parallelism;
         learn_opts.names = self
             .analysis()
             .segments
@@ -512,6 +522,53 @@ fn shard_histograms(addrs: &[Ip6], segments: &[Segment]) -> Vec<Histogram> {
     hists
 }
 
+/// Encodes the working set as a columnar [`Dataset`]: one byte column
+/// per mined segment, built shard-wise on the scheduler with no
+/// intermediate row `Vec`s.
+///
+/// Each shard expands every address's nybbles once, encodes all
+/// segment values into a fixed on-stack buffer, and appends the row
+/// to its per-segment columns only if **every** segment encodes
+/// (addresses outside the dictionaries are dropped, as in the serial
+/// reference). Shard columns concatenate in shard order, so the row
+/// order — and therefore the dataset — is identical at any worker
+/// count; with one worker the single shard runs inline and *is* the
+/// serial reference.
+fn encode_dataset(working: &AddressSet, mined: &[MinedSegment], exec: &Scheduler) -> Dataset {
+    let cardinalities: Vec<usize> = mined.iter().map(|m| m.cardinality()).collect();
+    let addrs = working.as_slice();
+    let columns = exec
+        .par_map_reduce(
+            addrs.len(),
+            |range| {
+                let mut cols: Vec<Vec<u8>> = mined.iter().map(|_| Vec::new()).collect();
+                // Segments partition at most 32 nybbles, so a row
+                // always fits this stack buffer.
+                let mut row = [0u8; 32];
+                'rows: for ip in &addrs[range] {
+                    let ny = ip.nybbles();
+                    for (slot, m) in row.iter_mut().zip(mined) {
+                        match m.encode(ny.segment_value(m.segment.start, m.segment.end)) {
+                            Some(code) => *slot = code as u8,
+                            None => continue 'rows,
+                        }
+                    }
+                    for (col, &code) in cols.iter_mut().zip(&row[..mined.len()]) {
+                        col.push(code);
+                    }
+                }
+                cols
+            },
+            |acc, part| {
+                for (a, p) in acc.iter_mut().zip(part) {
+                    a.extend_from_slice(&p);
+                }
+            },
+        )
+        .unwrap_or_else(|| mined.iter().map(|_| Vec::new()).collect());
+    Dataset::from_columns(cardinalities, columns)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +670,33 @@ mod tests {
         assert!(edgeless.model().bn().edges().is_empty());
         // Dictionaries are shared; only the BN differs.
         assert_eq!(dense.model().mined(), edgeless.model().mined());
+    }
+
+    #[test]
+    fn oversized_dictionary_is_a_clean_error() {
+        // Extreme MiningOptions can enumerate a dictionary past the
+        // 256 codes the byte-columnar trainer stores; training must
+        // fail with Unsupported, not panic inside the encoder.
+        let set: AddressSet = (0..400u128)
+            .map(|i| Ip6((0x2001_0db8u128 << 96) | (i.wrapping_mul(2654435761) % 65536)))
+            .collect();
+        let segmented = Pipeline::new(Config::default())
+            .profile(set.iter())
+            .unwrap()
+            .segment();
+        let mined = segmented.mine_with(&MiningOptions {
+            top_per_step: 0,
+            enumerate_limit: 1000,
+            ..MiningOptions::default()
+        });
+        let max_card = mined.mined().iter().map(|m| m.cardinality()).max().unwrap();
+        assert!(max_card > 256, "setup should over-mine (got {max_card})");
+        match mined.train() {
+            Err(EipError::Unsupported(msg)) => {
+                assert!(msg.contains("256"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

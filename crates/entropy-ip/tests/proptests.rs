@@ -106,6 +106,41 @@ proptest! {
         );
     }
 
+    /// Sharded BN training is exact: retraining the *same* mined
+    /// artifact at any worker count 1..=8 yields a network identical
+    /// to the serial oracle — same parents, same CPT bytes (the
+    /// count-reuse engine fits from the same integer counts).
+    #[test]
+    fn sharded_training_matches_serial(
+        prefix in 0u128..0xff,
+        subnets in 1u128..8,
+        hosts in 2u128..50,
+    ) {
+        let set: AddressSet = (0..subnets)
+            .flat_map(|s| {
+                (0..hosts).map(move |h| {
+                    Ip6((0x2001_0db8u128 << 96) | (prefix << 80) | (s << 16) | (h * 3))
+                })
+            })
+            .collect();
+        let serial = Pipeline::new(Config::default())
+            .profile(set.iter())
+            .unwrap()
+            .segment()
+            .mine();
+        let oracle = serial.train().unwrap();
+        for workers in 2usize..=8 {
+            let mined = Pipeline::new(Config::default().with_parallelism(workers))
+                .profile(set.iter())
+                .unwrap()
+                .segment()
+                .mine();
+            let trained = mined.train().unwrap();
+            prop_assert_eq!(trained.model().bn(), oracle.model().bn(),
+                "{} workers", workers);
+        }
+    }
+
     /// Encode is stable: the same value always maps to the same code.
     #[test]
     fn encode_deterministic(raw in prop::collection::vec(0u128..512, 1..300)) {

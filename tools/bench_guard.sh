@@ -1,38 +1,55 @@
 #!/usr/bin/env bash
 # Bench-regression smoke: runs the `stages` bench target and fails if
-# the sharded parallel mining path is not faster than the serial
-# reference by the configured margin — guarding the whole point of the
-# sharded execution core (before it, stage_mine/parallel4_10000 ~=
-# stage_mine/serial_10000 because one heavy segment owned the critical
-# path).
+# a sharded engine is not faster than its serial reference by the
+# configured margin — guarding the whole point of the sharded
+# execution core. Two guarded edges:
+#
+#   * stage_mine:  parallel4 vs serial (before the PR 3 sharded
+#     engine the two were equal because one heavy segment owned the
+#     critical path);
+#   * stage_train: parallel4 vs serial (before the PR 4 count-reuse
+#     engine, training re-scanned all rows through a HashMap per
+#     candidate parent set and was the largest `--full` stage).
 #
 # Usage: tools/bench_guard.sh
-#   BENCH_MINE_MARGIN   required ratio parallel/serial (default 0.9,
-#                       i.e. the sharded path must be >=10% faster)
+#   BENCH_MINE_MARGIN    required ratio parallel/serial for mining
+#                        (default 0.9, i.e. >=10% faster)
+#   BENCH_TRAIN_MARGIN   required ratio parallel/serial for training
+#                        (default 1.0, i.e. parallel <= serial)
 set -euo pipefail
 
-margin="${BENCH_MINE_MARGIN:-0.9}"
+mine_margin="${BENCH_MINE_MARGIN:-0.9}"
+train_margin="${BENCH_TRAIN_MARGIN:-1.0}"
 
 out="$(cargo bench -p eip_bench --bench stages 2>&1)"
 echo "$out"
-
-serial="$(echo "$out" | awk '/bench stage_mine\/serial_10000:/ {print $3}')"
-parallel="$(echo "$out" | awk '/bench stage_mine\/parallel4_10000:/ {print $3}')"
-
-if [[ -z "$serial" || -z "$parallel" ]]; then
-    echo "bench_guard: could not find stage_mine results in bench output" >&2
-    exit 1
-fi
-
 echo
-echo "bench_guard: serial=${serial} ns/iter, parallel4=${parallel} ns/iter," \
-     "required ratio <= ${margin}"
 
-if awk -v s="$serial" -v p="$parallel" -v m="$margin" 'BEGIN { exit !(p <= s * m) }'; then
-    awk -v s="$serial" -v p="$parallel" \
-        'BEGIN { printf "bench_guard: OK (ratio %.3f)\n", p / s }'
-else
-    awk -v s="$serial" -v p="$parallel" \
-        'BEGIN { printf "bench_guard: FAIL (ratio %.3f) — sharded mining lost its edge\n", p / s }' >&2
-    exit 1
-fi
+# check_edge NAME SERIAL_NS PARALLEL_NS MARGIN
+check_edge() {
+    local name="$1" serial="$2" parallel="$3" margin="$4"
+    if [[ -z "$serial" || -z "$parallel" ]]; then
+        echo "bench_guard: could not find $name results in bench output" >&2
+        exit 1
+    fi
+    echo "bench_guard: $name serial=${serial} ns/iter," \
+         "parallel4=${parallel} ns/iter, required ratio <= ${margin}"
+    if awk -v s="$serial" -v p="$parallel" -v m="$margin" 'BEGIN { exit !(p <= s * m) }'; then
+        awk -v s="$serial" -v p="$parallel" -v n="$name" \
+            'BEGIN { printf "bench_guard: %s OK (ratio %.3f)\n", n, p / s }'
+    else
+        awk -v s="$serial" -v p="$parallel" -v n="$name" \
+            'BEGIN { printf "bench_guard: %s FAIL (ratio %.3f) — sharded path lost its edge\n", n, p / s }' >&2
+        exit 1
+    fi
+}
+
+check_edge stage_mine \
+    "$(echo "$out" | awk '/bench stage_mine\/serial_10000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_mine\/parallel4_10000:/ {print $3}')" \
+    "$mine_margin"
+
+check_edge stage_train \
+    "$(echo "$out" | awk '/bench stage_train\/serial_10000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_train\/parallel4_10000:/ {print $3}')" \
+    "$train_margin"
