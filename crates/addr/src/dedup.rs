@@ -1,0 +1,185 @@
+//! A fast open-addressing dedup set for [`Ip6`] keys.
+//!
+//! The generation hot paths (a million candidate draws per `repro
+//! --full` run) spend a surprising share of their time in
+//! `HashSet<Ip6>`: SipHash is keyed and DoS-resistant, which none of
+//! our deterministic, in-process dedup loops need. [`DedupSet`] is
+//! the minimal replacement: linear-probing open addressing over a
+//! power-of-two table, a multiply–xor–shift hash over the two 64-bit
+//! halves of the address, a separate occupancy bitmap (so `::` needs
+//! no sentinel), and nothing but `insert`. Membership falls out of
+//! `insert`'s return value, exactly like `HashSet::insert`.
+//!
+//! ```
+//! use eip_addr::{DedupSet, Ip6};
+//!
+//! let mut set = DedupSet::with_capacity(4);
+//! assert!(set.insert(Ip6(0)));       // `::` is a valid key
+//! assert!(!set.insert(Ip6(0)));
+//! assert!(set.insert(Ip6(7)));
+//! assert_eq!(set.len(), 2);
+//! ```
+
+use crate::ip6::Ip6;
+
+/// An insert-only hash set of IPv6 addresses with a fast
+/// deterministic hash. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct DedupSet {
+    /// Key slots; meaningful only where the occupancy bit is set.
+    keys: Vec<u128>,
+    /// One bit per slot.
+    occupied: Vec<u64>,
+    /// `keys.len() - 1`; the table length is a power of two.
+    mask: usize,
+    /// Number of inserted keys.
+    len: usize,
+}
+
+impl DedupSet {
+    /// A set sized for roughly `n` keys without growing (the table
+    /// starts at twice the next power of two, keeping the load factor
+    /// at most ½).
+    pub fn with_capacity(n: usize) -> Self {
+        let slots = (n.max(4) * 2).next_power_of_two();
+        DedupSet {
+            keys: vec![0u128; slots],
+            occupied: vec![0u64; slots.div_ceil(64)],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fibonacci-style multiply–xor–shift over both halves; the high
+    /// bits feed the table index, so the constant's avalanche matters
+    /// more than its provenance (SplitMix64's increment).
+    #[inline]
+    fn slot_of(&self, v: u128) -> usize {
+        let mixed =
+            ((v >> 64) as u64 ^ (v as u64).rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let h = mixed ^ (mixed >> 29);
+        (h as usize) & self.mask
+    }
+
+    #[inline]
+    fn is_occupied(&self, slot: usize) -> bool {
+        self.occupied[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    /// Membership test. `&self`, so a populated set can screen
+    /// candidates from many shards at once.
+    pub fn contains(&self, ip: Ip6) -> bool {
+        let v = ip.value();
+        let mut slot = self.slot_of(v);
+        while self.is_occupied(slot) {
+            if self.keys[slot] == v {
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Inserts a key; returns `true` if it was not present before
+    /// (the `HashSet::insert` contract). Amortized O(1); the table
+    /// doubles when the load factor would pass ½.
+    pub fn insert(&mut self, ip: Ip6) -> bool {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let v = ip.value();
+        let mut slot = self.slot_of(v);
+        while self.is_occupied(slot) {
+            if self.keys[slot] == v {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        self.keys[slot] = v;
+        self.mark_occupied(slot);
+        self.len += 1;
+        true
+    }
+
+    /// Doubles the table and rehashes every key.
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_occ = std::mem::take(&mut self.occupied);
+        let slots = (old_keys.len() * 2).max(8);
+        self.keys = vec![0u128; slots];
+        self.occupied = vec![0u64; slots.div_ceil(64)];
+        self.mask = slots - 1;
+        for (slot, &v) in old_keys.iter().enumerate() {
+            if old_occ[slot >> 6] & (1u64 << (slot & 63)) != 0 {
+                let mut s = self.slot_of(v);
+                while self.is_occupied(s) {
+                    s = (s + 1) & self.mask;
+                }
+                self.keys[s] = v;
+                self.mark_occupied(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_contract_matches_hashset() {
+        let mut fast = DedupSet::with_capacity(8);
+        let mut reference: HashSet<Ip6> = HashSet::new();
+        // A duplicate-heavy pseudo-random stream, including 0.
+        let mut x = 0u128;
+        for i in 0..50_000u128 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i) % 20_000;
+            let ip = Ip6(x);
+            assert_eq!(fast.contains(ip), reference.contains(&ip), "key {x}");
+            assert_eq!(fast.insert(ip), reference.insert(ip), "key {x}");
+            assert!(fast.contains(ip));
+        }
+        assert_eq!(fast.len(), reference.len());
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn zero_and_max_are_ordinary_keys() {
+        let mut s = DedupSet::with_capacity(2);
+        assert!(s.insert(Ip6(0)));
+        assert!(s.insert(Ip6(u128::MAX)));
+        assert!(!s.insert(Ip6(0)));
+        assert!(!s.insert(Ip6(u128::MAX)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut s = DedupSet::with_capacity(1);
+        for i in 0..10_000u128 {
+            assert!(s.insert(Ip6(i << 64)), "key {i}");
+        }
+        assert_eq!(s.len(), 10_000);
+        for i in 0..10_000u128 {
+            assert!(!s.insert(Ip6(i << 64)));
+        }
+    }
+}

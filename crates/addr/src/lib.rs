@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod anonymize;
+pub mod dedup;
 pub mod error;
 pub mod iid;
 pub mod ip6;
@@ -56,6 +57,7 @@ pub mod prefix;
 pub mod set;
 
 pub use anonymize::{anonymize_addr, anonymize_set};
+pub use dedup::DedupSet;
 pub use error::EipError;
 pub use ip6::{Ip6, ParseIp6Error};
 pub use nybbles::Nybbles;

@@ -1,0 +1,315 @@
+//! Compiling a trained network into a flat, immutable sampling plan.
+//!
+//! [`sample_row`](crate::sample::sample_row) is the reference
+//! ancestral sampler — correct, but it allocates two `Vec<usize>` per
+//! drawn row and walks CPT weights linearly per node. At the paper's
+//! native scale (a million candidate rows per run) that allocation
+//! and scanning dominates the generate stage. [`SamplingPlan`]
+//! compiles a [`BayesNet`] once into flat arrays designed for the hot
+//! loop:
+//!
+//! * per node, the *cumulative* weight table of every parent
+//!   configuration, laid out contiguously (`cum_start + cfg *
+//!   child_card`), so drawing a value is one uniform draw plus one
+//!   binary search — no CPT lookups, no weight rescans;
+//! * parent indices with precomputed mixed-radix strides, so the
+//!   configuration index is a fused multiply-add walk instead of
+//!   [`Cpt::config_index`](crate::cpt::Cpt::config_index)'s checked
+//!   fold;
+//! * the topological order baked in as array order (the Entropy/IP
+//!   ordering constraint already guarantees parents precede
+//!   children), sampled into a caller-owned reusable `&mut [u8]` row
+//!   buffer — zero allocation per row, or per node.
+//!
+//! **Oracle relationship.** The plan keeps the
+//! one-uniform-per-node inverse-CDF semantics of
+//! [`sample_index`](crate::sample::sample_index): each node consumes
+//! one `gen_range(0.0..total)` draw where `total` is the same
+//! sequential weight sum the oracle computes (so RNG consumption is
+//! always in lockstep), and the binary search selects the first
+//! index whose cumulative weight exceeds the draw — in exact
+//! arithmetic, the same index the oracle's subtracting scan selects.
+//! In floating point the two comparison chains round differently, so
+//! a draw landing within an ulp of a table boundary could in
+//! principle pick a neighbouring index; for the normalized CPT rows
+//! this crate produces that window is vanishingly small, and rows
+//! are byte-identical to [`sample_row`](crate::sample::sample_row)
+//! on the same RNG stream in practice — asserted in lockstep by the
+//! equivalence proptests in `tests/proptests.rs` and verified
+//! end-to-end at paper scale. `sample_row` remains the reference
+//! implementation, mirroring the workspace's serial-oracle /
+//! compiled-engine pattern.
+//!
+//! ```
+//! use eip_bayes::{BayesNet, Cpt, Node};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let bn = BayesNet::new(vec![
+//!     Node {
+//!         name: "A".into(),
+//!         cardinality: 2,
+//!         parents: vec![],
+//!         cpt: Cpt::from_probs(2, vec![], vec![0.6, 0.4]),
+//!     },
+//!     Node {
+//!         name: "B".into(),
+//!         cardinality: 2,
+//!         parents: vec![0],
+//!         cpt: Cpt::from_probs(2, vec![2], vec![0.9, 0.1, 0.2, 0.8]),
+//!     },
+//! ]);
+//! let plan = bn.compile();
+//! let mut row = [0u8; 2];
+//! let mut rng = StdRng::seed_from_u64(1);
+//! plan.sample_into(&mut row, &mut rng);
+//! assert!(row[0] < 2 && row[1] < 2);
+//! ```
+
+use rand::Rng;
+
+use crate::network::BayesNet;
+
+/// Per-node metadata of a [`SamplingPlan`]: offsets into the shared
+/// flat arrays.
+#[derive(Clone, Copy, Debug)]
+struct PlanNode {
+    /// Cardinality of this variable (≤ 256, so values fit a `u8`).
+    child_card: u32,
+    /// First slot of this node's parents/strides in the shared
+    /// arrays.
+    parents_start: u32,
+    /// Number of parents.
+    parents_len: u32,
+    /// First slot of this node's cumulative-weight tables.
+    cum_start: u32,
+}
+
+/// A [`BayesNet`] compiled for zero-allocation ancestral sampling.
+/// Build one with [`BayesNet::compile`]; see the [module
+/// docs](self) for the layout and the oracle relationship.
+#[derive(Clone, Debug)]
+pub struct SamplingPlan {
+    nodes: Vec<PlanNode>,
+    /// Concatenated parent variable indices, in node order.
+    parents: Vec<u32>,
+    /// Mixed-radix stride of each parent slot (first parent most
+    /// significant, matching `Cpt::config_index`).
+    strides: Vec<u32>,
+    /// Concatenated cumulative weight tables:
+    /// `cum[cum_start + cfg * child_card + x]` = P(X ≤ x | cfg).
+    cum: Vec<f64>,
+}
+
+impl SamplingPlan {
+    /// Compiles a network. Equivalent to [`BayesNet::compile`].
+    ///
+    /// # Panics
+    /// Panics if any cardinality exceeds 256 (rows are `u8` codes) or
+    /// the flat tables would overflow `u32` indexing — neither can
+    /// happen for networks learned from the byte-columnar
+    /// [`Dataset`](crate::data::Dataset).
+    pub fn compile(bn: &BayesNet) -> Self {
+        let mut nodes = Vec::with_capacity(bn.num_vars());
+        let mut parents = Vec::new();
+        let mut strides = Vec::new();
+        let mut cum = Vec::new();
+        for node in bn.nodes() {
+            assert!(
+                node.cardinality <= 256,
+                "node {} cardinality {} exceeds the u8 row format",
+                node.name,
+                node.cardinality
+            );
+            let parents_start = parents.len();
+            // stride[j] = product of the cardinalities of parents
+            // after slot j (first parent most significant).
+            let cards = node.cpt.parent_cards();
+            for (slot, &p) in node.parents.iter().enumerate() {
+                let stride: usize = cards[slot + 1..].iter().product();
+                parents.push(u32::try_from(p).expect("parent index fits u32"));
+                strides.push(u32::try_from(stride).expect("stride fits u32"));
+            }
+            let cum_start = cum.len();
+            let cc = node.cardinality;
+            let flat = node.cpt.flat();
+            for cfg in 0..node.cpt.num_configs() {
+                // The running sum must add in the same order as the
+                // oracle's `weights.iter().sum()` so the final total
+                // — and hence the uniform draw — is bit-identical.
+                let mut running = 0.0f64;
+                for &w in &flat[cfg * cc..(cfg + 1) * cc] {
+                    running += w;
+                    cum.push(running);
+                }
+            }
+            nodes.push(PlanNode {
+                child_card: u32::try_from(cc).expect("cardinality fits u32"),
+                parents_start: u32::try_from(parents_start).expect("parent table fits u32"),
+                parents_len: u32::try_from(node.parents.len()).expect("parent count fits u32"),
+                cum_start: u32::try_from(cum_start).expect("weight table fits u32"),
+            });
+        }
+        SamplingPlan {
+            nodes,
+            parents,
+            strides,
+            cum,
+        }
+    }
+
+    /// Number of variables (the required row-buffer length).
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Draws one full row by ancestral sampling into a reusable
+    /// buffer: per node, one uniform draw and one binary search into
+    /// the cumulative table of the parents' configuration. No
+    /// allocation. Byte-identical to
+    /// [`sample_row`](crate::sample::sample_row) on the same RNG
+    /// stream.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.num_vars()`.
+    pub fn sample_into<R: Rng + ?Sized>(&self, row: &mut [u8], rng: &mut R) {
+        assert_eq!(row.len(), self.nodes.len(), "row width mismatch");
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i];
+            let ps = node.parents_start as usize;
+            let mut cfg = 0usize;
+            for j in ps..ps + node.parents_len as usize {
+                cfg += row[self.parents[j] as usize] as usize * self.strides[j] as usize;
+            }
+            let cc = node.child_card as usize;
+            let start = node.cum_start as usize + cfg * cc;
+            let cum = &self.cum[start..start + cc];
+            let total = cum[cc - 1];
+            debug_assert!(total > 0.0, "weights must have positive mass");
+            let u = rng.gen_range(0.0..total);
+            // First index whose cumulative weight exceeds the draw —
+            // the inverse CDF, clamped like the oracle's numerical
+            // fallback.
+            let x = cum.partition_point(|&c| c <= u);
+            row[i] = x.min(cc - 1) as u8;
+        }
+    }
+
+    /// Convenience: draws one row into a fresh `Vec<u8>` (tests and
+    /// one-off callers; hot loops should reuse a buffer with
+    /// [`SamplingPlan::sample_into`]).
+    pub fn sample_row<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let mut row = vec![0u8; self.num_vars()];
+        self.sample_into(&mut row, rng);
+        row
+    }
+}
+
+impl BayesNet {
+    /// Compiles this network into a flat [`SamplingPlan`] for
+    /// zero-allocation ancestral sampling (see [`crate::compile`]).
+    pub fn compile(&self) -> SamplingPlan {
+        SamplingPlan::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpt::Cpt;
+    use crate::network::Node;
+    use crate::sample::sample_row;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 4-node network exercising no-parent, one-parent and
+    /// two-parent CPTs with mixed cardinalities.
+    fn diamond() -> BayesNet {
+        let n0 = Node {
+            name: "A".into(),
+            cardinality: 3,
+            parents: vec![],
+            cpt: Cpt::from_counts(3, vec![], &[5, 3, 2], 0.5),
+        };
+        let n1 = Node {
+            name: "B".into(),
+            cardinality: 2,
+            parents: vec![0],
+            cpt: Cpt::from_counts(2, vec![3], &[4, 1, 2, 2, 0, 3], 0.5),
+        };
+        let n2 = Node {
+            name: "C".into(),
+            cardinality: 2,
+            parents: vec![0],
+            cpt: Cpt::from_counts(2, vec![3], &[1, 4, 3, 1, 2, 2], 0.5),
+        };
+        let n3 = Node {
+            name: "D".into(),
+            cardinality: 4,
+            parents: vec![1, 2],
+            cpt: Cpt::from_counts(
+                4,
+                vec![2, 2],
+                &[3, 1, 1, 0, 0, 2, 1, 1, 1, 1, 1, 1, 2, 0, 0, 2],
+                0.5,
+            ),
+        };
+        BayesNet::new(vec![n0, n1, n2, n3])
+    }
+
+    #[test]
+    fn compiled_rows_match_oracle_stream() {
+        let bn = diamond();
+        let plan = bn.compile();
+        assert_eq!(plan.num_vars(), 4);
+        // Same seed, same stream: every row must be byte-identical to
+        // the reference sampler, in lockstep.
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut row = vec![0u8; plan.num_vars()];
+        for _ in 0..5_000 {
+            let oracle = sample_row(&bn, &mut a);
+            plan.sample_into(&mut row, &mut b);
+            let got: Vec<usize> = row.iter().map(|&x| x as usize).collect();
+            assert_eq!(got, oracle);
+        }
+    }
+
+    #[test]
+    fn compiled_sampling_matches_joint() {
+        let bn = diamond();
+        let plan = bn.compile();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let mut count_a0 = 0u32;
+        let mut row = vec![0u8; plan.num_vars()];
+        for _ in 0..n {
+            plan.sample_into(&mut row, &mut rng);
+            if row[0] == 0 {
+                count_a0 += 1;
+            }
+        }
+        let freq = count_a0 as f64 / n as f64;
+        let expect = (5.0 + 0.5) / (10.0 + 1.5); // counts 5/10, alpha 0.5
+        assert!((freq - expect).abs() < 0.01, "{freq} vs {expect}");
+    }
+
+    #[test]
+    fn sample_row_convenience_matches_sample_into() {
+        let plan = diamond().compile();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let mut buf = vec![0u8; plan.num_vars()];
+        plan.sample_into(&mut buf, &mut a);
+        assert_eq!(plan.sample_row(&mut b), buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_row_width() {
+        let plan = diamond().compile();
+        let mut rng = StdRng::seed_from_u64(1);
+        plan.sample_into(&mut [0u8; 2], &mut rng);
+    }
+}

@@ -153,7 +153,7 @@ const MAX_BATCH_CELLS: usize = 1 << 22;
 
 /// Counts the dense joint tables of `child` with each parent set in
 /// `families`, sharded on `exec` — one pass over the data when the
-/// tables fit the per-shard cell budget ([`MAX_BATCH_CELLS`]), and as
+/// tables fit the per-shard cell budget (`MAX_BATCH_CELLS`), and as
 /// few budget-bounded passes as needed otherwise, so memory stays
 /// bounded regardless of how many families the search enumerates.
 ///

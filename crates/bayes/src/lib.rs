@@ -29,28 +29,43 @@
 //!   used for constrained candidate generation (§4.4: "generate
 //!   candidate addresses that match the model, optionally constrained
 //!   to certain segment values").
+//! * [`compile`] — the compile-then-sample fast path: a trained
+//!   network compiles once into a flat [`SamplingPlan`] (per-node
+//!   cumulative-weight tables for every parent configuration,
+//!   precomputed mixed-radix strides, topological order baked in), so
+//!   drawing a row is one uniform draw plus one binary search per
+//!   node into a reusable `&mut [u8]` buffer — no allocation and no
+//!   CPT lookups on the hot loop.
 //!
 //! The ordering constraint means every network is already in
 //! topological order, which keeps sampling and learning simple and
 //! makes the structure search exact rather than heuristic.
 //!
-//! ## Counting engine + oracle pattern
+//! ## Fast engine + oracle pattern
 //!
-//! Structure learning ships two engines behind one entry point
-//! ([`learn_structure`], switched by [`LearnOptions::parallelism`]),
-//! mirroring the workspace's mining refactor: the **serial oracle**
-//! re-scans the data per candidate through a `HashMap` and stays the
-//! reference implementation, while the **sharded count-reuse engine**
-//! counts each child's maximum-size candidate families in one sharded
-//! column pass and derives every smaller candidate (and the final
-//! CPT) from those dense tables by marginalization. Both engines
-//! share the candidate enumeration order, tie margin, and admissible
-//! bound, so they learn identical networks — asserted by the
+//! Both hot paths ship two implementations behind one result,
+//! mirroring the workspace's mining refactor:
+//!
+//! * **Structure learning** ([`learn_structure`], switched by
+//!   [`LearnOptions::parallelism`]): the serial oracle re-scans the
+//!   data per candidate through a `HashMap` and stays the reference
+//!   implementation, while the sharded count-reuse engine counts each
+//!   child's maximum-size candidate families in one sharded column
+//!   pass and derives every smaller candidate (and the final CPT)
+//!   from those dense tables by marginalization.
+//! * **Sampling** (compile-then-sample): [`sample_row`] is the
+//!   allocating reference sampler; [`BayesNet::compile`] bakes the
+//!   same inverse-CDF semantics into a flat [`SamplingPlan`] whose
+//!   rows are byte-identical to the oracle's on the same RNG stream.
+//!
+//! Both engine pairs share their decision semantics exactly, so fast
+//! and oracle paths produce identical output — asserted by the
 //! equivalence proptests in `tests/proptests.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod counts;
 pub mod cpt;
 pub mod data;
@@ -60,6 +75,7 @@ pub mod learn;
 pub mod network;
 pub mod sample;
 
+pub use compile::SamplingPlan;
 pub use counts::{count_families, family_score_dense, FamilyTable};
 pub use cpt::Cpt;
 pub use data::Dataset;

@@ -212,6 +212,25 @@ proptest! {
         }
     }
 
+    /// The compiled sampling plan ≡ the `sample_row` oracle: on the
+    /// same RNG stream, every drawn row is byte-identical, in
+    /// lockstep, for random networks and seeds (the plan consumes
+    /// exactly one uniform per node, like the oracle).
+    #[test]
+    fn compiled_plan_matches_oracle_rows(bn in arb_bn(), seed in any::<u64>()) {
+        let plan = bn.compile();
+        prop_assert_eq!(plan.num_vars(), bn.num_vars());
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let mut row = vec![0u8; plan.num_vars()];
+        for draw in 0..300 {
+            let oracle = sample_row(&bn, &mut a);
+            plan.sample_into(&mut row, &mut b);
+            let got: Vec<usize> = row.iter().map(|&x| x as usize).collect();
+            prop_assert_eq!(got, oracle, "draw {}", draw);
+        }
+    }
+
     /// Dense-contingency family scores ≡ the HashMap reference scores
     /// for every candidate parent set the default search would visit,
     /// up to floating-point summation order.

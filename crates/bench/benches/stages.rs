@@ -1,14 +1,20 @@
 //! Per-stage benchmarks of the Entropy/IP pipeline, timed at the real
 //! stage boundaries of the typed [`Pipeline`] API: profile (streaming
 //! ingestion + entropy/ACR), segmentation, mining (serial and
-//! parallel), and BN training — plus the windowing grid and posterior
+//! parallel), BN training, candidate generation (the `sample_row`
+//! oracle vs the compiled sampling plan on the batched scheduler) and
+//! candidate evaluation (the tree/hash bookkeeping reference vs the
+//! sharded sort-merge-join) — plus the windowing grid and posterior
 //! inference that sit beside the pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eip_addr::{AddressSet, Ip6};
-use eip_netsim::dataset;
+use eip_exec::Scheduler;
+use eip_netsim::{dataset, population_adherence};
 use eip_stats::WindowGrid;
-use entropy_ip::{Config, Mined, Pipeline, Profiled, Segmented};
+use entropy_ip::{Config, Generator, Mined, Pipeline, Profiled, Segmented};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn population(n: usize) -> AddressSet {
     dataset("S1").unwrap().population_sized(n, 1)
@@ -111,6 +117,76 @@ fn bench_train_stage(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stage 5: batch candidate generation from a trained model — the
+/// serial `sample_row` + per-draw allocation oracle
+/// ([`Generator::run`]) vs the compiled sampling plan on the batched
+/// scheduler ([`Generator::run_seeded`], parallelism 4). The two
+/// produce byte-identical candidate streams; `tools/bench_guard.sh`
+/// fails CI if the compiled path loses its speed edge.
+fn bench_generate_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_generate");
+    g.sample_size(10);
+    let model = mined(10_000).train().unwrap().into_model();
+    g.bench_function("serial_10000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            Generator::new(&model)
+                .attempts_per_candidate(8)
+                .run(10_000, &mut rng)
+        });
+    });
+    g.bench_function("parallel4_10000", |b| {
+        b.iter(|| {
+            Generator::new(&model)
+                .attempts_per_candidate(8)
+                .parallelism(4)
+                .run_seeded(10_000, 7)
+        });
+    });
+    g.finish();
+}
+
+/// Stage 6: candidate-batch evaluation against the population — the
+/// `repro --full` evaluate stage. The tree/hash bookkeeping the stage
+/// used before PR 5 (binary-search hits + `BTreeSet` /64 dedup) vs
+/// the sharded sort-merge-join ([`eip_netsim::population_adherence`]:
+/// one sharded candidate sort, then streaming two-pointer joins).
+/// Identical counts; `tools/bench_guard.sh` guards the edge.
+fn bench_evaluate_stage(c: &mut Criterion) {
+    use std::collections::BTreeSet;
+    let mut g = c.benchmark_group("stage_evaluate");
+    g.sample_size(10);
+    let population = population(10_000);
+    let model = Pipeline::new(Config::default())
+        .run(population.iter())
+        .unwrap();
+    let candidates = Generator::new(&model)
+        .attempts_per_candidate(8)
+        .run_seeded(10_000, 13)
+        .candidates;
+    g.bench_function("serial_10000", |b| {
+        b.iter(|| {
+            let hits = candidates
+                .iter()
+                .filter(|&&ip| population.contains(ip))
+                .count();
+            let known64: BTreeSet<_> = population.slash64s().into_iter().collect();
+            let new64 = candidates
+                .iter()
+                .map(|ip| ip.slash64())
+                .filter(|p| !known64.contains(p))
+                .collect::<BTreeSet<_>>()
+                .len();
+            (hits, new64)
+        });
+    });
+    let exec = Scheduler::new(4);
+    g.bench_function("parallel4_10000", |b| {
+        b.iter(|| population_adherence(&candidates, &population, &exec));
+    });
+    g.finish();
+}
+
 /// The windowing analysis (§4.5), beside the pipeline proper.
 fn bench_window_grid(c: &mut Criterion) {
     let addrs: Vec<Ip6> = population(1_000).iter().collect();
@@ -133,6 +209,8 @@ criterion_group!(
     bench_segment_stage,
     bench_mine_stage,
     bench_train_stage,
+    bench_generate_stage,
+    bench_evaluate_stage,
     bench_window_grid,
     bench_inference
 );

@@ -6,9 +6,7 @@
 //! "New /64s" not seen in training), duplicate accounting, and a
 //! configurable attempt budget.
 
-use std::collections::HashSet;
-
-use eip_addr::{AddressSet, Ip6};
+use eip_addr::{AddressSet, DedupSet, Ip6};
 use eip_exec::Scheduler;
 use rand::Rng;
 
@@ -67,18 +65,47 @@ impl<'m> Generator<'m> {
         self
     }
 
-    /// Generates up to `n` unique candidates.
+    /// Generates up to `n` unique candidates with the serial
+    /// reference sampler ([`eip_bayes::sample_row`]) — the oracle the
+    /// compiled-plan path of [`Generator::run_seeded`] is verified
+    /// against (their candidate streams are byte-identical on the
+    /// same RNG stream; see the equivalence proptests).
     pub fn run<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> GenerationReport {
+        self.run_sampling(n, rng, |rng, row| {
+            let sampled = eip_bayes::sample_row(self.model.bn(), rng);
+            for (slot, &code) in row.iter_mut().zip(&sampled) {
+                *slot = code as u8;
+            }
+        })
+    }
+
+    /// Like [`Generator::run`], but sampling rows through the model's
+    /// compiled [`SamplingPlan`](eip_bayes::SamplingPlan) into a
+    /// reusable buffer — zero allocation per draw, byte-identical
+    /// candidates.
+    fn run_compiled<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> GenerationReport {
+        let plan = self.model.plan();
+        self.run_sampling(n, rng, |rng, row| plan.sample_into(row, rng))
+    }
+
+    /// The shared generation loop over any row sampler.
+    fn run_sampling<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        mut sample: impl FnMut(&mut R, &mut [u8]),
+    ) -> GenerationReport {
         let budget = n.saturating_mul(self.attempts_per_candidate);
-        let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
+        let mut seen = DedupSet::with_capacity(n);
         let mut out = Vec::with_capacity(n);
         let mut attempts = 0usize;
         let mut duplicates = 0usize;
         let mut excluded = 0usize;
+        let mut row = vec![0u8; self.model.bn().num_vars()];
         while out.len() < n && attempts < budget {
             attempts += 1;
-            let row = eip_bayes::sample_row(self.model.bn(), rng);
-            let ip = self.model.decode(&row, rng);
+            sample(rng, &mut row);
+            let ip = self.model.decode_codes(&row, rng);
             if let Some(ex) = self.exclude {
                 if ex.contains(ip) {
                     excluded += 1;
@@ -118,11 +145,18 @@ impl<'m> Generator<'m> {
     /// a pure function of `(model, options, n, seed)` — independent
     /// of the worker count — and the accounting identity `attempts =
     /// candidates + duplicates + excluded` holds.
+    ///
+    /// Chunks sample through the model's compiled
+    /// [`SamplingPlan`](eip_bayes::SamplingPlan) (one uniform draw +
+    /// one binary search per node into a reusable row buffer), whose
+    /// rows are byte-identical to the [`Generator::run`] oracle on
+    /// the same RNG stream — so this switch is invisible in the
+    /// output.
     pub fn run_seeded(&self, n: usize, seed: u64) -> GenerationReport {
         /// Candidates per chunk: small enough to load-balance, large
         /// enough that per-chunk dedup sets stay effective.
         const CHUNK: usize = 8_192;
-        let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
+        let mut seen = DedupSet::with_capacity(n);
         let mut merged = GenerationReport {
             candidates: Vec::with_capacity(n),
             attempts: 0,
@@ -177,7 +211,7 @@ impl<'m> Generator<'m> {
             StdRng::seed_from_u64(seed ^ (id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
         };
         self.exec
-            .par_map_indexed(chunks, |c| self.run(quota(c), &mut rng_for(c)))
+            .par_map_indexed(chunks, |c| self.run_compiled(quota(c), &mut rng_for(c)))
     }
 }
 
@@ -187,6 +221,7 @@ mod tests {
     use crate::model::EntropyIp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn training_set() -> AddressSet {
         (0..1000u128)

@@ -1,10 +1,10 @@
 //! The end-to-end Entropy/IP model: analysis → mining → Bayesian
 //! network → encoding/decoding/generation.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use eip_addr::{AddressSet, Ip6, Nybbles};
-use eip_bayes::{BayesNet, Evidence, LearnOptions};
+use eip_addr::{AddressSet, Ip6};
+use eip_bayes::{BayesNet, Evidence, LearnOptions, SamplingPlan};
 use rand::Rng;
 
 use crate::analysis::Analysis;
@@ -71,16 +71,30 @@ impl EntropyIp {
 }
 
 /// A trained Entropy/IP model for one network.
+///
+/// Construction ([`IpModel::from_parts`]) precomputes the hot-path
+/// lookups: the Bayesian network is compiled into a flat
+/// [`SamplingPlan`] (zero-allocation ancestral sampling, see
+/// [`eip_bayes::compile`]), and the segment-label and dictionary-code
+/// indices go into hash maps so [`IpModel::segment_index`] and
+/// [`IpModel::evidence_for`] are O(1) instead of linear scans.
 #[derive(Clone, Debug)]
 pub struct IpModel {
     pub(crate) analysis: Analysis,
     pub(crate) mined: Vec<MinedSegment>,
     pub(crate) bn: BayesNet,
+    /// The BN compiled for zero-allocation sampling.
+    plan: SamplingPlan,
+    /// Segment label → segment index.
+    label_index: HashMap<String, usize>,
+    /// Per segment: dictionary code string → value index.
+    code_index: Vec<HashMap<String, usize>>,
 }
 
 impl IpModel {
     /// Assembles a model from parts (used by profile import; the
-    /// pieces must be mutually consistent).
+    /// pieces must be mutually consistent). Compiles the sampling
+    /// plan and the label/code lookup maps.
     pub fn from_parts(analysis: Analysis, mined: Vec<MinedSegment>, bn: BayesNet) -> Self {
         assert_eq!(
             analysis.segments.len(),
@@ -95,10 +109,30 @@ impl IpModel {
                 "cardinality mismatch at {i}"
             );
         }
+        let plan = bn.compile();
+        let label_index = analysis
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.label.clone(), i))
+            .collect();
+        let code_index = mined
+            .iter()
+            .map(|m| {
+                m.values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.code.clone(), i))
+                    .collect()
+            })
+            .collect();
         IpModel {
             analysis,
             mined,
             bn,
+            plan,
+            label_index,
+            code_index,
         }
     }
 
@@ -117,14 +151,23 @@ impl IpModel {
         &self.bn
     }
 
+    /// The compiled sampling plan (flat cumulative-weight tables; see
+    /// [`eip_bayes::compile`]). Draws rows byte-identical to
+    /// [`eip_bayes::sample_row`] on the same RNG stream, with zero
+    /// allocation.
+    pub fn plan(&self) -> &SamplingPlan {
+        &self.plan
+    }
+
     /// Analysis width in nybbles (32 full / 16 top-64).
     pub fn width(&self) -> usize {
         self.analysis.width
     }
 
-    /// Index of the segment with the given letter label.
+    /// Index of the segment with the given letter label (O(1): the
+    /// lookup map is built at model construction).
     pub fn segment_index(&self, label: &str) -> Option<usize> {
-        self.analysis.segments.iter().position(|s| s.label == label)
+        self.label_index.get(label).copied()
     }
 
     /// Encodes an address as its categorical code vector; `None` if
@@ -146,34 +189,70 @@ impl IpModel {
     /// Panics if the row width or any code is out of range.
     pub fn decode<R: Rng + ?Sized>(&self, row: &[usize], rng: &mut R) -> Ip6 {
         assert_eq!(row.len(), self.mined.len(), "row width mismatch");
-        let mut ny = Nybbles::from_ip(Ip6(0));
-        for (m, &code) in self.mined.iter().zip(row) {
-            let value = match m.values[code].kind {
+        self.decode_at(|i| row[i], rng)
+    }
+
+    /// Decodes a byte-coded row as produced by the compiled
+    /// [`plan`](IpModel::plan)'s
+    /// [`sample_into`](SamplingPlan::sample_into). Identical to
+    /// [`IpModel::decode`] (same RNG consumption, same address) for
+    /// the same codes.
+    ///
+    /// # Panics
+    /// Panics if the row width or any code is out of range.
+    pub fn decode_codes<R: Rng + ?Sized>(&self, row: &[u8], rng: &mut R) -> Ip6 {
+        assert_eq!(row.len(), self.mined.len(), "row width mismatch");
+        self.decode_at(|i| row[i] as usize, rng)
+    }
+
+    /// Shared decode core over any code accessor. Segments are
+    /// disjoint nybble runs, so each value ORs straight into the
+    /// `u128` at its bit offset — equivalent to the
+    /// [`eip_addr::Nybbles::set_segment_value`] walk (including its
+    /// "value too wide for segment" panic, which catches corrupt
+    /// imported profiles), without expanding and recombining 32
+    /// nybbles per address.
+    fn decode_at<R: Rng + ?Sized>(&self, code_at: impl Fn(usize) -> usize, rng: &mut R) -> Ip6 {
+        let mut out: u128 = 0;
+        for (i, m) in self.mined.iter().enumerate() {
+            let value = match m.values[code_at(i)].kind {
                 ValueKind::Exact(v) => v,
                 ValueKind::Range { lo, hi } => sample_u128_inclusive(lo, hi, rng),
             };
-            ny.set_segment_value(m.segment.start, m.segment.end, value);
+            // 1-based inclusive nybble positions → bit shift from the
+            // low end of the address.
+            let width_bits = (m.segment.end - m.segment.start + 1) * 4;
+            let mask = if width_bits == 128 {
+                u128::MAX
+            } else {
+                (1u128 << width_bits) - 1
+            };
+            assert!(value <= mask, "value too wide for segment");
+            out |= value << (128 - (m.segment.start - 1) * 4 - width_bits);
         }
-        ny.to_ip()
+        Ip6(out)
     }
 
     /// Generates up to `n` *unique* candidate addresses by ancestral
     /// sampling (§5.5 trains on 1K and generates 1M candidates this
-    /// way), giving up after `max_attempts` draws.
+    /// way), giving up after `max_attempts` draws. Sampling runs on
+    /// the compiled [`plan`](IpModel::plan) with a reusable row
+    /// buffer — byte-identical output to the `sample_row` oracle.
     pub fn generate<R: Rng + ?Sized>(
         &self,
         n: usize,
         max_attempts: usize,
         rng: &mut R,
     ) -> Vec<Ip6> {
-        let mut seen: HashSet<Ip6> = HashSet::with_capacity(n);
+        let mut seen = eip_addr::DedupSet::with_capacity(n);
         let mut out = Vec::with_capacity(n);
+        let mut row = vec![0u8; self.plan.num_vars()];
         for _ in 0..max_attempts {
             if out.len() >= n {
                 break;
             }
-            let row = eip_bayes::sample_row(&self.bn, rng);
-            let ip = self.decode(&row, rng);
+            self.plan.sample_into(&mut row, rng);
+            let ip = self.decode_codes(&row, rng);
             if seen.insert(ip) {
                 out.push(ip);
             }
@@ -208,10 +287,11 @@ impl IpModel {
     }
 
     /// Looks up evidence `(segment index, code index)` from a segment
-    /// label and dictionary code string, e.g. `("J", "J1")`.
+    /// label and dictionary code string, e.g. `("J", "J1")` — O(1)
+    /// via the lookup maps built at model construction.
     pub fn evidence_for(&self, label: &str, code: &str) -> Option<(usize, usize)> {
         let seg = self.segment_index(label)?;
-        let val = self.mined[seg].values.iter().position(|v| v.code == code)?;
+        let val = *self.code_index[seg].get(code)?;
         Some((seg, val))
     }
 
@@ -417,6 +497,24 @@ mod tests {
             delta > 0.1,
             "evidence on {marker} should move segment A, delta {delta}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "value too wide for segment")]
+    fn decode_rejects_overwide_values() {
+        // A corrupt (e.g. hand-edited) profile can carry an Exact
+        // value wider than its segment; decode must fail loudly, as
+        // the Nybbles-based decoder did, not emit truncated garbage.
+        let mut model = EntropyIp::new().analyze(&training_set()).unwrap();
+        let seg_width = {
+            let m = &model.mined[0];
+            m.segment.end - m.segment.start + 1
+        };
+        assert!(seg_width < 32, "test needs a partial-width segment");
+        model.mined[0].values[0].kind = ValueKind::Exact(1u128 << (4 * seg_width));
+        let row = vec![0usize; model.mined().len()];
+        let mut rng = StdRng::seed_from_u64(1);
+        model.decode(&row, &mut rng);
     }
 
     #[test]

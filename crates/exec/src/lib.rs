@@ -196,6 +196,69 @@ impl Scheduler {
             .collect()
     }
 
+    /// Sorts a vector by sorting this scheduler's stable shards on
+    /// worker threads, then merging adjacent sorted runs bottom-up
+    /// (taking from the left run on ties). Like
+    /// [`sort_unstable`](slice::sort_unstable), the relative order of
+    /// *equal* elements is unspecified — so the result is guaranteed
+    /// identical to `sort_unstable`, and independent of the worker
+    /// count, for types whose equal elements are indistinguishable
+    /// (all the key types this workspace sorts: `u128`, `Ip6`,
+    /// lexicographic tuples of them). With one worker this is plain
+    /// `sort_unstable`.
+    ///
+    /// The sorted-key hot paths (candidate evaluation, sharded
+    /// population synthesis) sort a million `u128`-keyed items per
+    /// run; `Copy` keeps the merge a pair of cursor walks.
+    pub fn par_sort_unstable<T>(&self, items: &mut Vec<T>)
+    where
+        T: Ord + Send + Copy,
+    {
+        if self.is_serial() || items.len() <= 1 {
+            items.sort_unstable();
+            return;
+        }
+        let ranges = self.shards(items.len());
+        thread::scope(|s| {
+            let mut rest = items.as_mut_slice();
+            for range in &ranges {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                s.spawn(move || chunk.sort_unstable());
+            }
+        });
+        // Bottom-up merge of the contiguous sorted runs, ping-ponging
+        // through one scratch buffer.
+        let mut runs: Vec<(usize, usize)> = ranges.iter().map(|r| (r.start, r.end)).collect();
+        let mut scratch: Vec<T> = Vec::with_capacity(items.len());
+        while runs.len() > 1 {
+            scratch.clear();
+            let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+            for pair in runs.chunks(2) {
+                let start = scratch.len();
+                if let [a, b] = *pair {
+                    let (mut i, mut j) = (a.0, b.0);
+                    while i < a.1 && j < b.1 {
+                        if items[j] < items[i] {
+                            scratch.push(items[j]);
+                            j += 1;
+                        } else {
+                            scratch.push(items[i]);
+                            i += 1;
+                        }
+                    }
+                    scratch.extend_from_slice(&items[i..a.1]);
+                    scratch.extend_from_slice(&items[j..b.1]);
+                } else {
+                    scratch.extend_from_slice(&items[pair[0].0..pair[0].1]);
+                }
+                next_runs.push((start, scratch.len()));
+            }
+            std::mem::swap(items, &mut scratch);
+            runs = next_runs;
+        }
+    }
+
     /// Shard-count-then-merge: splits `0..len` into this scheduler's
     /// stable shards, maps every shard with `map`, and folds the
     /// shard results **in shard order** with `reduce`. Returns `None`
@@ -296,6 +359,25 @@ mod tests {
                 .par_map_reduce(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
                 .unwrap();
             assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_sort_unstable() {
+        // Pseudo-random, duplicate-heavy input at sizes around shard
+        // boundaries.
+        for len in [0usize, 1, 2, 3, 7, 64, 1000, 4097] {
+            let mut expect: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % 97)
+                .collect();
+            expect.sort_unstable();
+            for workers in 1..=8 {
+                let mut v: Vec<u64> = (0..len as u64)
+                    .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % 97)
+                    .collect();
+                Scheduler::new(workers).par_sort_unstable(&mut v);
+                assert_eq!(v, expect, "len {len}, {workers} workers");
+            }
         }
     }
 

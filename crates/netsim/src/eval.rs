@@ -11,10 +11,27 @@
 //!   tests, and the success rate = overall / generated;
 //! * **New /64s** — /64 prefixes among the hits that were absent from
 //!   the training sample.
+//!
+//! ## Sort-join instead of hashing
+//!
+//! At the paper's native scale ([`crate::eval`] sees a million
+//! candidates per run) the original `HashSet` bookkeeping — hash the
+//! training /64s, hash every hit's /64 — was the hot spot. The
+//! counters are now computed over *sorted `u128` keys*: training /64s
+//! come pre-sorted from [`AddressSet::slash64s`], membership is a
+//! binary search, and the distinct new-/64 count is one
+//! sort-and-dedup over the collected hit prefixes. The candidate scan
+//! shards on an [`eip_exec::Scheduler`] (counters merge by addition,
+//! prefix lists concatenate in shard order before the global dedup),
+//! so the outcome is identical at any worker count. The original
+//! hashing implementation survives as
+//! [`evaluate_scan_reference`], the oracle the sort-join path is
+//! verified against (see `tests/proptests.rs`).
 
 use std::collections::HashSet;
 
 use eip_addr::{AddressSet, Ip6};
+use eip_exec::Scheduler;
 
 use crate::responder::Responder;
 
@@ -47,8 +64,93 @@ impl ScanOutcome {
 }
 
 /// Evaluates a candidate list against the held-out test set and the
-/// responder, counting new /64s relative to the training sample.
+/// responder, counting new /64s relative to the training sample —
+/// serially, via the sort-join core. Equivalent to
+/// [`evaluate_scan_sharded`] with a serial scheduler.
 pub fn evaluate_scan(
+    candidates: &[Ip6],
+    training: &AddressSet,
+    test: &AddressSet,
+    responder: &Responder,
+) -> ScanOutcome {
+    evaluate_scan_sharded(candidates, training, test, responder, &Scheduler::default())
+}
+
+/// [`evaluate_scan`] with the candidate scan fanned out on a
+/// scheduler. Shard counters merge by addition and the new-/64 dedup
+/// runs globally over sorted keys, so the outcome is identical at any
+/// worker count.
+pub fn evaluate_scan_sharded(
+    candidates: &[Ip6],
+    training: &AddressSet,
+    test: &AddressSet,
+    responder: &Responder,
+    exec: &Scheduler,
+) -> ScanOutcome {
+    /// Per-shard counters plus the raw hit /64s outside training.
+    struct Shard {
+        test_hits: usize,
+        ping_hits: usize,
+        rdns_hits: usize,
+        overall: usize,
+        new64: Vec<Ip6>,
+    }
+    let train64: Vec<Ip6> = training.slash64s();
+    let merged = exec.par_map_reduce(
+        candidates.len(),
+        |range| {
+            let mut s = Shard {
+                test_hits: 0,
+                ping_hits: 0,
+                rdns_hits: 0,
+                overall: 0,
+                new64: Vec::new(),
+            };
+            for &ip in &candidates[range] {
+                let in_test = test.contains(ip);
+                let ping = responder.ping(ip);
+                let rdns = responder.rdns(ip);
+                s.test_hits += usize::from(in_test);
+                s.ping_hits += usize::from(ping);
+                s.rdns_hits += usize::from(rdns);
+                if in_test || ping || rdns {
+                    s.overall += 1;
+                    let p64 = ip.slash64();
+                    if train64.binary_search(&p64).is_err() {
+                        s.new64.push(p64);
+                    }
+                }
+            }
+            s
+        },
+        |acc, part| {
+            acc.test_hits += part.test_hits;
+            acc.ping_hits += part.ping_hits;
+            acc.rdns_hits += part.rdns_hits;
+            acc.overall += part.overall;
+            acc.new64.extend_from_slice(&part.new64);
+        },
+    );
+    let mut out = ScanOutcome {
+        generated: candidates.len(),
+        ..Default::default()
+    };
+    if let Some(mut merged) = merged {
+        out.test_hits = merged.test_hits;
+        out.ping_hits = merged.ping_hits;
+        out.rdns_hits = merged.rdns_hits;
+        out.overall = merged.overall;
+        merged.new64.sort_unstable();
+        merged.new64.dedup();
+        out.new_slash64 = merged.new64.len();
+    }
+    out
+}
+
+/// The original `HashSet`-based evaluation, kept verbatim as the
+/// oracle the sort-join path is verified against (equivalence
+/// proptests in `tests/proptests.rs`). Prefer [`evaluate_scan`].
+pub fn evaluate_scan_reference(
     candidates: &[Ip6],
     training: &AddressSet,
     test: &AddressSet,
@@ -83,6 +185,60 @@ pub fn evaluate_scan(
     }
     out.new_slash64 = new64.len();
     out
+}
+
+/// In-sample adherence of a candidate batch: how many candidates land
+/// back inside the (training) population, and how many *distinct*
+/// /64s the rest open up. This is the `repro --full` evaluate stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Adherence {
+    /// Candidates present in the population.
+    pub hits: usize,
+    /// Distinct candidate /64s absent from the population's /64s.
+    pub new_slash64: usize,
+}
+
+/// Computes [`Adherence`] by sort-merge-join: the candidate keys are
+/// sorted once (sharded on the scheduler, identical at any worker
+/// count), then one streaming two-pointer pass against the sorted
+/// population — and, since `/64` prefixes are the *top* 64 bits, the
+/// sorted candidates' prefixes are already sorted too, so the same
+/// pass merge-joins them against the population's pre-sorted /64 list
+/// and counts distinct misses. No hashing, no tree, no per-candidate
+/// binary search into a cache-cold megabyte array.
+pub fn population_adherence(
+    candidates: &[Ip6],
+    population: &AddressSet,
+    exec: &Scheduler,
+) -> Adherence {
+    let mut keys: Vec<Ip6> = candidates.to_vec();
+    exec.par_sort_unstable(&mut keys);
+    let pop = population.as_slice();
+    let pop64: Vec<Ip6> = population.slash64s();
+    let mut hits = 0usize;
+    let mut new64 = 0usize;
+    let mut pi = 0usize; // cursor into pop
+    let mut qi = 0usize; // cursor into pop64
+    let mut last_new: Option<Ip6> = None;
+    for &ip in &keys {
+        while pi < pop.len() && pop[pi] < ip {
+            pi += 1;
+        }
+        hits += usize::from(pi < pop.len() && pop[pi] == ip);
+        let p64 = ip.slash64();
+        while qi < pop64.len() && pop64[qi] < p64 {
+            qi += 1;
+        }
+        let known = qi < pop64.len() && pop64[qi] == p64;
+        if !known && last_new != Some(p64) {
+            new64 += 1;
+            last_new = Some(p64);
+        }
+    }
+    Adherence {
+        hits,
+        new_slash64: new64,
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +285,59 @@ mod tests {
         assert_eq!(o.overall, 0);
         assert_eq!(o.success_rate(), 0.0);
         assert_eq!(o.new_slash64, 0);
+    }
+
+    /// Sort-join and hashing oracle must agree field by field, at any
+    /// worker count.
+    #[test]
+    fn sharded_matches_reference_at_any_worker_count() {
+        let training: AddressSet = (0..50u128).map(base).collect();
+        let test: AddressSet = (50..200u128).map(base).collect();
+        let responder = Responder::new(training.union(&test), 0.4, 3);
+        let candidates: Vec<Ip6> = (0..500u128)
+            .map(|i| {
+                if i % 3 == 0 {
+                    base(i) // some hits, some /64-local misses
+                } else {
+                    Ip6((0x2001_0db8u128 << 96) | (i << 64) | i) // fresh /64s
+                }
+            })
+            .collect();
+        let oracle = evaluate_scan_reference(&candidates, &training, &test, &responder);
+        for workers in [1usize, 2, 3, 8] {
+            let o = evaluate_scan_sharded(
+                &candidates,
+                &training,
+                &test,
+                &responder,
+                &Scheduler::new(workers),
+            );
+            assert_eq!(o.generated, oracle.generated, "{workers} workers");
+            assert_eq!(o.test_hits, oracle.test_hits);
+            assert_eq!(o.ping_hits, oracle.ping_hits);
+            assert_eq!(o.rdns_hits, oracle.rdns_hits);
+            assert_eq!(o.overall, oracle.overall);
+            assert_eq!(o.new_slash64, oracle.new_slash64);
+        }
+    }
+
+    #[test]
+    fn adherence_counts_hits_and_fresh_prefixes() {
+        let population: AddressSet = (0..100u128).map(base).collect();
+        // 2 hits, 3 candidates in the population's single /64, 2
+        // distinct fresh /64s (one probed twice).
+        let fresh_a = Ip6((0x2001_0db8_0000_0001u128 << 64) | 1);
+        let fresh_a2 = Ip6((0x2001_0db8_0000_0001u128 << 64) | 2);
+        let fresh_b = Ip6((0x2001_0db8_0000_0002u128 << 64) | 1);
+        let candidates = vec![base(1), base(2), base(5000), fresh_a, fresh_a2, fresh_b];
+        for workers in [1usize, 2, 5] {
+            let a = population_adherence(&candidates, &population, &Scheduler::new(workers));
+            assert_eq!(a.hits, 2, "{workers} workers");
+            assert_eq!(a.new_slash64, 2);
+        }
+        assert_eq!(
+            population_adherence(&[], &population, &Scheduler::default()),
+            Adherence::default()
+        );
     }
 }

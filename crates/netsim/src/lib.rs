@@ -37,7 +37,10 @@ pub mod responder;
 pub mod temporal;
 
 pub use catalog::{dataset, Category, DatasetSpec, ALL_DATASETS};
-pub use eval::{evaluate_scan, ScanOutcome};
+pub use eval::{
+    evaluate_scan, evaluate_scan_reference, evaluate_scan_sharded, population_adherence, Adherence,
+    ScanOutcome,
+};
 pub use plan::{AddressPlan, FieldKind, PlanField, Variant};
 pub use responder::{FaultConfig, Responder};
 pub use temporal::TemporalPool;

@@ -21,6 +21,7 @@
 
 use eip_addr::iid::{eui64_from_mac, iid_embed_v4_decimal_words, iid_embed_v4_hex};
 use eip_addr::{AddressSet, Ip6};
+use eip_exec::Scheduler;
 use rand::Rng;
 
 /// How a field's value is produced.
@@ -262,6 +263,89 @@ impl AddressPlan {
         }
         AddressSet::from_iter(seen)
     }
+
+    /// [`AddressPlan::generate_from`] with the dedup bookkeeping
+    /// sharded on an [`eip_exec::Scheduler`] — the `repro --full`
+    /// synthesize stage.
+    ///
+    /// Sampling itself must stay serial (each draw consumes a
+    /// variable number of RNG words, so the stream cannot be split),
+    /// but the serial reference spends much of its time *around* the
+    /// sampler: SipHashing every draw into a `HashSet`, then sorting
+    /// the randomly-ordered survivors. Here the stream is drawn in
+    /// deterministic rounds; each round's draws are screened on the
+    /// scheduler against the accepted set so far (a read-shared
+    /// [`DedupSet`](eip_addr::DedupSet) — fast multiply-shift
+    /// hashing, `&self` membership), the survivors pass one serial
+    /// dedup-and-accept walk in draw order, and the accepted
+    /// addresses get a single sharded sort at the end
+    /// ([`Scheduler::par_sort_unstable`]) so
+    /// [`AddressSet::from_iter`] sees pre-sorted input.
+    ///
+    /// The result is the set of **first `n` distinct** draws of the
+    /// same capped sample stream the serial loop consumes — the
+    /// screen only drops draws whose value is already accepted, so
+    /// the first draw of every value reaches the serial walk in draw
+    /// order — and is therefore byte-identical to
+    /// [`AddressPlan::generate_from`] at any worker count (asserted
+    /// by the equivalence proptests). Only the RNG's final stream
+    /// position may differ (rounds can overshoot the serial loop's
+    /// early break; callers use a dedicated RNG per population, so
+    /// nothing observes the tail).
+    pub fn generate_from_sharded<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        k0: u64,
+        rng: &mut R,
+        exec: &Scheduler,
+    ) -> AddressSet {
+        use eip_addr::DedupSet;
+        let budget = n.saturating_mul(4); // the serial loop's sample cap
+        let mut consumed = 0usize;
+        // Accepted addresses in draw order, and the same set for
+        // membership screens.
+        let mut accepted: Vec<Ip6> = Vec::with_capacity(n);
+        let mut seen = DedupSet::with_capacity(n);
+        while accepted.len() < n && consumed < budget {
+            let shortfall = n - accepted.len();
+            // Deterministic round size: the shortfall plus headroom
+            // for the expected duplicate tail. A pure function of the
+            // loop state, so the stream is worker-count independent.
+            let round = (shortfall + shortfall / 16 + 1024).min(budget - consumed);
+            let buf: Vec<Ip6> = (0..round)
+                .map(|i| self.sample(k0 + (consumed + i) as u64, rng))
+                .collect();
+            consumed += round;
+            // Sharded screen against the accepted-so-far set; shard
+            // survivor lists concatenate in shard order = draw order.
+            let survivors: Vec<Ip6> = exec
+                .par_map_reduce(
+                    buf.len(),
+                    |range| {
+                        buf[range]
+                            .iter()
+                            .copied()
+                            .filter(|&ip| !seen.contains(ip))
+                            .collect::<Vec<_>>()
+                    },
+                    |acc, part| acc.extend_from_slice(&part),
+                )
+                .unwrap_or_default();
+            // Serial: in-round duplicates, accepting first
+            // occurrences in draw order until `n` distinct — exactly
+            // where the serial loop breaks.
+            for &ip in &survivors {
+                if seen.insert(ip) {
+                    accepted.push(ip);
+                    if accepted.len() >= n {
+                        break;
+                    }
+                }
+            }
+        }
+        exec.par_sort_unstable(&mut accepted);
+        AddressSet::from_iter(accepted)
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +504,51 @@ mod tests {
         let set = plan.generate(100, &mut rng());
         assert!(set.len() <= 100);
         assert!(set.len() > 50);
+    }
+
+    #[test]
+    fn sharded_generation_matches_serial_oracle() {
+        // Duplicate-heavy (sequential pool + tiny uniform) and
+        // duplicate-light plans, at sizes that exercise the
+        // first-round break, the top-up rounds, and the exhausted
+        // budget, for worker counts around the shard boundaries.
+        let dense = AddressPlan::single(
+            "dense",
+            vec![
+                PlanField::new(0, 32, FieldKind::Const(0x2001_0db8)),
+                PlanField::new(112, 16, FieldKind::Uniform { lo: 0, hi: 0x3ff }),
+            ],
+        );
+        let sparse = AddressPlan::single(
+            "sparse",
+            vec![
+                PlanField::new(0, 32, FieldKind::Const(0x2001_0db8)),
+                PlanField::new(
+                    64,
+                    64,
+                    FieldKind::Uniform {
+                        lo: 0,
+                        hi: u64::MAX as u128,
+                    },
+                ),
+            ],
+        );
+        for plan in [&dense, &sparse] {
+            for n in [0usize, 1, 100, 700, 2000] {
+                let mut oracle_rng = StdRng::seed_from_u64(9);
+                let oracle = plan.generate_from(n, 5, &mut oracle_rng);
+                for workers in [1usize, 2, 3, 8] {
+                    let mut rng = StdRng::seed_from_u64(9);
+                    let sharded =
+                        plan.generate_from_sharded(n, 5, &mut rng, &Scheduler::new(workers));
+                    assert_eq!(
+                        sharded, oracle,
+                        "plan {}, n {n}, {workers} workers",
+                        plan.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! probe gives a repeated answer (as a real firewall would), and
 //! whole experiments are reproducible from the seed.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use eip_addr::set::SplitMix64;
 use eip_addr::{AddressSet, Ip6, Prefix};
 
@@ -32,12 +34,27 @@ pub struct FaultConfig {
 }
 
 /// The measurement oracle for one simulated network.
-#[derive(Clone, Debug)]
+///
+/// Probing is `&self` and thread-safe (the probe counter is atomic),
+/// so one responder can serve every shard of a parallel evaluation —
+/// see [`evaluate_scan`](crate::eval::evaluate_scan).
+#[derive(Debug)]
 pub struct Responder {
     active: AddressSet,
     rdns: AddressSet,
     faults: FaultConfig,
-    probes: std::cell::Cell<u64>,
+    probes: AtomicU64,
+}
+
+impl Clone for Responder {
+    fn clone(&self) -> Self {
+        Responder {
+            active: self.active.clone(),
+            rdns: self.rdns.clone(),
+            faults: self.faults.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Responder {
@@ -52,7 +69,7 @@ impl Responder {
             active,
             rdns,
             faults: FaultConfig::default(),
-            probes: std::cell::Cell::new(0),
+            probes: AtomicU64::new(0),
         }
     }
 
@@ -69,12 +86,12 @@ impl Responder {
 
     /// Number of probes served so far.
     pub fn probes_sent(&self) -> u64 {
-        self.probes.get()
+        self.probes.load(Ordering::Relaxed)
     }
 
     /// ICMPv6 echo: does this address answer a ping?
     pub fn ping(&self, ip: Ip6) -> bool {
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         if self.faults.echo_prefixes.iter().any(|p| p.contains(ip)) {
             return true;
         }

@@ -18,10 +18,10 @@
 //! generator is worker-count independent), so only the timings differ
 //! between machines or `--jobs` settings.
 
-use std::collections::BTreeSet;
 use std::time::Instant;
 
-use eip_netsim::dataset;
+use eip_exec::Scheduler;
+use eip_netsim::{dataset, population_adherence};
 use entropy_ip::Generator;
 
 use crate::common::{human, RunConfig};
@@ -78,7 +78,9 @@ pub fn full_run(cfg: &RunConfig, bench_out: Option<&str>) {
     let spec = dataset("S1").expect("S1 in catalog");
     let mut timer = StageTimer::new();
 
-    let population = timer.stage("synthesize", || spec.population_sized(n, cfg.seed));
+    let population = timer.stage("synthesize", || {
+        spec.population_sized_jobs(n, cfg.seed, cfg.jobs)
+    });
     let pipeline = cfg.pipeline();
     let profiled = timer.stage("profile", || {
         pipeline
@@ -101,21 +103,11 @@ pub fn full_run(cfg: &RunConfig, bench_out: Option<&str>) {
     // measures how sharply the learned structure concentrates on the
     // real addressing plan; the rest are structure-consistent *new*
     // targets, counted as fresh /64s like the paper's "New /64s".
+    // Sorted-key binary search + one global sort-dedup, sharded on
+    // the scheduler — same numbers at any --jobs.
     let (hits, new64) = timer.stage("evaluate", || {
-        let hits = report
-            .candidates
-            .iter()
-            .filter(|&&ip| population.contains(ip))
-            .count();
-        let known64: BTreeSet<_> = population.slash64s().into_iter().collect();
-        let new64 = report
-            .candidates
-            .iter()
-            .map(|ip| ip.slash64())
-            .filter(|p| !known64.contains(p))
-            .collect::<BTreeSet<_>>()
-            .len();
-        (hits, new64)
+        let a = population_adherence(&report.candidates, &population, &Scheduler::new(cfg.jobs));
+        (a.hits, a.new_slash64)
     });
 
     println!("  {:<12} {:>9.3} s", "total", timer.total());

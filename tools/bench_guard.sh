@@ -2,24 +2,34 @@
 # Bench-regression smoke: runs the `stages` bench target and fails if
 # a sharded engine is not faster than its serial reference by the
 # configured margin — guarding the whole point of the sharded
-# execution core. Two guarded edges:
+# execution core. Four guarded edges:
 #
-#   * stage_mine:  parallel4 vs serial (before the PR 3 sharded
+#   * stage_mine:     parallel4 vs serial (before the PR 3 sharded
 #     engine the two were equal because one heavy segment owned the
 #     critical path);
-#   * stage_train: parallel4 vs serial (before the PR 4 count-reuse
+#   * stage_train:    parallel4 vs serial (before the PR 4 count-reuse
 #     engine, training re-scanned all rows through a HashMap per
-#     candidate parent set and was the largest `--full` stage).
+#     candidate parent set and was the largest `--full` stage);
+#   * stage_generate: parallel4 (compiled sampling plan on the batched
+#     scheduler) vs the serial `sample_row` oracle (before PR 5 every
+#     draw allocated two Vecs and rescanned CPT weights);
+#   * stage_evaluate: parallel4 (sharded sort-merge-join) vs the
+#     tree/hash bookkeeping the `--full` evaluate stage used before
+#     PR 5.
 #
 # Usage: tools/bench_guard.sh
-#   BENCH_MINE_MARGIN    required ratio parallel/serial for mining
-#                        (default 0.9, i.e. >=10% faster)
-#   BENCH_TRAIN_MARGIN   required ratio parallel/serial for training
-#                        (default 1.0, i.e. parallel <= serial)
+#   BENCH_MINE_MARGIN      required ratio parallel/serial for mining
+#                          (default 0.9, i.e. >=10% faster)
+#   BENCH_TRAIN_MARGIN     required ratio parallel/serial for training
+#                          (default 1.0, i.e. parallel <= serial)
+#   BENCH_GENERATE_MARGIN  required ratio for generation (default 0.9)
+#   BENCH_EVALUATE_MARGIN  required ratio for evaluation (default 0.9)
 set -euo pipefail
 
 mine_margin="${BENCH_MINE_MARGIN:-0.9}"
 train_margin="${BENCH_TRAIN_MARGIN:-1.0}"
+generate_margin="${BENCH_GENERATE_MARGIN:-0.9}"
+evaluate_margin="${BENCH_EVALUATE_MARGIN:-0.9}"
 
 out="$(cargo bench -p eip_bench --bench stages 2>&1)"
 echo "$out"
@@ -53,3 +63,13 @@ check_edge stage_train \
     "$(echo "$out" | awk '/bench stage_train\/serial_10000:/ {print $3}')" \
     "$(echo "$out" | awk '/bench stage_train\/parallel4_10000:/ {print $3}')" \
     "$train_margin"
+
+check_edge stage_generate \
+    "$(echo "$out" | awk '/bench stage_generate\/serial_10000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_generate\/parallel4_10000:/ {print $3}')" \
+    "$generate_margin"
+
+check_edge stage_evaluate \
+    "$(echo "$out" | awk '/bench stage_evaluate\/serial_10000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_evaluate\/parallel4_10000:/ {print $3}')" \
+    "$evaluate_margin"
