@@ -129,6 +129,32 @@ impl Ip6 {
             .map_err(|_| ParseIp6Error)
     }
 
+    /// Extracts the value of the segment spanning 1-based nybble
+    /// positions `start..=end` (inclusive on both sides, as the paper
+    /// labels segments), right-aligned — identical to
+    /// [`Nybbles::segment_value`] without the 32-byte expansion: one
+    /// shift and one mask on the raw `u128` instead of a per-nybble
+    /// walk. `Nybbles::segment_value` stays as the scalar oracle
+    /// (equivalence asserted in both crates' tests); this is the form
+    /// the mining/encoding hot loops use.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= start <= end <= 32`.
+    #[inline]
+    pub fn segment(self, start: usize, end: usize) -> u128 {
+        assert!(
+            1 <= start && start <= end && end <= 32,
+            "bad segment bounds"
+        );
+        let width = end - start + 1;
+        let v = self.0 >> ((32 - end) * 4);
+        if width == 32 {
+            v
+        } else {
+            v & ((1u128 << (width * 4)) - 1)
+        }
+    }
+
     /// Expands the address into its 32 nybble values.
     pub fn nybbles(self) -> Nybbles {
         Nybbles::from_ip(self)
@@ -247,6 +273,37 @@ mod tests {
         assert_eq!(a.slash64().to_string(), "2001:db8:1:2::");
         assert_eq!(a.network(0), Ip6(0));
         assert_eq!(a.network(128), a);
+    }
+
+    #[test]
+    fn segment_matches_nybble_walk_oracle() {
+        // Direct shift+mask ≡ the per-nybble Nybbles::segment_value
+        // walk, across every (start, end) pair on structured and
+        // extreme addresses.
+        let cases = [
+            Ip6::from_hex32("20010db840011111000000000000111c").unwrap(),
+            Ip6(0),
+            Ip6(u128::MAX),
+            Ip6(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210),
+        ];
+        for ip in cases {
+            let ny = ip.nybbles();
+            for start in 1..=32 {
+                for end in start..=32 {
+                    assert_eq!(
+                        ip.segment(start, end),
+                        ny.segment_value(start, end),
+                        "{ip:?} [{start}, {end}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad segment bounds")]
+    fn segment_rejects_reversed_bounds() {
+        Ip6(0).segment(5, 4);
     }
 
     #[test]

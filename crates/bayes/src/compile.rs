@@ -204,6 +204,20 @@ impl SamplingPlan {
         self.sample_into(&mut row, rng);
         row
     }
+
+    /// Draws row `index` of the keyed stream `(seed, stream)` into
+    /// `row`: [`SamplingPlan::sample_into`] fed by a fresh
+    /// [`KeyedRng`](eip_exec::rng::KeyedRng) for that coordinate, so
+    /// the row is a pure function of `(plan, seed, stream, index)` —
+    /// any worker can draw any row, in any order, and sharded
+    /// consumers are byte-identical to a straight-line serial loop by
+    /// construction (see [`eip_exec::rng`]).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.num_vars()`.
+    pub fn sample_keyed_into(&self, row: &mut [u8], seed: u64, stream: u64, index: u64) {
+        self.sample_into(row, &mut eip_exec::rng::KeyedRng::new(seed, stream, index));
+    }
 }
 
 impl BayesNet {

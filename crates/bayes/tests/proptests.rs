@@ -231,6 +231,33 @@ proptest! {
         }
     }
 
+    /// Keyed row draws ≡ a straight-line serial loop on random
+    /// networks: `sample_keyed_into(row, seed, stream, i)` must equal
+    /// driving the `sample_row` oracle with a fresh per-index
+    /// `KeyedRng` — the same rows out of order, sharded (emulated by
+    /// interleaved index walks), or repeated.
+    #[test]
+    fn keyed_rows_match_straight_line_loop(
+        bn in arb_bn(),
+        seed in any::<u64>(),
+        stream in 0u64..8,
+    ) {
+        let plan = bn.compile();
+        // The straight-line reference: index order 0..N, fresh keyed
+        // generator per index, oracle sampler.
+        let reference: Vec<Vec<usize>> = (0..100u64)
+            .map(|i| sample_row(&bn, &mut eip_exec::rng::KeyedRng::new(seed, stream, i)))
+            .collect();
+        let mut row = vec![0u8; plan.num_vars()];
+        // Reversed walk through the compiled plan: per-index purity
+        // means order cannot matter.
+        for i in (0..100u64).rev() {
+            plan.sample_keyed_into(&mut row, seed, stream, i);
+            let got: Vec<usize> = row.iter().map(|&x| x as usize).collect();
+            prop_assert_eq!(&got, &reference[i as usize], "row {}", i);
+        }
+    }
+
     /// Dense-contingency family scores ≡ the HashMap reference scores
     /// for every candidate parent set the default search would visit,
     /// up to floating-point summation order.

@@ -7,10 +7,15 @@
 //! configurable attempt budget.
 
 use eip_addr::{AddressSet, DedupSet, Ip6};
+use eip_exec::rng::{stream_key, KeyedRng};
 use eip_exec::Scheduler;
 use rand::Rng;
 
 use crate::model::IpModel;
+
+/// Stream id separating keyed candidate generation from every other
+/// keyed consumer of the same seed (see [`eip_exec::rng`]).
+const GEN_STREAM: u64 = 0x0067_656e; // "gen"
 
 /// Outcome of a generation run.
 #[derive(Clone, Debug)]
@@ -79,15 +84,6 @@ impl<'m> Generator<'m> {
         })
     }
 
-    /// Like [`Generator::run`], but sampling rows through the model's
-    /// compiled [`SamplingPlan`](eip_bayes::SamplingPlan) into a
-    /// reusable buffer — zero allocation per draw, byte-identical
-    /// candidates.
-    fn run_compiled<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> GenerationReport {
-        let plan = self.model.plan();
-        self.run_sampling(n, rng, |rng, row| plan.sample_into(row, rng))
-    }
-
     /// The shared generation loop over any row sampler.
     fn run_sampling<R: Rng + ?Sized>(
         &self,
@@ -126,92 +122,127 @@ impl<'m> Generator<'m> {
         }
     }
 
-    /// Generates up to `n` unique candidates in deterministic batched
-    /// chunks, fanned out over the configured
+    /// One keyed attempt: materializes attempt `index`'s candidate
+    /// and whether the exclusion set rejects it. A pure function of
+    /// `(model, options, seed, index)`: the attempt's own
+    /// [`KeyedRng`] covers the row draw (through the compiled
+    /// [`SamplingPlan`](eip_bayes::SamplingPlan)) and the decode
+    /// draws, so no RNG stream is shared between attempts.
+    #[inline]
+    fn keyed_attempt(&self, key: u64, index: u64, row: &mut [u8]) -> (Ip6, bool) {
+        let mut rng = KeyedRng::for_index(key, index);
+        self.model.plan().sample_into(row, &mut rng);
+        let ip = self.model.decode_codes(row, &mut rng);
+        let excluded = self.exclude.is_some_and(|ex| ex.contains(ip));
+        (ip, excluded)
+    }
+
+    /// The straight-line serial oracle for [`Generator::run_seeded`]:
+    /// walks keyed attempt indices `0, 1, 2, …` one at a time,
+    /// classifying each draw (excluded / duplicate / accepted) until
+    /// `n` candidates or the `n ×`
+    /// [`attempts_per_candidate`](Generator::attempts_per_candidate)
+    /// budget is spent. No scheduler, no rounds — the simplest
+    /// possible statement of what the batched engine must produce.
+    pub fn run_keyed_reference(&self, n: usize, seed: u64) -> GenerationReport {
+        let key = stream_key(seed, GEN_STREAM);
+        let budget = n.saturating_mul(self.attempts_per_candidate);
+        let mut seen = DedupSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let mut duplicates = 0usize;
+        let mut excluded = 0usize;
+        let mut row = vec![0u8; self.model.bn().num_vars()];
+        while out.len() < n && attempts < budget {
+            let (ip, ex) = self.keyed_attempt(key, attempts as u64, &mut row);
+            attempts += 1;
+            if ex {
+                excluded += 1;
+            } else if !seen.insert(ip) {
+                duplicates += 1;
+            } else {
+                out.push(ip);
+            }
+        }
+        GenerationReport {
+            candidates: out,
+            attempts,
+            duplicates,
+            excluded,
+        }
+    }
+
+    /// Generates up to `n` unique candidates from keyed per-attempt
+    /// draws, fanned out over the configured
     /// [`parallelism`](Generator::parallelism) on the
     /// [`eip_exec::Scheduler`].
     ///
-    /// Each round splits the outstanding request into fixed-size
-    /// chunks (a function of the shortfall only), samples every chunk
-    /// with an RNG derived from `seed` and a global chunk counter,
-    /// and merges in chunk order (the scheduler's
-    /// [`par_map_indexed`](Scheduler::par_map_indexed) preserves
-    /// chunk order); candidates already produced by an earlier chunk
-    /// are dropped at the merge (counted in
-    /// [`GenerationReport::duplicates`]) and re-requested in a
-    /// top-up round, so cross-chunk collisions do not starve the
-    /// request. Rounds stop at `n` candidates, or when a whole round
-    /// yields nothing new (candidate space exhausted). The report is
-    /// a pure function of `(model, options, n, seed)` — independent
-    /// of the worker count — and the accounting identity `attempts =
-    /// candidates + duplicates + excluded` holds.
-    ///
-    /// Chunks sample through the model's compiled
-    /// [`SamplingPlan`](eip_bayes::SamplingPlan) (one uniform draw +
-    /// one binary search per node into a reusable row buffer), whose
-    /// rows are byte-identical to the [`Generator::run`] oracle on
-    /// the same RNG stream — so this switch is invisible in the
-    /// output.
+    /// Attempt `i`'s candidate is a pure function of
+    /// `(model, options, seed, i)` ([`eip_exec::rng`]), so any worker
+    /// can materialize any attempt: each round shards the next slice
+    /// of attempt indices, computes every attempt's `(address,
+    /// excluded)` pair in parallel (the exclusion probe is read-only),
+    /// and a serial walk then classifies the draws *in index order* —
+    /// excluded, duplicate, or accepted — stopping exactly at the
+    /// `n`-th acceptance or the exhausted attempt budget, precisely
+    /// where [`Generator::run_keyed_reference`] stops. Round geometry
+    /// only decides which indices are materialized eagerly, never
+    /// what they contain, so the report is byte-identical to the
+    /// straight-line oracle at **any** worker count and shard
+    /// geometry, by construction — including `parallelism(1)`, which
+    /// older stream-splitting engines could not offer. The accounting
+    /// identity `attempts = candidates + duplicates + excluded`
+    /// holds.
     pub fn run_seeded(&self, n: usize, seed: u64) -> GenerationReport {
-        /// Candidates per chunk: small enough to load-balance, large
-        /// enough that per-chunk dedup sets stay effective.
-        const CHUNK: usize = 8_192;
+        let key = stream_key(seed, GEN_STREAM);
+        let budget = n.saturating_mul(self.attempts_per_candidate);
         let mut seen = DedupSet::with_capacity(n);
-        let mut merged = GenerationReport {
-            candidates: Vec::with_capacity(n),
-            attempts: 0,
-            duplicates: 0,
-            excluded: 0,
-        };
-        let mut next_chunk_id = 0u64;
-        while merged.candidates.len() < n {
-            let shortfall = n - merged.candidates.len();
-            let chunks = shortfall.div_ceil(CHUNK);
-            let quota = |c: usize| shortfall / chunks + usize::from(c < shortfall % chunks);
-            let base = next_chunk_id;
-            next_chunk_id += chunks as u64;
-            let locals = self.run_chunks(base, chunks, &quota, seed);
-
-            // Merge in chunk order, deduplicating across chunks and
-            // rounds.
-            let before = merged.candidates.len();
-            for local in locals {
-                merged.attempts += local.attempts;
-                merged.duplicates += local.duplicates;
-                merged.excluded += local.excluded;
-                for ip in local.candidates {
-                    if merged.candidates.len() < n && seen.insert(ip) {
-                        merged.candidates.push(ip);
-                    } else {
-                        merged.duplicates += 1;
+        let mut candidates = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let mut duplicates = 0usize;
+        let mut excluded = 0usize;
+        let mut consumed = 0usize; // attempt indices materialized so far
+        while candidates.len() < n && consumed < budget {
+            let shortfall = n - candidates.len();
+            // Shortfall plus headroom for the expected duplicate
+            // tail; purely cosmetic for the output (see above), it
+            // only tunes how much speculative work a round does.
+            let round = (shortfall + shortfall / 16 + 1024).min(budget - consumed);
+            let base = consumed as u64;
+            let drawn: Vec<(Ip6, bool)> = self
+                .exec
+                .par_map_reduce(
+                    round,
+                    |range| {
+                        let mut row = vec![0u8; self.model.bn().num_vars()];
+                        range
+                            .map(|i| self.keyed_attempt(key, base + i as u64, &mut row))
+                            .collect::<Vec<_>>()
+                    },
+                    |acc, part| acc.extend_from_slice(&part),
+                )
+                .unwrap_or_default();
+            consumed += round;
+            for &(ip, ex) in &drawn {
+                attempts += 1;
+                if ex {
+                    excluded += 1;
+                } else if !seen.insert(ip) {
+                    duplicates += 1;
+                } else {
+                    candidates.push(ip);
+                    if candidates.len() >= n {
+                        break;
                     }
                 }
             }
-            if merged.candidates.len() == before {
-                break; // nothing new this round: space is exhausted
-            }
         }
-        merged
-    }
-
-    /// Runs one round of `chunks` independent chunk samplers (chunk
-    /// `c` gets global id `base + c`, which seeds its RNG) on the
-    /// scheduler, in chunk order.
-    fn run_chunks(
-        &self,
-        base: u64,
-        chunks: usize,
-        quota: &(dyn Fn(usize) -> usize + Sync),
-        seed: u64,
-    ) -> Vec<GenerationReport> {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let rng_for = |c: usize| {
-            let id = base + c as u64;
-            StdRng::seed_from_u64(seed ^ (id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        };
-        self.exec
-            .par_map_indexed(chunks, |c| self.run_compiled(quota(c), &mut rng_for(c)))
+        GenerationReport {
+            candidates,
+            attempts,
+            duplicates,
+            excluded,
+        }
     }
 }
 
@@ -260,24 +291,25 @@ mod tests {
     fn run_seeded_is_independent_of_worker_count() {
         let set = training_set();
         let model = EntropyIp::new().analyze(&set).unwrap();
-        let serial = Generator::new(&model)
+        let oracle = Generator::new(&model)
             .excluding(&set)
-            .parallelism(1)
-            .run_seeded(20_000, 99);
-        let parallel = Generator::new(&model)
-            .excluding(&set)
-            .parallelism(4)
-            .run_seeded(20_000, 99);
-        assert_eq!(serial.candidates, parallel.candidates);
-        assert_eq!(serial.attempts, parallel.attempts);
-        assert_eq!(serial.duplicates, parallel.duplicates);
-        assert_eq!(serial.excluded, parallel.excluded);
-        assert!(!serial.candidates.is_empty());
+            .run_keyed_reference(20_000, 99);
+        assert!(!oracle.candidates.is_empty());
+        for workers in [1usize, 2, 4, 7, 8] {
+            let batched = Generator::new(&model)
+                .excluding(&set)
+                .parallelism(workers)
+                .run_seeded(20_000, 99);
+            assert_eq!(batched.candidates, oracle.candidates, "{workers} workers");
+            assert_eq!(batched.attempts, oracle.attempts, "{workers} workers");
+            assert_eq!(batched.duplicates, oracle.duplicates, "{workers} workers");
+            assert_eq!(batched.excluded, oracle.excluded, "{workers} workers");
+        }
         // Different seeds give different batches.
         let other = Generator::new(&model)
             .excluding(&set)
             .run_seeded(20_000, 100);
-        assert_ne!(serial.candidates, other.candidates);
+        assert_ne!(oracle.candidates, other.candidates);
     }
 
     #[test]
@@ -302,11 +334,11 @@ mod tests {
     }
 
     #[test]
-    fn run_seeded_tops_up_cross_chunk_duplicates() {
+    fn run_seeded_tops_up_duplicate_heavy_rounds() {
         // A model whose space (~16 * 50K) comfortably exceeds the
-        // request: multi-chunk batching must deliver the full n even
-        // though chunks collide on the distribution's head, exactly
-        // like the serial path would.
+        // request: the round loop must top up through duplicate
+        // collisions on the distribution's head and deliver the full
+        // n, exactly like the straight-line oracle would.
         let set: AddressSet = (0..2000u128)
             .map(|i| Ip6((0x2001_0db8u128 << 96) | ((i % 16) << 80) | ((i * 7) % 50_000)))
             .collect();

@@ -171,12 +171,12 @@ impl IpModel {
     }
 
     /// Encodes an address as its categorical code vector; `None` if
-    /// some segment value was never seen in training.
+    /// some segment value was never seen in training. Segment values
+    /// are sliced straight off the `u128` ([`Ip6::segment`]).
     pub fn encode(&self, ip: Ip6) -> Option<Vec<usize>> {
-        let ny = ip.nybbles();
         self.mined
             .iter()
-            .map(|m| m.encode(ny.segment_value(m.segment.start, m.segment.end)))
+            .map(|m| m.encode(ip.segment(m.segment.start, m.segment.end)))
             .collect()
     }
 

@@ -174,17 +174,23 @@ impl Pipeline {
             return Err(EipError::EmptySet);
         }
         let exec = self.cfg.scheduler();
+        // Both paths count through the wide slice kernel
+        // ([`NybbleCounts::observe_slice`]: two independent u64
+        // half-walks per address instead of one serialized u128
+        // chain); per-shard counts merge exactly, so the profile is
+        // identical at any worker count and to the scalar
+        // `observe` oracle.
+        let addrs = working.as_slice();
         let counts = if exec.is_serial() {
             let mut counts = NybbleCounts::new();
-            counts.observe_all(working.iter());
+            counts.observe_slice(addrs);
             counts
         } else {
-            let addrs = working.as_slice();
             exec.par_map_reduce(
                 addrs.len(),
                 |range| {
                     let mut counts = NybbleCounts::new();
-                    counts.observe_all(addrs[range].iter().copied());
+                    counts.observe_slice(&addrs[range]);
                     counts
                 },
                 |acc, part| acc.merge(&part),
@@ -468,7 +474,7 @@ fn mine_all(
             .map(|seg| {
                 let values: Vec<u128> = working
                     .iter()
-                    .map(|ip| ip.nybbles().segment_value(seg.start, seg.end))
+                    .map(|ip| ip.segment(seg.start, seg.end))
                     .collect();
                 mine_segment(seg, &values, opts)
             })
@@ -490,9 +496,10 @@ fn mine_all(
     exec.par_map_owned(items, |(seg, hist)| mine_segment_histogram(seg, hist, opts))
 }
 
-/// One mining shard: a single pass over `addrs` that expands each
-/// address's nybbles once and collects every segment's values, then
-/// run-length-encodes one histogram per segment.
+/// One mining shard: a single pass over `addrs` that slices every
+/// segment's value straight off each address's `u128`
+/// ([`Ip6::segment`]: one shift + one mask, no nybble expansion),
+/// then run-length-encodes one histogram per segment.
 ///
 /// The shard is processed in fixed-size sub-blocks so the transient
 /// value buffers stay at `segments × BLOCK × 16 B` (a few MB) instead
@@ -510,9 +517,8 @@ fn shard_histograms(addrs: &[Ip6], segments: &[Segment]) -> Vec<Histogram> {
             .map(|_| Vec::with_capacity(block.len()))
             .collect();
         for &ip in block {
-            let ny = ip.nybbles();
             for (vs, seg) in values.iter_mut().zip(segments) {
-                vs.push(ny.segment_value(seg.start, seg.end));
+                vs.push(ip.segment(seg.start, seg.end));
             }
         }
         for (h, vs) in hists.iter_mut().zip(values) {
@@ -526,8 +532,9 @@ fn shard_histograms(addrs: &[Ip6], segments: &[Segment]) -> Vec<Histogram> {
 /// per mined segment, built shard-wise on the scheduler with no
 /// intermediate row `Vec`s.
 ///
-/// Each shard expands every address's nybbles once, encodes all
-/// segment values into a fixed on-stack buffer, and appends the row
+/// Each shard slices segment values directly off each address
+/// ([`Ip6::segment`]), encodes them into a fixed on-stack buffer,
+/// and appends the row
 /// to its per-segment columns only if **every** segment encodes
 /// (addresses outside the dictionaries are dropped, as in the serial
 /// reference). Shard columns concatenate in shard order, so the row
@@ -546,9 +553,8 @@ fn encode_dataset(working: &AddressSet, mined: &[MinedSegment], exec: &Scheduler
                 // always fits this stack buffer.
                 let mut row = [0u8; 32];
                 'rows: for ip in &addrs[range] {
-                    let ny = ip.nybbles();
                     for (slot, m) in row.iter_mut().zip(mined) {
-                        match m.encode(ny.segment_value(m.segment.start, m.segment.end)) {
+                        match m.encode(ip.segment(m.segment.start, m.segment.end)) {
                             Some(code) => *slot = code as u8,
                             None => continue 'rows,
                         }

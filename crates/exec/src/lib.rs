@@ -22,6 +22,16 @@
 //! reference implementations the sharded paths are verified against
 //! (see the shard-equivalence proptests in `entropy-ip`).
 //!
+//! The worker count is a *geometry* parameter, not a thread count:
+//! it fixes the shard decomposition (and therefore the output), while
+//! the number of OS threads actually spawned is clamped to the host's
+//! [`available_parallelism`](std::thread::available_parallelism).
+//! Oversubscribing a small box — `--jobs 4` in a one-CPU container —
+//! therefore costs nothing: the four shards run inline, back to back,
+//! producing bit-identical results to the same four shards fanned out
+//! over four real cores. [`Scheduler::pinned`] overrides the clamp so
+//! tests can exercise the spawning paths on any host.
+//!
 //! ```
 //! use eip_exec::Scheduler;
 //!
@@ -47,6 +57,8 @@
 use std::ops::Range;
 use std::thread;
 
+pub mod rng;
+
 /// Splits `0..len` into at most `shards` stable, contiguous,
 /// near-equal ranges (the first `len % shards` ranges are one element
 /// longer). Returns fewer ranges when `len < shards` — never an empty
@@ -71,12 +83,14 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// A deterministic chunked scheduler: a worker-thread budget plus the
-/// fan-out/join primitives the hot paths share. See the [module
-/// docs](self) for the determinism contract.
+/// A deterministic chunked scheduler: a worker budget (the shard
+/// geometry, which fixes the output) plus the fan-out/join primitives
+/// the hot paths share. See the [module docs](self) for the
+/// determinism contract and for how OS threads relate to workers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Scheduler {
     workers: usize,
+    threads: usize,
 }
 
 impl Default for Scheduler {
@@ -86,22 +100,55 @@ impl Default for Scheduler {
     }
 }
 
+/// The host's usable CPU count (respects cgroup quotas and CPU
+/// affinity masks); 1 if it cannot be determined.
+fn hardware_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 impl Scheduler {
     /// A scheduler with the given worker budget (clamped to ≥ 1).
+    /// Spawns at most `min(workers, available_parallelism)` OS
+    /// threads — the worker count only fixes the shard geometry, so
+    /// requesting more workers than the host has CPUs changes nothing
+    /// but how the same shards are interleaved.
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         Scheduler {
-            workers: workers.max(1),
+            workers,
+            threads: workers.min(hardware_threads()),
         }
     }
 
-    /// The worker budget.
+    /// A scheduler with an explicit OS-thread budget, bypassing the
+    /// [`available_parallelism`](std::thread::available_parallelism)
+    /// clamp of [`Scheduler::new`]. For tests and benchmarks that
+    /// must exercise the spawning paths regardless of host size;
+    /// production call sites should use `new`.
+    pub fn pinned(workers: usize, threads: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker budget (the shard geometry).
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Whether this scheduler runs everything inline on the calling
-    /// thread.
+    /// The OS-thread budget actually used when fanning out.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this scheduler was requested with a single worker —
+    /// the signal the pipeline stages use to select their serial
+    /// reference implementations over the sharded engines. (Distinct
+    /// from [`threads`](Scheduler::threads) `== 1`, which only means
+    /// the shards of a multi-worker scheduler happen to run inline.)
     #[inline]
     pub fn is_serial(&self) -> bool {
         self.workers == 1
@@ -114,17 +161,20 @@ impl Scheduler {
     }
 
     /// Maps `f` over `0..len`, returning results in index order.
-    /// Indices are fanned out in contiguous shards; with one worker
-    /// the loop runs inline.
+    /// Indices are fanned out in contiguous chunks, one per OS
+    /// thread; with one thread the loop runs inline. (The chunking
+    /// here is pure load distribution — each index is mapped
+    /// independently and results land in index order — so this uses
+    /// the thread budget, not the worker-shard geometry.)
     pub fn par_map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.is_serial() || len <= 1 {
+        if self.threads == 1 || len <= 1 {
             return (0..len).map(f).collect();
         }
-        let ranges = self.shards(len);
+        let ranges = shard_ranges(len, self.threads);
         let mut out: Vec<Option<T>> = Vec::new();
         out.resize_with(len, || None);
         let f = &f;
@@ -168,13 +218,13 @@ impl Scheduler {
         T: Send,
         F: Fn(I) -> T + Sync,
     {
-        if self.is_serial() || items.len() <= 1 {
+        if self.threads == 1 || items.len() <= 1 {
             return items.into_iter().map(&f).collect();
         }
-        let ranges = self.shards(items.len());
-        // Carve the vector into owned per-shard chunks (splitting from
-        // the tail avoids any element shifting), then map each chunk
-        // on its own thread and flatten in shard order.
+        let ranges = shard_ranges(items.len(), self.threads);
+        // Carve the vector into one owned chunk per OS thread
+        // (splitting from the tail avoids any element shifting), then
+        // map each chunk on its own thread and flatten in chunk order.
         let mut tail = items;
         let mut chunks: Vec<Vec<I>> = Vec::with_capacity(ranges.len());
         for range in ranges.iter().skip(1).rev() {
@@ -196,16 +246,16 @@ impl Scheduler {
             .collect()
     }
 
-    /// Sorts a vector by sorting this scheduler's stable shards on
-    /// worker threads, then merging adjacent sorted runs bottom-up
-    /// (taking from the left run on ties). Like
+    /// Sorts a vector by sorting one contiguous run per OS thread,
+    /// then merging adjacent sorted runs bottom-up (taking from the
+    /// left run on ties). Like
     /// [`sort_unstable`](slice::sort_unstable), the relative order of
     /// *equal* elements is unspecified — so the result is guaranteed
     /// identical to `sort_unstable`, and independent of the worker
-    /// count, for types whose equal elements are indistinguishable
-    /// (all the key types this workspace sorts: `u128`, `Ip6`,
-    /// lexicographic tuples of them). With one worker this is plain
-    /// `sort_unstable`.
+    /// and thread counts, for types whose equal elements are
+    /// indistinguishable (all the key types this workspace sorts:
+    /// `u128`, `Ip6`, lexicographic tuples of them). With one thread
+    /// this is plain `sort_unstable`.
     ///
     /// The sorted-key hot paths (candidate evaluation, sharded
     /// population synthesis) sort a million `u128`-keyed items per
@@ -214,11 +264,11 @@ impl Scheduler {
     where
         T: Ord + Send + Copy,
     {
-        if self.is_serial() || items.len() <= 1 {
+        if self.threads == 1 || items.len() <= 1 {
             items.sort_unstable();
             return;
         }
-        let ranges = self.shards(items.len());
+        let ranges = shard_ranges(items.len(), self.threads);
         thread::scope(|s| {
             let mut rest = items.as_mut_slice();
             for range in &ranges {
@@ -268,13 +318,19 @@ impl Scheduler {
     /// worker count whenever `reduce` is associative — which holds
     /// exactly for the count-merging reductions this workspace uses
     /// (`eip_stats`' `Histogram::merge` / `NybbleCounts::merge`).
+    ///
+    /// The shard decomposition always follows the *worker* budget —
+    /// `map` sees exactly the same ranges at any thread count — while
+    /// the shards are executed on at most
+    /// [`threads`](Scheduler::threads) OS threads (inline when that
+    /// is 1).
     pub fn par_map_reduce<T, M, R>(&self, len: usize, map: M, mut reduce: R) -> Option<T>
     where
         T: Send,
         M: Fn(Range<usize>) -> T + Sync,
         R: FnMut(&mut T, T),
     {
-        let parts = if self.is_serial() {
+        let parts = if self.threads == 1 {
             self.shards(len).into_iter().map(&map).collect()
         } else {
             let ranges = self.shards(len);
@@ -395,6 +451,45 @@ mod tests {
         assert!(Scheduler::new(0).is_serial());
         assert!(!Scheduler::new(2).is_serial());
         assert_eq!(Scheduler::default(), Scheduler::new(1));
+    }
+
+    #[test]
+    fn thread_budget_clamps_to_hardware_but_keeps_geometry() {
+        let exec = Scheduler::new(64);
+        assert_eq!(exec.workers(), 64);
+        assert!(exec.threads() <= 64);
+        assert!(exec.threads() >= 1);
+        // The shard geometry ignores the thread clamp entirely.
+        assert_eq!(exec.shards(1024).len(), 64);
+        assert_eq!(Scheduler::pinned(4, 9).threads(), 9);
+    }
+
+    #[test]
+    fn pinned_threads_match_inline_results() {
+        // Force real spawning (even on a one-CPU host) at thread
+        // counts below, equal to, and above the worker count; every
+        // primitive must match its inline result exactly.
+        let items: Vec<u64> = (0..1013).collect();
+        let expect_map: Vec<u64> = items.iter().map(|&x| x ^ 0x5a).collect();
+        let mut expect_sorted: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) % 251).collect();
+        expect_sorted.sort_unstable();
+        let expect_reduce = Scheduler::new(4)
+            .par_map_reduce(1013, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
+            .unwrap();
+        for threads in [2usize, 4, 7] {
+            let exec = Scheduler::pinned(4, threads);
+            assert_eq!(exec.par_map(&items, |&x| x ^ 0x5a), expect_map);
+            let owned: Vec<u64> = items.clone();
+            assert_eq!(exec.par_map_owned(owned, |x| x ^ 0x5a), expect_map);
+            let mut v: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) % 251).collect();
+            exec.par_sort_unstable(&mut v);
+            assert_eq!(v, expect_sorted);
+            assert_eq!(
+                exec.par_map_reduce(1013, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b),
+                Some(expect_reduce),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

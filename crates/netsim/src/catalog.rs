@@ -12,8 +12,6 @@
 //! way the paper's are.
 
 use eip_addr::AddressSet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::plan::{AddressPlan, FieldKind, PlanField, Variant};
 
@@ -256,21 +254,23 @@ impl DatasetSpec {
         self.population_sized(self.default_population, seed)
     }
 
-    /// Generates an observed population of `n` addresses.
+    /// Generates an observed population of `n` addresses, as the
+    /// first `n` distinct draws of the keyed sample stream under
+    /// `seed` ([`AddressPlan::generate_keyed`]) — a pure function of
+    /// `(dataset, n, seed)`, independent of who computes it and how
+    /// it is sharded.
     pub fn population_sized(&self, n: usize, seed: u64) -> AddressSet {
-        let mut rng = StdRng::seed_from_u64(seed);
-        self.plan().generate(n, &mut rng)
+        self.plan().generate_keyed(n, 0, seed)
     }
 
-    /// [`DatasetSpec::population_sized`] with the dedup bookkeeping
+    /// [`DatasetSpec::population_sized`] with sampling *and* dedup
     /// sharded over `jobs` workers
-    /// ([`AddressPlan::generate_from_sharded`]): the same population,
-    /// byte-identical at any `jobs`, less wall-clock around the
-    /// serial sampler. This is the `repro --full` synthesize stage.
+    /// ([`AddressPlan::generate_keyed_sharded`]): byte-identical to
+    /// the serial form at any `jobs` by construction. This is the
+    /// `repro --full` synthesize stage.
     pub fn population_sized_jobs(&self, n: usize, seed: u64, jobs: usize) -> AddressSet {
-        let mut rng = StdRng::seed_from_u64(seed);
         self.plan()
-            .generate_from_sharded(n, 0, &mut rng, &eip_exec::Scheduler::new(jobs))
+            .generate_keyed_sharded(n, 0, seed, &eip_exec::Scheduler::new(jobs))
     }
 }
 
@@ -954,6 +954,22 @@ mod tests {
             assert!(set.len() >= 300, "{id}: only {} addresses", set.len());
         }
         assert!(dataset("XX").is_none());
+    }
+
+    #[test]
+    fn keyed_engines_agree_on_every_catalog_plan() {
+        // The sharded engine samples through the compiled plan; the
+        // serial oracle through the naive one. Sweeping the whole
+        // catalog covers every field-kind lowering on real specs.
+        for id in ALL_DATASETS.iter().chain(AGGREGATES.iter()) {
+            let plan = dataset(id).expect(id).plan();
+            let serial = plan.generate_keyed(400, 0, 11);
+            for workers in [1usize, 3] {
+                let sharded =
+                    plan.generate_keyed_sharded(400, 0, 11, &eip_exec::Scheduler::new(workers));
+                assert_eq!(sharded, serial, "{id} diverged at {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -194,6 +194,14 @@ pub fn evaluate_scan_reference(
 pub struct Adherence {
     /// Candidates present in the population.
     pub hits: usize,
+    /// Candidates whose /64 prefix is present in the population —
+    /// the "aiming at the right subnets" counter. For populations
+    /// with wide pseudo-random IIDs (the paper's S1), exact `hits`
+    /// are vanishingly rare no matter how good the model is
+    /// (collision odds ~2⁻⁶⁴ per candidate), so this is the metric
+    /// that distinguishes *structure learned, IID space huge* from
+    /// *model aiming nowhere*.
+    pub slash64_hits: usize,
     /// Distinct candidate /64s absent from the population's /64s.
     pub new_slash64: usize,
 }
@@ -216,6 +224,7 @@ pub fn population_adherence(
     let pop = population.as_slice();
     let pop64: Vec<Ip6> = population.slash64s();
     let mut hits = 0usize;
+    let mut hits64 = 0usize;
     let mut new64 = 0usize;
     let mut pi = 0usize; // cursor into pop
     let mut qi = 0usize; // cursor into pop64
@@ -230,6 +239,7 @@ pub fn population_adherence(
             qi += 1;
         }
         let known = qi < pop64.len() && pop64[qi] == p64;
+        hits64 += usize::from(known);
         if !known && last_new != Some(p64) {
             new64 += 1;
             last_new = Some(p64);
@@ -237,6 +247,7 @@ pub fn population_adherence(
     }
     Adherence {
         hits,
+        slash64_hits: hits64,
         new_slash64: new64,
     }
 }
@@ -333,6 +344,9 @@ mod tests {
         for workers in [1usize, 2, 5] {
             let a = population_adherence(&candidates, &population, &Scheduler::new(workers));
             assert_eq!(a.hits, 2, "{workers} workers");
+            // base(1), base(2), base(5000) all live in the
+            // population's /64 even though base(5000) misses exactly.
+            assert_eq!(a.slash64_hits, 3);
             assert_eq!(a.new_slash64, 2);
         }
         assert_eq!(

@@ -71,6 +71,10 @@ proptest! {
         let hits = candidates.iter().filter(|&&ip| population.contains(ip)).count();
         let pop64: std::collections::HashSet<Ip6> =
             population.iter().map(|ip| ip.slash64()).collect();
+        let hits64 = candidates
+            .iter()
+            .filter(|ip| pop64.contains(&ip.slash64()))
+            .count();
         let new64 = candidates
             .iter()
             .map(|ip| ip.slash64())
@@ -79,6 +83,7 @@ proptest! {
             .len();
         let a = population_adherence(&candidates, &population, &Scheduler::new(workers));
         prop_assert_eq!(a.hits, hits);
+        prop_assert_eq!(a.slash64_hits, hits64);
         prop_assert_eq!(a.new_slash64, new64);
     }
 
@@ -112,6 +117,36 @@ proptest! {
         let oracle = plan.generate_from(n, k0, &mut oracle_rng);
         let mut rng = StdRng::seed_from_u64(seed);
         let sharded = plan.generate_from_sharded(n, k0, &mut rng, &Scheduler::new(workers));
+        prop_assert_eq!(sharded, oracle);
+    }
+
+    /// Keyed sharded synthesis ≡ the straight-line keyed serial loop
+    /// on random plans: identical [`AddressSet`]s at every worker
+    /// count and shard geometry, including the non-power-of-two ones
+    /// the chunk-based engines never had to face.
+    #[test]
+    fn keyed_synthesis_matches_straight_line_loop(
+        pool in 1u128..600,
+        span in 0u128..2000,
+        n in 0usize..1500,
+        k0 in 0u64..50,
+        seed in any::<u64>(),
+        workers in 1usize..=8,
+    ) {
+        let plan = AddressPlan::single(
+            "t",
+            vec![
+                PlanField::new(0, 32, FieldKind::Const(0x2001_0db8)),
+                PlanField::new(
+                    48,
+                    16,
+                    FieldKind::Sequential { base: 0, step: 1, modulo: pool },
+                ),
+                PlanField::new(112, 16, FieldKind::Uniform { lo: 0, hi: span }),
+            ],
+        );
+        let oracle = plan.generate_keyed(n, k0, seed);
+        let sharded = plan.generate_keyed_sharded(n, k0, seed, &Scheduler::new(workers));
         prop_assert_eq!(sharded, oracle);
     }
 }

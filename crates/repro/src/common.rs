@@ -5,8 +5,6 @@ use eip_addr::set::SplitMix64;
 use eip_addr::{AddressSet, Ip6};
 use eip_netsim::{dataset, FaultConfig, Responder};
 use entropy_ip::{Config, EipError, Generator, IpModel, Pipeline};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Harness-wide knobs, set from the command line.
 #[derive(Clone, Debug)]
@@ -20,11 +18,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Probe-loss fraction injected into the responder.
     pub probe_loss: f64,
-    /// Worker threads for the scheduler-backed hot paths (profiling,
-    /// mining, and — at `jobs > 1` — batched generation). Results
-    /// are identical at any `jobs > 1` setting; see
-    /// [`generate_candidates`] for the one-time stream switch between
-    /// the serial sampler and the batched scheduler.
+    /// Worker threads for the scheduler-backed hot paths (synthesis,
+    /// profiling, mining, generation, evaluation). Every path draws
+    /// keyed per-index randomness ([`eip_exec::rng`]), so all output
+    /// is byte-identical at **any** `jobs` value — only wall-clock
+    /// changes.
     pub jobs: usize,
 }
 
@@ -52,15 +50,14 @@ impl RunConfig {
     }
 }
 
-/// Generates the evaluation candidates for one experiment.
-///
-/// At `jobs == 1` this is the legacy serial sampler (one `StdRng`
-/// stream), which keeps the default `repro` table output byte-stable
-/// across PRs. At `jobs > 1` generation runs the deterministic
-/// batched scheduler ([`Generator::run_seeded`]), whose output is a
-/// *different* (but equally valid) candidate stream that is identical
-/// for every `jobs > 1` setting — so `--jobs 2` and `--jobs 8` print
-/// byte-identical tables (asserted by the binary smoke test).
+/// Generates the evaluation candidates for one experiment: the keyed
+/// batched generator ([`Generator::run_seeded`]), whose candidate
+/// stream is a pure function of `(model, n, seed)` — byte-identical
+/// at **every** `--jobs` value, including 1. The old two-regime split
+/// (serial `StdRng` stream at `jobs == 1`, chunked batching above) is
+/// gone: keyed per-attempt draws made the worker count invisible, so
+/// all tables print identically at any `--jobs` (asserted by the
+/// tier-1 determinism suite).
 pub fn generate_candidates(
     model: &IpModel,
     exclude: &AddressSet,
@@ -68,15 +65,12 @@ pub fn generate_candidates(
     seed: u64,
     jobs: usize,
 ) -> Vec<Ip6> {
-    let generator = Generator::new(model)
+    Generator::new(model)
         .excluding(exclude)
-        .attempts_per_candidate(8);
-    if jobs > 1 {
-        generator.parallelism(jobs).run_seeded(n, seed).candidates
-    } else {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generator.run(n, &mut rng).candidates
-    }
+        .attempts_per_candidate(8)
+        .parallelism(jobs)
+        .run_seeded(n, seed)
+        .candidates
 }
 
 /// Everything one scanning experiment needs for a dataset family.
@@ -104,10 +98,9 @@ pub fn workbench(id: &str, cfg: &RunConfig) -> Workbench {
     let mut split_rng = SplitMix64::new(cfg.seed ^ 0xbeef);
     let (train, test) = observed.split_sample(cfg.train, &mut split_rng);
 
-    let mut extra_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
     let unobserved = spec
         .plan()
-        .generate(spec.default_population / 2, &mut extra_rng);
+        .generate_keyed(spec.default_population / 2, 0, cfg.seed ^ 0x5eed);
     let active = observed.union(&unobserved);
     let responder =
         Responder::new(active, spec.rdns_fraction, cfg.seed ^ 0xd15).with_faults(FaultConfig {

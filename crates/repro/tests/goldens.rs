@@ -1,0 +1,92 @@
+//! Golden-file snapshots of the paper artifacts: every table (1–6)
+//! and figure (1–10) at a small fixed scale, compared byte-for-byte
+//! against committed fixtures under `tests/goldens/`.
+//!
+//! The repro output is a pure function of `(train, candidates, seed)`
+//! — keyed per-index randomness makes even `--jobs` invisible — so
+//! any diff here is a real behavior change. When a change is
+//! intentional (new column, reseeded stream, fixed bug), refresh the
+//! fixtures and review the diff like code:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p repro --test goldens
+//! git diff crates/repro/tests/goldens/
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Shared toy scale: big enough that every table row and figure
+/// series is populated, small enough that the whole suite stays in
+/// tier-1 time.
+const SCALE: [&str; 6] = ["--train", "300", "--candidates", "3000", "--seed", "7"];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn check_golden(name: &str, selector: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(selector)
+        .args(SCALE)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {selector:?} exited with {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &stdout).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with \
+             UPDATE_GOLDENS=1 cargo test -p repro --test goldens",
+            path.display()
+        )
+    });
+    assert_eq!(
+        stdout, expected,
+        "{name} drifted from its golden; if intentional, refresh with \
+         UPDATE_GOLDENS=1 cargo test -p repro --test goldens and review \
+         the fixture diff"
+    );
+}
+
+macro_rules! golden_tests {
+    ($($test:ident => ($file:expr, $flag:expr, $num:expr);)*) => {
+        $(
+            #[test]
+            fn $test() {
+                check_golden($file, &[$flag, $num]);
+            }
+        )*
+    };
+}
+
+golden_tests! {
+    table1 => ("table1.txt", "--table", "1");
+    table2 => ("table2.txt", "--table", "2");
+    table3 => ("table3.txt", "--table", "3");
+    table4 => ("table4.txt", "--table", "4");
+    table5 => ("table5.txt", "--table", "5");
+    table6 => ("table6.txt", "--table", "6");
+    figure1 => ("figure1.txt", "--figure", "1");
+    figure2 => ("figure2.txt", "--figure", "2");
+    figure3 => ("figure3.txt", "--figure", "3");
+    figure4 => ("figure4.txt", "--figure", "4");
+    figure5 => ("figure5.txt", "--figure", "5");
+    figure6 => ("figure6.txt", "--figure", "6");
+    figure7 => ("figure7.txt", "--figure", "7");
+    figure8 => ("figure8.txt", "--figure", "8");
+    figure9 => ("figure9.txt", "--figure", "9");
+    figure10 => ("figure10.txt", "--figure", "10");
+}

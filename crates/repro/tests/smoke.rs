@@ -121,6 +121,17 @@ fn full_run_records_stage_timings() {
     }
     assert!(json.contains("\"total\""), "{json}");
     assert!(json.contains("\"candidates\": 4000"), "{json}");
+    // Regression guard for the `population_hits: 0` investigation:
+    // exact hits are legitimately ~0 on S1, but the tracked
+    // slash64_hits counter must show the model aiming at the
+    // population's real subnets (the binary also hard-asserts this).
+    let hits64: usize = json
+        .split("\"slash64_hits\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', ' ', '}']).next())
+        .and_then(|num| num.parse().ok())
+        .unwrap_or_else(|| panic!("slash64_hits missing from JSON:\n{json}"));
+    assert!(hits64 > 0, "slash64_hits is zero:\n{json}");
 }
 
 #[test]

@@ -1,0 +1,59 @@
+//! Regression tests for the `population_hits: 0` investigation.
+//!
+//! `repro --full` on S1 reports zero exact population hits at every
+//! scale. That is paper-faithful, not a bug: S1's dominant variant
+//! carries 64-bit pseudo-random IIDs, so an exact collision has odds
+//! around 2⁻⁶⁴ per draw (the paper's Table 4 likewise shows ~0% for
+//! S1). The tracked signal that the model still *aims* at the
+//! population is [`Adherence::slash64_hits`] — candidates whose /64
+//! exists in the population. These tests pin both halves: a sparse
+//! IID family keeps aiming at real subnets, and a dense family scores
+//! genuine exact hits.
+
+use eip_exec::Scheduler;
+use eip_netsim::{dataset, population_adherence};
+use entropy_ip::{Config, Generator, Pipeline};
+
+const SEED: u64 = 20160317;
+
+fn adherence(id: &str, pop: usize, candidates: usize) -> eip_netsim::Adherence {
+    let population = dataset(id).unwrap().population_sized(pop, SEED);
+    let model = Pipeline::new(Config::default())
+        .run(population.iter())
+        .unwrap();
+    let report = Generator::new(&model)
+        .attempts_per_candidate(8)
+        .run_seeded(candidates, SEED ^ 0xf001);
+    population_adherence(&report.candidates, &population, &Scheduler::new(1))
+}
+
+/// S1 (sparse pseudo-random IIDs): exact hits may legitimately round
+/// to zero, but the model must keep landing candidates inside the
+/// population's real /64s — both counters at zero means generation or
+/// evaluation regressed.
+#[test]
+fn s1_model_aims_at_population_slash64s() {
+    let a = adherence("S1", 4_000, 2_000);
+    assert!(
+        a.slash64_hits > 0,
+        "no candidate landed in a population /64 (hits {}, slash64_hits 0)",
+        a.hits
+    );
+    // The headline invariant `repro --full` asserts, pinned here at
+    // library level too.
+    assert!(a.hits > 0 || a.slash64_hits > 0);
+}
+
+/// S3 (dense anycast, the paper's easiest network at ~43% hit rate):
+/// exact population hits must be strictly positive — the zero-hit
+/// outcome is an S1 artifact, not a property of the harness.
+#[test]
+fn dense_family_scores_exact_population_hits() {
+    let a = adherence("S3", 4_000, 2_000);
+    assert!(
+        a.hits > 0,
+        "dense S3 should collide with the population (slash64_hits {})",
+        a.slash64_hits
+    );
+    assert!(a.slash64_hits >= a.hits, "an exact hit is also a /64 hit");
+}

@@ -1,0 +1,109 @@
+//! Tier-1 determinism suite: every scheduler-backed hot path must
+//! produce byte-identical output at any worker count.
+//!
+//! The keyed per-index draws in [`eip_exec::rng`] make worker count
+//! and shard geometry invisible by construction; this suite pins that
+//! contract end-to-end — population synthesis, the staged pipeline's
+//! tables of truth (the exported model), the batched generator's
+//! candidate stream, and the evaluation counters — at worker counts
+//! {1, 2, 7, 8}: the serial baseline, the smallest genuine split, and
+//! a non-power-of-two/power-of-two pair that exercises uneven shard
+//! boundaries.
+
+use eip_exec::Scheduler;
+use eip_netsim::{dataset, population_adherence};
+use entropy_ip::{profile, Config, Generator, Pipeline};
+
+const WORKERS: [usize; 4] = [1, 2, 7, 8];
+const SEED: u64 = 20160317;
+const POP: usize = 4_000;
+const CANDIDATES: usize = 1_500;
+
+/// Population synthesis: `population_sized_jobs` equals the serial
+/// `population_sized` at every worker count — same `AddressSet`,
+/// byte for byte.
+#[test]
+fn population_synthesis_is_worker_count_independent() {
+    let spec = dataset("S1").unwrap();
+    let serial = spec.population_sized(POP, SEED);
+    for jobs in WORKERS {
+        let sharded = spec.population_sized_jobs(POP, SEED, jobs);
+        assert_eq!(sharded, serial, "population differs at jobs={jobs}");
+    }
+}
+
+/// The staged pipeline (profile → segment → mine → train) yields the
+/// same exported model at every parallelism setting.
+#[test]
+fn staged_pipeline_model_is_worker_count_independent() {
+    let set = dataset("S1").unwrap().population_sized(POP, SEED);
+    let baseline = Pipeline::new(Config::default().with_parallelism(1))
+        .run(set.iter())
+        .unwrap();
+    let exported = profile::export(&baseline);
+    for jobs in &WORKERS[1..] {
+        let model = Pipeline::new(Config::default().with_parallelism(*jobs))
+            .run(set.iter())
+            .unwrap();
+        assert_eq!(
+            profile::export(&model),
+            exported,
+            "exported model differs at jobs={jobs}"
+        );
+    }
+}
+
+/// The batched generator's candidate stream — and every counter in
+/// its report — equals the straight-line keyed reference at every
+/// worker count.
+#[test]
+fn candidate_batches_are_worker_count_independent() {
+    let set = dataset("S1").unwrap().population_sized(POP, SEED);
+    let model = Pipeline::new(Config::default()).run(set.iter()).unwrap();
+    let oracle = Generator::new(&model)
+        .attempts_per_candidate(8)
+        .run_keyed_reference(CANDIDATES, SEED ^ 0xf001);
+    for jobs in WORKERS {
+        let report = Generator::new(&model)
+            .attempts_per_candidate(8)
+            .parallelism(jobs)
+            .run_seeded(CANDIDATES, SEED ^ 0xf001);
+        assert_eq!(
+            report.candidates, oracle.candidates,
+            "candidate batch differs at jobs={jobs}"
+        );
+        assert_eq!(report.attempts, oracle.attempts, "attempts at jobs={jobs}");
+        assert_eq!(
+            report.duplicates, oracle.duplicates,
+            "duplicates at jobs={jobs}"
+        );
+        assert_eq!(report.excluded, oracle.excluded, "excluded at jobs={jobs}");
+    }
+}
+
+/// The full loop — synthesize, train, generate, evaluate — produces
+/// identical adherence counters at every worker count, with every
+/// stage running at that parallelism.
+#[test]
+fn end_to_end_adherence_is_worker_count_independent() {
+    let spec = dataset("S1").unwrap();
+    let mut baseline = None;
+    for jobs in WORKERS {
+        let population = spec.population_sized_jobs(POP, SEED, jobs);
+        let model = Pipeline::new(Config::default().with_parallelism(jobs))
+            .run(population.iter())
+            .unwrap();
+        let report = Generator::new(&model)
+            .attempts_per_candidate(8)
+            .parallelism(jobs)
+            .run_seeded(CANDIDATES, SEED ^ 0xf001);
+        let a = population_adherence(&report.candidates, &population, &Scheduler::new(jobs));
+        let counters = (a.hits, a.slash64_hits, a.new_slash64);
+        match baseline {
+            None => baseline = Some(counters),
+            Some(expected) => {
+                assert_eq!(counters, expected, "adherence differs at jobs={jobs}")
+            }
+        }
+    }
+}

@@ -2,8 +2,12 @@
 # Bench-regression smoke: runs the `stages` bench target and fails if
 # a sharded engine is not faster than its serial reference by the
 # configured margin — guarding the whole point of the sharded
-# execution core. Four guarded edges:
+# execution core. Five guarded edges:
 #
+#   * stage_synthesize: parallel4 (keyed per-index draws through the
+#     compiled address plan, DedupSet screen, presorted set build) vs
+#     the straight-line keyed oracle, at the 500k paper scale where
+#     the oracle's large hash table thrashes cache;
 #   * stage_mine:     parallel4 vs serial (before the PR 3 sharded
 #     engine the two were equal because one heavy segment owned the
 #     critical path);
@@ -18,6 +22,8 @@
 #     PR 5.
 #
 # Usage: tools/bench_guard.sh
+#   BENCH_SYNTH_MARGIN     required ratio parallel/serial for synthesis
+#                          (default 0.9, i.e. >=10% faster)
 #   BENCH_MINE_MARGIN      required ratio parallel/serial for mining
 #                          (default 0.9, i.e. >=10% faster)
 #   BENCH_TRAIN_MARGIN     required ratio parallel/serial for training
@@ -26,6 +32,7 @@
 #   BENCH_EVALUATE_MARGIN  required ratio for evaluation (default 0.9)
 set -euo pipefail
 
+synth_margin="${BENCH_SYNTH_MARGIN:-0.9}"
 mine_margin="${BENCH_MINE_MARGIN:-0.9}"
 train_margin="${BENCH_TRAIN_MARGIN:-1.0}"
 generate_margin="${BENCH_GENERATE_MARGIN:-0.9}"
@@ -54,9 +61,14 @@ check_edge() {
     fi
 }
 
+check_edge stage_synthesize \
+    "$(echo "$out" | awk '/bench stage_synthesize\/serial_500000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_synthesize\/parallel4_500000:/ {print $3}')" \
+    "$synth_margin"
+
 check_edge stage_mine \
-    "$(echo "$out" | awk '/bench stage_mine\/serial_10000:/ {print $3}')" \
-    "$(echo "$out" | awk '/bench stage_mine\/parallel4_10000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_mine\/serial_50000:/ {print $3}')" \
+    "$(echo "$out" | awk '/bench stage_mine\/parallel4_50000:/ {print $3}')" \
     "$mine_margin"
 
 check_edge stage_train \
