@@ -36,6 +36,11 @@
 //!   drawing a row is one uniform draw plus one binary search per
 //!   node into a reusable `&mut [u8]` buffer — no allocation and no
 //!   CPT lookups on the hot loop.
+//! * [`serial`] — the endian-stable binary wire layer (little-endian
+//!   primitives, length-prefixed strings, CPT probabilities as raw
+//!   f64 bits) behind model persistence: `entropy_ip::store` frames
+//!   these bytes into the versioned `.eipm` model file the
+//!   `eip serve` daemon loads.
 //!
 //! The ordering constraint means every network is already in
 //! topological order, which keeps sampling and learning simple and
@@ -74,6 +79,7 @@ pub mod infer;
 pub mod learn;
 pub mod network;
 pub mod sample;
+pub mod serial;
 
 pub use compile::SamplingPlan;
 pub use counts::{count_families, family_score_dense, FamilyTable};

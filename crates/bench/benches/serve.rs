@@ -1,0 +1,78 @@
+//! Model-service benchmarks (`stage_serve`): registry fetch latency
+//! (cold container decode + plan recompile vs LRU hit) and full
+//! round-trip request rates over a real loopback TCP connection
+//! (`GEN` 100 candidates, `PREDICT64`). The LRU edge — a hit must
+//! beat a cold load by a wide margin, or the cache is pointless — is
+//! enforced by `tools/bench_guard.sh`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eip_netsim::dataset;
+use eip_serve::{Client, ModelStore, Registry, Service};
+use entropy_ip::{store, EntropyIp};
+
+/// Trains the benchmark fleet (two networks, S1 shape) into a scratch
+/// models directory and returns the store.
+fn fleet() -> ModelStore {
+    let dir = std::env::temp_dir().join(format!("eip_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = ModelStore::open(&dir).unwrap();
+    for (net, seed) in [("A", 1u64), ("B", 2)] {
+        let set = dataset("S1").unwrap().population_sized(5_000, seed);
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let fp = store::fingerprint(&format!("bench fleet {net}"));
+        store_dir.save(net, &model, fp).unwrap();
+    }
+    store_dir
+}
+
+/// Registry fetch: a cold load decodes the container and recompiles
+/// the sampling plan from disk every time (capacity 1 with two
+/// alternating networks forces an eviction per fetch); an LRU hit is
+/// a lock-and-clone. The ratio is the cache's reason to exist.
+fn bench_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_serve");
+    g.sample_size(10);
+
+    let cold = Registry::new(fleet(), 1);
+    let mut flip = false;
+    g.bench_function("fetch_cold", |b| {
+        b.iter(|| {
+            flip = !flip;
+            cold.get(if flip { "A" } else { "B" }).unwrap()
+        });
+    });
+
+    let warm = Registry::new(fleet(), 4);
+    warm.get("A").unwrap();
+    g.bench_function("fetch_lru_hit", |b| {
+        b.iter(|| warm.get("A").unwrap());
+    });
+    g.finish();
+}
+
+/// Full protocol round trips over loopback TCP: one persistent
+/// connection, one request per iteration (ns/iter is the inverse of
+/// req/sec).
+fn bench_loopback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stage_serve");
+    g.sample_size(10);
+
+    let service = Arc::new(Service::new(Registry::new(fleet(), 4), 0));
+    let server = eip_serve::spawn(service, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    g.bench_function("gen100_loopback", |b| {
+        b.iter(|| client.request("GEN A 100 seed=7").unwrap());
+    });
+    g.bench_function("predict64_loopback", |b| {
+        b.iter(|| client.request("PREDICT64 A 2001:db8::1").unwrap());
+    });
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_fetch, bench_loopback);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! configurable attempt budget.
 
 use eip_addr::{AddressSet, DedupSet, Ip6};
+use eip_bayes::Evidence;
 use eip_exec::rng::{stream_key, KeyedRng};
 use eip_exec::Scheduler;
 use rand::Rng;
@@ -16,6 +17,12 @@ use crate::model::IpModel;
 /// Stream id separating keyed candidate generation from every other
 /// keyed consumer of the same seed (see [`eip_exec::rng`]).
 const GEN_STREAM: u64 = 0x0067_656e; // "gen"
+
+/// Stream id for keyed *evidence-conditioned* generation
+/// ([`Generator::run_keyed_constrained`]): a distinct stream so
+/// constrained and unconstrained batches under the same seed never
+/// share draws.
+const GEN_EVIDENCE_STREAM: u64 = 0x0067_6576; // "gev"
 
 /// Outcome of a generation run.
 #[derive(Clone, Debug)]
@@ -157,6 +164,51 @@ impl<'m> Generator<'m> {
             let (ip, ex) = self.keyed_attempt(key, attempts as u64, &mut row);
             attempts += 1;
             if ex {
+                excluded += 1;
+            } else if !seen.insert(ip) {
+                duplicates += 1;
+            } else {
+                out.push(ip);
+            }
+        }
+        GenerationReport {
+            candidates: out,
+            attempts,
+            duplicates,
+            excluded,
+        }
+    }
+
+    /// Keyed evidence-conditioned generation: up to `n` unique
+    /// candidates with some segments clamped to dictionary codes
+    /// (§4.4's "optionally constrained to certain segment values"),
+    /// drawn from per-attempt [`KeyedRng`] streams so attempt `i`'s
+    /// candidate is a pure function of `(model, evidence, seed, i)`.
+    /// Any consumer — an in-process caller or an `eip serve`
+    /// connection — issuing the same `(evidence, n, seed)` request
+    /// against the same model receives a byte-identical batch,
+    /// regardless of which connection or interleaving produced it.
+    /// Draws ride the dedicated `GEN_EVIDENCE_STREAM`, so constrained
+    /// and unconstrained batches under one seed never share draws.
+    pub fn run_keyed_constrained(
+        &self,
+        evidence: &Evidence,
+        n: usize,
+        seed: u64,
+    ) -> GenerationReport {
+        let key = stream_key(seed, GEN_EVIDENCE_STREAM);
+        let budget = n.saturating_mul(self.attempts_per_candidate);
+        let mut seen = DedupSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let mut duplicates = 0usize;
+        let mut excluded = 0usize;
+        while out.len() < n && attempts < budget {
+            let mut rng = KeyedRng::for_index(key, attempts as u64);
+            let row = eip_bayes::sample_conditional(self.model.bn(), evidence, &mut rng);
+            let ip = self.model.decode(&row, &mut rng);
+            attempts += 1;
+            if self.exclude.is_some_and(|ex| ex.contains(ip)) {
                 excluded += 1;
             } else if !seen.insert(ip) {
                 duplicates += 1;
@@ -359,6 +411,33 @@ mod tests {
             .run_seeded(20_000, 3);
         assert!(r.candidates.len() < 20_000);
         assert!(!r.candidates.is_empty());
+    }
+
+    #[test]
+    fn run_keyed_constrained_is_deterministic_and_respects_evidence() {
+        let set = training_set();
+        let model = EntropyIp::new().analyze(&set).unwrap();
+        let a_idx = model.segment_index("A").unwrap();
+        let evidence = vec![(a_idx, 0usize)];
+        let gen = Generator::new(&model).excluding(&set);
+        let a = gen.run_keyed_constrained(&evidence, 300, 21);
+        let b = gen.run_keyed_constrained(&evidence, 300, 21);
+        assert_eq!(a.candidates, b.candidates, "same key, same batch");
+        assert!(!a.candidates.is_empty());
+        assert_eq!(a.attempts, a.candidates.len() + a.duplicates + a.excluded);
+        // Evidence is honored: every candidate carries segment A's
+        // first dictionary value.
+        let m = &model.mined()[a_idx];
+        for ip in &a.candidates {
+            let v = ip.segment(m.segment.start, m.segment.end);
+            assert!(m.values[0].kind.matches(v), "{ip} violates evidence");
+        }
+        // A different seed gives a different batch, and the evidence
+        // stream is separate from the unconstrained stream.
+        let c = gen.run_keyed_constrained(&evidence, 300, 22);
+        assert_ne!(a.candidates, c.candidates);
+        let unconstrained = gen.run_keyed_reference(300, 21);
+        assert_ne!(a.candidates, unconstrained.candidates);
     }
 
     #[test]

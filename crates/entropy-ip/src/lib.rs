@@ -86,6 +86,7 @@ pub mod model;
 pub mod pipeline;
 pub mod profile;
 pub mod segments;
+pub mod store;
 
 pub use analysis::Analysis;
 pub use browser::{Browser, SegmentDistribution};

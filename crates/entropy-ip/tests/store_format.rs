@@ -1,0 +1,86 @@
+//! Format-drift guard for the binary model container: a model built
+//! from a fixed training set must serialize to *exactly* the
+//! committed fixture bytes. Any diff here means the on-disk format
+//! changed — deployed `.eipm` fleets would stop loading.
+//!
+//! When a format change is intentional:
+//!
+//! 1. bump [`store::FORMAT_VERSION`] (keep a reader arm for the old
+//!    version if fleets must migrate in place),
+//! 2. regenerate the fixture with
+//!    `UPDATE_GOLDENS=1 cargo test -p entropy_ip --test store_format`,
+//! 3. review the fixture diff like code and note the bump in
+//!    CHANGES.md.
+
+use std::path::PathBuf;
+
+use eip_addr::{AddressSet, Ip6};
+use entropy_ip::{store, EntropyIp};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_v1.eipm")
+}
+
+/// The pinned training set: deterministic, structured, small.
+fn fixture_model() -> entropy_ip::IpModel {
+    let set: AddressSet = (0..400u128)
+        .map(|i| Ip6((0x2001_0db8u128 << 96) | ((i % 8) << 80) | (i * 3 + 1)))
+        .collect();
+    EntropyIp::new().analyze(&set).unwrap()
+}
+
+#[test]
+fn on_disk_bytes_are_pinned() {
+    let model = fixture_model();
+    let fp = store::fingerprint("store_format fixture v1");
+    let bytes = store::save(&model, fp);
+
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             UPDATE_GOLDENS=1 cargo test -p entropy_ip --test store_format",
+            path.display()
+        )
+    });
+    assert_eq!(
+        bytes, expected,
+        "the .eipm container format drifted; if intentional, bump \
+         store::FORMAT_VERSION and refresh the fixture with \
+         UPDATE_GOLDENS=1 cargo test -p entropy_ip --test store_format"
+    );
+}
+
+#[test]
+fn fixture_still_loads_and_samples() {
+    let expected = std::fs::read(fixture_path()).expect("fixture exists");
+    let (model, fp) = store::load(&expected).expect("fixture loads");
+    assert_eq!(fp, store::fingerprint("store_format fixture v1"));
+
+    // The loaded model must be the fixture model, bit for bit, and
+    // its recompiled plan must draw the same keyed rows.
+    let fresh = fixture_model();
+    assert_eq!(model.mined(), fresh.mined());
+    assert_eq!(model.bn(), fresh.bn());
+    let mut a = vec![0u8; fresh.plan().num_vars()];
+    let mut b = vec![0u8; model.plan().num_vars()];
+    for index in 0..100 {
+        fresh.plan().sample_keyed_into(&mut a, 42, 3, index);
+        model.plan().sample_keyed_into(&mut b, 42, 3, index);
+        assert_eq!(a, b, "plan diverged at index {index}");
+    }
+}
+
+#[test]
+fn header_layout_is_stable() {
+    let expected = std::fs::read(fixture_path()).expect("fixture exists");
+    assert_eq!(&expected[0..4], b"EIPM", "magic");
+    let version = u32::from_le_bytes(expected[4..8].try_into().unwrap());
+    assert_eq!(version, store::FORMAT_VERSION);
+    assert_eq!(version, 1, "bumping FORMAT_VERSION requires a new fixture");
+}

@@ -12,6 +12,12 @@
 //! eip export ips.txt > model.eip       # train and save a profile
 //! eip generate --profile model.eip -n 1000
 //! eip dot ips.txt > bn.dot             # BN graph for Graphviz
+//!
+//! # Train once, serve millions (binary .eipm containers + daemon):
+//! eip analyze ips.txt --model-out models/S1.eipm   # train and persist
+//! eip generate --model-in models/S1.eipm -n 1000   # reuse, no retraining
+//! eip serve models --port 3164                     # daemon over the fleet
+//! eip query 127.0.0.1:3164 GEN S1 100 seed=7       # one protocol request
 //! ```
 //!
 //! Input files are ingested through the streaming pipeline
@@ -27,7 +33,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
-use entropy_ip::{profile, Browser, Config, EipError, Generator, IpModel, Pipeline};
+use entropy_ip::{profile, store, Browser, Config, EipError, Generator, IpModel, Pipeline};
 
 fn main() {
     exit(match run() {
@@ -53,6 +59,8 @@ fn run() -> Result<(), EipError> {
         "generate" => generate(&parse(&args[1..])?),
         "export" => export(&parse(&args[1..])?),
         "dot" => dot(&parse(&args[1..])?),
+        "serve" => serve(&parse(&args[1..])?),
+        "query" => query(&args[1..]),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -72,22 +80,30 @@ fn run() -> Result<(), EipError> {
 struct Cli {
     input: Option<String>,
     profile: Option<String>,
+    model_in: Option<String>,
+    model_out: Option<String>,
     top64: bool,
     n: usize,
     seed: u64,
     min_prob: f64,
     jobs: usize,
+    port: u16,
+    capacity: usize,
 }
 
 fn parse(args: &[String]) -> Result<Cli, EipError> {
     let mut cli = Cli {
         input: None,
         profile: None,
+        model_in: None,
+        model_out: None,
         top64: false,
         n: 1000,
         seed: 1,
         min_prob: 0.005,
         jobs: 1,
+        port: 0,
+        capacity: 16,
     };
     let mut i = 0;
     let operand = |args: &[String], i: usize, flag: &str| -> Result<String, EipError> {
@@ -101,6 +117,26 @@ fn parse(args: &[String]) -> Result<Cli, EipError> {
             "--profile" => {
                 i += 1;
                 cli.profile = Some(operand(args, i, "--profile")?);
+            }
+            "--model-in" => {
+                i += 1;
+                cli.model_in = Some(operand(args, i, "--model-in")?);
+            }
+            "--model-out" => {
+                i += 1;
+                cli.model_out = Some(operand(args, i, "--model-out")?);
+            }
+            "--port" => {
+                i += 1;
+                cli.port = operand(args, i, "--port")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--port needs a port number".into()))?;
+            }
+            "--capacity" => {
+                i += 1;
+                cli.capacity = operand(args, i, "--capacity")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--capacity needs a number".into()))?;
             }
             "-n" | "--count" => {
                 i += 1;
@@ -150,28 +186,52 @@ fn pipeline(cli: &Cli) -> Pipeline {
     Pipeline::new(cfg.with_parallelism(cli.jobs))
 }
 
-/// Loads a model either from a saved profile or by training on the
-/// input file via the streaming pipeline.
-fn load_model(cli: &Cli) -> Result<IpModel, EipError> {
+/// Loads a model — from a binary `.eipm` container (`--model-in`),
+/// from a saved text profile (`--profile`), or by training on the
+/// input file via the streaming pipeline. Returns the model plus its
+/// provenance fingerprint (for `--model-out`).
+fn load_model(cli: &Cli) -> Result<(IpModel, u64), EipError> {
+    if let Some(path) = &cli.model_in {
+        return store::load_file(path);
+    }
     if let Some(path) = &cli.profile {
         let text = std::fs::read_to_string(path).map_err(|e| EipError::io(path, e))?;
-        return profile::import(&text);
+        let model = profile::import(&text)?;
+        let fp = store::fingerprint(&format!("profile={path}"));
+        return Ok((model, fp));
     }
     let path = cli
         .input
         .as_ref()
-        .ok_or_else(|| EipError::Usage("need an address file or --profile".into()))?;
+        .ok_or_else(|| EipError::Usage("need an address file, --profile, or --model-in".into()))?;
     let file = File::open(path).map_err(|e| EipError::io(path, e))?;
-    Ok(pipeline(cli)
+    let model = pipeline(cli)
         .profile_lines(BufReader::new(file))?
         .segment()
         .mine()
         .train()?
-        .into_model())
+        .into_model();
+    let fp = store::fingerprint(&format!(
+        "input={path} top64={} n_addresses={}",
+        cli.top64,
+        model.analysis().num_addresses
+    ));
+    Ok((model, fp))
+}
+
+/// Persists the model as a binary container if `--model-out` was
+/// given.
+fn maybe_save(cli: &Cli, model: &IpModel, fingerprint: u64) -> Result<(), EipError> {
+    if let Some(path) = &cli.model_out {
+        store::save_file(path, model, fingerprint)?;
+        eprintln!("model written to {path}");
+    }
+    Ok(())
 }
 
 fn analyze(cli: &Cli) -> Result<(), EipError> {
-    let model = load_model(cli)?;
+    let (model, fp) = load_model(cli)?;
+    maybe_save(cli, &model, fp)?;
     println!("{}", eip_viz::render_entropy_ascii(model.analysis(), 12));
     let browser = Browser::new(&model);
     println!(
@@ -196,7 +256,8 @@ fn analyze(cli: &Cli) -> Result<(), EipError> {
 }
 
 fn generate(cli: &Cli) -> Result<(), EipError> {
-    let model = load_model(cli)?;
+    let (model, fp) = load_model(cli)?;
+    maybe_save(cli, &model, fp)?;
     let report = Generator::new(&model)
         .parallelism(cli.jobs)
         .run_seeded(cli.n, cli.seed);
@@ -207,14 +268,71 @@ fn generate(cli: &Cli) -> Result<(), EipError> {
 }
 
 fn export(cli: &Cli) -> Result<(), EipError> {
-    let model = load_model(cli)?;
+    let (model, fp) = load_model(cli)?;
+    maybe_save(cli, &model, fp)?;
     print!("{}", profile::export(&model));
     Ok(())
 }
 
 fn dot(cli: &Cli) -> Result<(), EipError> {
-    let model = load_model(cli)?;
+    let (model, fp) = load_model(cli)?;
+    maybe_save(cli, &model, fp)?;
     print!("{}", eip_viz::bn_to_dot(model.bn(), None));
+    Ok(())
+}
+
+/// `eip serve <models-dir>`: the model-service daemon. Binds
+/// loopback, announces the bound address on stdout (port 0 gives an
+/// ephemeral port, so scripts parse the line), then serves until
+/// killed.
+fn serve(cli: &Cli) -> Result<(), EipError> {
+    use std::io::Write;
+    let dir = cli
+        .input
+        .as_ref()
+        .ok_or_else(|| EipError::Usage("serve needs a models directory".into()))?;
+    let store = eip_serve::ModelStore::open(dir)?;
+    let networks = store.list()?;
+    let service = std::sync::Arc::new(eip_serve::Service::new(
+        eip_serve::Registry::new(store, cli.capacity),
+        cli.seed,
+    ));
+    let server = eip_serve::spawn(service, ("127.0.0.1", cli.port))?;
+    println!("listening on {}", server.local_addr());
+    println!(
+        "serving {} model(s): {}",
+        networks.len(),
+        if networks.is_empty() {
+            "-".to_string()
+        } else {
+            networks.join(", ")
+        }
+    );
+    std::io::stdout().flush().ok();
+    server.wait();
+    Ok(())
+}
+
+/// `eip query <host:port> <request words…>`: one protocol request,
+/// response lines on stdout (the `.` terminator stripped).
+fn query(args: &[String]) -> Result<(), EipError> {
+    let addr = args
+        .first()
+        .ok_or_else(|| EipError::Usage("query needs <host:port>".into()))?;
+    let request = args[1..].join(" ");
+    if request.trim().is_empty() {
+        return Err(EipError::Usage(
+            "query needs a request, e.g. eip query 127.0.0.1:3164 STATS".into(),
+        ));
+    }
+    let mut client =
+        eip_serve::Client::connect(addr.as_str()).map_err(|e| EipError::io(addr, e))?;
+    for line in client
+        .request(&request)
+        .map_err(|e| EipError::io(addr, e))?
+    {
+        println!("{line}");
+    }
     Ok(())
 }
 
@@ -227,14 +345,20 @@ fn usage() {
            generate <file>    print candidate scan targets\n\
            export <file>      train and print a model profile\n\
            dot <file>         print the BN as Graphviz DOT\n\
+           serve <dir>        model-service daemon over a directory of .eipm files\n\
+           query <addr> <req> send one protocol request (BROWSE/GEN/PREDICT64/STATS)\n\
            version            print the version\n\n\
          flags:\n\
            --top64            analyze only the top 64 bits (prefix mode)\n\
            --profile <path>   load a saved profile instead of training\n\
+           --model-in <path>  load a binary .eipm model instead of training\n\
+           --model-out <path> persist the model as a binary .eipm container\n\
            -n, --count <N>    number of candidates to generate (default 1000)\n\
-           --seed <N>         RNG seed (default 1)\n\
+           --seed <N>         RNG seed / serve base seed (default 1)\n\
            --min-prob <F>     hide dictionary rows below this probability\n\
-           --jobs <N>         worker threads for mining/generation (default 1)\n\n\
+           --jobs <N>         worker threads for mining/generation (default 1)\n\
+           --port <N>         serve: TCP port on loopback (default 0 = ephemeral)\n\
+           --capacity <N>     serve: LRU capacity in decoded models (default 16)\n\n\
          exit codes: 0 ok, 1 runtime error, 2 usage error"
     );
 }

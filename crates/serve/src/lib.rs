@@ -1,0 +1,59 @@
+//! # eip_serve — the Entropy/IP model service
+//!
+//! Train once, serve millions: this crate turns trained
+//! [`IpModel`](entropy_ip::IpModel)s into a long-lived daemon that a
+//! fleet of scanners and dashboards can query, instead of re-running
+//! the pipeline per question. Three layers:
+//!
+//! * [`registry`] — a directory of versioned `.eipm` model containers
+//!   (one per network id, see [`entropy_ip::store`]) behind a
+//!   capacity-bounded LRU cache of hot decoded models with
+//!   single-flight cold loads.
+//! * [`protocol`] — the line-oriented request/response wire format
+//!   (`BROWSE` / `GEN` / `PREDICT64` / `STATS` / `QUIT`), friendly to
+//!   both `nc` and the bundled [`Client`].
+//! * [`service`] + [`server`] — request execution over the registry
+//!   and the `std::net` TCP daemon (one thread per connection,
+//!   cooperative shutdown that joins every thread).
+//!
+//! ## Determinism
+//!
+//! `GEN` batches come from the keyed reference generators: every
+//! connection gets a stream id (announced in its banner), every
+//! request derives an effective seed via
+//! [`eip_exec::rng::stream_key`], and the response is byte-identical
+//! to an in-process [`Generator`](entropy_ip::Generator) oracle run
+//! with that seed — regardless of how many connections are active or
+//! how the OS schedules them. The end-to-end tests pin exactly this:
+//! concurrent clients diffed line-by-line against
+//! [`Generator::run_keyed_reference`](entropy_ip::Generator::run_keyed_reference).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use eip_serve::{spawn, Client, ModelStore, Registry, Service};
+//!
+//! let store = ModelStore::open("models")?;
+//! let service = Arc::new(Service::new(Registry::new(store, 16), 0));
+//! let server = spawn(service, "127.0.0.1:0")?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! for line in client.request("GEN S1 100 seed=7")? {
+//!     println!("{line}");
+//! }
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use protocol::{parse_request, ProtoError, Request, MAX_GEN_COUNT};
+pub use registry::{valid_network_id, ModelStore, Registry, RegistryStats, ServedModel};
+pub use server::{spawn, Client, ServerHandle, PROTOCOL_VERSION};
+pub use service::{ConnState, Service};

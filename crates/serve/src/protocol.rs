@@ -1,0 +1,254 @@
+//! The line-oriented request/response protocol.
+//!
+//! Designed to be driven by `nc` as easily as by the `eip query`
+//! client: requests are single lines of whitespace-separated tokens,
+//! and **every** response is a block that starts with `OK …` or
+//! `ERR <tag> <message>` and ends with a lone `.` line, so a client
+//! always knows where a response stops:
+//!
+//! ```text
+//! C: BROWSE S1 A
+//! S: OK BROWSE S1 A values=2
+//! S: V A1 exact 20010db8 0.700000
+//! S: V A2 exact 30010db8 0.300000
+//! S: .
+//! C: GEN S1 5 seed=7
+//! S: OK GEN S1 5 seed=7 attempts=5
+//! S: 2001:db8:3::2e
+//! S: …
+//! S: .
+//! ```
+//!
+//! Commands:
+//!
+//! * `BROWSE <net> <segment>` — the segment's posterior distribution
+//!   over its dictionary values (no evidence: the prior the paper's
+//!   browser opens with).
+//! * `GEN <net> <count> [seed=<u64>] [<label>=<code> …]` — a
+//!   candidate batch. Without evidence the batch is byte-identical to
+//!   [`Generator::run_keyed_reference`](entropy_ip::Generator::run_keyed_reference)
+//!   for the same `(model, count, seed)`; with evidence it is the
+//!   keyed constrained reference. `seed` defaults to the connection's
+//!   stream id, so concurrent unpinned clients get independent
+//!   batches while pinned seeds reproduce exactly.
+//! * `PREDICT64 <net> <addr>` — the /64-prefix verdict: the top-64
+//!   segment decomposition with dictionary codes and the exact model
+//!   log-probability of that prefix (chain rule over the top-64
+//!   segments, whose parents always precede them).
+//! * `STATS` — registry and request counters.
+//! * `QUIT` — closes the connection (`OK BYE`).
+//!
+//! Errors are tagged for machine handling: `bad-request`,
+//! `unknown-command`, `unknown-model`, `unknown-segment`,
+//! `bad-evidence`, `bad-address`, `io`.
+
+use eip_addr::Ip6;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `BROWSE <net> <segment-label>`
+    Browse {
+        /// Network id.
+        net: String,
+        /// Segment letter label.
+        segment: String,
+    },
+    /// `GEN <net> <count> [seed=<u64>] [<label>=<code> …]`
+    Gen {
+        /// Network id.
+        net: String,
+        /// Number of candidates requested.
+        count: usize,
+        /// Explicit seed; `None` = the connection's stream id.
+        seed: Option<u64>,
+        /// Evidence as `(segment label, dictionary code)` pairs.
+        evidence: Vec<(String, String)>,
+    },
+    /// `PREDICT64 <net> <addr>`
+    Predict64 {
+        /// Network id.
+        net: String,
+        /// Query address (reduced to its /64).
+        addr: Ip6,
+    },
+    /// `STATS`
+    Stats,
+    /// `QUIT`
+    Quit,
+}
+
+/// A tagged protocol error, rendered as `ERR <tag> <message>`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtoError {
+    /// Machine-readable tag (e.g. `bad-request`, `unknown-model`).
+    pub tag: &'static str,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl ProtoError {
+    /// A new tagged error.
+    pub fn new(tag: &'static str, msg: impl Into<String>) -> Self {
+        ProtoError {
+            tag,
+            msg: msg.into(),
+        }
+    }
+
+    /// Renders the error as its response block (including the
+    /// terminating `.`).
+    pub fn render(&self) -> String {
+        format!("ERR {} {}\n.\n", self.tag, self.msg)
+    }
+}
+
+/// Hard cap on `GEN` batch size, keeping one request from pinning a
+/// connection thread (and its memory) indefinitely.
+pub const MAX_GEN_COUNT: usize = 1_000_000;
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let bad = |msg: String| ProtoError::new("bad-request", msg);
+    let Some(&cmd) = toks.first() else {
+        return Err(bad("empty request".into()));
+    };
+    match cmd.to_ascii_uppercase().as_str() {
+        "BROWSE" => {
+            let [_, net, segment] = toks[..] else {
+                return Err(bad("usage: BROWSE <net> <segment>".into()));
+            };
+            Ok(Request::Browse {
+                net: net.to_string(),
+                segment: segment.to_string(),
+            })
+        }
+        "GEN" => {
+            if toks.len() < 3 {
+                return Err(bad(
+                    "usage: GEN <net> <count> [seed=<u64>] [<label>=<code> ...]".into(),
+                ));
+            }
+            let net = toks[1].to_string();
+            let count: usize = toks[2]
+                .parse()
+                .map_err(|_| bad(format!("count {:?} is not a number", toks[2])))?;
+            if count > MAX_GEN_COUNT {
+                return Err(bad(format!("count {count} exceeds limit {MAX_GEN_COUNT}")));
+            }
+            let mut seed = None;
+            let mut evidence = Vec::new();
+            for tok in &toks[3..] {
+                let Some((k, v)) = tok.split_once('=') else {
+                    return Err(bad(format!(
+                        "expected seed=<u64> or <label>=<code>, got {tok:?}"
+                    )));
+                };
+                if k == "seed" {
+                    seed = Some(
+                        v.parse()
+                            .map_err(|_| bad(format!("seed {v:?} is not a u64")))?,
+                    );
+                } else {
+                    evidence.push((k.to_string(), v.to_string()));
+                }
+            }
+            Ok(Request::Gen {
+                net,
+                count,
+                seed,
+                evidence,
+            })
+        }
+        "PREDICT64" => {
+            let [_, net, addr] = toks[..] else {
+                return Err(bad("usage: PREDICT64 <net> <addr>".into()));
+            };
+            let addr: Ip6 = addr
+                .parse()
+                .map_err(|_| ProtoError::new("bad-address", format!("cannot parse {addr:?}")))?;
+            Ok(Request::Predict64 {
+                net: net.to_string(),
+                addr,
+            })
+        }
+        "STATS" => {
+            if toks.len() != 1 {
+                return Err(bad("usage: STATS".into()));
+            }
+            Ok(Request::Stats)
+        }
+        "QUIT" => Ok(Request::Quit),
+        other => Err(ProtoError::new(
+            "unknown-command",
+            format!("{other} (try BROWSE, GEN, PREDICT64, STATS, QUIT)"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_command() {
+        assert_eq!(
+            parse_request("BROWSE S1 A").unwrap(),
+            Request::Browse {
+                net: "S1".into(),
+                segment: "A".into()
+            }
+        );
+        assert_eq!(
+            parse_request("gen S1 100 seed=7 A=A2 J=J1").unwrap(),
+            Request::Gen {
+                net: "S1".into(),
+                count: 100,
+                seed: Some(7),
+                evidence: vec![("A".into(), "A2".into()), ("J".into(), "J1".into())],
+            }
+        );
+        let Request::Predict64 { net, addr } = parse_request("PREDICT64 S1 2001:db8::1").unwrap()
+        else {
+            panic!("not a predict64");
+        };
+        assert_eq!(net, "S1");
+        assert_eq!(addr, "2001:db8::1".parse().unwrap());
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("QUIT now").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_tags() {
+        assert_eq!(parse_request("").unwrap_err().tag, "bad-request");
+        assert_eq!(parse_request("BROWSE S1").unwrap_err().tag, "bad-request");
+        assert_eq!(parse_request("GEN S1 lots").unwrap_err().tag, "bad-request");
+        assert_eq!(
+            parse_request("GEN S1 10 seed=banana").unwrap_err().tag,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request("GEN S1 10 floop").unwrap_err().tag,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request(&format!("GEN S1 {}", MAX_GEN_COUNT + 1))
+                .unwrap_err()
+                .tag,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request("PREDICT64 S1 not-an-ip").unwrap_err().tag,
+            "bad-address"
+        );
+        assert_eq!(parse_request("FROB x").unwrap_err().tag, "unknown-command");
+        assert!(parse_request("STATS please").is_err());
+    }
+
+    #[test]
+    fn errors_render_as_tagged_blocks() {
+        let e = ProtoError::new("unknown-model", "no such network Z9");
+        assert_eq!(e.render(), "ERR unknown-model no such network Z9\n.\n");
+    }
+}

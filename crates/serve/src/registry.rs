@@ -1,0 +1,311 @@
+//! The model registry: a directory-backed store plus a bounded LRU
+//! cache of hot decoded models.
+//!
+//! A fleet deployment trains one model per network (16+ Table-1
+//! families at paper scale) but serves them all from one daemon. The
+//! registry splits that into two layers:
+//!
+//! * [`ModelStore`] — the persistence boundary: one
+//!   `<network>.eipm` container file (see [`entropy_ip::store`]) per
+//!   network id under a models directory. Ids are restricted to
+//!   `[A-Za-z0-9_-]` so a request can never walk outside the
+//!   directory.
+//! * [`Registry`] — the serving boundary: a capacity-bounded LRU
+//!   cache of decoded models behind `Arc`s, with hit/miss/eviction
+//!   counters ([`RegistryStats`]) and single-flight cold loads — a
+//!   burst of concurrent requests for the same cold model decodes the
+//!   file exactly once while the rest wait on the same slot (no
+//!   thundering herd), which matters because decoding recompiles the
+//!   [`SamplingPlan`](eip_bayes::SamplingPlan).
+//!
+//! Decoded models are immutable and shared: [`Registry::get`] returns
+//! `Arc<ServedModel>`, so an eviction only drops the cache's
+//! reference — connections already serving from the model keep it
+//! alive until they finish.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use entropy_ip::store;
+use entropy_ip::{EipError, IpModel};
+
+/// A decoded model with its provenance, as served to connections.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Network id this model was registered under.
+    pub network: String,
+    /// The decoded, plan-compiled model.
+    pub model: IpModel,
+    /// The training-run fingerprint stored in the container header.
+    pub fingerprint: u64,
+}
+
+/// Directory-backed model persistence, one `.eipm` file per network.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+/// Is `id` a safe network id (non-empty, `[A-Za-z0-9_-]` only)?
+pub fn valid_network_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+impl ModelStore {
+    /// A store over `dir` (created if missing).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, EipError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| EipError::io(dir.display().to_string(), e))?;
+        Ok(ModelStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The container path for a network id.
+    pub fn path_for(&self, network: &str) -> Result<PathBuf, EipError> {
+        if !valid_network_id(network) {
+            return Err(EipError::Usage(format!(
+                "invalid network id {network:?} (use [A-Za-z0-9_-], at most 64 chars)"
+            )));
+        }
+        Ok(self.dir.join(format!("{network}.{}", store::EXTENSION)))
+    }
+
+    /// Persists a model under a network id.
+    pub fn save(&self, network: &str, model: &IpModel, fingerprint: u64) -> Result<(), EipError> {
+        store::save_file(self.path_for(network)?, model, fingerprint)
+    }
+
+    /// Loads and decodes a network's model container.
+    pub fn load(&self, network: &str) -> Result<ServedModel, EipError> {
+        let (model, fingerprint) = store::load_file(self.path_for(network)?)?;
+        Ok(ServedModel {
+            network: network.to_string(),
+            model,
+            fingerprint,
+        })
+    }
+
+    /// Network ids with a container file in the directory, sorted.
+    pub fn list(&self) -> Result<Vec<String>, EipError> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| EipError::io(self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| EipError::io(self.dir.display().to_string(), e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(stem) = name.strip_suffix(&format!(".{}", store::EXTENSION)) {
+                if valid_network_id(stem) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Cache counters, all monotone since registry construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests answered from a decoded model already in cache.
+    pub hits: u64,
+    /// Requests that had to (wait for a) load from disk.
+    pub misses: u64,
+    /// Decoded models dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Actual container decodes (≤ misses: concurrent misses on one
+    /// network share a single load).
+    pub loads: u64,
+    /// Models currently resident.
+    pub resident: usize,
+}
+
+/// One cache slot: a single-flight cell plus its LRU timestamp.
+///
+/// The `OnceLock` is the single-flight mechanism: every requester
+/// clones the same `Arc`'d cell, and `get_or_init` guarantees exactly
+/// one of them runs the disk load while the rest block on the result.
+struct Slot {
+    cell: Arc<OnceLock<Result<Arc<ServedModel>, EipError>>>,
+    /// Logical clock of the last `get` touching this slot.
+    last_used: u64,
+}
+
+struct CacheState {
+    slots: HashMap<String, Slot>,
+    tick: u64,
+    stats: RegistryStats,
+}
+
+/// A capacity-bounded LRU of decoded models over a [`ModelStore`].
+pub struct Registry {
+    store: ModelStore,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl Registry {
+    /// A registry serving from `store`, keeping at most `capacity`
+    /// decoded models resident (clamped to ≥ 1).
+    pub fn new(store: ModelStore, capacity: usize) -> Self {
+        Registry {
+            store,
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                slots: HashMap::new(),
+                tick: 0,
+                stats: RegistryStats::default(),
+            }),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Fetches a network's model, loading and caching it on first
+    /// use. Returns the shared decoded model; a load failure is
+    /// reported to every waiter and *not* cached, so a fixed file can
+    /// be retried.
+    pub fn get(&self, network: &str) -> Result<Arc<ServedModel>, EipError> {
+        if !valid_network_id(network) {
+            return Err(EipError::Usage(format!("invalid network id {network:?}")));
+        }
+        let cell = {
+            let mut st = self.state.lock().expect("registry lock");
+            st.tick += 1;
+            let tick = st.tick;
+            if let Some(slot) = st.slots.get_mut(network) {
+                slot.last_used = tick;
+                let cell = slot.cell.clone();
+                // A populated slot is a hit; a pending slot means we
+                // joined an in-flight load (a miss, but not a new
+                // disk read).
+                if cell.get().is_some() {
+                    st.stats.hits += 1;
+                } else {
+                    st.stats.misses += 1;
+                }
+                cell
+            } else {
+                st.stats.misses += 1;
+                if st.slots.len() >= self.capacity {
+                    self.evict_lru(&mut st);
+                }
+                let cell = Arc::new(OnceLock::new());
+                st.slots.insert(
+                    network.to_string(),
+                    Slot {
+                        cell: cell.clone(),
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        // The load runs outside the registry lock: other networks
+        // keep serving while this one decodes. `get_or_init` makes
+        // the load single-flight per slot.
+        let result = cell
+            .get_or_init(|| {
+                // Count the decode under the lock for exact stats.
+                let loaded = self.store.load(network).map(Arc::new);
+                let mut st = self.state.lock().expect("registry lock");
+                st.stats.loads += 1;
+                loaded
+            })
+            .clone();
+        if result.is_err() {
+            // Drop the failed slot (if it is still ours) so a later
+            // request retries the disk.
+            let mut st = self.state.lock().expect("registry lock");
+            if let Some(slot) = st.slots.get(network) {
+                if Arc::ptr_eq(&slot.cell, &cell) {
+                    st.slots.remove(network);
+                }
+            }
+        }
+        result
+    }
+
+    /// Evicts the least-recently-used slot. Called with the lock held
+    /// and `slots` non-empty.
+    fn evict_lru(&self, st: &mut CacheState) {
+        if let Some(victim) = st
+            .slots
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            st.slots.remove(&victim);
+            st.stats.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> RegistryStats {
+        let st = self.state.lock().expect("registry lock");
+        let mut stats = st.stats;
+        stats.resident = st.slots.len();
+        stats
+    }
+
+    /// The networks currently resident in cache, most recently used
+    /// first (exposes the eviction order for tests and STATS).
+    pub fn resident(&self) -> Vec<String> {
+        let st = self.state.lock().expect("registry lock");
+        let mut pairs: Vec<(u64, String)> = st
+            .slots
+            .iter()
+            .map(|(k, slot)| (slot.last_used, k.clone()))
+            .collect();
+        pairs.sort_by_key(|&(tick, _)| std::cmp::Reverse(tick));
+        pairs.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("dir", &self.store.dir)
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_id_validation() {
+        assert!(valid_network_id("S1"));
+        assert!(valid_network_id("client-C4_v2"));
+        assert!(!valid_network_id(""));
+        assert!(!valid_network_id("../etc/passwd"));
+        assert!(!valid_network_id("a b"));
+        assert!(!valid_network_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn store_rejects_traversal_ids() {
+        let store = ModelStore::open(std::env::temp_dir().join("eip_reg_ids")).unwrap();
+        assert!(matches!(
+            store.path_for("../escape"),
+            Err(EipError::Usage(_))
+        ));
+        assert!(store.path_for("S1").unwrap().ends_with("S1.eipm"));
+    }
+}

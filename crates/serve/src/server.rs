@@ -1,0 +1,213 @@
+//! The TCP daemon: `std::net` listener, one thread per connection,
+//! cooperative shutdown.
+//!
+//! Connections are numbered in accept order starting at 1; the number
+//! is the connection's RNG *stream id*, announced in the connect
+//! banner (`OK EIP-SERVE 1 stream=<id>`) so clients can reproduce
+//! their derived `GEN` seeds offline. Shutdown is cooperative: a flag
+//! flips, a self-connection wakes the accept loop, open connection
+//! sockets are shut down (unblocking their reader threads at the next
+//! request boundary — an in-flight response is still written whole),
+//! and [`ServerHandle::shutdown`] joins the acceptor and every
+//! connection thread before returning.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use entropy_ip::EipError;
+
+use crate::service::{ConnState, Service};
+
+/// Protocol version announced in the banner.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One `(thread, socket)` pair per open connection; the socket clone
+/// lets shutdown unblock a reader parked in `read_line`.
+type ConnSlots = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: ConnSlots,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the acceptor exits — i.e. forever, unless another
+    /// thread calls [`ServerHandle::shutdown`] or the process is
+    /// signalled. This is what `eip serve` parks on.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting, wakes the acceptor, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect to unblock `accept`; the acceptor re-checks the
+        // flag before serving.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.conns.lock().expect("conns lock");
+            guard.drain(..).collect()
+        };
+        for (h, stream) in handles {
+            // Unblock the connection thread if it is idle in
+            // `read_line` waiting for a client that never hangs up.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `service` in background threads.
+pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> Result<ServerHandle, EipError> {
+    let listener = TcpListener::bind(addr).map_err(|e| EipError::io("bind".to_string(), e))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| EipError::io("local_addr".to_string(), e))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: ConnSlots = Arc::new(Mutex::new(Vec::new()));
+    let next_stream = AtomicU64::new(1);
+
+    let acceptor = {
+        let stop = stop.clone();
+        let conns = conns.clone();
+        std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let id = next_stream.fetch_add(1, Ordering::Relaxed);
+                let service = service.clone();
+                let Ok(stream_for_shutdown) = stream.try_clone() else {
+                    continue;
+                };
+                let handle = std::thread::spawn(move || serve_connection(&service, stream, id));
+                conns
+                    .lock()
+                    .expect("conns lock")
+                    .push((handle, stream_for_shutdown));
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        acceptor: Some(acceptor),
+        conns,
+    })
+}
+
+/// Serves one connection to completion: banner, then a
+/// request/response loop until `QUIT`, EOF, or an I/O error.
+fn serve_connection(service: &Service, stream: TcpStream, id: u64) {
+    // Request/response is strictly ping-pong; Nagle + delayed ACK
+    // turns that into ~40ms stalls per round trip on loopback.
+    let _ = stream.set_nodelay(true);
+    let mut conn = ConnState::new(id);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let banner = format!("OK EIP-SERVE {PROTOCOL_VERSION} stream={id}\n.\n");
+    if writer.write_all(banner.as_bytes()).is_err() {
+        return;
+    }
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = service.handle_line(line.trim(), &mut conn);
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+}
+
+/// A minimal blocking client for the line protocol — used by
+/// `eip query`, the CI smoke script, and the end-to-end tests.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// The stream id the server assigned this connection.
+    pub stream_id: u64,
+}
+
+impl Client {
+    /// Connects and consumes the banner.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer: stream,
+            stream_id: 0,
+        };
+        let banner = client.read_block()?;
+        client.stream_id = banner
+            .first()
+            .and_then(|l| l.rsplit("stream=").next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Ok(client)
+    }
+
+    /// Sends one request line and returns the response block's lines
+    /// (status line first, `.` terminator stripped).
+    pub fn request(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_block()
+    }
+
+    fn read_block(&mut self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed == "." {
+                return Ok(out);
+            }
+            out.push(trimmed.to_string());
+        }
+    }
+}

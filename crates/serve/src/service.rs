@@ -1,0 +1,360 @@
+//! Request execution: one [`Service`] maps parsed [`Request`]s to
+//! response blocks against the shared [`Registry`].
+//!
+//! The service is connection-agnostic and fully thread-safe: the
+//! server hands every connection an `Arc<Service>` plus a private
+//! [`ConnState`], and all shared mutation is either inside the
+//! registry's lock or an atomic counter. Models are read-only behind
+//! `Arc`, so concurrent requests never contend beyond the registry
+//! lookup.
+//!
+//! ## GEN determinism
+//!
+//! Every connection is assigned a *stream id* (its accept-order
+//! number, echoed in the connect banner), and every `GEN` without an
+//! explicit seed derives its effective seed as
+//!
+//! ```text
+//! stream_key(stream_key(base_seed, connection stream), request index)
+//! ```
+//!
+//! using [`eip_exec::rng::stream_key`] — the same splittable-stream
+//! discipline the generator itself uses per candidate. The effective
+//! seed is echoed in the `OK GEN … seed=<s>` header, and the batch is
+//! produced by the keyed reference generators
+//! ([`Generator::run_keyed_reference`] /
+//! [`Generator::run_keyed_constrained`]), so a batch is byte-identical
+//! to an in-process oracle run with the same seed — for a given
+//! `(base seed, connection stream, request index)` the response bytes
+//! do not depend on how many other connections are active or how the
+//! OS interleaves them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eip_exec::rng::stream_key;
+use entropy_ip::{Browser, EipError, Generator, ValueKind};
+
+use crate::protocol::{ProtoError, Request};
+use crate::registry::{Registry, ServedModel};
+
+/// Per-connection state the server threads own privately.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnState {
+    /// The connection's stream id (accept-order, starting at 1).
+    pub stream: u64,
+    /// Number of `GEN` requests already served on this connection.
+    pub gen_index: u64,
+}
+
+impl ConnState {
+    /// State for a fresh connection with the given stream id.
+    pub fn new(stream: u64) -> Self {
+        ConnState {
+            stream,
+            gen_index: 0,
+        }
+    }
+}
+
+/// Per-command request counters (monotone).
+#[derive(Debug, Default)]
+pub struct Counters {
+    browse: AtomicU64,
+    gen: AtomicU64,
+    predict64: AtomicU64,
+    stats: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The request executor shared by all connections.
+#[derive(Debug)]
+pub struct Service {
+    registry: Registry,
+    base_seed: u64,
+    counters: Counters,
+}
+
+/// Top-64 boundary in nybbles: segments ending at or before this
+/// position make up the /64 prefix (segmentation never crosses it).
+const TOP64_NYBBLES: usize = 16;
+
+impl Service {
+    /// A service over a registry, with `base_seed` as the root of all
+    /// derived `GEN` seeds.
+    pub fn new(registry: Registry, base_seed: u64) -> Self {
+        Service {
+            registry,
+            base_seed,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The underlying registry (tests, STATS).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The effective seed of a `GEN` request: the explicit `seed=` if
+    /// given, else derived from `(base seed, connection stream,
+    /// request index)`.
+    pub fn effective_seed(&self, explicit: Option<u64>, conn: &ConnState) -> u64 {
+        explicit
+            .unwrap_or_else(|| stream_key(stream_key(self.base_seed, conn.stream), conn.gen_index))
+    }
+
+    /// Executes one request line and returns the full response block
+    /// (terminated by `.\n`). The boolean is `true` when the
+    /// connection should close (`QUIT`).
+    pub fn handle_line(&self, line: &str, conn: &mut ConnState) -> (String, bool) {
+        match crate::protocol::parse_request(line) {
+            Ok(Request::Quit) => ("OK BYE\n.\n".to_string(), true),
+            Ok(req) => match self.execute(&req, conn) {
+                Ok(block) => (block, false),
+                Err(e) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    (e.render(), false)
+                }
+            },
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                (e.render(), false)
+            }
+        }
+    }
+
+    fn fetch(&self, net: &str) -> Result<Arc<ServedModel>, ProtoError> {
+        // Distinguish "no such model" from genuine I/O trouble so
+        // clients can react differently.
+        match self.registry.store().path_for(net) {
+            Ok(path) if !path.exists() => {
+                return Err(ProtoError::new(
+                    "unknown-model",
+                    format!("no model for network {net:?}"),
+                ))
+            }
+            Err(e) => return Err(ProtoError::new("bad-request", e.to_string())),
+            Ok(_) => {}
+        }
+        self.registry.get(net).map_err(|e| match e {
+            EipError::Usage(msg) => ProtoError::new("bad-request", msg),
+            other => ProtoError::new("io", other.to_string()),
+        })
+    }
+
+    fn execute(&self, req: &Request, conn: &mut ConnState) -> Result<String, ProtoError> {
+        match req {
+            Request::Browse { net, segment } => {
+                self.counters.browse.fetch_add(1, Ordering::Relaxed);
+                self.browse(net, segment)
+            }
+            Request::Gen {
+                net,
+                count,
+                seed,
+                evidence,
+            } => {
+                self.counters.gen.fetch_add(1, Ordering::Relaxed);
+                let effective = self.effective_seed(*seed, conn);
+                conn.gen_index += 1;
+                self.gen(net, *count, effective, evidence)
+            }
+            Request::Predict64 { net, addr } => {
+                self.counters.predict64.fetch_add(1, Ordering::Relaxed);
+                self.predict64(net, *addr)
+            }
+            Request::Stats => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                Ok(self.stats_block())
+            }
+            Request::Quit => unreachable!("QUIT handled in handle_line"),
+        }
+    }
+
+    /// `BROWSE`: the segment's prior distribution over its dictionary
+    /// (what the paper's browser shows before any click).
+    fn browse(&self, net: &str, segment: &str) -> Result<String, ProtoError> {
+        let served = self.fetch(net)?;
+        let model = &served.model;
+        let Some(idx) = model.segment_index(segment) else {
+            return Err(ProtoError::new(
+                "unknown-segment",
+                format!("network {net} has no segment {segment:?}"),
+            ));
+        };
+        let dist = &Browser::new(model).distributions()[idx];
+        let seg = &model.mined()[idx].segment;
+        let width = seg.end - seg.start + 1;
+        let mut out = format!(
+            "OK BROWSE {net} {segment} nybbles={}-{} values={}\n",
+            seg.start,
+            seg.end,
+            dist.entries.len()
+        );
+        for (code, kind, p) in &dist.entries {
+            match kind {
+                ValueKind::Exact(v) => {
+                    out.push_str(&format!("V {code} exact {v:0width$x} {p:.6}\n"));
+                }
+                ValueKind::Range { lo, hi } => {
+                    out.push_str(&format!(
+                        "V {code} range {lo:0width$x}-{hi:0width$x} {p:.6}\n"
+                    ));
+                }
+            }
+        }
+        out.push_str(".\n");
+        Ok(out)
+    }
+
+    /// `GEN`: a candidate batch from the keyed reference generators.
+    fn gen(
+        &self,
+        net: &str,
+        count: usize,
+        seed: u64,
+        evidence: &[(String, String)],
+    ) -> Result<String, ProtoError> {
+        let served = self.fetch(net)?;
+        let model = &served.model;
+        let generator = Generator::new(model);
+        let report = if evidence.is_empty() {
+            generator.run_keyed_reference(count, seed)
+        } else {
+            let mut ev = Vec::with_capacity(evidence.len());
+            for (label, code) in evidence {
+                let Some(pair) = model.evidence_for(label, code) else {
+                    return Err(ProtoError::new(
+                        "bad-evidence",
+                        format!("network {net} has no value {label}={code}"),
+                    ));
+                };
+                ev.push(pair);
+            }
+            generator.run_keyed_constrained(&ev, count, seed)
+        };
+        let mut out = format!(
+            "OK GEN {net} {count} seed={seed} accepted={} attempts={} duplicates={} excluded={}\n",
+            report.candidates.len(),
+            report.attempts,
+            report.duplicates,
+            report.excluded
+        );
+        for ip in &report.candidates {
+            out.push_str(&format!("{ip}\n"));
+        }
+        out.push_str(".\n");
+        Ok(out)
+    }
+
+    /// `PREDICT64`: exact chain-rule probability of the address's /64
+    /// prefix under the model (§5.6). The top-64 segments form a
+    /// prefix of the variable order and parents always precede
+    /// children, so the joint factors exactly — no inference needed.
+    fn predict64(&self, net: &str, addr: eip_addr::Ip6) -> Result<String, ProtoError> {
+        let served = self.fetch(net)?;
+        let model = &served.model;
+        let prefix = addr.slash64();
+        let top: Vec<usize> = model
+            .mined()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.segment.end <= TOP64_NYBBLES)
+            .map(|(i, _)| i)
+            .collect();
+        // Encode each top-64 segment independently; an unseen value
+        // anywhere makes the whole prefix probability zero.
+        let mut codes: Vec<Option<usize>> = Vec::with_capacity(top.len());
+        for &i in &top {
+            let m = &model.mined()[i];
+            codes.push(m.encode(prefix.segment(m.segment.start, m.segment.end)));
+        }
+        let known = codes.iter().all(|c| c.is_some());
+        let mut logp = 0.0f64;
+        let mut lines = String::new();
+        for (k, &i) in top.iter().enumerate() {
+            let m = &model.mined()[i];
+            let label = &m.segment.label;
+            match codes[k] {
+                // The conditional factor needs every parent observed
+                // too; with any top-64 value unseen the prefix
+                // probability is zero, so skip the chain rule and just
+                // report the decomposition.
+                Some(code) if known => {
+                    let node = model.bn().node(i);
+                    let parent_vals: Vec<usize> = node
+                        .parents
+                        .iter()
+                        .map(|&p| {
+                            let pos = top.iter().position(|&t| t == p).expect(
+                                "top-64 segments are a prefix of the order, closed under parents",
+                            );
+                            codes[pos].expect("all codes known")
+                        })
+                        .collect();
+                    let p = node.cpt.prob(code, &parent_vals);
+                    logp += p.ln();
+                    lines.push_str(&format!("S {label} {} {p:.6}\n", m.values[code].code));
+                }
+                Some(code) => {
+                    lines.push_str(&format!("S {label} {} -\n", m.values[code].code));
+                }
+                None => {
+                    lines.push_str(&format!("S {label} ? -\n"));
+                }
+            }
+        }
+        let header = if known {
+            format!(
+                "OK PREDICT64 {net} {prefix} segments={} known=true logp={logp:.6} p={:.6e}\n",
+                top.len(),
+                logp.exp()
+            )
+        } else {
+            format!(
+                "OK PREDICT64 {net} {prefix} segments={} known=false logp=-inf p=0\n",
+                top.len()
+            )
+        };
+        Ok(format!("{header}{lines}.\n"))
+    }
+
+    /// `STATS`: registry counters, resident set, request counters.
+    fn stats_block(&self) -> String {
+        let stats = self.registry.stats();
+        let networks = self.registry.store().list().map(|v| v.len()).unwrap_or(0);
+        let resident = self.registry.resident();
+        let c = &self.counters;
+        format!(
+            "OK STATS\n\
+             networks {networks}\n\
+             resident {}\n\
+             cache_hits {}\n\
+             cache_misses {}\n\
+             cache_loads {}\n\
+             cache_evictions {}\n\
+             req_browse {}\n\
+             req_gen {}\n\
+             req_predict64 {}\n\
+             req_stats {}\n\
+             req_errors {}\n\
+             mru {}\n\
+             .\n",
+            stats.resident,
+            stats.hits,
+            stats.misses,
+            stats.loads,
+            stats.evictions,
+            c.browse.load(Ordering::Relaxed),
+            c.gen.load(Ordering::Relaxed),
+            c.predict64.load(Ordering::Relaxed),
+            c.stats.load(Ordering::Relaxed),
+            c.errors.load(Ordering::Relaxed),
+            if resident.is_empty() {
+                "-".to_string()
+            } else {
+                resident.join(",")
+            }
+        )
+    }
+}

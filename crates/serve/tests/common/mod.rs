@@ -1,0 +1,50 @@
+//! Shared helpers for the eip_serve integration tests: tiny trained
+//! models and per-test scratch directories.
+
+use std::path::PathBuf;
+
+use eip_addr::{AddressSet, Ip6};
+use entropy_ip::{store, EntropyIp, IpModel};
+
+use eip_serve::ModelStore;
+
+/// A fresh scratch directory under the target-local temp dir, unique
+/// per test name (tests run concurrently in one process).
+pub fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eip_serve_{test}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The addresses a test network is trained on: two /32s with distinct
+/// subnet distributions and low-entropy IIDs (same shape as the
+/// browser tests — yields several segments with multi-value
+/// dictionaries).
+pub fn training_set(base: u128) -> AddressSet {
+    let mut v = Vec::new();
+    for i in 0..600u128 {
+        v.push(Ip6(((0x2001_0db8 + base) << 96)
+            | ((i % 4) << 80)
+            | (i + 1)));
+    }
+    for i in 0..400u128 {
+        v.push(Ip6(((0x3001_0db8 + base) << 96)
+            | ((8 + i % 8) << 80)
+            | (i + 1)));
+    }
+    AddressSet::from_iter(v)
+}
+
+/// Trains the test model for `base`.
+pub fn train(base: u128) -> IpModel {
+    EntropyIp::new().analyze(&training_set(base)).unwrap()
+}
+
+/// Trains a model and saves it under `network` in `store`.
+pub fn train_into(store: &ModelStore, network: &str, base: u128) -> IpModel {
+    let model = train(base);
+    let fp = store::fingerprint(&format!("test net {network} base {base}"));
+    store.save(network, &model, fp).unwrap();
+    model
+}

