@@ -71,21 +71,42 @@ impl Cpt {
     /// Panics on shape mismatch or a row that does not sum to 1
     /// within 1e-6.
     pub fn from_probs(child_card: usize, parent_cards: Vec<usize>, probs: Vec<f64>) -> Self {
+        Self::try_from_probs(child_card, parent_cards, probs).expect("invalid CPT")
+    }
+
+    /// Fallible twin of [`Cpt::from_probs`] for deserialization
+    /// paths, which must report bad input (shape mismatch, a row not
+    /// summing to 1 within 1e-6, NaN probabilities) as an error, not
+    /// a panic.
+    pub fn try_from_probs(
+        child_card: usize,
+        parent_cards: Vec<usize>,
+        probs: Vec<f64>,
+    ) -> Result<Self, String> {
+        if child_card == 0 {
+            return Err("child cardinality must be positive".into());
+        }
         let num_configs: usize = parent_cards.iter().product::<usize>().max(1);
-        assert_eq!(
-            probs.len(),
-            child_card * num_configs,
-            "probs length mismatch"
-        );
+        if probs.len() != child_card * num_configs {
+            return Err(format!(
+                "probs length {} does not match {child_card} child values × {num_configs} configs",
+                probs.len()
+            ));
+        }
         for cfg in 0..num_configs {
             let s: f64 = probs[cfg * child_card..(cfg + 1) * child_card].iter().sum();
-            assert!((s - 1.0).abs() < 1e-6, "config {cfg} sums to {s}");
+            let dev = (s - 1.0).abs();
+            // The explicit NaN arm keeps poisoned probabilities from
+            // sneaking past the tolerance comparison.
+            if dev.is_nan() || dev >= 1e-6 {
+                return Err(format!("config {cfg} sums to {s}"));
+            }
         }
-        Cpt {
+        Ok(Cpt {
             child_card,
             parent_cards,
             probs,
-        }
+        })
     }
 
     /// Child cardinality.

@@ -33,28 +33,33 @@ impl BayesNet {
     /// child's index, or a CPT's shape disagrees with the declared
     /// parents/cardinalities.
     pub fn new(nodes: Vec<Node>) -> Self {
+        Self::try_new(nodes).expect("invalid network")
+    }
+
+    /// Fallible twin of [`BayesNet::new`] for deserialization paths,
+    /// which must report an inconsistent network (ordering violation,
+    /// CPT shape disagreement) as an error, not a panic.
+    pub fn try_new(nodes: Vec<Node>) -> Result<Self, String> {
         for (i, node) in nodes.iter().enumerate() {
-            assert!(node.cardinality > 0, "node {i} has zero cardinality");
-            assert_eq!(
-                node.cpt.child_card(),
-                node.cardinality,
-                "node {i}: CPT child cardinality mismatch"
-            );
-            assert_eq!(
-                node.cpt.parent_cards().len(),
-                node.parents.len(),
-                "node {i}: CPT parent count mismatch"
-            );
+            if node.cardinality == 0 {
+                return Err(format!("node {i} has zero cardinality"));
+            }
+            if node.cpt.child_card() != node.cardinality {
+                return Err(format!("node {i}: CPT child cardinality mismatch"));
+            }
+            if node.cpt.parent_cards().len() != node.parents.len() {
+                return Err(format!("node {i}: CPT parent count mismatch"));
+            }
             for (slot, &p) in node.parents.iter().enumerate() {
-                assert!(p < i, "node {i}: parent {p} violates ordering constraint");
-                assert_eq!(
-                    node.cpt.parent_cards()[slot],
-                    nodes[p].cardinality,
-                    "node {i}: parent {p} cardinality mismatch"
-                );
+                if p >= i {
+                    return Err(format!("node {i}: parent {p} violates ordering constraint"));
+                }
+                if node.cpt.parent_cards()[slot] != nodes[p].cardinality {
+                    return Err(format!("node {i}: parent {p} cardinality mismatch"));
+                }
             }
         }
-        BayesNet { nodes }
+        Ok(BayesNet { nodes })
     }
 
     /// Number of variables.

@@ -138,7 +138,7 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
 /// Serializes a network: node count, then per node its name,
 /// cardinality, parent indices, and raw CPT probability bits. Parent
 /// cardinalities are not stored — they are recomputed from the parent
-/// nodes on read, and [`BayesNet::new`] re-validates the ordering
+/// nodes on read, and [`BayesNet::try_new`] re-validates the ordering
 /// constraint and CPT shapes, so a corrupt buffer cannot smuggle in
 /// an inconsistent network.
 pub fn write_net(bn: &BayesNet, out: &mut Vec<u8>) {
@@ -160,8 +160,10 @@ pub fn write_net(bn: &BayesNet, out: &mut Vec<u8>) {
 
 /// Reads a network written by [`write_net`]. CPT probabilities are
 /// reconstructed bit-exactly; shape validation happens in
-/// [`BayesNet::new`] via [`Cpt::from_probs`] (which re-checks row
-/// normalization, catching bit flips in the probability payload).
+/// [`BayesNet::try_new`] via [`Cpt::try_from_probs`] (which re-checks
+/// row normalization, catching bit flips in the probability payload)
+/// — both fallible, so even a structurally valid buffer carrying
+/// non-normalized rows is an `Err`, never a panic.
 pub fn read_net(r: &mut Reader<'_>) -> Result<BayesNet, String> {
     let nvars = r.len(1 << 16, "bn node count")?;
     let mut nodes: Vec<Node> = Vec::with_capacity(nvars);
@@ -190,7 +192,8 @@ pub fn read_net(r: &mut Reader<'_>) -> Result<BayesNet, String> {
         for _ in 0..nprobs {
             probs.push(r.f64("cpt probability")?);
         }
-        let cpt = Cpt::from_probs(cardinality, parent_cards, probs);
+        let cpt = Cpt::try_from_probs(cardinality, parent_cards, probs)
+            .map_err(|e| format!("node {i}: {e}"))?;
         nodes.push(Node {
             name,
             cardinality,
@@ -198,7 +201,7 @@ pub fn read_net(r: &mut Reader<'_>) -> Result<BayesNet, String> {
             cpt,
         });
     }
-    Ok(BayesNet::new(nodes))
+    BayesNet::try_new(nodes)
 }
 
 #[cfg(test)]
@@ -254,6 +257,28 @@ mod tests {
         for cut in [0, 1, 4, buf.len() / 2, buf.len() - 1] {
             let err = read_net(&mut Reader::new(&buf[..cut]));
             assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn non_normalized_row_is_an_error_not_a_panic() {
+        let bn = chain3();
+        let mut buf = Vec::new();
+        write_net(&bn, &mut buf);
+        // Node 0's first CPT probability lives right after the node
+        // count, name, cardinality, and parent count; overwrite its
+        // bits so the row no longer sums to 1 (and again with NaN).
+        let mut r = Reader::new(&buf);
+        r.u32("n").unwrap();
+        r.str("name").unwrap();
+        r.u32("card").unwrap();
+        r.u32("nparents").unwrap();
+        let pos = r.position();
+        for poison in [2.5f64, f64::NAN] {
+            let mut bad = buf.clone();
+            bad[pos..pos + 8].copy_from_slice(&poison.to_bits().to_le_bytes());
+            let err = read_net(&mut Reader::new(&bad)).unwrap_err();
+            assert!(err.contains("sums to"), "poison {poison}: {err}");
         }
     }
 

@@ -195,6 +195,14 @@ fn load_inner(bytes: &[u8]) -> Result<(IpModel, u64), String> {
         let label = r.str("segment label")?;
         let start = r.len(32, "segment start")?;
         let end = r.len(32, "segment end")?;
+        // Positions are 1-based inclusive; downstream arithmetic
+        // (`end - start + 1`, nybble slicing) must never see an
+        // inverted or out-of-width range.
+        if start == 0 || start > end || end > width {
+            return Err(format!(
+                "segment {label:?} range {start}-{end} invalid for width {width}"
+            ));
+        }
         segments.push(Segment { label, start, end });
     }
     let total_entropy: f64 = entropy[..width].iter().sum();
@@ -327,6 +335,46 @@ mod tests {
         // Trailing garbage.
         let mut bad = good.clone();
         bad.push(0);
+        assert!(load(&bad).is_err());
+    }
+
+    /// Rewrites the trailing checksum after byte surgery, so the
+    /// corruption reaches the decoder instead of the checksum check
+    /// (FNV-1a is not cryptographic — crafted files can do the same).
+    fn reseal(bytes: &mut [u8]) {
+        let body_end = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn crafted_payloads_error_instead_of_panicking() {
+        let m = model();
+        let good = save(&m, 5);
+
+        // Non-normalized CPT row: the payload ends with the last BN
+        // node's probabilities; poison the final one with NaN.
+        let mut bad = good.clone();
+        let body_end = bad.len() - 8;
+        bad[body_end - 8..body_end].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        reseal(&mut bad);
+        assert!(matches!(load(&bad), Err(EipError::Profile(msg)) if msg.contains("sums to")));
+
+        // Inverted segment range (start > end): the first segment's
+        // start field sits after width, address count, both profiles,
+        // and the segment count + label.
+        let mut off = HEADER_LEN + 4 + 8 + 32 * 8 + 32 * 8 + 4;
+        let label_len = u32::from_le_bytes(good[off..off + 4].try_into().unwrap()) as usize;
+        off += 4 + label_len;
+        let mut bad = good.clone();
+        bad[off..off + 4].copy_from_slice(&31u32.to_le_bytes());
+        reseal(&mut bad);
+        assert!(matches!(load(&bad), Err(EipError::Profile(msg)) if msg.contains("range")));
+
+        // Zero segment start (positions are 1-based).
+        let mut bad = good;
+        bad[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        reseal(&mut bad);
         assert!(load(&bad).is_err());
     }
 

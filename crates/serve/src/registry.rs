@@ -28,7 +28,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use entropy_ip::store;
-use entropy_ip::{EipError, IpModel};
+use entropy_ip::{Browser, EipError, IpModel, SegmentDistribution};
 
 /// A decoded model with its provenance, as served to connections.
 #[derive(Debug)]
@@ -39,6 +39,19 @@ pub struct ServedModel {
     pub model: IpModel,
     /// The training-run fingerprint stored in the container header.
     pub fingerprint: u64,
+    /// Prior (no-evidence) browser distributions, computed lazily at
+    /// most once per residency — models are immutable, so `BROWSE`
+    /// requests share this instead of re-running inference each time.
+    priors: OnceLock<Vec<SegmentDistribution>>,
+}
+
+impl ServedModel {
+    /// The prior distribution of every segment, indexed like
+    /// [`IpModel::mined`] (cached across requests).
+    pub fn priors(&self) -> &[SegmentDistribution] {
+        self.priors
+            .get_or_init(|| Browser::new(&self.model).distributions())
+    }
 }
 
 /// Directory-backed model persistence, one `.eipm` file per network.
@@ -91,6 +104,7 @@ impl ModelStore {
             network: network.to_string(),
             model,
             fingerprint,
+            priors: OnceLock::new(),
         })
     }
 
@@ -239,12 +253,18 @@ impl Registry {
         result
     }
 
-    /// Evicts the least-recently-used slot. Called with the lock held
-    /// and `slots` non-empty.
+    /// Evicts the least-recently-used *populated* slot. Called with
+    /// the lock held. Slots whose load is still in flight are never
+    /// victims: evicting one drops the single-flight cell while its
+    /// loader is mid-decode, so the finished decode would be orphaned
+    /// and the next request would hit the disk again. If every slot
+    /// is pending, nothing is evicted and the cache briefly exceeds
+    /// capacity instead.
     fn evict_lru(&self, st: &mut CacheState) {
         if let Some(victim) = st
             .slots
             .iter()
+            .filter(|(_, slot)| slot.cell.get().is_some())
             .min_by_key(|(_, slot)| slot.last_used)
             .map(|(k, _)| k.clone())
         {
@@ -297,6 +317,42 @@ mod tests {
         assert!(!valid_network_id("../etc/passwd"));
         assert!(!valid_network_id("a b"));
         assert!(!valid_network_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn eviction_skips_in_flight_loads() {
+        let store = ModelStore::open(std::env::temp_dir().join("eip_reg_evict")).unwrap();
+        let reg = Registry::new(store, 1);
+        let mut st = reg.state.lock().unwrap();
+        // "pending" is mid-load (empty cell) and, under concurrency,
+        // can hold the oldest tick; "done" finished loading later. A
+        // populated Err cell stands in for a decoded model here.
+        let populated: Arc<OnceLock<Result<Arc<ServedModel>, EipError>>> =
+            Arc::new(OnceLock::new());
+        populated
+            .set(Err(EipError::Usage("placeholder".into())))
+            .unwrap();
+        st.slots.insert(
+            "pending".into(),
+            Slot {
+                cell: Arc::new(OnceLock::new()),
+                last_used: 1,
+            },
+        );
+        st.slots.insert(
+            "done".into(),
+            Slot {
+                cell: populated,
+                last_used: 2,
+            },
+        );
+        reg.evict_lru(&mut st);
+        assert!(st.slots.contains_key("pending"), "in-flight load evicted");
+        assert!(!st.slots.contains_key("done"));
+        // Only pending slots left: eviction is a no-op, not a panic.
+        reg.evict_lru(&mut st);
+        assert!(st.slots.contains_key("pending"));
+        assert_eq!(st.stats.evictions, 1);
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! sockets are shut down (unblocking their reader threads at the next
 //! request boundary — an in-flight response is still written whole),
 //! and [`ServerHandle::shutdown`] joins the acceptor and every
-//! connection thread before returning.
+//! connection thread before returning. Finished connections release
+//! their slot (socket clone + join handle) immediately, so a
+//! long-lived daemon's footprint tracks the *live* connection set,
+//! not the accept count.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,9 +28,13 @@ use crate::service::{ConnState, Service};
 /// Protocol version announced in the banner.
 pub const PROTOCOL_VERSION: u32 = 1;
 
-/// One `(thread, socket)` pair per open connection; the socket clone
-/// lets shutdown unblock a reader parked in `read_line`.
-type ConnSlots = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+/// One `(thread, socket)` slot per *open* connection, keyed by stream
+/// id; the socket clone lets shutdown unblock a reader parked in
+/// `read_line`. Connection threads remove their own slot on exit (so
+/// a long-lived daemon does not accumulate one fd + join handle per
+/// finished connection), and the accept loop sweeps any slot that
+/// lost the insert/exit race.
+type ConnSlots = Arc<Mutex<HashMap<u64, (JoinHandle<()>, TcpStream)>>>;
 
 /// A running server; dropping the handle does *not* stop it — call
 /// [`ServerHandle::shutdown`].
@@ -42,6 +50,13 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Number of connection slots currently tracked: open connections
+    /// plus any finished ones not yet swept (threads reap their own
+    /// slot on exit, so this stays bounded by the live set).
+    pub fn tracked_connections(&self) -> usize {
+        self.conns.lock().expect("conns lock").len()
     }
 
     /// Blocks until the acceptor exits — i.e. forever, unless another
@@ -64,7 +79,7 @@ impl ServerHandle {
         }
         let handles: Vec<_> = {
             let mut guard = self.conns.lock().expect("conns lock");
-            guard.drain(..).collect()
+            guard.drain().map(|(_, slot)| slot).collect()
         };
         for (h, stream) in handles {
             // Unblock the connection thread if it is idle in
@@ -82,7 +97,7 @@ pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> Result<ServerHa
         .local_addr()
         .map_err(|e| EipError::io("local_addr".to_string(), e))?;
     let stop = Arc::new(AtomicBool::new(false));
-    let conns: ConnSlots = Arc::new(Mutex::new(Vec::new()));
+    let conns: ConnSlots = Arc::new(Mutex::new(HashMap::new()));
     let next_stream = AtomicU64::new(1);
 
     let acceptor = {
@@ -93,17 +108,36 @@ pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> Result<ServerHa
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = incoming else { continue };
+                // Sweep slots whose thread beat its own insert to the
+                // exit (self-removal found nothing to remove).
+                reap_finished(&conns);
+                let stream = match incoming {
+                    Ok(s) => s,
+                    Err(e) => {
+                        // accept can fail persistently (EMFILE, …);
+                        // back off instead of busy-spinning.
+                        eprintln!("eip-serve: accept failed: {e}");
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        continue;
+                    }
+                };
                 let id = next_stream.fetch_add(1, Ordering::Relaxed);
                 let service = service.clone();
                 let Ok(stream_for_shutdown) = stream.try_clone() else {
                     continue;
                 };
-                let handle = std::thread::spawn(move || serve_connection(&service, stream, id));
+                let conns_for_conn = conns.clone();
+                let handle = std::thread::spawn(move || {
+                    serve_connection(&service, stream, id);
+                    // Release this connection's slot (fd + handle) as
+                    // soon as it finishes; dropping our own
+                    // JoinHandle just detaches the exiting thread.
+                    conns_for_conn.lock().expect("conns lock").remove(&id);
+                });
                 conns
                     .lock()
                     .expect("conns lock")
-                    .push((handle, stream_for_shutdown));
+                    .insert(id, (handle, stream_for_shutdown));
             }
         })
     };
@@ -114,6 +148,27 @@ pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> Result<ServerHa
         acceptor: Some(acceptor),
         conns,
     })
+}
+
+/// Joins and removes connections whose threads have already exited.
+/// Normally threads remove their own slot, but a thread that finishes
+/// before the acceptor inserts its slot leaves a dead entry behind;
+/// this sweep (and shutdown) catches those.
+fn reap_finished(conns: &ConnSlots) {
+    let finished: Vec<(JoinHandle<()>, TcpStream)> = {
+        let mut guard = conns.lock().expect("conns lock");
+        let done: Vec<u64> = guard
+            .iter()
+            .filter(|(_, (handle, _))| handle.is_finished())
+            .map(|(&id, _)| id)
+            .collect();
+        done.into_iter()
+            .filter_map(|id| guard.remove(&id))
+            .collect()
+    };
+    for (handle, _stream) in finished {
+        let _ = handle.join();
+    }
 }
 
 /// Serves one connection to completion: banner, then a

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eip_exec::rng::stream_key;
-use entropy_ip::{Browser, EipError, Generator, ValueKind};
+use entropy_ip::{EipError, Generator, ValueKind};
 
 use crate::protocol::{ProtoError, Request};
 use crate::registry::{Registry, ServedModel};
@@ -182,7 +182,7 @@ impl Service {
                 format!("network {net} has no segment {segment:?}"),
             ));
         };
-        let dist = &Browser::new(model).distributions()[idx];
+        let dist = &served.priors()[idx];
         let seg = &model.mined()[idx].segment;
         let width = seg.end - seg.start + 1;
         let mut out = format!(

@@ -203,6 +203,27 @@ fn constrained_gen_matches_oracle() {
     server.shutdown();
 }
 
+/// Finished connections release their slots (fd + join handle)
+/// without waiting for shutdown, so a long-lived daemon serving many
+/// short sessions (`eip query` is one connection each) never runs
+/// out of file descriptors.
+#[test]
+fn finished_connections_are_reaped() {
+    let (server, _) = server_with("reap", &[("S1", 0)], 4);
+    for _ in 0..8 {
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.request("QUIT").unwrap()[0], "OK BYE");
+    }
+    // Each thread removes its own slot right after its QUIT response;
+    // allow a beat for the last ones to get there.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.tracked_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(server.tracked_connections(), 0, "connection slots leaked");
+    server.shutdown();
+}
+
 /// Shutdown joins every thread and the port stops accepting.
 #[test]
 fn shutdown_is_clean() {
