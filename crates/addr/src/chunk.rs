@@ -1,0 +1,255 @@
+//! Newline-aligned chunked reading for streaming ingestion.
+//!
+//! The streaming ingestion engine (`entropy_ip::ingest`) wants the
+//! input as a sequence of *independent* byte chunks it can parse on
+//! worker threads: each chunk must contain only whole lines, so a
+//! worker never sees half an address. [`ChunkReader`] produces
+//! exactly that — fixed-size reads split at the last newline, with
+//! the partial trailing line carried into the next chunk.
+//!
+//! Memory stays bounded by the chunk size (plus one line of carry):
+//! the reader never holds more of the input than one chunk, no matter
+//! how large the file is. The one exception is a single line longer
+//! than the chunk size, which grows that chunk until its newline
+//! arrives — correctness over a strict bound.
+//!
+//! ```
+//! use eip_addr::chunk::ChunkReader;
+//!
+//! let text = b"2001:db8::1\n2001:db8::2\n2001:db8::3\n";
+//! let mut r = ChunkReader::new(&text[..], 16);
+//! let mut chunks = Vec::new();
+//! while let Some(c) = r.next_chunk().unwrap() {
+//!     assert!(c.ends_with(b"\n"), "chunks end at line boundaries");
+//!     chunks.push(c);
+//! }
+//! assert_eq!(chunks.concat(), text, "chunks reassemble the input");
+//! ```
+
+use std::io::Read;
+
+/// Minimum chunk size accepted by [`ChunkReader::new`]. Tiny chunks
+/// are allowed (the equivalence tests run them down to this floor to
+/// torture line-boundary handling); zero would make no progress.
+pub const MIN_CHUNK_BYTES: usize = 1;
+
+/// First occurrence of `needle` in `hay` — a SWAR (SIMD-within-a-
+/// register) scan, eight bytes per step with the classic
+/// zero-byte-detect trick, so the chunk parser's line splitting runs
+/// at word speed instead of byte speed. Semantically identical to
+/// `hay.iter().position(|&b| b == needle)`.
+#[inline]
+pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let spread = u64::from(needle).wrapping_mul(LO);
+    let mut chunks = hay.chunks_exact(8);
+    let mut i = 0usize;
+    for chunk in &mut chunks {
+        let word = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")) ^ spread;
+        // A byte of `word` is zero exactly where `hay` matched.
+        if word.wrapping_sub(LO) & !word & HI != 0 {
+            let at = chunk
+                .iter()
+                .position(|&b| b == needle)
+                .expect("detected match in word");
+            return Some(i + at);
+        }
+        i += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| i + p)
+}
+
+/// Reads an input stream as newline-aligned byte chunks of roughly
+/// `chunk_bytes` each. See the [module docs](self).
+#[derive(Debug)]
+pub struct ChunkReader<R> {
+    inner: R,
+    chunk_bytes: usize,
+    /// Partial trailing line of the previous chunk.
+    carry: Vec<u8>,
+    eof: bool,
+    bytes_read: u64,
+    chunks: u64,
+}
+
+impl<R: Read> ChunkReader<R> {
+    /// Wraps a reader. `chunk_bytes` is clamped to at least
+    /// [`MIN_CHUNK_BYTES`]. No [`std::io::BufReader`] is needed —
+    /// this reader *is* the buffer, and it reads in `chunk_bytes`
+    /// slabs.
+    pub fn new(inner: R, chunk_bytes: usize) -> Self {
+        ChunkReader {
+            inner,
+            chunk_bytes: chunk_bytes.max(MIN_CHUNK_BYTES),
+            carry: Vec::new(),
+            eof: false,
+            bytes_read: 0,
+            chunks: 0,
+        }
+    }
+
+    /// Total bytes consumed from the underlying reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Number of chunks produced so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Returns the next chunk, or `None` at end of input.
+    ///
+    /// Every chunk but the last ends with `\n`; the last ends with
+    /// the stream's final bytes whether or not a trailing newline is
+    /// present. Concatenating all chunks reproduces the input
+    /// exactly. Each call hands out a fresh `Vec` so the caller can
+    /// move chunks onto worker threads.
+    pub fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        if self.eof && self.carry.is_empty() {
+            return Ok(None);
+        }
+        let mut buf = std::mem::take(&mut self.carry);
+        loop {
+            if self.eof {
+                break;
+            }
+            // Top the buffer up to the chunk size (or beyond it, one
+            // slab at a time, while an over-long line keeps the
+            // newline out of reach).
+            let want = self.chunk_bytes.max(buf.len() + 1);
+            let old_len = buf.len();
+            buf.resize(want, 0);
+            let mut filled = old_len;
+            while filled < want {
+                match self.inner.read(&mut buf[filled..want]) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            self.bytes_read += (filled - old_len) as u64;
+            buf.truncate(filled);
+            if self.eof {
+                break;
+            }
+            if let Some(pos) = buf.iter().rposition(|&b| b == b'\n') {
+                self.carry = buf.split_off(pos + 1);
+                break;
+            }
+            // No newline yet: a line longer than the chunk size.
+            // Keep reading until one arrives (or EOF).
+        }
+        if buf.is_empty() {
+            Ok(None)
+        } else {
+            self.chunks += 1;
+            Ok(Some(buf))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(text: &[u8], chunk_bytes: usize) -> Vec<Vec<u8>> {
+        let mut r = ChunkReader::new(text, chunk_bytes);
+        let mut out = Vec::new();
+        while let Some(c) = r.next_chunk().unwrap() {
+            out.push(c);
+        }
+        assert_eq!(r.bytes_read(), text.len() as u64);
+        assert_eq!(r.chunks(), out.len() as u64);
+        assert!(r.next_chunk().unwrap().is_none(), "None is sticky");
+        out
+    }
+
+    #[test]
+    fn chunks_reassemble_and_split_at_newlines() {
+        let text = b"alpha\nbeta\ngamma\ndelta\n";
+        for chunk in 1..=text.len() + 2 {
+            let chunks = collect(text, chunk);
+            let whole: Vec<u8> = chunks.concat();
+            assert_eq!(whole, text, "chunk={chunk}");
+            for c in &chunks {
+                assert_eq!(*c.last().unwrap(), b'\n', "chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_trailing_newline_reaches_last_chunk() {
+        let text = b"one\ntwo\nthree";
+        for chunk in 1..=16 {
+            let chunks = collect(text, chunk);
+            assert_eq!(chunks.concat(), text);
+            assert!(chunks.last().unwrap().ends_with(b"three"));
+        }
+    }
+
+    #[test]
+    fn oversized_line_grows_one_chunk() {
+        let long = vec![b'x'; 100];
+        let mut text = long.clone();
+        text.push(b'\n');
+        text.extend_from_slice(b"y\n");
+        let chunks = collect(&text, 8);
+        assert_eq!(chunks[0].len(), 101, "long line kept whole");
+        assert_eq!(chunks.concat(), text);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        assert!(collect(b"", 8).is_empty());
+    }
+
+    #[test]
+    fn crlf_passes_through_untouched() {
+        let text = b"a\r\nb\r\n";
+        let chunks = collect(text, 4);
+        assert_eq!(chunks.concat(), text);
+    }
+
+    #[test]
+    fn chunk_size_clamps_to_minimum() {
+        let chunks = collect(b"a\nb\n", 0);
+        assert_eq!(chunks.concat(), b"a\nb\n");
+    }
+
+    /// The SWAR scan agrees with the naive scan at every offset and
+    /// length around word boundaries, including needle bytes that
+    /// also appear spread across other positions.
+    #[test]
+    fn find_byte_matches_naive_position() {
+        let mut hay = Vec::new();
+        for i in 0..64u8 {
+            hay.push(i.wrapping_mul(37));
+        }
+        for len in 0..hay.len() {
+            for needle in [0u8, b'\n', 37, 255] {
+                let slice = &hay[..len];
+                assert_eq!(
+                    find_byte(slice, needle),
+                    slice.iter().position(|&b| b == needle),
+                    "len={len} needle={needle}"
+                );
+            }
+        }
+        // Matches at every position of an 17-byte window.
+        for at in 0..17 {
+            let mut s = vec![b'x'; 17];
+            s[at] = b'\n';
+            assert_eq!(find_byte(&s, b'\n'), Some(at));
+        }
+    }
+}

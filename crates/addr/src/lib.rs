@@ -18,6 +18,11 @@
 //!   splits, stratified sampling by /32, /64 extraction), plus
 //!   [`AddressSetBuilder`] for streaming construction from any
 //!   address iterator with bounded memory.
+//! * [`ChunkReader`] — newline-aligned chunked reading: the input as
+//!   fixed-size byte chunks of whole lines, the unit the parallel
+//!   streaming ingestion engine fans out to worker threads (paired
+//!   with the allocation-free line classifier
+//!   [`set::parse_address_slice`]).
 //! * [`EipError`] — the workspace-wide error type (re-exported as
 //!   `entropy_ip::EipError`); it lives here, in the crate everything
 //!   depends on, so even substrate operations like
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod anonymize;
+pub mod chunk;
 pub mod dedup;
 pub mod error;
 pub mod iid;
@@ -57,6 +63,7 @@ pub mod prefix;
 pub mod set;
 
 pub use anonymize::{anonymize_addr, anonymize_set};
+pub use chunk::ChunkReader;
 pub use dedup::DedupSet;
 pub use error::EipError;
 pub use ip6::{Ip6, ParseIp6Error};

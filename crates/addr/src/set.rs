@@ -43,6 +43,20 @@ impl AddressSet {
         AddressSet { addrs }
     }
 
+    /// Builds a set from a vector that is **already sorted and
+    /// deduplicated** — the streaming-ingestion and set-algebra hot
+    /// paths produce exactly that shape, and re-sorting a 100M-entry
+    /// sorted vector just to prove it is sorted would double the cost
+    /// of the merge that produced it. Debug builds verify the
+    /// invariant; release builds trust the caller.
+    pub fn from_sorted(addrs: Vec<Ip6>) -> Self {
+        debug_assert!(
+            addrs.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted input must be strictly increasing"
+        );
+        AddressSet { addrs }
+    }
+
     /// Parses one address per line, ignoring blank lines and lines
     /// starting with `#`. Accepts both colon and fixed-width hex
     /// formats. Reports the first offending line as
@@ -99,14 +113,30 @@ impl AddressSet {
         }
     }
 
-    /// Set union.
+    /// Set union. Both operands are already sorted, so this is one
+    /// linear two-pointer merge ([`merge_sorted_dedup`]) — not the
+    /// collect-and-re-sort the original implementation paid.
     pub fn union(&self, other: &AddressSet) -> AddressSet {
-        Self::from_iter(self.iter().chain(other.iter()))
+        AddressSet {
+            addrs: merge_sorted_dedup(&self.addrs, &other.addrs),
+        }
     }
 
-    /// Addresses of `self` not present in `other`.
+    /// Addresses of `self` not present in `other`: a linear merge
+    /// walk over the two sorted vectors (the old implementation ran
+    /// one binary search per element of `self`).
     pub fn difference(&self, other: &AddressSet) -> AddressSet {
-        Self::from_iter(self.iter().filter(|&ip| !other.contains(ip)))
+        let mut out = Vec::new();
+        let mut j = 0usize;
+        for &ip in &self.addrs {
+            while j < other.addrs.len() && other.addrs[j] < ip {
+                j += 1;
+            }
+            if other.addrs.get(j) != Some(&ip) {
+                out.push(ip);
+            }
+        }
+        AddressSet { addrs: out }
     }
 
     /// Keeps only addresses inside `prefix`.
@@ -217,24 +247,89 @@ impl FromIterator<Ip6> for AddressSet {
     }
 }
 
+/// Merges two sorted, deduplicated [`Ip6`] slices into one sorted,
+/// deduplicated vector — the linear two-pointer merge behind
+/// [`AddressSet::union`] and the streaming-ingestion run accumulator
+/// in `entropy_ip::ingest`. Equal elements appear once.
+pub fn merge_sorted_dedup(a: &[Ip6], b: &[Ip6]) -> Vec<Ip6> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Marker error of [`parse_address_slice`]: the line is neither
+/// blank, a comment, nor a valid address. Carries nothing — the
+/// caller owns the line bytes and the line number, so it renders the
+/// message (allocation happens only on the failure path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLine;
+
+/// Classifies one raw input line without allocating: `Ok(None)` for
+/// blank lines and `#` comments, `Ok(Some(ip))` for an address in
+/// colon or fixed-width hex format, [`InvalidLine`] otherwise.
+///
+/// This is the single definition of the line format — the chunked
+/// streaming parser calls it directly on byte slices of the input
+/// buffer, and [`parse_address_bytes`]/[`parse_address_line`] wrap it
+/// with the canonical error message, so the accepted formats cannot
+/// diverge between the batch and streaming ingestion paths. A
+/// trailing `\r` (CRLF input) is trimmed along with other ASCII
+/// whitespace; bytes that are not valid UTF-8 are an [`InvalidLine`].
+pub fn parse_address_slice(line: &[u8]) -> Result<Option<Ip6>, InvalidLine> {
+    let line = line.trim_ascii();
+    if line.is_empty() || line[0] == b'#' {
+        return Ok(None);
+    }
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|s| s.parse::<Ip6>().ok())
+        .map(Some)
+        .ok_or(InvalidLine)
+}
+
+/// [`parse_address_slice`] plus the canonical error: a failed line is
+/// reported as [`EipError::Parse`] naming the 1-based line number.
+/// The `format!` runs only on failure — the success path allocates
+/// nothing.
+pub fn parse_address_bytes(no: usize, line: &[u8]) -> Result<Option<Ip6>, EipError> {
+    parse_address_slice(line).map_err(|InvalidLine| invalid_line_error(no, line))
+}
+
+/// Renders the canonical bad-line error for a 1-based line number and
+/// the raw line bytes (shown trimmed, lossily decoded). Shared by the
+/// serial reader and the chunked streaming parser so both report a
+/// byte-identical message for the same input.
+pub fn invalid_line_error(no: usize, line: &[u8]) -> EipError {
+    let shown = String::from_utf8_lossy(line.trim_ascii()).into_owned();
+    EipError::Parse(format!("line {no}: invalid address: {shown}"))
+}
+
 /// Parses one line of an address list: `Ok(None)` for blank lines and
 /// `#` comments, `Ok(Some(ip))` for an address in colon or
 /// fixed-width hex format, and [`EipError::Parse`] naming the 1-based
-/// line number otherwise.
-///
-/// This is the single definition of the line format — shared by
-/// [`AddressSet::parse_lines`] and `entropy_ip`'s streaming
-/// `Pipeline::profile_lines`, so the accepted formats and the error
-/// wording cannot diverge between the batch and streaming ingestion
-/// paths.
+/// line number otherwise. (A thin `&str` front for
+/// [`parse_address_bytes`].)
 pub fn parse_address_line(no: usize, line: &str) -> Result<Option<Ip6>, EipError> {
-    let line = line.trim();
-    if line.is_empty() || line.starts_with('#') {
-        return Ok(None);
-    }
-    line.parse::<Ip6>()
-        .map(Some)
-        .map_err(|_| EipError::Parse(format!("line {no}: invalid address: {line}")))
+    parse_address_bytes(no, line.as_bytes())
 }
 
 /// Incremental [`AddressSet`] construction for streaming ingestion.
@@ -500,6 +595,85 @@ mod tests {
             b.addrs.capacity()
         );
         assert_eq!(b.finish().len(), 256);
+    }
+
+    #[test]
+    fn union_difference_match_rebuild_reference() {
+        // The linear merge/subtract must equal the old
+        // collect-and-re-sort implementations on overlapping,
+        // disjoint, nested, and empty operand shapes.
+        let shapes: [(Vec<u128>, Vec<u128>); 5] = [
+            (vec![1, 3, 5, 7], vec![2, 3, 6, 7, 9]),
+            (vec![1, 2, 3], vec![10, 11]),
+            (vec![5, 6, 7], vec![5, 6, 7]),
+            (vec![], vec![4, 8]),
+            (vec![0, u128::MAX], vec![]),
+        ];
+        for (a, b) in shapes {
+            let sa: AddressSet = a.iter().copied().map(Ip6).collect();
+            let sb: AddressSet = b.iter().copied().map(Ip6).collect();
+            let union_ref = AddressSet::from_iter(sa.iter().chain(sb.iter()));
+            let diff_ref = AddressSet::from_iter(sa.iter().filter(|&ip| !sb.contains(ip)));
+            assert_eq!(sa.union(&sb), union_ref, "union {sa:?} {sb:?}");
+            assert_eq!(sb.union(&sa), union_ref, "union commutes");
+            assert_eq!(sa.difference(&sb), diff_ref, "difference {sa:?} {sb:?}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_dedup_merges_and_dedups() {
+        let a: Vec<Ip6> = [1u128, 3, 5].into_iter().map(Ip6).collect();
+        let b: Vec<Ip6> = [2u128, 3, 4, 5, 9].into_iter().map(Ip6).collect();
+        let m = merge_sorted_dedup(&a, &b);
+        assert_eq!(m, [1u128, 2, 3, 4, 5, 9].map(Ip6).to_vec());
+        assert_eq!(merge_sorted_dedup(&a, &[]), a);
+        assert_eq!(merge_sorted_dedup(&[], &b), b);
+        assert!(merge_sorted_dedup(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn from_sorted_trusts_sorted_input() {
+        let v: Vec<Ip6> = [1u128, 2, 9].into_iter().map(Ip6).collect();
+        let s = AddressSet::from_sorted(v.clone());
+        assert_eq!(s, AddressSet::from_iter(v));
+    }
+
+    #[test]
+    fn parse_address_slice_matches_str_parser() {
+        // The no-alloc slice classifier and the &str wrapper agree on
+        // every line shape, including CRLF and padding.
+        let cases: [(&str, Option<&str>); 8] = [
+            ("2001:db8::1", Some("2001:db8::1")),
+            ("  2001:db8::2  ", Some("2001:db8::2")),
+            ("2001:db8::3\r", Some("2001:db8::3")),
+            ("20010db8000000000000000000000002", Some("::")), // placeholder, checked below
+            ("# comment", None),
+            ("", None),
+            ("   ", None),
+            ("\r", None),
+        ];
+        for (line, expect_some) in cases {
+            let got = parse_address_slice(line.as_bytes()).unwrap();
+            assert_eq!(got.is_some(), expect_some.is_some(), "{line:?}");
+            let via_str = parse_address_line(1, line).unwrap();
+            assert_eq!(got, via_str, "{line:?}");
+        }
+        assert_eq!(
+            parse_address_slice(b"20010db8000000000000000000000002").unwrap(),
+            Some(Ip6(0x2001_0db8u128 << 96 | 2))
+        );
+        assert_eq!(parse_address_slice(b"bogus"), Err(InvalidLine));
+        assert_eq!(parse_address_slice(b"\xff\xfe"), Err(InvalidLine));
+        // The formatted error is byte-identical between the bytes and
+        // str fronts.
+        assert_eq!(
+            parse_address_bytes(7, b"  bogus \r").unwrap_err(),
+            EipError::Parse("line 7: invalid address: bogus".into())
+        );
+        assert_eq!(
+            parse_address_bytes(7, b"bogus").unwrap_err(),
+            parse_address_line(7, "bogus").unwrap_err()
+        );
     }
 
     #[test]

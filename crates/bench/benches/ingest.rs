@@ -1,0 +1,74 @@
+//! Stage-1 ingestion benchmark: the serial one-line-at-a-time oracle
+//! ([`Pipeline::profile_lines`] — reused line buffer feeding an
+//! `AddressSetBuilder`) vs the bounded-memory chunked engine
+//! ([`Pipeline::profile_reader_streaming`] — newline-aligned chunks
+//! fanned out on the scheduler, per-chunk sorted runs merged into the
+//! working set). Both paths end in the same sharded entropy/ACR
+//! profile, so the numbers measure the ingestion machinery itself.
+//!
+//! The corpus is a multi-million-line in-memory address file with 5×
+//! duplication and mixed colon/hex32 presentation — the shape
+//! `repro --corpus-out` writes. The two paths produce byte-identical
+//! `Profiled` artifacts (pinned by the chunk-boundary torture suite);
+//! `tools/bench_guard.sh` fails CI if the chunked engine loses its
+//! speed edge (`BENCH_INGEST_MARGIN`), results in `BENCH_ingest.json`.
+
+use std::fmt::Write;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eip_netsim::dataset;
+use entropy_ip::{Config, IngestOptions, Pipeline};
+
+const LINES: usize = 2_000_000;
+const DISTINCT: usize = 400_000;
+
+/// Renders the benchmark corpus: every distinct address once (in a
+/// scrambled order), the rest keyed duplicates, ~2% comments, mixed
+/// presentation — deterministic, so serial and parallel read the
+/// exact same bytes.
+fn corpus() -> String {
+    let pop = dataset("S1").unwrap().population_sized(DISTINCT, 1);
+    let addrs = pop.as_slice();
+    let n = addrs.len();
+    let mut text = String::with_capacity(LINES * 40);
+    for j in 0..LINES {
+        if j % 50 == 0 {
+            text.push_str("# corpus\n");
+        }
+        let fresh = j / 5;
+        let ip = if j % 5 == 0 && fresh < n {
+            addrs[(fresh * 7 + 13) % n]
+        } else {
+            addrs[(j.wrapping_mul(0x9e37_79b9) >> 7) % n]
+        };
+        if j & 1 == 0 {
+            let _ = writeln!(text, "{ip}");
+        } else {
+            let _ = writeln!(text, "{}", ip.to_hex32());
+        }
+    }
+    text
+}
+
+fn bench_ingest_stage(c: &mut Criterion) {
+    let text = corpus();
+    let mut g = c.benchmark_group("stage_ingest");
+    g.sample_size(10);
+    let serial = Pipeline::new(Config::default());
+    g.bench_function("serial_2000000", |b| {
+        b.iter(|| serial.profile_lines(text.as_bytes()).unwrap());
+    });
+    let parallel = Pipeline::new(Config::default().with_parallelism(4));
+    let opts = IngestOptions::default();
+    g.bench_function("parallel4_2000000", |b| {
+        b.iter(|| {
+            parallel
+                .profile_reader_streaming(text.as_bytes(), &opts)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest_stage);
+criterion_main!(benches);

@@ -1,0 +1,472 @@
+//! Bounded-memory parallel streaming ingestion (stage 1 at scale).
+//!
+//! [`Pipeline::profile_lines`](crate::Pipeline::profile_lines) is the
+//! serial stage-1 oracle: one thread walks the reader line by line
+//! and feeds an `AddressSetBuilder`. That is correct and simple, but
+//! at Internet-scan scale (100M+ observed addresses) it leaves the
+//! one stage every other PR already parallelized pinned to a single
+//! core. This module is the scaled engine behind
+//! [`Pipeline::profile_reader_streaming`](crate::Pipeline::profile_reader_streaming):
+//!
+//! 1. **Chunk** — [`eip_addr::ChunkReader`] reads the input in
+//!    fixed-size byte chunks split at newline boundaries, so a chunk
+//!    is a self-contained batch of whole lines.
+//! 2. **Fan out** — chunks feed
+//!    [`Scheduler::par_map_feed`](eip_exec::Scheduler::par_map_feed):
+//!    up to `workers` chunks are parsed concurrently (the
+//!    allocation-free [`eip_addr::set::parse_address_slice`]
+//!    classifier, optional /64 reduction in top-64 mode), and each
+//!    chunk sorts and dedups its own addresses into a sorted run.
+//! 3. **Merge** — runs are consumed *in chunk order* by a run
+//!    accumulator: staged sorted runs fold together through a
+//!    pairwise linear merge tree and into the accumulated distinct
+//!    set by a final two-pointer merge
+//!    ([`eip_addr::set::merge_sorted_dedup`]) — cursor walks over
+//!    already-sorted data, never a re-sort — with geometric staging
+//!    so total merge work stays O(n log n).
+//!
+//! Peak memory is O(chunk size × workers) for the in-flight text
+//! plus O(distinct addresses) for the working set itself —
+//! independent of the raw stream length, so a 100M-line file with
+//! heavy duplication profiles in the footprint of its distinct set.
+//!
+//! **Determinism contract.** The final [`AddressSet`] — and therefore
+//! the entire `Profiled` artifact (entropy, ACR, working set) — is
+//! byte-identical to the serial oracle at *every* chunk size and
+//! worker count: equality of sorted deduplicated sets does not depend
+//! on how the stream was partitioned, and a malformed line aborts
+//! with the same [`EipError::Parse`] message (same 1-based line
+//! number, same rendering) the serial reader produces. The
+//! chunk-boundary torture suite (`tests/ingest_torture.rs`) pins this
+//! across chunk sizes from 1 B up, worker counts 1/2/7/8, CRLF
+//! endings, missing trailing newlines, and comments straddling chunk
+//! edges.
+
+use std::io::Read;
+use std::time::Instant;
+
+use eip_addr::chunk::find_byte;
+use eip_addr::set::{invalid_line_error, merge_sorted_dedup, parse_address_slice};
+use eip_addr::{AddressSet, ChunkReader, Ip6};
+use eip_exec::Scheduler;
+
+use crate::error::EipError;
+
+/// Default chunk size: 4 MiB of text per chunk (~100k lines), large
+/// enough to amortize per-chunk sort/merge overhead, small enough
+/// that a full worker batch stays comfortably in memory.
+pub const DEFAULT_CHUNK_BYTES: usize = 4 << 20;
+
+/// Knobs for the streaming ingestion engine. The settings change
+/// wall-clock and peak memory only — never the profiled result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Bytes per chunk (clamped to ≥ 1; the `--chunk-mb` CLI knob).
+    /// Peak in-flight text is roughly `chunk_bytes × workers`.
+    pub chunk_bytes: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Options with the given chunk size in MiB (0 clamps to 1 MiB —
+    /// CLI front-ends use literal 0 to select the serial oracle
+    /// before this type is ever constructed).
+    pub fn chunk_mib(mib: usize) -> Self {
+        IngestOptions {
+            chunk_bytes: mib.max(1) << 20,
+        }
+    }
+}
+
+/// Throughput and accounting for one streaming ingestion run. All
+/// counters are exact; `elapsed_secs` and the derived rates are
+/// wall-clock and vary run to run (everything else is deterministic).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IngestReport {
+    /// Total input lines seen (including blanks and comments).
+    pub lines: u64,
+    /// Lines that parsed as addresses (before deduplication).
+    pub addresses: u64,
+    /// Blank and `#`-comment lines skipped.
+    pub skipped: u64,
+    /// Distinct addresses after deduplication (the working set).
+    pub distinct: usize,
+    /// Raw bytes consumed from the reader.
+    pub bytes: u64,
+    /// Newline-aligned chunks the input split into.
+    pub chunks: u64,
+    /// Worker budget the chunks were parsed under.
+    pub workers: usize,
+    /// Chunk size the reader was configured with.
+    pub chunk_bytes: usize,
+    /// Estimated peak working-set bytes of the ingestion engine:
+    /// in-flight chunk text plus the distinct-set accumulator at its
+    /// largest (an estimate — allocator slack is not modeled).
+    pub peak_bytes: usize,
+    /// Wall-clock seconds spent ingesting.
+    pub elapsed_secs: f64,
+}
+
+impl IngestReport {
+    /// Lines per second (0 for an instantaneous run).
+    pub fn lines_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.lines as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Input megabytes (1e6 bytes) per second.
+    pub fn mb_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.bytes as f64 / 1e6 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human summary, the form the CLIs print.
+    pub fn summary(&self) -> String {
+        format!(
+            "ingested {} lines ({} addresses, {} distinct) in {:.3} s — \
+             {:.2} Mlines/s, {:.1} MB/s, peak ~{:.1} MB ({} chunks × {} workers)",
+            self.lines,
+            self.addresses,
+            self.distinct,
+            self.elapsed_secs,
+            self.lines_per_sec() / 1e6,
+            self.mb_per_sec(),
+            self.peak_bytes as f64 / 1e6,
+            self.chunks,
+            self.workers,
+        )
+    }
+}
+
+/// One parsed chunk: its sorted, deduplicated addresses, its line
+/// count, and (if a line failed) the offset and raw bytes of the
+/// first bad line. The absolute line number is only known once every
+/// earlier chunk's count is folded in, so the error is *rendered* by
+/// the sequential consumer, not the worker.
+struct ParsedChunk {
+    run: Vec<Ip6>,
+    lines: u64,
+    parsed: u64,
+    bad: Option<(u64, Vec<u8>)>,
+}
+
+/// Parses one newline-aligned chunk: split into lines, classify each
+/// with the allocation-free slice parser, /64-reduce in top-64 mode,
+/// then sort + dedup into a run. Parsing stops at the first bad line
+/// (its chunk-local 0-based index and bytes are recorded) — the whole
+/// ingestion aborts there, so later values are never observable.
+fn parse_chunk(bytes: &[u8], top64: bool) -> ParsedChunk {
+    let mut run: Vec<Ip6> = Vec::with_capacity(bytes.len() / 16);
+    let mut lines = 0u64;
+    let mut parsed = 0u64;
+    let mut bad = None;
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let (line, next) = match find_byte(rest, b'\n') {
+            Some(p) => (&rest[..p], &rest[p + 1..]),
+            None => (rest, &rest[rest.len()..]),
+        };
+        match parse_address_slice(line) {
+            Ok(Some(ip)) => {
+                parsed += 1;
+                run.push(if top64 { ip.slash64() } else { ip });
+            }
+            Ok(None) => {}
+            Err(_) => {
+                bad = Some((lines, line.to_vec()));
+                lines += 1;
+                break;
+            }
+        }
+        lines += 1;
+        rest = next;
+    }
+    run.sort_unstable();
+    run.dedup();
+    ParsedChunk {
+        run,
+        lines,
+        parsed,
+        bad,
+    }
+}
+
+/// Accumulates sorted, deduplicated runs into one distinct set with
+/// geometric staging: runs are *staged* until their combined size
+/// outgrows the accumulated set, then folded together by a pairwise
+/// [`merge_sorted_dedup`] tree — every pass is a linear cursor walk
+/// over already-sorted data, never a re-sort — and merged into the
+/// accumulator with one more linear walk. Total work over n ingested
+/// addresses is O(n log n) — the same bound as the serial builder —
+/// and the buffers never exceed ~2× the distinct count plus one
+/// stage.
+struct RunAccumulator {
+    acc: Vec<Ip6>,
+    /// Staged sorted runs awaiting a flush, plus their total length.
+    staged: Vec<Vec<Ip6>>,
+    staged_len: usize,
+    peak: usize,
+}
+
+/// Flush threshold floor: below this many staged addresses a flush
+/// is all fixed overhead, so tiny runs batch up first.
+const MIN_STAGE: usize = 64 * 1024;
+
+impl RunAccumulator {
+    fn new() -> Self {
+        RunAccumulator {
+            acc: Vec::new(),
+            staged: Vec::new(),
+            staged_len: 0,
+            peak: 0,
+        }
+    }
+
+    fn push_run(&mut self, run: Vec<Ip6>) {
+        if run.is_empty() {
+            return;
+        }
+        if self.staged.is_empty() && self.acc.is_empty() {
+            // First run: already sorted+deduped, adopt it directly.
+            self.acc = run;
+            return;
+        }
+        self.staged_len += run.len();
+        self.staged.push(run);
+        if self.staged_len >= self.acc.len().max(MIN_STAGE) {
+            self.flush();
+        }
+    }
+
+    /// Folds the staged runs into one (pairwise linear merges), then
+    /// into the accumulator.
+    fn flush(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        self.note_peak(self.acc.len() + 2 * self.staged_len);
+        let mut runs = std::mem::take(&mut self.staged);
+        self.staged_len = 0;
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge_sorted_dedup(&a, &b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        let merged = runs.pop().expect("non-empty staged runs");
+        if self.acc.is_empty() {
+            self.acc = merged;
+        } else {
+            self.note_peak(2 * (self.acc.len() + merged.len()));
+            self.acc = merge_sorted_dedup(&self.acc, &merged);
+        }
+    }
+
+    fn note_peak(&mut self, addrs: usize) {
+        self.peak = self.peak.max(addrs * std::mem::size_of::<Ip6>());
+    }
+
+    fn finish(mut self) -> (AddressSet, usize) {
+        self.flush();
+        self.note_peak(self.acc.len());
+        let peak = self.peak;
+        (AddressSet::from_sorted(self.acc), peak)
+    }
+}
+
+/// Streams `reader` into a deduplicated [`AddressSet`] (reduced to
+/// /64 networks first when `top64` is set, matching the serial
+/// profiling paths) using the chunked parallel engine. Returns the
+/// set plus the throughput report.
+///
+/// The result is identical to feeding the same bytes through
+/// [`AddressSet::parse_lines`] / the serial
+/// [`Pipeline::profile_lines`](crate::Pipeline::profile_lines) at
+/// any `opts.chunk_bytes` and any scheduler worker count, including
+/// the error for a malformed line.
+pub fn ingest_reader<R: Read>(
+    reader: R,
+    top64: bool,
+    exec: &Scheduler,
+    opts: &IngestOptions,
+) -> Result<(AddressSet, IngestReport), EipError> {
+    let start = Instant::now();
+    let mut chunker = ChunkReader::new(reader, opts.chunk_bytes);
+    let mut acc = RunAccumulator::new();
+    let mut lines = 0u64;
+    let mut parsed = 0u64;
+    // In-flight chunk text, tracked through `Cell`s because the
+    // producer (increments) and the consumer (decrements) are two
+    // closures living across the same `par_map_feed` call; both run
+    // on the calling thread, only the mapper runs on workers.
+    let in_flight = std::cell::Cell::new(0usize);
+    let in_flight_peak = std::cell::Cell::new(0usize);
+
+    exec.par_map_feed(
+        || match chunker.next_chunk() {
+            Ok(Some(chunk)) => {
+                in_flight.set(in_flight.get() + chunk.len());
+                in_flight_peak.set(in_flight_peak.get().max(in_flight.get()));
+                Ok(Some(chunk))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(EipError::io("<stream>", e)),
+        },
+        |chunk: Vec<u8>| {
+            let parsed = parse_chunk(&chunk, top64);
+            (chunk.len(), parsed)
+        },
+        |(chunk_len, chunk): (usize, ParsedChunk)| {
+            if let Some((local, line)) = chunk.bad {
+                let no = lines + local + 1;
+                return Err(invalid_line_error(no as usize, &line));
+            }
+            lines += chunk.lines;
+            parsed += chunk.parsed;
+            in_flight.set(in_flight.get().saturating_sub(chunk_len));
+            acc.push_run(chunk.run);
+            Ok(())
+        },
+    )?;
+
+    let (bytes, chunks) = (chunker.bytes_read(), chunker.chunks());
+    let (set, acc_peak) = acc.finish();
+    let report = IngestReport {
+        lines,
+        addresses: parsed,
+        skipped: lines - parsed,
+        distinct: set.len(),
+        bytes,
+        chunks,
+        workers: exec.workers(),
+        chunk_bytes: opts.chunk_bytes.max(1),
+        peak_bytes: acc_peak + in_flight_peak.get(),
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    };
+    Ok((set, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ingest(
+        text: &str,
+        chunk: usize,
+        workers: usize,
+    ) -> Result<(AddressSet, IngestReport), EipError> {
+        ingest_reader(
+            text.as_bytes(),
+            false,
+            &Scheduler::new(workers),
+            &IngestOptions { chunk_bytes: chunk },
+        )
+    }
+
+    #[test]
+    fn matches_parse_lines_on_mixed_input() {
+        let text = "# header\n2001:db8::1\n\n20010db8000000000000000000000002\n2001:db8::1\n";
+        let oracle = AddressSet::parse_lines(text).unwrap();
+        for chunk in [1usize, 3, 8, 64, 1 << 20] {
+            for workers in [1usize, 2, 7] {
+                let (set, report) = ingest(text, chunk, workers).unwrap();
+                assert_eq!(set, oracle, "chunk={chunk} workers={workers}");
+                assert_eq!(report.lines, 5);
+                assert_eq!(report.addresses, 3);
+                assert_eq!(report.skipped, 2);
+                assert_eq!(report.distinct, 2);
+                assert_eq!(report.bytes, text.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn error_line_number_matches_serial_oracle() {
+        let text = "2001:db8::1\n# fine\nbogus\n2001:db8::2\n";
+        let oracle = AddressSet::parse_lines(text).unwrap_err();
+        for chunk in [1usize, 4, 7, 1024] {
+            for workers in [1usize, 2, 8] {
+                let err = ingest(text, chunk, workers).unwrap_err();
+                assert_eq!(err, oracle, "chunk={chunk} workers={workers}");
+            }
+        }
+        assert_eq!(
+            oracle,
+            EipError::Parse("line 3: invalid address: bogus".into())
+        );
+    }
+
+    #[test]
+    fn top64_reduces_before_dedup() {
+        let text = "2001:db8::1\n2001:db8::2\n2001:db8:0:1::1\n";
+        let (set, report) = ingest_reader(
+            text.as_bytes(),
+            true,
+            &Scheduler::new(2),
+            &IngestOptions { chunk_bytes: 8 },
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2, "two distinct /64s");
+        assert_eq!(report.addresses, 3);
+        for ip in set.iter() {
+            assert_eq!(ip.value() & u128::from(u64::MAX), 0);
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_yield_empty_sets() {
+        let (set, report) = ingest("", 1024, 4).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(report.lines, 0);
+        let (set, report) = ingest("# a\n\n# b\n", 2, 3).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(report.lines, 3);
+        assert_eq!(report.skipped, 3);
+    }
+
+    #[test]
+    fn accumulator_stays_near_distinct_count() {
+        // 200k ingested lines over 512 distinct addresses: the
+        // engine's peak estimate must track the distinct set (plus
+        // one chunk batch), not the stream length.
+        let mut text = String::new();
+        for i in 0..200_000u128 {
+            text.push_str(&Ip6((0x2001_0db8u128 << 96) | (i % 512)).to_hex32());
+            text.push('\n');
+        }
+        let (set, report) = ingest(&text, 64 * 1024, 4).unwrap();
+        assert_eq!(set.len(), 512);
+        assert!(
+            report.peak_bytes < 8 * 1024 * 1024,
+            "peak estimate ballooned: {} bytes",
+            report.peak_bytes
+        );
+        assert_eq!(report.lines, 200_000);
+    }
+
+    #[test]
+    fn report_summary_mentions_throughput() {
+        let (_, report) = ingest("2001:db8::1\n", 1024, 2).unwrap();
+        let s = report.summary();
+        assert!(s.contains("1 distinct"), "{s}");
+        assert!(s.contains("Mlines/s"), "{s}");
+    }
+}

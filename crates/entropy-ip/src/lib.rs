@@ -81,6 +81,7 @@ pub mod baseline;
 pub mod browser;
 pub mod error;
 pub mod generate;
+pub mod ingest;
 pub mod mining;
 pub mod model;
 pub mod pipeline;
@@ -92,6 +93,7 @@ pub use analysis::Analysis;
 pub use browser::{Browser, SegmentDistribution};
 pub use error::EipError;
 pub use generate::Generator;
+pub use ingest::{IngestOptions, IngestReport};
 pub use mining::{MinedSegment, MiningOptions, SegmentValue, ValueKind};
 pub use model::{EntropyIp, IpModel, ModelError, Options};
 pub use pipeline::{Config, Mined, Pipeline, Profiled, Segmented, Trained};

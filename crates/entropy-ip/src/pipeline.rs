@@ -29,7 +29,13 @@
 //! counter-based entropy ([`eip_stats::NybbleCounts`]) — no
 //! intermediate `Vec<Ip6>` is materialized beyond the deduplicated
 //! set itself. [`Pipeline::profile_lines`] does the same from a line
-//! reader (one address per line, `#` comments allowed).
+//! reader (one address per line, `#` comments allowed) on one thread
+//! with a reused line buffer — it is the tested serial oracle for
+//! [`Pipeline::profile_reader_streaming`]/[`Pipeline::profile_path`],
+//! the chunked parallel engine ([`crate::ingest`]) that profiles
+//! 100M+-line files in O(chunk size × workers) memory beyond the
+//! distinct set, byte-identically at any chunk size and worker
+//! count.
 //!
 //! **Parallelism.** [`Config::parallelism`] > 1 routes the hot
 //! stages onto the [`eip_exec::Scheduler`], uniformly across
@@ -55,7 +61,7 @@
 //! now a thin convenience over these stages and produces
 //! byte-identical models (via [`crate::profile::export`]).
 
-use std::io::BufRead;
+use std::io::{BufRead, Read};
 use std::sync::Arc;
 
 use eip_addr::{AddressSet, AddressSetBuilder, Ip6};
@@ -65,6 +71,7 @@ use eip_stats::{acr4, Histogram, NybbleCounts};
 
 use crate::analysis::Analysis;
 use crate::error::EipError;
+use crate::ingest::{IngestOptions, IngestReport};
 use crate::mining::{mine_segment, mine_segment_histogram, MinedSegment, MiningOptions};
 use crate::model::{IpModel, Options};
 use crate::segments::{Segment, SegmentationOptions};
@@ -209,18 +216,77 @@ impl Pipeline {
 
     /// Stage 1 from a line reader: one address per line (colon or
     /// fixed-width hex format), blank lines and `#` comments skipped.
-    /// This is the `eip analyze ips.txt` ingestion path — the stream
-    /// is profiled as it is read.
-    pub fn profile_lines<R: BufRead>(&self, reader: R) -> Result<Profiled, EipError> {
+    ///
+    /// This is the **serial ingestion oracle**: one thread, one
+    /// reused line buffer ([`BufRead::read_until`] — no per-line
+    /// `String` allocation, and the allocation-free
+    /// [`eip_addr::set::parse_address_bytes`] classifier shared with
+    /// the chunked engine), feeding an [`AddressSetBuilder`]. The
+    /// streaming engine below is verified byte-identical against it;
+    /// use [`Pipeline::profile_reader_streaming`] or
+    /// [`Pipeline::profile_path`] when the input is large.
+    pub fn profile_lines<R: BufRead>(&self, mut reader: R) -> Result<Profiled, EipError> {
         let top64 = self.cfg.segmentation.width <= 16;
         let mut builder = AddressSetBuilder::new();
-        for (no, line) in reader.lines().enumerate() {
-            let line = line.map_err(|e| EipError::io(format!("line {}", no + 1), e))?;
-            if let Some(ip) = eip_addr::set::parse_address_line(no + 1, &line)? {
+        let mut buf: Vec<u8> = Vec::with_capacity(128);
+        let mut no = 0usize;
+        loop {
+            buf.clear();
+            no += 1;
+            let n = reader
+                .read_until(b'\n', &mut buf)
+                .map_err(|e| EipError::io(format!("line {no}"), e))?;
+            if n == 0 {
+                break;
+            }
+            if let Some(ip) = eip_addr::set::parse_address_bytes(no, &buf)? {
                 builder.push(if top64 { ip.slash64() } else { ip });
             }
         }
         self.profile_working(builder.finish())
+    }
+
+    /// Stage 1 from any [`Read`] through the **bounded-memory
+    /// parallel streaming engine** ([`crate::ingest`]): newline-
+    /// aligned chunks fan out on the scheduler, per-chunk sorted runs
+    /// merge into the working set, and peak memory stays
+    /// O(chunk size × workers) plus the distinct set — independent of
+    /// the raw stream length. The `Profiled` artifact is
+    /// byte-identical to [`Pipeline::profile_lines`] at every chunk
+    /// size and worker count (pinned by the chunk-boundary torture
+    /// suite). Also returns the [`IngestReport`] with line/byte
+    /// throughput and the peak working-set estimate.
+    pub fn profile_reader_streaming<R: Read>(
+        &self,
+        reader: R,
+        opts: &IngestOptions,
+    ) -> Result<(Profiled, IngestReport), EipError> {
+        let top64 = self.cfg.segmentation.width <= 16;
+        let (set, report) =
+            crate::ingest::ingest_reader(reader, top64, &self.cfg.scheduler(), opts)?;
+        Ok((self.profile_working(set)?, report))
+    }
+
+    /// Stage 1 from a file path via the streaming engine with default
+    /// [`IngestOptions`] — the `eip analyze ips.txt` ingestion path.
+    pub fn profile_path(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Profiled, IngestReport), EipError> {
+        self.profile_path_with(path, &IngestOptions::default())
+    }
+
+    /// [`Pipeline::profile_path`] with explicit [`IngestOptions`]
+    /// (the CLI `--chunk-mb` knob lands here).
+    pub fn profile_path_with(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        opts: &IngestOptions,
+    ) -> Result<(Profiled, IngestReport), EipError> {
+        let path = path.as_ref();
+        let file =
+            std::fs::File::open(path).map_err(|e| EipError::io(path.display().to_string(), e))?;
+        self.profile_reader_streaming(file, opts)
     }
 
     /// All four stages in one call (the staged equivalent of
@@ -725,6 +791,37 @@ mod tests {
         match p.profile_lines(bad.as_bytes()) {
             Err(EipError::Parse(msg)) => assert!(msg.contains("line 2"), "{msg}"),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_profile_matches_serial_oracle() {
+        // The chunked parallel engine must reproduce the serial
+        // profile bit for bit, at clamped-tiny and huge chunk sizes,
+        // serial and sharded, in both width modes.
+        let mut text = String::from("# corpus\n");
+        for ip in training_set().iter() {
+            text.push_str(&ip.to_hex32());
+            text.push('\n');
+        }
+        for cfg in [Config::default(), Config::top64()] {
+            let serial = Pipeline::new(cfg.clone())
+                .profile_lines(text.as_bytes())
+                .unwrap();
+            for (chunk, workers) in [(1usize, 2usize), (64, 4), (1 << 22, 1)] {
+                let p = Pipeline::new(cfg.clone().with_parallelism(workers));
+                let (streamed, report) = p
+                    .profile_reader_streaming(
+                        text.as_bytes(),
+                        &IngestOptions { chunk_bytes: chunk },
+                    )
+                    .unwrap();
+                assert_eq!(streamed.entropy(), serial.entropy(), "chunk={chunk}");
+                assert_eq!(streamed.acr(), serial.acr());
+                assert_eq!(streamed.addresses(), serial.addresses());
+                assert_eq!(report.distinct, serial.num_addresses());
+                assert_eq!(report.bytes, text.len() as u64);
+            }
         }
     }
 

@@ -1,0 +1,220 @@
+//! Chunk-boundary torture suite for the streaming ingestion engine.
+//!
+//! The contract under test: [`Pipeline::profile_reader_streaming`]
+//! (and the underlying [`entropy_ip::ingest::ingest_reader`]) is
+//! **byte-identical** to the serial oracles —
+//! [`AddressSet::parse_lines`] for the deduplicated set and
+//! [`Pipeline::profile_lines`] for the whole `Profiled` artifact — at
+//! every chunk size from 1 byte up and every worker count, over
+//! inputs engineered so that chunk boundaries land in the middle of
+//! everything: addresses, CRLF pairs, comments, blank runs, and the
+//! final unterminated line. Errors must also match, down to the line
+//! number and rendering of the first bad line.
+
+use eip_addr::{AddressSet, Ip6};
+use eip_exec::Scheduler;
+use entropy_ip::ingest::{ingest_reader, IngestOptions};
+use entropy_ip::{Config, EipError, Pipeline};
+use proptest::prelude::*;
+
+/// Chunk sizes that exercise the boundary machinery: single-byte
+/// (every boundary mid-line), primes near typical line lengths, and
+/// big-enough-to-hold-everything.
+const CHUNKS: &[usize] = &[1, 2, 3, 7, 16, 33, 61, 256, 4096, 64 * 1024];
+const WORKERS: &[usize] = &[1, 2, 7, 8];
+
+fn stream(text: &str, chunk: usize, workers: usize) -> Result<AddressSet, EipError> {
+    ingest_reader(
+        text.as_bytes(),
+        false,
+        &Scheduler::new(workers),
+        &IngestOptions { chunk_bytes: chunk },
+    )
+    .map(|(set, _)| set)
+}
+
+/// Asserts the streaming engine matches `AddressSet::parse_lines` —
+/// value or error — across the full chunk/worker grid.
+fn assert_matches_oracle(text: &str) {
+    let oracle = AddressSet::parse_lines(text);
+    for &chunk in CHUNKS {
+        for &workers in WORKERS {
+            let got = stream(text, chunk, workers);
+            assert_eq!(got, oracle, "chunk={chunk} workers={workers} text={text:?}");
+        }
+    }
+}
+
+#[test]
+fn addresses_straddling_every_boundary() {
+    assert_matches_oracle(
+        "2001:db8::1\n20010db8000000000000000000000002\n2001:db8:ffff:eeee:dddd:cccc:bbbb:aaaa\n",
+    );
+}
+
+#[test]
+fn crlf_endings_match_serial() {
+    assert_matches_oracle("2001:db8::1\r\n2001:db8::2\r\n# c\r\n\r\n2001:db8::1\r\n");
+}
+
+#[test]
+fn missing_trailing_newline_matches_serial() {
+    assert_matches_oracle("2001:db8::1\n2001:db8::2");
+    assert_matches_oracle("2001:db8::2");
+}
+
+#[test]
+fn comments_and_blanks_straddling_chunk_edges() {
+    assert_matches_oracle(
+        "# a long leading comment line that certainly spans several tiny chunks\n\
+         \n\n\n2001:db8::1\n   \t \n# trailing comment, no newline",
+    );
+}
+
+#[test]
+fn whitespace_padded_addresses_match_serial() {
+    assert_matches_oracle("  2001:db8::1  \n\t20010db8000000000000000000000002\t\n");
+}
+
+#[test]
+fn error_reports_first_bad_line_with_serial_line_number() {
+    // Line numbers count ALL lines (comments and blanks included);
+    // the bad line is line 6. Later lines are bad too — only the
+    // first may be reported, at every partitioning.
+    let text = "# one\n\n2001:db8::1\n# four\n\n bogus \nalso-bad\n2001:db8::2\n";
+    let oracle = AddressSet::parse_lines(text).unwrap_err();
+    assert_eq!(
+        oracle,
+        EipError::Parse("line 6: invalid address: bogus".into())
+    );
+    assert_matches_oracle(text);
+}
+
+#[test]
+fn invalid_utf8_line_matches_serial() {
+    // Non-UTF-8 bytes cannot be an address; both paths must render
+    // the same lossy error message.
+    let text = b"2001:db8::1\n\xff\xfe\n".to_vec();
+    let oracle = AddressSet::parse_lines(&String::from_utf8_lossy(&text)).unwrap_err();
+    for &chunk in CHUNKS {
+        let got = ingest_reader(
+            &text[..],
+            false,
+            &Scheduler::new(3),
+            &IngestOptions { chunk_bytes: chunk },
+        )
+        .unwrap_err();
+        assert_eq!(got, oracle, "chunk={chunk}");
+    }
+}
+
+/// The full `Profiled` artifact — entropy, ACR, working set — from
+/// the streaming path equals the serial `profile_lines` oracle, in
+/// both full-width and top-64 modes.
+#[test]
+fn profiled_artifact_matches_profile_lines() {
+    let mut text = String::new();
+    for i in 0..700u128 {
+        let ip = Ip6((0x2001_0db8_0000_0000u128 << 64) | ((i % 350) << 32) | (i % 97));
+        if i % 3 == 0 {
+            text.push_str(&ip.to_hex32());
+        } else {
+            text.push_str(&ip.to_string());
+        }
+        text.push('\n');
+        if i % 40 == 0 {
+            text.push_str("# filler\n\n");
+        }
+    }
+    text.push_str("2001:db8::beef"); // no trailing newline
+    for cfg in [Config::default(), Config::top64()] {
+        let serial = Pipeline::new(cfg.clone())
+            .profile_lines(text.as_bytes())
+            .unwrap();
+        for &(chunk, workers) in &[(1usize, 2usize), (37, 7), (512, 4), (1 << 20, 1)] {
+            let pipeline = Pipeline::new(cfg.clone().with_parallelism(workers));
+            let (streamed, report) = pipeline
+                .profile_reader_streaming(text.as_bytes(), &IngestOptions { chunk_bytes: chunk })
+                .unwrap();
+            assert_eq!(streamed.addresses(), serial.addresses(), "chunk={chunk}");
+            assert_eq!(streamed.entropy(), serial.entropy(), "chunk={chunk}");
+            assert_eq!(streamed.acr(), serial.acr(), "chunk={chunk}");
+            assert_eq!(report.distinct, serial.addresses().len());
+            assert_eq!(report.bytes, text.len() as u64);
+        }
+    }
+}
+
+/// A line far longer than the chunk size (forces the ChunkReader's
+/// grow-until-newline path) parses identically — and a long *bad*
+/// line reports identically.
+#[test]
+fn oversized_lines_match_serial() {
+    let long_comment = format!("# {}\n2001:db8::1\n", "x".repeat(5000));
+    assert_matches_oracle(&long_comment);
+    let long_bad = format!("2001:db8::1\n{}\n", "y".repeat(5000));
+    assert_matches_oracle(&long_bad);
+}
+
+proptest! {
+    /// Random address soup (valid colon/hex32 lines, duplicates,
+    /// comments, blanks, stray whitespace, optional trailing newline)
+    /// ingests identically to `AddressSet::parse_lines` at random
+    /// chunk sizes and worker counts.
+    #[test]
+    fn random_soup_matches_parse_lines(
+        vals in prop::collection::vec(0u128..1u128 << 40, 1..80),
+        hex_mask in any::<u64>(),
+        comment_mask in any::<u64>(),
+        crlf in any::<bool>(),
+        trailing in any::<bool>(),
+        chunk in 1usize..200,
+        workers in 1usize..8,
+    ) {
+        let eol = if crlf { "\r\n" } else { "\n" };
+        let mut text = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            let ip = Ip6((0x2001_0db8u128 << 96) | v);
+            if comment_mask >> (i % 64) & 1 == 1 {
+                text.push_str("# noise");
+                text.push_str(eol);
+            }
+            if hex_mask >> (i % 64) & 1 == 1 {
+                text.push_str(&ip.to_hex32());
+            } else {
+                text.push_str(&ip.to_string());
+            }
+            text.push_str(eol);
+        }
+        if !trailing {
+            while text.ends_with('\n') || text.ends_with('\r') {
+                text.pop();
+            }
+        }
+        let oracle = AddressSet::parse_lines(&text);
+        let got = stream(&text, chunk, workers);
+        prop_assert_eq!(got, oracle, "chunk={} workers={}", chunk, workers);
+    }
+
+    /// With a bad line planted at a random position, the streaming
+    /// error equals the serial error — same line number — at any
+    /// partitioning.
+    #[test]
+    fn random_bad_line_position_matches_serial(
+        good in prop::collection::vec(0u128..1u128 << 32, 0..40),
+        bad_at_ratio in 0.0f64..1.0,
+        chunk in 1usize..100,
+        workers in 1usize..8,
+    ) {
+        let mut lines: Vec<String> = good
+            .iter()
+            .map(|&v| Ip6((0x2001_0db8u128 << 96) | v).to_string())
+            .collect();
+        let at = ((lines.len() as f64) * bad_at_ratio) as usize;
+        lines.insert(at.min(lines.len()), "not-an-address".to_string());
+        let text = lines.join("\n");
+        let oracle = AddressSet::parse_lines(&text).unwrap_err();
+        let got = stream(&text, chunk, workers).unwrap_err();
+        prop_assert_eq!(got, oracle);
+    }
+}

@@ -3,7 +3,10 @@
 //! The shared execution core behind every parallel hot path of the
 //! Entropy/IP workspace: sharded profiling (`NybbleCounts` merges),
 //! intra-segment mining (per-shard value histograms merged before
-//! thresholding), and batched candidate generation.
+//! thresholding), batched candidate generation, and chunked-source
+//! streaming ingestion ([`Scheduler::par_map_feed`]: a sequential
+//! producer fanned out in worker-sized batches with bounded
+//! lookahead, results consumed in production order).
 //!
 //! The design contract is **determinism at any worker count**:
 //!
@@ -309,6 +312,63 @@ impl Scheduler {
         }
     }
 
+    /// Feeds a *sequential* source through parallel mapping with
+    /// bounded lookahead: repeatedly pulls up to
+    /// [`workers`](Scheduler::workers) items from `produce`, maps the
+    /// batch on the scheduler
+    /// ([`par_map_owned`](Scheduler::par_map_owned)), and hands each
+    /// result to
+    /// `consume` **in production order**. At most one batch of items
+    /// (plus its mapped results) is alive at a time, so memory stays
+    /// O(item size × workers) no matter how long the source runs —
+    /// this is the chunked-source contract the streaming ingestion
+    /// engine builds on.
+    ///
+    /// `produce` returns `Ok(Some(item))` to feed one more item,
+    /// `Ok(None)` at end of source; an `Err` from `produce` or
+    /// `consume` aborts the feed immediately and is returned.
+    /// Determinism: batch boundaries are a pure function of the
+    /// worker budget and the item sequence, results are consumed in
+    /// item order, and `map` runs per item — so any fold `consume`
+    /// performs observes the exact serial sequence at every worker
+    /// and thread count.
+    pub fn par_map_feed<I, T, E, P, M, C>(
+        &self,
+        mut produce: P,
+        map: M,
+        mut consume: C,
+    ) -> Result<(), E>
+    where
+        I: Send,
+        T: Send,
+        P: FnMut() -> Result<Option<I>, E>,
+        M: Fn(I) -> T + Sync,
+        C: FnMut(T) -> Result<(), E>,
+    {
+        loop {
+            let mut batch: Vec<I> = Vec::with_capacity(self.workers);
+            let mut done = false;
+            while batch.len() < self.workers {
+                match produce()? {
+                    Some(item) => batch.push(item),
+                    None => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if batch.is_empty() {
+                return Ok(());
+            }
+            for out in self.par_map_owned(batch, &map) {
+                consume(out)?;
+            }
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
     /// Shard-count-then-merge: splits `0..len` into this scheduler's
     /// stable shards, maps every shard with `map`, and folds the
     /// shard results **in shard order** with `reduce`. Returns `None`
@@ -435,6 +495,54 @@ mod tests {
                 assert_eq!(v, expect, "len {len}, {workers} workers");
             }
         }
+    }
+
+    #[test]
+    fn par_map_feed_consumes_in_order_at_any_worker_count() {
+        for workers in 1..=8 {
+            let mut next = 0u64;
+            let mut seen: Vec<u64> = Vec::new();
+            Scheduler::new(workers)
+                .par_map_feed(
+                    || {
+                        next += 1;
+                        Ok::<_, ()>(if next <= 23 { Some(next) } else { None })
+                    },
+                    |x| x * 10,
+                    |out| {
+                        seen.push(out);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            let expect: Vec<u64> = (1..=23).map(|x| x * 10).collect();
+            assert_eq!(seen, expect, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_map_feed_bounds_lookahead_and_propagates_errors() {
+        // Producer error surfaces immediately.
+        let err: Result<(), &str> =
+            Scheduler::new(4).par_map_feed(|| Err::<Option<u8>, _>("boom"), |x| x, |_| Ok(()));
+        assert_eq!(err, Err("boom"));
+        // Consumer error aborts mid-feed; the producer is never asked
+        // for more than one extra batch of lookahead.
+        let mut produced = 0u32;
+        let err: Result<(), &str> = Scheduler::new(2).par_map_feed(
+            || {
+                produced += 1;
+                Ok(Some(produced))
+            },
+            |x| x,
+            |x| if x >= 2 { Err("stop") } else { Ok(()) },
+        );
+        assert_eq!(err, Err("stop"));
+        assert!(produced <= 4, "unbounded lookahead: produced {produced}");
+        // Empty source is fine.
+        let ok: Result<(), ()> =
+            Scheduler::new(3).par_map_feed(|| Ok(None::<u8>), |x| x, |_| panic!("no items"));
+        assert_eq!(ok, Ok(()));
     }
 
     #[test]

@@ -20,10 +20,14 @@
 //! eip query 127.0.0.1:3164 GEN S1 100 seed=7       # one protocol request
 //! ```
 //!
-//! Input files are ingested through the streaming pipeline
-//! ([`Pipeline::profile_lines`]): addresses are profiled as the file
-//! is read, line by line, without materializing an intermediate
-//! address vector.
+//! Input files are ingested through the bounded-memory parallel
+//! streaming engine ([`Pipeline::profile_path_with`]): the file is
+//! read in fixed-size newline-aligned chunks that fan out across the
+//! worker threads, so peak memory stays O(chunk size × workers) plus
+//! the deduplicated set — independent of file length. `--chunk-mb N`
+//! sets the chunk size (default 4 MiB); `--chunk-mb 0` selects the
+//! serial one-line-at-a-time oracle the engine is verified against.
+//! Ingest throughput goes to stderr so stdout stays byte-stable.
 //!
 //! All failures flow through [`EipError`] and a single exit point:
 //! usage errors exit 2, runtime errors (I/O, parse, empty input)
@@ -33,7 +37,9 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
-use entropy_ip::{profile, store, Browser, Config, EipError, Generator, IpModel, Pipeline};
+use entropy_ip::{
+    profile, store, Browser, Config, EipError, Generator, IngestOptions, IpModel, Pipeline,
+};
 
 fn main() {
     exit(match run() {
@@ -83,6 +89,7 @@ struct Cli {
     model_in: Option<String>,
     model_out: Option<String>,
     top64: bool,
+    chunk_mb: usize,
     n: usize,
     seed: u64,
     min_prob: f64,
@@ -98,6 +105,7 @@ fn parse(args: &[String]) -> Result<Cli, EipError> {
         model_in: None,
         model_out: None,
         top64: false,
+        chunk_mb: 4,
         n: 1000,
         seed: 1,
         min_prob: 0.005,
@@ -114,6 +122,12 @@ fn parse(args: &[String]) -> Result<Cli, EipError> {
     while i < args.len() {
         match args[i].as_str() {
             "--top64" => cli.top64 = true,
+            "--chunk-mb" => {
+                i += 1;
+                cli.chunk_mb = operand(args, i, "--chunk-mb")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--chunk-mb needs a number of MiB".into()))?;
+            }
             "--profile" => {
                 i += 1;
                 cli.profile = Some(operand(args, i, "--profile")?);
@@ -188,7 +202,8 @@ fn pipeline(cli: &Cli) -> Pipeline {
 
 /// Loads a model — from a binary `.eipm` container (`--model-in`),
 /// from a saved text profile (`--profile`), or by training on the
-/// input file via the streaming pipeline. Returns the model plus its
+/// input file via the streaming ingestion engine (or the serial
+/// oracle with `--chunk-mb 0`). Returns the model plus its
 /// provenance fingerprint (for `--model-out`).
 fn load_model(cli: &Cli) -> Result<(IpModel, u64), EipError> {
     if let Some(path) = &cli.model_in {
@@ -204,13 +219,16 @@ fn load_model(cli: &Cli) -> Result<(IpModel, u64), EipError> {
         .input
         .as_ref()
         .ok_or_else(|| EipError::Usage("need an address file, --profile, or --model-in".into()))?;
-    let file = File::open(path).map_err(|e| EipError::io(path, e))?;
-    let model = pipeline(cli)
-        .profile_lines(BufReader::new(file))?
-        .segment()
-        .mine()
-        .train()?
-        .into_model();
+    let profiled = if cli.chunk_mb == 0 {
+        let file = File::open(path).map_err(|e| EipError::io(path, e))?;
+        pipeline(cli).profile_lines(BufReader::new(file))?
+    } else {
+        let (profiled, report) =
+            pipeline(cli).profile_path_with(path, &IngestOptions::chunk_mib(cli.chunk_mb))?;
+        eprintln!("{}", report.summary());
+        profiled
+    };
+    let model = profiled.segment().mine().train()?.into_model();
     let fp = store::fingerprint(&format!(
         "input={path} top64={} n_addresses={}",
         cli.top64,
@@ -350,6 +368,8 @@ fn usage() {
            version            print the version\n\n\
          flags:\n\
            --top64            analyze only the top 64 bits (prefix mode)\n\
+           --chunk-mb <N>     streaming ingest chunk size in MiB (default 4;\n\
+                              0 = serial one-line-at-a-time ingestion)\n\
            --profile <path>   load a saved profile instead of training\n\
            --model-in <path>  load a binary .eipm model instead of training\n\
            --model-out <path> persist the model as a binary .eipm container\n\

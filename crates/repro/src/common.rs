@@ -24,6 +24,9 @@ pub struct RunConfig {
     /// is byte-identical at **any** `jobs` value — only wall-clock
     /// changes.
     pub jobs: usize,
+    /// Streaming-ingest chunk size in MiB for the `--full` ingest
+    /// stage and `--corpus-out` sizing (clamped to at least 1).
+    pub chunk_mb: usize,
 }
 
 impl Default for RunConfig {
@@ -34,6 +37,7 @@ impl Default for RunConfig {
             seed: 20160317,
             probe_loss: 0.0,
             jobs: 1,
+            chunk_mb: 4,
         }
     }
 }

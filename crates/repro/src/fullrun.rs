@@ -22,9 +22,10 @@ use std::time::Instant;
 
 use eip_exec::Scheduler;
 use eip_netsim::{dataset, population_adherence};
-use entropy_ip::Generator;
+use entropy_ip::{Generator, IngestOptions, IngestReport};
 
 use crate::common::{human, RunConfig};
+use crate::corpus::CorpusReader;
 
 /// Wall-clock stage accounting: named stages, timed as they run,
 /// printed live and serialized to JSON at the end.
@@ -82,11 +83,31 @@ pub fn full_run(cfg: &RunConfig, bench_out: Option<&str>) {
         spec.population_sized_jobs(n, cfg.seed, cfg.jobs)
     });
     let pipeline = cfg.pipeline();
+    // Ingest: stream a synthetic on-the-fly corpus (25% duplicate
+    // lines, mixed colon/hex32 presentation, comments) through the
+    // bounded-memory chunked engine. The resulting profile must match
+    // the in-memory one bit for bit — asserted below — so this both
+    // times stage 1 at paper scale and re-verifies the engine on
+    // every full run.
+    let corpus_lines = n as u64 + n as u64 / 4;
+    let (ingested, ingest) = timer.stage("ingest", || {
+        let reader = CorpusReader::new(&population, corpus_lines, cfg.seed ^ 0xc0de);
+        pipeline
+            .profile_reader_streaming(reader, &IngestOptions::chunk_mib(cfg.chunk_mb.max(1)))
+            .expect("corpus ingest")
+    });
     let profiled = timer.stage("profile", || {
         pipeline
             .profile(population.iter())
             .expect("non-empty population")
     });
+    assert!(
+        ingested.addresses() == profiled.addresses()
+            && ingested.entropy() == profiled.entropy()
+            && ingested.acr() == profiled.acr(),
+        "streaming ingest diverged from the in-memory profile"
+    );
+    println!("    ({})", ingest.summary());
     let segmented = timer.stage("segment", || profiled.segment());
     let mined = timer.stage("mine", || segmented.mine());
     let model = timer.stage("train", || {
@@ -155,6 +176,7 @@ pub fn full_run(cfg: &RunConfig, bench_out: Option<&str>) {
         population.len(),
         report.candidates.len(),
         &adherence,
+        &ingest,
     );
     let path = bench_out
         .map(String::from)
@@ -178,6 +200,7 @@ fn render_json(
     distinct: usize,
     candidates: usize,
     adherence: &eip_netsim::Adherence,
+    ingest: &IngestReport,
 ) -> String {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -205,6 +228,19 @@ fn render_json(
         ));
     }
     out.push_str("  },\n");
+    // The corpus shape (lines/bytes/distinct) is deterministic in the
+    // seed; the throughput fields vary by machine, like the timings.
+    out.push_str(&format!(
+        "  \"ingest\": {{ \"lines\": {}, \"addresses\": {}, \"distinct\": {}, \"bytes\": {}, \"chunk_bytes\": {}, \"lines_per_sec\": {:.0}, \"mb_per_sec\": {:.2}, \"peak_bytes\": {} }},\n",
+        ingest.lines,
+        ingest.addresses,
+        ingest.distinct,
+        ingest.bytes,
+        ingest.chunk_bytes,
+        ingest.lines_per_sec(),
+        ingest.mb_per_sec(),
+        ingest.peak_bytes,
+    ));
     out.push_str(&format!("  \"total\": {:.6},\n", timer.total()));
     out.push_str(&format!(
         "  \"outcome\": {{ \"distinct_addresses\": {distinct}, \"candidates\": {candidates}, \"population_hits\": {}, \"slash64_hits\": {}, \"new_slash64\": {} }}\n",

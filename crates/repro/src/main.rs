@@ -16,9 +16,13 @@
 //! repro --seed 42             # reproducibility
 //! repro --all --jobs 8        # sharded profiling/mining/generation (same output
 //!                             # at any jobs > 1)
+//! repro --corpus-out /tmp/corpus.txt --candidates 5000000
+//!                             # write a duplicate-heavy synthetic address
+//!                             # corpus for the ingestion smoke test
 //! ```
 
 mod common;
+mod corpus;
 mod figures;
 mod fullrun;
 mod tables;
@@ -38,6 +42,7 @@ fn main() {
     let mut ablation = false;
     let mut full = false;
     let mut bench_out: Option<String> = None;
+    let mut corpus_out: Option<String> = None;
     let mut candidates: Option<usize> = None;
 
     let mut i = 0;
@@ -53,6 +58,18 @@ fn main() {
                         .cloned()
                         .unwrap_or_else(|| die("--bench-out needs a path")),
                 );
+            }
+            "--corpus-out" => {
+                i += 1;
+                corpus_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--corpus-out needs a path")),
+                );
+            }
+            "--chunk-mb" => {
+                i += 1;
+                cfg.chunk_mb = (parse_num(&args, i, "--chunk-mb") as usize).max(1);
             }
             "--table" => {
                 i += 1;
@@ -105,6 +122,14 @@ fn main() {
     let timed_run = full && !all && table.is_none() && figure.is_none() && !ablation;
     if bench_out.is_some() && !timed_run {
         die("--bench-out only applies to the bare --full timed run");
+    }
+
+    // `--corpus-out` is its own mode: synthesize a duplicate-heavy
+    // address corpus (lines = --candidates, ~5 lines per distinct
+    // address) for the ingestion smoke test, then exit.
+    if let Some(path) = corpus_out {
+        write_corpus(&path, &cfg);
+        return;
     }
 
     if all {
@@ -164,6 +189,24 @@ fn run_figure(f: u32, cfg: &RunConfig) {
     }
 }
 
+/// `--corpus-out`: writes `cfg.candidates` address lines over an S1
+/// population of `candidates / 5` distinct addresses — every distinct
+/// address appears, the rest are keyed-random duplicates, ~2%
+/// comment/blank lines mixed in. Deterministic in `--seed`.
+fn write_corpus(path: &str, cfg: &RunConfig) {
+    let lines = cfg.candidates.max(1) as u64;
+    let distinct = (cfg.candidates / 5).max(1);
+    let spec = eip_netsim::dataset("S1").expect("S1 in catalog");
+    let pop = spec.population_sized(distinct, cfg.seed);
+    match corpus::write_corpus(path, &pop, lines, cfg.seed ^ 0xc0de) {
+        Ok(bytes) => println!(
+            "corpus written to {path}: {lines} address lines, {} distinct, {bytes} bytes",
+            pop.len()
+        ),
+        Err(e) => die(&format!("could not write {path}: {e}")),
+    }
+}
+
 fn parse_num(args: &[String], i: usize, flag: &str) -> u32 {
     args.get(i)
         .and_then(|s| s.parse::<u32>().ok())
@@ -180,13 +223,16 @@ fn usage() {
         "repro — regenerate the tables and figures of Entropy/IP (IMC 2016)\n\n\
          usage: repro [--all] [--table N] [--figure N] [--ablation]\n\
                       [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\
-                      [--jobs N] [--bench-out PATH]\n\n\
+                      [--jobs N] [--chunk-mb N] [--bench-out PATH] [--corpus-out PATH]\n\n\
          tables:  1 datasets   2 conditional probs   3 S1 mining\n\
                   4 scanning   5 training-size sweep 6 prefix prediction\n\
          figures: 1 UI        2 BN graph   3 addresses  4 histogram  5 windowing\n\
                   6 aggregates 7 S1 panel  8 small multiples  9 R1 panel  10 C1 panel\n\n\
          bare --full runs the timed paper-scale workload (1M addresses in,\n\
          1M candidates out) and records per-stage wall-clock to\n\
-         crates/bench/BENCH_full.json (override with --bench-out)"
+         crates/bench/BENCH_full.json (override with --bench-out); its ingest\n\
+         stage streams a synthetic corpus in --chunk-mb MiB chunks\n\n\
+         --corpus-out PATH writes a duplicate-heavy synthetic address corpus\n\
+         (--candidates lines, ~1/5 distinct) for the ingestion smoke test"
     );
 }

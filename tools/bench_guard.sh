@@ -21,6 +21,15 @@
 #     tree/hash bookkeeping the `--full` evaluate stage used before
 #     PR 5.
 #
+# Plus one edge from the `ingest` bench target:
+#
+#   * stage_ingest: the chunked streaming engine (newline-aligned
+#     chunks, SWAR line split, per-chunk sorted runs folded by linear
+#     merges) vs the serial one-line-at-a-time oracle, over a
+#     2M-line duplicate-heavy corpus. The edge must hold even on a
+#     single-CPU host, where it comes purely from doing less work per
+#     line — real cores only widen it.
+#
 # Plus one edge from the `serve` bench target:
 #
 #   * stage_serve fetch: an LRU hit (lock + tick + Arc clone) must
@@ -38,6 +47,9 @@
 #                          (default 1.0, i.e. parallel <= serial)
 #   BENCH_GENERATE_MARGIN  required ratio for generation (default 0.9)
 #   BENCH_EVALUATE_MARGIN  required ratio for evaluation (default 0.9)
+#   BENCH_INGEST_MARGIN    required ratio streaming/serial for stage-1
+#                          ingestion (default 0.95; holds at ~0.90 even
+#                          on a one-CPU host)
 #   BENCH_SERVE_MARGIN     required ratio lru_hit/cold_load for the
 #                          model registry (default 0.5, i.e. a hit
 #                          must be at least 2x faster than a cold load)
@@ -48,10 +60,15 @@ mine_margin="${BENCH_MINE_MARGIN:-0.9}"
 train_margin="${BENCH_TRAIN_MARGIN:-1.0}"
 generate_margin="${BENCH_GENERATE_MARGIN:-0.9}"
 evaluate_margin="${BENCH_EVALUATE_MARGIN:-0.9}"
+ingest_margin="${BENCH_INGEST_MARGIN:-0.95}"
 serve_margin="${BENCH_SERVE_MARGIN:-0.5}"
 
 out="$(cargo bench -p eip_bench --bench stages 2>&1)"
 echo "$out"
+echo
+
+ingest_out="$(cargo bench -p eip_bench --bench ingest 2>&1)"
+echo "$ingest_out"
 echo
 
 serve_out="$(cargo bench -p eip_bench --bench serve 2>&1)"
@@ -101,6 +118,11 @@ check_edge stage_evaluate \
     "$(echo "$out" | awk '/bench stage_evaluate\/serial_10000:/ {print $3}')" \
     "$(echo "$out" | awk '/bench stage_evaluate\/parallel4_10000:/ {print $3}')" \
     "$evaluate_margin"
+
+check_edge stage_ingest \
+    "$(echo "$ingest_out" | awk '/bench stage_ingest\/serial_2000000:/ {print $3}')" \
+    "$(echo "$ingest_out" | awk '/bench stage_ingest\/parallel4_2000000:/ {print $3}')" \
+    "$ingest_margin"
 
 # For the serve edge the "serial" baseline is the cold registry load
 # and the "parallel" contender is the LRU hit.

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the streaming ingestion engine at scale:
+# synthesize a multi-million-line duplicate-heavy address corpus with
+# `repro --corpus-out`, run `eip analyze --model-out` over it twice —
+# once through the chunked streaming engine, once through the serial
+# one-line-at-a-time oracle (`--chunk-mb 0`) — and byte-diff the two
+# persisted .eipm containers: the determinism contract, checked over a
+# real file at a scale where chunk boundaries, carry lines, and the
+# run-merge machinery all do real work. Also asserts the streaming
+# run's peak RSS stays under a ceiling that the corpus itself exceeds,
+# i.e. the engine really is bounded-memory. Exits non-zero on any
+# byte drift or RSS blowout.
+#
+# Usage: tools/ingest_smoke.sh [lines] [workdir]
+#   lines   corpus address lines (default 5000000, ~1/5 distinct)
+#   workdir scratch directory (default: a fresh temp dir)
+#   INGEST_RSS_MAX_KB  peak-RSS ceiling for the streaming analyze
+#                      (default 786432 = 768 MiB)
+set -euo pipefail
+
+lines="${1:-5000000}"
+work="${2:-$(mktemp -d /tmp/eip_ingest_smoke.XXXXXX)}"
+rss_max_kb="${INGEST_RSS_MAX_KB:-786432}"
+mkdir -p "$work"
+echo "ingest_smoke: working in $work ($lines corpus lines)"
+
+eip="target/release/eip"
+repro="target/release/repro"
+if [[ ! -x "$eip" || ! -x "$repro" ]]; then
+    cargo build --release -p repro
+fi
+
+"$repro" --corpus-out "$work/corpus.txt" --candidates "$lines"
+wc -c "$work/corpus.txt"
+
+# Streaming analyze (default 4 MiB chunks), peak RSS captured. GNU
+# time lives at /usr/bin/time; fall back to bash's keyword-less run
+# (skipping the RSS assertion) if it is missing.
+if [[ -x /usr/bin/time ]]; then
+    /usr/bin/time -v "$eip" analyze "$work/corpus.txt" --jobs 4 \
+        --model-out "$work/stream.eipm" \
+        > "$work/stream.out" 2> "$work/stream.time"
+    grep "ingested" "$work/stream.time" || true
+    rss_kb="$(awk '/Maximum resident set size/ {print $NF}' "$work/stream.time")"
+    echo "ingest_smoke: streaming peak RSS ${rss_kb} kB (ceiling ${rss_max_kb} kB)"
+    if [[ -z "$rss_kb" || "$rss_kb" -gt "$rss_max_kb" ]]; then
+        echo "ingest_smoke: streaming analyze exceeded the RSS ceiling" >&2
+        exit 1
+    fi
+else
+    echo "ingest_smoke: /usr/bin/time missing, skipping RSS assertion"
+    "$eip" analyze "$work/corpus.txt" --jobs 4 \
+        --model-out "$work/stream.eipm" > "$work/stream.out"
+fi
+
+# Serial oracle analyze over the same file.
+"$eip" analyze "$work/corpus.txt" --chunk-mb 0 --jobs 4 \
+    --model-out "$work/serial.eipm" > "$work/serial.out"
+
+# The whole point: identical analysis and identical persisted model,
+# byte for byte.
+diff -u "$work/serial.out" "$work/stream.out" \
+    || { echo "ingest_smoke: analyze stdout drifted between serial and streaming" >&2; exit 1; }
+cmp "$work/serial.eipm" "$work/stream.eipm" \
+    || { echo "ingest_smoke: persisted .eipm containers differ" >&2; exit 1; }
+echo "ingest_smoke: streaming and serial models byte-identical"
+
+# A second streaming pass at a deliberately awkward chunk size must
+# also match (chunk boundaries land mid-line all over the file).
+"$eip" analyze "$work/corpus.txt" --chunk-mb 1 --jobs 7 \
+    --model-out "$work/chunk1.eipm" > /dev/null
+cmp "$work/serial.eipm" "$work/chunk1.eipm" \
+    || { echo "ingest_smoke: 1 MiB-chunk model drifted" >&2; exit 1; }
+echo "ingest_smoke: 1 MiB-chunk / 7-worker model byte-identical"
+
+rm -rf "$work"
+echo "ingest_smoke: OK"
