@@ -33,6 +33,16 @@ use std::io::Read;
 /// torture line-boundary handling); zero would make no progress.
 pub const MIN_CHUNK_BYTES: usize = 1;
 
+/// Default cap on the grow-until-newline buffer: a single line longer
+/// than this aborts the read with [`std::io::ErrorKind::InvalidData`]
+/// instead of growing memory without bound. 64 MiB is ~3 orders of
+/// magnitude past any legitimate address line; a stream that reaches
+/// it is malformed or hostile. The cap only bites through the grow
+/// path, so the effective line limit is `max(chunk_bytes,
+/// max_line_bytes)` — a chunk that already contains a newline is
+/// never scanned against it.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 << 20;
+
 /// First occurrence of `needle` in `hay` — a SWAR (SIMD-within-a-
 /// register) scan, eight bytes per step with the classic
 /// zero-byte-detect trick, so the chunk parser's line splitting runs
@@ -70,6 +80,7 @@ pub fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
 pub struct ChunkReader<R> {
     inner: R,
     chunk_bytes: usize,
+    max_line_bytes: usize,
     /// Partial trailing line of the previous chunk.
     carry: Vec<u8>,
     eof: bool,
@@ -81,11 +92,23 @@ impl<R: Read> ChunkReader<R> {
     /// Wraps a reader. `chunk_bytes` is clamped to at least
     /// [`MIN_CHUNK_BYTES`]. No [`std::io::BufReader`] is needed —
     /// this reader *is* the buffer, and it reads in `chunk_bytes`
-    /// slabs.
+    /// slabs. Oversized lines are capped at
+    /// [`DEFAULT_MAX_LINE_BYTES`]; see [`ChunkReader::with_max_line`].
     pub fn new(inner: R, chunk_bytes: usize) -> Self {
+        Self::with_max_line(inner, chunk_bytes, DEFAULT_MAX_LINE_BYTES)
+    }
+
+    /// Like [`ChunkReader::new`], but with an explicit cap on the
+    /// grow-until-newline buffer: a single line that exceeds
+    /// `max_line_bytes` (clamped to ≥ `chunk_bytes`) fails the read
+    /// with a clear [`std::io::ErrorKind::InvalidData`] error instead
+    /// of buffering the line until memory runs out.
+    pub fn with_max_line(inner: R, chunk_bytes: usize, max_line_bytes: usize) -> Self {
+        let chunk_bytes = chunk_bytes.max(MIN_CHUNK_BYTES);
         ChunkReader {
             inner,
-            chunk_bytes: chunk_bytes.max(MIN_CHUNK_BYTES),
+            chunk_bytes,
+            max_line_bytes: max_line_bytes.max(chunk_bytes),
             carry: Vec::new(),
             eof: false,
             bytes_read: 0,
@@ -147,7 +170,20 @@ impl<R: Read> ChunkReader<R> {
                 break;
             }
             // No newline yet: a line longer than the chunk size.
-            // Keep reading until one arrives (or EOF).
+            // Keep reading until one arrives (or EOF) — but never past
+            // the line cap: the whole buffer is one line's prefix
+            // here, so a pathological (or hostile) stream would
+            // otherwise grow this allocation without bound.
+            if buf.len() >= self.max_line_bytes {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "input line exceeds the maximum line length of {} bytes \
+                         (after {} bytes read)",
+                        self.max_line_bytes, self.bytes_read
+                    ),
+                ));
+            }
         }
         if buf.is_empty() {
             Ok(None)
@@ -211,6 +247,39 @@ mod tests {
     #[test]
     fn empty_input_yields_no_chunks() {
         assert!(collect(b"", 8).is_empty());
+    }
+
+    #[test]
+    fn oversized_line_hits_the_cap_with_a_clear_error() {
+        // A 100-byte line under an 8-byte chunk / 32-byte cap: the
+        // grow loop must abort instead of buffering the whole line.
+        let mut text = vec![b'x'; 100];
+        text.push(b'\n');
+        let mut r = ChunkReader::with_max_line(&text[..], 8, 32);
+        let err = r.next_chunk().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("maximum line length"), "{msg}");
+        assert!(msg.contains("32 bytes"), "{msg}");
+    }
+
+    #[test]
+    fn cap_clamps_to_chunk_size_and_spares_legal_lines() {
+        // Lines at or below the cap stream through untouched, even
+        // when they exceed the chunk size.
+        let mut text = vec![b'y'; 30];
+        text.push(b'\n');
+        text.extend_from_slice(b"z\n");
+        let mut r = ChunkReader::with_max_line(&text[..], 4, 31);
+        let mut out = Vec::new();
+        while let Some(c) = r.next_chunk().unwrap() {
+            out.extend_from_slice(&c);
+        }
+        assert_eq!(out, text);
+        // A cap below the chunk size clamps up to it: a chunk-sized
+        // line still parses.
+        let mut r = ChunkReader::with_max_line(&b"abcdefg\n"[..], 16, 1);
+        assert_eq!(r.next_chunk().unwrap().unwrap(), b"abcdefg\n");
     }
 
     #[test]

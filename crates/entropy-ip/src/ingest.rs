@@ -58,18 +58,26 @@ use crate::error::EipError;
 pub const DEFAULT_CHUNK_BYTES: usize = 4 << 20;
 
 /// Knobs for the streaming ingestion engine. The settings change
-/// wall-clock and peak memory only — never the profiled result.
+/// wall-clock and peak memory only — never the profiled result (an
+/// input rejected by the line cap is rejected at every setting that
+/// shares the cap).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IngestOptions {
     /// Bytes per chunk (clamped to ≥ 1; the `--chunk-mb` CLI knob).
     /// Peak in-flight text is roughly `chunk_bytes × workers`.
     pub chunk_bytes: usize,
+    /// Cap on a single input line (clamped to ≥ `chunk_bytes`; the
+    /// `--max-line-mb` CLI knob). A longer line aborts ingestion with
+    /// a clear [`EipError::Parse`] instead of growing the chunk
+    /// buffer without bound.
+    pub max_line_bytes: usize,
 }
 
 impl Default for IngestOptions {
     fn default() -> Self {
         IngestOptions {
             chunk_bytes: DEFAULT_CHUNK_BYTES,
+            max_line_bytes: eip_addr::chunk::DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -81,7 +89,15 @@ impl IngestOptions {
     pub fn chunk_mib(mib: usize) -> Self {
         IngestOptions {
             chunk_bytes: mib.max(1) << 20,
+            ..IngestOptions::default()
         }
+    }
+
+    /// The same options with the line cap set in MiB (clamped to
+    /// ≥ 1 MiB).
+    pub fn with_max_line_mib(mut self, mib: usize) -> Self {
+        self.max_line_bytes = mib.max(1) << 20;
+        self
     }
 }
 
@@ -309,7 +325,7 @@ pub fn ingest_reader<R: Read>(
     opts: &IngestOptions,
 ) -> Result<(AddressSet, IngestReport), EipError> {
     let start = Instant::now();
-    let mut chunker = ChunkReader::new(reader, opts.chunk_bytes);
+    let mut chunker = ChunkReader::with_max_line(reader, opts.chunk_bytes, opts.max_line_bytes);
     let mut acc = RunAccumulator::new();
     let mut lines = 0u64;
     let mut parsed = 0u64;
@@ -328,6 +344,12 @@ pub fn ingest_reader<R: Read>(
                 Ok(Some(chunk))
             }
             Ok(None) => Ok(None),
+            // The line cap reports InvalidData: that is a property of
+            // the *input*, not of the stream, so surface it as the
+            // parse error it is.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                Err(EipError::Parse(e.to_string()))
+            }
             Err(e) => Err(EipError::io("<stream>", e)),
         },
         |chunk: Vec<u8>| {
@@ -377,7 +399,10 @@ mod tests {
             text.as_bytes(),
             false,
             &Scheduler::new(workers),
-            &IngestOptions { chunk_bytes: chunk },
+            &IngestOptions {
+                chunk_bytes: chunk,
+                ..IngestOptions::default()
+            },
         )
     }
 
@@ -421,7 +446,10 @@ mod tests {
             text.as_bytes(),
             true,
             &Scheduler::new(2),
-            &IngestOptions { chunk_bytes: 8 },
+            &IngestOptions {
+                chunk_bytes: 8,
+                ..IngestOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(set.len(), 2, "two distinct /64s");
@@ -460,6 +488,29 @@ mod tests {
             report.peak_bytes
         );
         assert_eq!(report.lines, 200_000);
+    }
+
+    #[test]
+    fn oversized_line_aborts_with_a_parse_error() {
+        // One pathological line past the cap: ingestion must fail
+        // with a clear EipError::Parse, not balloon the chunk buffer.
+        let mut text = String::from("2001:db8::1\n");
+        text.push_str(&"f".repeat(4096));
+        text.push('\n');
+        let err = ingest_reader(
+            text.as_bytes(),
+            false,
+            &Scheduler::new(2),
+            &IngestOptions {
+                chunk_bytes: 16,
+                max_line_bytes: 64,
+            },
+        )
+        .unwrap_err();
+        let EipError::Parse(msg) = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(msg.contains("maximum line length"), "{msg}");
     }
 
     #[test]

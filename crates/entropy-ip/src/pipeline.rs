@@ -813,7 +813,10 @@ mod tests {
                 let (streamed, report) = p
                     .profile_reader_streaming(
                         text.as_bytes(),
-                        &IngestOptions { chunk_bytes: chunk },
+                        &IngestOptions {
+                            chunk_bytes: chunk,
+                            ..IngestOptions::default()
+                        },
                     )
                     .unwrap();
                 assert_eq!(streamed.entropy(), serial.entropy(), "chunk={chunk}");

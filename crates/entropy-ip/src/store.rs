@@ -261,10 +261,41 @@ fn load_inner(bytes: &[u8]) -> Result<(IpModel, u64), String> {
     Ok((IpModel::from_parts(analysis, mined, bn), fingerprint))
 }
 
-/// Writes a model container to `path`.
+/// Writes a model container to `path` **atomically**: the bytes land
+/// in a `<name>.tmp` sibling first (flushed with `sync_all`) and are
+/// renamed over the target only once complete. A crash — power loss,
+/// SIGKILL, a full disk mid-write — therefore never leaves a torn
+/// container at `path`: readers see either the old model or the new
+/// one, and a stale `.tmp` leftover is invisible to
+/// `ModelStore::list` (wrong extension) and overwritten by the next
+/// save.
 pub fn save_file(path: impl AsRef<Path>, model: &IpModel, fp: u64) -> Result<(), EipError> {
     let path = path.as_ref();
-    std::fs::write(path, save(model, fp)).map_err(|e| EipError::io(path.display().to_string(), e))
+    write_atomic(path, &save(model, fp))
+}
+
+/// The temp-file + rename discipline behind [`save_file`], exposed so
+/// tests (and the chaos suite) can exercise crash points directly.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), EipError> {
+    use std::io::Write;
+    let err = |e: std::io::Error| EipError::io(path.display().to_string(), e);
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| EipError::Usage(format!("{} has no file name", path.display())))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Durability before visibility: the rename must never expose
+        // bytes still sitting in the page cache of a dying machine.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(err)
 }
 
 /// Reads a model container from `path`.
@@ -392,6 +423,42 @@ mod tests {
         assert!(matches!(
             load_file(dir.join("missing.eipm")),
             Err(EipError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_save_survives_crash_leftovers() {
+        let dir = std::env::temp_dir().join("eip_store_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.eipm");
+        let m = model();
+        save_file(&path, &m, 1).unwrap();
+
+        // Simulate a writer that crashed mid-write: a torn temp file
+        // (what FaultyWrite's fail_at leaves of a container) next to
+        // the good target. The target must stay readable.
+        let tmp = dir.join("net.eipm.tmp");
+        let mut torn = eip_exec::fault::FaultPlan::new(3, 0)
+            .failing_at(0)
+            .wrap_write(std::fs::File::create(&tmp).unwrap());
+        assert!(std::io::Write::write(&mut torn, &save(&m, 2)).is_err());
+        drop(torn);
+        assert!(tmp.exists(), "torn temp file left behind");
+        let (_, fp) = load_file(&path).expect("crash leftover must not corrupt the target");
+        assert_eq!(fp, 1, "old model still served");
+
+        // The next save overwrites the leftover and completes.
+        save_file(&path, &m, 3).unwrap();
+        assert!(!tmp.exists(), "successful save cleans the temp name");
+        assert_eq!(load_file(&path).unwrap().1, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_rejects_pathless_targets() {
+        assert!(matches!(
+            write_atomic(Path::new("/"), b"x"),
+            Err(EipError::Usage(_))
         ));
     }
 

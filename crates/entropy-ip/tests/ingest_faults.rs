@@ -1,0 +1,211 @@
+//! Fault-injection suite for the streaming ingestion engine.
+//!
+//! The contract: ingestion over a *misbehaving* reader — short reads,
+//! `Interrupted` storms, injected delays, all scheduled
+//! deterministically by [`eip_exec::fault::FaultPlan`] — produces the
+//! byte-identical result of a clean serial run whenever the schedule
+//! lets the stream complete, at every chunk size and worker count.
+//! And because the fault schedule is pure in `(seed, stream, index)`,
+//! two runs under the same plan must log the *identical* fault
+//! sequence — chaos that reproduces.
+
+use eip_addr::{AddressSet, Ip6};
+use eip_exec::fault::FaultPlan;
+use eip_exec::Scheduler;
+use entropy_ip::ingest::{ingest_reader, IngestOptions};
+use entropy_ip::{Config, EipError, Pipeline};
+use proptest::prelude::*;
+
+const WORKERS: &[usize] = &[1, 2, 7, 8];
+
+/// A recoverable-fault plan: ~60% of read operations misbehave, but
+/// nothing is fatal — `ChunkReader` retries `Interrupted` and loops
+/// over short reads, so the bytes always arrive.
+fn recoverable(seed: u64, stream: u64) -> FaultPlan {
+    FaultPlan::new(seed, stream)
+        .with_short_reads(400)
+        .with_interrupts(150)
+        .with_delays(50, 1)
+}
+
+/// A mixed corpus: colon and hex32 forms, duplicates, comments,
+/// blanks, and no trailing newline.
+fn corpus(lines: u128) -> String {
+    let mut text = String::new();
+    for i in 0..lines {
+        let ip = Ip6((0x2001_0db8u128 << 96) | ((i % 61) << 32) | (i % 257));
+        if i % 2 == 0 {
+            text.push_str(&ip.to_string());
+        } else {
+            text.push_str(&ip.to_hex32());
+        }
+        text.push('\n');
+        if i % 53 == 0 {
+            text.push_str("# interleaved comment\n\n");
+        }
+    }
+    text.push_str("2001:db8::fade"); // final line, no newline
+    text
+}
+
+#[test]
+fn faulted_reads_match_the_clean_oracle_at_every_worker_count() {
+    let text = corpus(800);
+    let oracle = AddressSet::parse_lines(&text).unwrap();
+    for &workers in WORKERS {
+        for chunk in [7usize, 64, 4096] {
+            let plan = recoverable(42, workers as u64);
+            let reader = plan.wrap_read(text.as_bytes());
+            let log = reader.log();
+            let (set, report) = ingest_reader(
+                reader,
+                false,
+                &Scheduler::new(workers),
+                &IngestOptions {
+                    chunk_bytes: chunk,
+                    ..IngestOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(set, oracle, "workers={workers} chunk={chunk}");
+            assert_eq!(report.bytes, text.len() as u64);
+            assert!(
+                !log.snapshot().is_empty(),
+                "workers={workers} chunk={chunk}: the plan injected nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_replays_the_identical_fault_sequence_and_result() {
+    let text = corpus(400);
+    let run = |seed: u64| {
+        let plan = recoverable(seed, 3);
+        let reader = plan.wrap_read(text.as_bytes());
+        let log = reader.log();
+        let (set, _) = ingest_reader(
+            reader,
+            false,
+            &Scheduler::new(7),
+            &IngestOptions {
+                chunk_bytes: 33,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        (set, log.snapshot())
+    };
+    let (set_a, log_a) = run(7);
+    let (set_b, log_b) = run(7);
+    assert_eq!(set_a, set_b);
+    assert_eq!(log_a, log_b, "same seed must schedule identical faults");
+    assert!(!log_a.is_empty());
+    // A different seed schedules differently (same surviving bytes).
+    let (set_c, log_c) = run(8);
+    assert_eq!(set_a, set_c, "faults never change the surviving output");
+    assert_ne!(log_a, log_c, "distinct seeds alias");
+}
+
+#[test]
+fn profiled_artifact_survives_a_faulty_reader() {
+    let text = corpus(600);
+    let serial = Pipeline::new(Config::default())
+        .profile_lines(text.as_bytes())
+        .unwrap();
+    for &workers in WORKERS {
+        let pipeline = Pipeline::new(Config::default().with_parallelism(workers));
+        let plan = recoverable(11, workers as u64);
+        let (streamed, report) = pipeline
+            .profile_reader_streaming(
+                plan.wrap_read(text.as_bytes()),
+                &IngestOptions {
+                    chunk_bytes: 61,
+                    ..IngestOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            streamed.addresses(),
+            serial.addresses(),
+            "workers={workers}"
+        );
+        assert_eq!(streamed.entropy(), serial.entropy(), "workers={workers}");
+        assert_eq!(streamed.acr(), serial.acr(), "workers={workers}");
+        assert_eq!(report.bytes, text.len() as u64);
+    }
+}
+
+#[test]
+fn unrecoverable_faults_abort_with_the_same_error_everywhere() {
+    let text = corpus(300);
+    // A hard fault at read op 5: the stream dies mid-file. Every
+    // chunk size and worker count must surface the same EipError.
+    let mut seen = Vec::new();
+    for &workers in WORKERS {
+        for chunk in [8usize, 128] {
+            let plan = FaultPlan::new(1, 0).failing_at(5);
+            let err = ingest_reader(
+                plan.wrap_read(text.as_bytes()),
+                false,
+                &Scheduler::new(workers),
+                &IngestOptions {
+                    chunk_bytes: chunk,
+                    ..IngestOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, EipError::Io { .. }),
+                "workers={workers} chunk={chunk}: {err:?}"
+            );
+            seen.push(err);
+        }
+    }
+    for e in &seen[1..] {
+        // Same plan coordinates → same failing operation index, so
+        // the rendered error is identical across the whole grid.
+        assert_eq!(e, &seen[0]);
+    }
+    // WouldBlock (a socket deadline) aborts too, but as a distinct,
+    // clearly-labeled error.
+    let plan = FaultPlan::new(2, 0).with_would_block(1000);
+    let err = ingest_reader(
+        plan.wrap_read(text.as_bytes()),
+        false,
+        &Scheduler::new(2),
+        &IngestOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("would block"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any recoverable fault schedule over any chunk/worker geometry
+    /// yields the clean oracle's exact set.
+    #[test]
+    fn any_recoverable_schedule_preserves_the_profile(
+        seed in any::<u64>(),
+        chunk in 1usize..200,
+        workers in 1usize..8,
+        short_pm in 0u16..500,
+        interrupt_pm in 0u16..400,
+    ) {
+        let text = corpus(120);
+        let oracle = AddressSet::parse_lines(&text).unwrap();
+        let plan = FaultPlan::new(seed, 0)
+            .with_short_reads(short_pm)
+            .with_interrupts(interrupt_pm);
+        let (set, report) = ingest_reader(
+            plan.wrap_read(text.as_bytes()),
+            false,
+            &Scheduler::new(workers),
+            &IngestOptions { chunk_bytes: chunk, ..IngestOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(set, oracle, "seed={} chunk={} workers={}", seed, chunk, workers);
+        prop_assert_eq!(report.bytes, text.len() as u64);
+    }
+}

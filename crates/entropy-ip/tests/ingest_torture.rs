@@ -28,7 +28,10 @@ fn stream(text: &str, chunk: usize, workers: usize) -> Result<AddressSet, EipErr
         text.as_bytes(),
         false,
         &Scheduler::new(workers),
-        &IngestOptions { chunk_bytes: chunk },
+        &IngestOptions {
+            chunk_bytes: chunk,
+            ..IngestOptions::default()
+        },
     )
     .map(|(set, _)| set)
 }
@@ -101,7 +104,10 @@ fn invalid_utf8_line_matches_serial() {
             &text[..],
             false,
             &Scheduler::new(3),
-            &IngestOptions { chunk_bytes: chunk },
+            &IngestOptions {
+                chunk_bytes: chunk,
+                ..IngestOptions::default()
+            },
         )
         .unwrap_err();
         assert_eq!(got, oracle, "chunk={chunk}");
@@ -134,7 +140,13 @@ fn profiled_artifact_matches_profile_lines() {
         for &(chunk, workers) in &[(1usize, 2usize), (37, 7), (512, 4), (1 << 20, 1)] {
             let pipeline = Pipeline::new(cfg.clone().with_parallelism(workers));
             let (streamed, report) = pipeline
-                .profile_reader_streaming(text.as_bytes(), &IngestOptions { chunk_bytes: chunk })
+                .profile_reader_streaming(
+                    text.as_bytes(),
+                    &IngestOptions {
+                        chunk_bytes: chunk,
+                        ..IngestOptions::default()
+                    },
+                )
                 .unwrap();
             assert_eq!(streamed.addresses(), serial.addresses(), "chunk={chunk}");
             assert_eq!(streamed.entropy(), serial.entropy(), "chunk={chunk}");

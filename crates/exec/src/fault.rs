@@ -1,0 +1,510 @@
+//! Deterministic fault injection for `Read`/`Write` streams.
+//!
+//! Chaos testing usually trades reproducibility for coverage: a test
+//! that randomly tears reads finds real bugs, then cannot reproduce
+//! them. This workspace already solved the same problem for sampling
+//! — every hot-path draw is a pure function of a `(seed, stream,
+//! index)` coordinate ([`crate::rng`]) — so fault injection rides the
+//! identical discipline: a [`FaultPlan`] decides the fault (if any)
+//! for I/O operation `index` purely from `(seed, stream, index)`.
+//! Same seed → same failure sequence, byte for byte, at any worker
+//! count, which is what lets the chaos suites assert *equality* (the
+//! surviving output must match a fault-free oracle, and two runs must
+//! log identical fault sequences) instead of mere survival.
+//!
+//! [`FaultyRead`] and [`FaultyWrite`] wrap any `Read`/`Write` and
+//! consult the plan once per operation:
+//!
+//! * **Short reads/writes** — the inner call sees a truncated buffer
+//!   (length drawn from the same coordinate), exercising every
+//!   partial-progress loop.
+//! * **`Interrupted` / `WouldBlock`** — transient errors; correct
+//!   callers retry the former and treat the latter as a deadline
+//!   (socket timeouts surface as `WouldBlock`/`TimedOut`).
+//! * **Injected delays** — a short sleep before the operation, for
+//!   slow-peer and timeout testing.
+//! * **Hard failure at the Nth operation** — sticky from `fail_at`
+//!   on; a write op at the trigger index first writes *half* its
+//!   buffer (a torn write, as a crash mid-write leaves on disk).
+//!
+//! Every injected fault is appended to a shared [`FaultLog`], so a
+//! test can move the wrapper into a consumer and still assert the
+//! exact fault sequence afterwards.
+//!
+//! ```
+//! use eip_exec::fault::{Fault, FaultPlan};
+//! use std::io::Read;
+//!
+//! let plan = FaultPlan::new(42, 0).with_short_reads(500).with_interrupts(200);
+//! let data = vec![7u8; 4096];
+//! let mut out = Vec::new();
+//! let mut reader = plan.wrap_read(&data[..]);
+//! let log = reader.log();
+//! // `read_to_end` retries Interrupted, so only recoverable faults
+//! // fire here — and the bytes always survive intact.
+//! reader.read_to_end(&mut out).unwrap();
+//! assert_eq!(out, data);
+//! assert!(!log.snapshot().is_empty(), "plan injected faults");
+//! // Replay: the same plan logs the identical fault sequence.
+//! let mut again = plan.wrap_read(&data[..]);
+//! let log2 = again.log();
+//! again.read_to_end(&mut Vec::new()).unwrap();
+//! assert_eq!(log.snapshot(), log2.snapshot());
+//! ```
+
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex};
+
+use rand::RngCore;
+
+use crate::rng::KeyedRng;
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The inner call saw a truncated buffer (partial progress).
+    Short,
+    /// The operation returned [`std::io::ErrorKind::Interrupted`].
+    Interrupted,
+    /// The operation returned [`std::io::ErrorKind::WouldBlock`].
+    WouldBlock,
+    /// The operation was delayed by the plan's `delay_micros`.
+    Delay,
+    /// Sticky hard failure (from `fail_at` on); on a write, the
+    /// trigger operation first tears the buffer in half.
+    Hard,
+}
+
+/// A record of the injected faults, shared between the wrapper (which
+/// appends) and the test (which snapshots after the consumer is done
+/// with the wrapper). Cloning shares the same underlying log.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog(Arc<Mutex<Vec<(u64, Fault)>>>);
+
+impl FaultLog {
+    /// The `(operation index, fault)` pairs injected so far.
+    pub fn snapshot(&self) -> Vec<(u64, Fault)> {
+        self.0.lock().expect("fault log lock").clone()
+    }
+
+    /// Number of faults injected so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("fault log lock").len()
+    }
+
+    /// True when no fault has fired yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, index: u64, fault: Fault) {
+        self.0.lock().expect("fault log lock").push((index, fault));
+    }
+}
+
+/// A deterministic fault schedule keyed by `(seed, stream, index)`.
+///
+/// Rates are per-mille (0–1000) of I/O operations; the decision for
+/// operation `index` is a pure function of the coordinate, so wrapping
+/// the same stream twice with the same plan injects the identical
+/// sequence. Rates are checked in declaration order against one draw,
+/// so their sum must stay ≤ 1000 (asserted by the builders).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    stream: u64,
+    short_pm: u16,
+    interrupt_pm: u16,
+    would_block_pm: u16,
+    delay_pm: u16,
+    delay_micros: u64,
+    fail_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until rates are added. `stream`
+    /// separates wrappers sharing one seed (reader vs writer, worker
+    /// 3 vs worker 4) exactly like [`crate::rng::stream_key`] streams.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        FaultPlan {
+            seed,
+            stream,
+            short_pm: 0,
+            interrupt_pm: 0,
+            would_block_pm: 0,
+            delay_pm: 0,
+            delay_micros: 0,
+            fail_at: None,
+        }
+    }
+
+    /// Injects short reads/writes on `per_mille`‰ of operations.
+    pub fn with_short_reads(mut self, per_mille: u16) -> Self {
+        self.short_pm = per_mille;
+        self.check_rates()
+    }
+
+    /// Injects `Interrupted` on `per_mille`‰ of operations.
+    pub fn with_interrupts(mut self, per_mille: u16) -> Self {
+        self.interrupt_pm = per_mille;
+        self.check_rates()
+    }
+
+    /// Injects `WouldBlock` on `per_mille`‰ of operations.
+    pub fn with_would_block(mut self, per_mille: u16) -> Self {
+        self.would_block_pm = per_mille;
+        self.check_rates()
+    }
+
+    /// Sleeps `micros` before `per_mille`‰ of operations.
+    pub fn with_delays(mut self, per_mille: u16, micros: u64) -> Self {
+        self.delay_pm = per_mille;
+        self.delay_micros = micros;
+        self.check_rates()
+    }
+
+    /// Hard-fails every operation from index `op` on (0-based); the
+    /// triggering *write* first lands half its buffer — a torn write.
+    pub fn failing_at(mut self, op: u64) -> Self {
+        self.fail_at = Some(op);
+        self
+    }
+
+    fn check_rates(self) -> Self {
+        let total = u32::from(self.short_pm)
+            + u32::from(self.interrupt_pm)
+            + u32::from(self.would_block_pm)
+            + u32::from(self.delay_pm);
+        assert!(total <= 1000, "fault rates sum to {total}‰ (> 1000)");
+        self
+    }
+
+    /// The fault (if any) for operation `index` — pure in
+    /// `(seed, stream, index)`.
+    pub fn decide(&self, index: u64) -> Option<Fault> {
+        if self.fail_at.is_some_and(|n| index >= n) {
+            return Some(Fault::Hard);
+        }
+        let draw = (KeyedRng::new(self.seed, self.stream, index).next_u64() % 1000) as u16;
+        let mut edge = self.short_pm;
+        if draw < edge {
+            return Some(Fault::Short);
+        }
+        edge += self.interrupt_pm;
+        if draw < edge {
+            return Some(Fault::Interrupted);
+        }
+        edge += self.would_block_pm;
+        if draw < edge {
+            return Some(Fault::WouldBlock);
+        }
+        edge += self.delay_pm;
+        if draw < edge {
+            return Some(Fault::Delay);
+        }
+        None
+    }
+
+    /// The truncated length a `Short` fault leaves of a `len`-byte
+    /// buffer: 1..=len, drawn from the same coordinate's second word.
+    fn short_len(&self, index: u64, len: usize) -> usize {
+        if len <= 1 {
+            return len;
+        }
+        let mut rng = KeyedRng::new(self.seed, self.stream, index);
+        rng.next_u64(); // word 0 decided the fault kind
+        1 + (rng.next_u64() as usize) % len
+    }
+
+    /// Wraps a reader with this plan.
+    pub fn wrap_read<R: Read>(&self, inner: R) -> FaultyRead<R> {
+        FaultyRead {
+            inner,
+            plan: *self,
+            op: 0,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Wraps a writer with this plan.
+    pub fn wrap_write<W: Write>(&self, inner: W) -> FaultyWrite<W> {
+        FaultyWrite {
+            inner,
+            plan: *self,
+            op: 0,
+            log: FaultLog::default(),
+        }
+    }
+}
+
+fn interrupted() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::Interrupted, "injected: interrupted")
+}
+
+fn would_block() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::WouldBlock, "injected: would block")
+}
+
+fn hard(op: u64) -> std::io::Error {
+    std::io::Error::other(format!("injected: hard fault at operation {op}"))
+}
+
+/// A `Read` that injects the plan's faults; see the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct FaultyRead<R> {
+    inner: R,
+    plan: FaultPlan,
+    op: u64,
+    log: FaultLog,
+}
+
+impl<R> FaultyRead<R> {
+    /// A handle to the shared fault log (clone it before moving the
+    /// wrapper into a consumer).
+    pub fn log(&self) -> FaultLog {
+        self.log.clone()
+    }
+
+    /// Operations attempted so far (faulted or not).
+    pub fn operations(&self) -> u64 {
+        self.op
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let index = self.op;
+        self.op += 1;
+        match self.plan.decide(index) {
+            None => self.inner.read(buf),
+            Some(Fault::Short) => {
+                self.log.push(index, Fault::Short);
+                let cap = self.plan.short_len(index, buf.len());
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(Fault::Interrupted) => {
+                self.log.push(index, Fault::Interrupted);
+                Err(interrupted())
+            }
+            Some(Fault::WouldBlock) => {
+                self.log.push(index, Fault::WouldBlock);
+                Err(would_block())
+            }
+            Some(Fault::Delay) => {
+                self.log.push(index, Fault::Delay);
+                std::thread::sleep(std::time::Duration::from_micros(self.plan.delay_micros));
+                self.inner.read(buf)
+            }
+            Some(Fault::Hard) => {
+                self.log.push(index, Fault::Hard);
+                Err(hard(index))
+            }
+        }
+    }
+}
+
+/// A `Write` that injects the plan's faults; the `fail_at` trigger
+/// tears the buffer (half lands, then the error), and every later
+/// operation — including `flush` — stays failed, like a device that
+/// died mid-write. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultyWrite<W> {
+    inner: W,
+    plan: FaultPlan,
+    op: u64,
+    log: FaultLog,
+}
+
+impl<W> FaultyWrite<W> {
+    /// A handle to the shared fault log.
+    pub fn log(&self) -> FaultLog {
+        self.log.clone()
+    }
+
+    /// Operations attempted so far (faulted or not).
+    pub fn operations(&self) -> u64 {
+        self.op
+    }
+
+    /// Unwraps the inner writer (tests inspect what actually landed).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let index = self.op;
+        self.op += 1;
+        match self.plan.decide(index) {
+            None => self.inner.write(buf),
+            Some(Fault::Short) => {
+                self.log.push(index, Fault::Short);
+                let cap = self.plan.short_len(index, buf.len());
+                self.inner.write(&buf[..cap])
+            }
+            Some(Fault::Interrupted) => {
+                self.log.push(index, Fault::Interrupted);
+                Err(interrupted())
+            }
+            Some(Fault::WouldBlock) => {
+                self.log.push(index, Fault::WouldBlock);
+                Err(would_block())
+            }
+            Some(Fault::Delay) => {
+                self.log.push(index, Fault::Delay);
+                std::thread::sleep(std::time::Duration::from_micros(self.plan.delay_micros));
+                self.inner.write(buf)
+            }
+            Some(Fault::Hard) => {
+                self.log.push(index, Fault::Hard);
+                // The trigger op tears the write: half the bytes land
+                // before the "crash". Later ops land nothing.
+                if self.plan.fail_at == Some(index) && !buf.is_empty() {
+                    let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                    let _ = self.inner.flush();
+                }
+                Err(hard(index))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let index = self.op;
+        if self.plan.fail_at.is_some_and(|n| index >= n) {
+            self.op += 1;
+            self.log.push(index, Fault::Hard);
+            return Err(hard(index));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let plan = FaultPlan::new(1, 0);
+        let data: Vec<u8> = (0..255u8).collect();
+        let mut out = Vec::new();
+        plan.wrap_read(&data[..]).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        let mut w = plan.wrap_write(Vec::new());
+        w.write_all(&data).unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn decisions_are_pure_in_the_coordinate() {
+        let plan = FaultPlan::new(9, 3)
+            .with_short_reads(300)
+            .with_interrupts(100)
+            .with_would_block(50);
+        for index in 0..4096u64 {
+            assert_eq!(plan.decide(index), plan.decide(index), "index {index}");
+        }
+        // Distinct streams schedule differently somewhere.
+        let other = FaultPlan::new(9, 4)
+            .with_short_reads(300)
+            .with_interrupts(100)
+            .with_would_block(50);
+        assert!(
+            (0..4096u64).any(|i| plan.decide(i) != other.decide(i)),
+            "streams alias"
+        );
+    }
+
+    #[test]
+    fn rates_shape_the_schedule() {
+        let plan = FaultPlan::new(7, 0).with_short_reads(250);
+        let shorts = (0..100_000u64)
+            .filter(|&i| plan.decide(i) == Some(Fault::Short))
+            .count();
+        assert!(
+            (23_000..=27_000).contains(&shorts),
+            "250‰ drew {shorts} shorts in 100k ops"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates sum")]
+    fn rates_over_1000_panic() {
+        let _ = FaultPlan::new(0, 0)
+            .with_short_reads(900)
+            .with_interrupts(200);
+    }
+
+    #[test]
+    fn recoverable_faults_never_lose_bytes() {
+        let plan = FaultPlan::new(5, 1)
+            .with_short_reads(400)
+            .with_interrupts(300);
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut out = Vec::new();
+        let mut r = plan.wrap_read(&data[..]);
+        let log = r.log();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(log.len() > 10, "only {} faults injected", log.len());
+        // Same plan, same stream → identical fault sequence.
+        let mut r2 = plan.wrap_read(&data[..]);
+        let log2 = r2.log();
+        r2.read_to_end(&mut Vec::new()).unwrap();
+        assert_eq!(log.snapshot(), log2.snapshot());
+    }
+
+    #[test]
+    fn short_writes_make_progress_under_write_all() {
+        let plan = FaultPlan::new(6, 2)
+            .with_short_reads(500)
+            .with_interrupts(200);
+        let data = vec![0xabu8; 8192];
+        let mut w = plan.wrap_write(Vec::new());
+        w.write_all(&data).unwrap();
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn hard_fault_is_sticky_and_tears_the_write() {
+        let plan = FaultPlan::new(0, 0).failing_at(1);
+        let mut w = plan.wrap_write(Vec::new());
+        assert_eq!(w.write(&[1, 2, 3, 4]).unwrap(), 4);
+        // Op 1 is the trigger: half of this buffer lands, then error.
+        assert!(w.write(&[5, 6, 7, 8]).is_err());
+        assert!(w.write(&[9]).is_err(), "hard fault must stay failed");
+        assert!(w.flush().is_err());
+        assert_eq!(w.into_inner(), vec![1, 2, 3, 4, 5, 6], "torn: half landed");
+
+        let plan = FaultPlan::new(0, 0).failing_at(2);
+        let mut r = plan.wrap_read(&b"abcdefgh"[..]);
+        let mut buf = [0u8; 3];
+        assert!(r.read(&mut buf).is_ok());
+        assert!(r.read(&mut buf).is_ok());
+        let err = r.read(&mut buf).unwrap_err();
+        assert!(err.to_string().contains("operation 2"), "{err}");
+        assert!(r.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn would_block_surfaces_as_timeout_kind() {
+        let plan = FaultPlan::new(3, 0).with_would_block(1000);
+        let mut r = plan.wrap_read(&b"xyz"[..]);
+        let err = r.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn delays_pass_the_bytes_through() {
+        let plan = FaultPlan::new(4, 0).with_delays(1000, 1);
+        let mut out = Vec::new();
+        let mut r = plan.wrap_read(&b"slow"[..]);
+        let log = r.log();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"slow");
+        assert!(log.snapshot().iter().all(|&(_, f)| f == Fault::Delay));
+    }
+}

@@ -60,6 +60,7 @@
 use std::ops::Range;
 use std::thread;
 
+pub mod fault;
 pub mod rng;
 
 /// Splits `0..len` into at most `shards` stable, contiguous,

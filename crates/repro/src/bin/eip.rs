@@ -96,6 +96,10 @@ struct Cli {
     jobs: usize,
     port: u16,
     capacity: usize,
+    max_line_mb: usize,
+    max_conns: usize,
+    max_gen: usize,
+    timeout_secs: u64,
 }
 
 fn parse(args: &[String]) -> Result<Cli, EipError> {
@@ -112,6 +116,10 @@ fn parse(args: &[String]) -> Result<Cli, EipError> {
         jobs: 1,
         port: 0,
         capacity: 16,
+        max_line_mb: eip_addr::chunk::DEFAULT_MAX_LINE_BYTES >> 20,
+        max_conns: eip_serve::Limits::default().max_conns,
+        max_gen: eip_serve::Limits::default().max_gen,
+        timeout_secs: 30,
     };
     let mut i = 0;
     let operand = |args: &[String], i: usize, flag: &str| -> Result<String, EipError> {
@@ -151,6 +159,30 @@ fn parse(args: &[String]) -> Result<Cli, EipError> {
                 cli.capacity = operand(args, i, "--capacity")?
                     .parse()
                     .map_err(|_| EipError::Usage("--capacity needs a number".into()))?;
+            }
+            "--max-line-mb" => {
+                i += 1;
+                cli.max_line_mb = operand(args, i, "--max-line-mb")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--max-line-mb needs a number of MiB".into()))?;
+            }
+            "--max-conns" => {
+                i += 1;
+                cli.max_conns = operand(args, i, "--max-conns")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--max-conns needs a number".into()))?;
+            }
+            "--max-gen" => {
+                i += 1;
+                cli.max_gen = operand(args, i, "--max-gen")?
+                    .parse()
+                    .map_err(|_| EipError::Usage("--max-gen needs a number".into()))?;
+            }
+            "--timeout-secs" => {
+                i += 1;
+                cli.timeout_secs = operand(args, i, "--timeout-secs")?.parse().map_err(|_| {
+                    EipError::Usage("--timeout-secs needs a number of seconds (0 = none)".into())
+                })?;
             }
             "-n" | "--count" => {
                 i += 1;
@@ -223,8 +255,8 @@ fn load_model(cli: &Cli) -> Result<(IpModel, u64), EipError> {
         let file = File::open(path).map_err(|e| EipError::io(path, e))?;
         pipeline(cli).profile_lines(BufReader::new(file))?
     } else {
-        let (profiled, report) =
-            pipeline(cli).profile_path_with(path, &IngestOptions::chunk_mib(cli.chunk_mb))?;
+        let opts = IngestOptions::chunk_mib(cli.chunk_mb).with_max_line_mib(cli.max_line_mb);
+        let (profiled, report) = pipeline(cli).profile_path_with(path, &opts)?;
         eprintln!("{}", report.summary());
         profiled
     };
@@ -311,9 +343,18 @@ fn serve(cli: &Cli) -> Result<(), EipError> {
         .ok_or_else(|| EipError::Usage("serve needs a models directory".into()))?;
     let store = eip_serve::ModelStore::open(dir)?;
     let networks = store.list()?;
-    let service = std::sync::Arc::new(eip_serve::Service::new(
+    let timeout = std::time::Duration::from_secs(cli.timeout_secs);
+    let limits = eip_serve::Limits {
+        max_conns: cli.max_conns,
+        max_gen: cli.max_gen,
+        read_timeout: timeout,
+        write_timeout: timeout,
+        ..eip_serve::Limits::default()
+    };
+    let service = std::sync::Arc::new(eip_serve::Service::with_limits(
         eip_serve::Registry::new(store, cli.capacity),
         cli.seed,
+        limits,
     ));
     let server = eip_serve::spawn(service, ("127.0.0.1", cli.port))?;
     println!("listening on {}", server.local_addr());
@@ -377,8 +418,12 @@ fn usage() {
            --seed <N>         RNG seed / serve base seed (default 1)\n\
            --min-prob <F>     hide dictionary rows below this probability\n\
            --jobs <N>         worker threads for mining/generation (default 1)\n\
+           --max-line-mb <N>  ingest: abort on input lines over N MiB (default 64)\n\
            --port <N>         serve: TCP port on loopback (default 0 = ephemeral)\n\
-           --capacity <N>     serve: LRU capacity in decoded models (default 16)\n\n\
+           --capacity <N>     serve: LRU capacity in decoded models (default 16)\n\
+           --max-conns <N>    serve: shed connections past N with ERR busy (default 256)\n\
+           --max-gen <N>      serve: reject GEN counts over N with ERR limit (default 100000)\n\
+           --timeout-secs <N> serve: per-connection read/write deadline (default 30; 0 = none)\n\n\
          exit codes: 0 ok, 1 runtime error, 2 usage error"
     );
 }

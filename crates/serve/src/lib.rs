@@ -16,6 +16,19 @@
 //!   and the `std::net` TCP daemon (one thread per connection,
 //!   cooperative shutdown that joins every thread).
 //!
+//! ## Hardening
+//!
+//! The daemon is built to degrade predictably under abuse or
+//! overload: per-connection read/write deadlines, a request-line
+//! length cap, a runtime `GEN` batch cap, and accept-time load
+//! shedding (`ERR busy retry-ms=<n>`) once [`Limits::max_conns`]
+//! connections are in service — see [`Limits`] for the knobs and
+//! [`Client::connect_with_retry`] / [`RetryPolicy`] for the client
+//! side of the retry contract. Models that fail to decode are
+//! quarantined by the registry's negative cache (exponential backoff
+//! before the disk is retried), and every enforcement action is
+//! visible as a `STATS` counter.
+//!
 //! ## Determinism
 //!
 //! `GEN` batches come from the keyed reference generators: every
@@ -55,5 +68,5 @@ pub mod service;
 
 pub use protocol::{parse_request, ProtoError, Request, MAX_GEN_COUNT};
 pub use registry::{valid_network_id, ModelStore, Registry, RegistryStats, ServedModel};
-pub use server::{spawn, Client, ServerHandle, PROTOCOL_VERSION};
-pub use service::{ConnState, Service};
+pub use server::{spawn, Client, RetryPolicy, ServerHandle, PROTOCOL_VERSION};
+pub use service::{ConnState, Limits, Service};

@@ -40,7 +40,16 @@
 //!
 //! Errors are tagged for machine handling: `bad-request`,
 //! `unknown-command`, `unknown-model`, `unknown-segment`,
-//! `bad-evidence`, `bad-address`, `io`.
+//! `bad-evidence`, `bad-address`, `io`, plus two operational tags:
+//!
+//! * `limit` — the request is well-formed but exceeds a server limit
+//!   (`GEN` count over the batch cap, request line over the length
+//!   cap). Shrink the request; retrying as-is will fail forever.
+//! * `busy` — the server is at its connection limit and shed this
+//!   connection at accept time. The message carries a
+//!   `retry-ms=<n>` hint; retry after a (jittered) delay, as
+//!   [`Client::connect_with_retry`](crate::Client::connect_with_retry)
+//!   does.
 
 use eip_addr::Ip6;
 
@@ -135,7 +144,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .parse()
                 .map_err(|_| bad(format!("count {:?} is not a number", toks[2])))?;
             if count > MAX_GEN_COUNT {
-                return Err(bad(format!("count {count} exceeds limit {MAX_GEN_COUNT}")));
+                return Err(ProtoError::new(
+                    "limit",
+                    format!("count {count} exceeds limit {MAX_GEN_COUNT}"),
+                ));
             }
             let mut seed = None;
             let mut evidence = Vec::new();
@@ -236,7 +248,7 @@ mod tests {
             parse_request(&format!("GEN S1 {}", MAX_GEN_COUNT + 1))
                 .unwrap_err()
                 .tag,
-            "bad-request"
+            "limit"
         );
         assert_eq!(
             parse_request("PREDICT64 S1 not-an-ip").unwrap_err().tag,

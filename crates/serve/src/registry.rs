@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use entropy_ip::store;
 use entropy_ip::{Browser, EipError, IpModel, SegmentDistribution};
@@ -140,6 +141,12 @@ pub struct RegistryStats {
     /// Actual container decodes (≤ misses: concurrent misses on one
     /// network share a single load).
     pub loads: u64,
+    /// Disk loads that failed (missing file, torn container, bad
+    /// checksum); each one quarantines its network for a backoff.
+    pub load_failures: u64,
+    /// Requests answered by the negative cache — a quarantined
+    /// network's cached error, served without touching the disk.
+    pub neg_hits: u64,
     /// Models currently resident.
     pub resident: usize,
 }
@@ -155,28 +162,73 @@ struct Slot {
     last_used: u64,
 }
 
+/// One quarantined network: how often its load has failed in a row,
+/// when a retry is next allowed, and the error served meanwhile.
+struct Quarantine {
+    failures: u32,
+    until: Instant,
+    error: EipError,
+}
+
+/// Bound on remembered failing networks — far above any real fleet;
+/// a flood of distinct failing ids must not grow memory unboundedly.
+const MAX_QUARANTINED: usize = 1024;
+
 struct CacheState {
     slots: HashMap<String, Slot>,
+    quarantine: HashMap<String, Quarantine>,
     tick: u64,
     stats: RegistryStats,
 }
 
-/// A capacity-bounded LRU of decoded models over a [`ModelStore`].
+/// A capacity-bounded LRU of decoded models over a [`ModelStore`],
+/// with a negative cache: a network whose container fails to load is
+/// *quarantined* — its error is served from memory, and the disk is
+/// retried only after an exponential backoff (`backoff_base × 2^(n-1)`
+/// after the n-th consecutive failure, capped at `backoff_cap`). A
+/// corrupt file under request load therefore costs one decode attempt
+/// per backoff window instead of one per request, and a repaired file
+/// is picked up at the next allowed retry.
 pub struct Registry {
     store: ModelStore,
     capacity: usize,
+    backoff_base: Duration,
+    backoff_cap: Duration,
     state: Mutex<CacheState>,
 }
 
+/// Default first-failure backoff before a quarantined network's
+/// container is re-read.
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_millis(250);
+
+/// Default ceiling on the quarantine backoff.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_secs(30);
+
 impl Registry {
     /// A registry serving from `store`, keeping at most `capacity`
-    /// decoded models resident (clamped to ≥ 1).
+    /// decoded models resident (clamped to ≥ 1), with the default
+    /// quarantine backoff.
     pub fn new(store: ModelStore, capacity: usize) -> Self {
+        Self::with_backoff(store, capacity, DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP)
+    }
+
+    /// A registry with an explicit quarantine backoff (base doubles
+    /// per consecutive failure up to `cap`; `Duration::ZERO` disables
+    /// the negative cache — every request retries the disk).
+    pub fn with_backoff(
+        store: ModelStore,
+        capacity: usize,
+        backoff_base: Duration,
+        backoff_cap: Duration,
+    ) -> Self {
         Registry {
             store,
             capacity: capacity.max(1),
+            backoff_base,
+            backoff_cap: backoff_cap.max(backoff_base),
             state: Mutex::new(CacheState {
                 slots: HashMap::new(),
+                quarantine: HashMap::new(),
                 tick: 0,
                 stats: RegistryStats::default(),
             }),
@@ -189,9 +241,11 @@ impl Registry {
     }
 
     /// Fetches a network's model, loading and caching it on first
-    /// use. Returns the shared decoded model; a load failure is
-    /// reported to every waiter and *not* cached, so a fixed file can
-    /// be retried.
+    /// use. Returns the shared decoded model. A load failure is
+    /// reported to every waiter and quarantines the network: until
+    /// the backoff expires, further requests get the cached error
+    /// without a disk read; afterwards the disk is retried (so a
+    /// repaired file comes back on its own).
     pub fn get(&self, network: &str) -> Result<Arc<ServedModel>, EipError> {
         if !valid_network_id(network) {
             return Err(EipError::Usage(format!("invalid network id {network:?}")));
@@ -200,6 +254,19 @@ impl Registry {
             let mut st = self.state.lock().expect("registry lock");
             st.tick += 1;
             let tick = st.tick;
+            // Negative cache: a quarantined network answers from
+            // memory while its backoff runs — unless a (populated)
+            // slot exists, which means a later load succeeded.
+            if !st.slots.contains_key(network) {
+                let cached = st
+                    .quarantine
+                    .get(network)
+                    .and_then(|q| (Instant::now() < q.until).then(|| q.error.clone()));
+                if let Some(err) = cached {
+                    st.stats.neg_hits += 1;
+                    return Err(err);
+                }
+            }
             if let Some(slot) = st.slots.get_mut(network) {
                 slot.last_used = tick;
                 let cell = slot.cell.clone();
@@ -237,6 +304,15 @@ impl Registry {
                 let loaded = self.store.load(network).map(Arc::new);
                 let mut st = self.state.lock().expect("registry lock");
                 st.stats.loads += 1;
+                match &loaded {
+                    Ok(_) => {
+                        st.quarantine.remove(network);
+                    }
+                    Err(e) => {
+                        st.stats.load_failures += 1;
+                        self.quarantine(&mut st, network, e.clone());
+                    }
+                }
                 loaded
             })
             .clone();
@@ -271,6 +347,39 @@ impl Registry {
             st.slots.remove(&victim);
             st.stats.evictions += 1;
         }
+    }
+
+    /// Records a failed load, escalating the network's quarantine:
+    /// the n-th consecutive failure backs off `base × 2^(n-1)`,
+    /// capped. Called with the lock held.
+    fn quarantine(&self, st: &mut CacheState, network: &str, error: EipError) {
+        let failures = st
+            .quarantine
+            .get(network)
+            .map_or(1, |q| q.failures.saturating_add(1));
+        let backoff = self
+            .backoff_base
+            .saturating_mul(1u32 << (failures - 1).min(30))
+            .min(self.backoff_cap);
+        if !st.quarantine.contains_key(network) && st.quarantine.len() >= MAX_QUARANTINED {
+            // Full: drop the entry closest to expiry to stay bounded.
+            if let Some(victim) = st
+                .quarantine
+                .iter()
+                .min_by_key(|(_, q)| q.until)
+                .map(|(k, _)| k.clone())
+            {
+                st.quarantine.remove(&victim);
+            }
+        }
+        st.quarantine.insert(
+            network.to_string(),
+            Quarantine {
+                failures,
+                until: Instant::now() + backoff,
+                error,
+            },
+        );
     }
 
     /// A snapshot of the cache counters.

@@ -1,5 +1,5 @@
 //! The TCP daemon: `std::net` listener, one thread per connection,
-//! cooperative shutdown.
+//! cooperative shutdown, deadline enforcement, and load shedding.
 //!
 //! Connections are numbered in accept order starting at 1; the number
 //! is the connection's RNG *stream id*, announced in the connect
@@ -13,6 +13,22 @@
 //! their slot (socket clone + join handle) immediately, so a
 //! long-lived daemon's footprint tracks the *live* connection set,
 //! not the accept count.
+//!
+//! ## Hardening
+//!
+//! Every limit in [`Limits`] is enforced
+//! here:
+//!
+//! * Accepted sockets get read/write deadlines; a connection that
+//!   sends no complete request (or stops draining responses) for the
+//!   deadline is closed, so no client can pin a thread forever.
+//! * Request lines are read through a bounded reader — a line longer
+//!   than `max_line_bytes` draws `ERR limit` and a close instead of
+//!   growing a buffer at the slow-loris client's pace.
+//! * When `max_conns` connections are in service, new ones are *shed*
+//!   at accept: they get `ERR busy retry-ms=<n>` and an immediate
+//!   close, never a thread. [`Client::connect_with_retry`] turns that
+//!   hint plus jittered exponential backoff into a blocking connect.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -20,10 +36,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use entropy_ip::EipError;
 
-use crate::service::{ConnState, Service};
+use crate::service::{ConnState, Limits, Service};
 
 /// Protocol version announced in the banner.
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -121,14 +138,28 @@ pub fn spawn(service: Arc<Service>, addr: impl ToSocketAddrs) -> Result<ServerHa
                         continue;
                     }
                 };
+                // Load shedding: at the connection limit, answer with
+                // a retry hint and close — the client never gets a
+                // thread, so an overload cannot exhaust the host. The
+                // gauge is bumped *here*, before the thread spawns,
+                // so a burst of accepts cannot all pass the check.
+                let limits = *service.limits();
+                if service.conns_open() >= limits.max_conns as u64 {
+                    service.note_shed();
+                    shed(stream, &limits);
+                    continue;
+                }
+                service.conn_opened();
                 let id = next_stream.fetch_add(1, Ordering::Relaxed);
                 let service = service.clone();
                 let Ok(stream_for_shutdown) = stream.try_clone() else {
+                    service.conn_closed();
                     continue;
                 };
                 let conns_for_conn = conns.clone();
                 let handle = std::thread::spawn(move || {
                     serve_connection(&service, stream, id);
+                    service.conn_closed();
                     // Release this connection's slot (fd + handle) as
                     // soon as it finishes; dropping our own
                     // JoinHandle just detaches the exiting thread.
@@ -171,12 +202,94 @@ fn reap_finished(conns: &ConnSlots) {
     }
 }
 
+/// Refuses a connection at accept time: best-effort `ERR busy` block
+/// with a retry hint, under a short write deadline so a client that
+/// won't read can't stall the accept loop either.
+fn shed(mut stream: TcpStream, limits: &Limits) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(
+        format!(
+            "ERR busy retry-ms={} at the connection limit ({})\n.\n",
+            limits.retry_ms, limits.max_conns
+        )
+        .as_bytes(),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// What reading one request line produced.
+enum LineOutcome {
+    /// A complete line (newline stripped, lossily decoded).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the length cap before its newline arrived.
+    TooLong,
+    /// The socket's read deadline expired.
+    TimedOut,
+    /// Any other I/O error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated request line through the cap: at most
+/// `max_bytes` are buffered, no matter how slowly (or endlessly) the
+/// client feeds bytes. A final unterminated line at EOF is returned
+/// as a line, matching `read_line` semantics.
+fn read_request_line(reader: &mut impl BufRead, max_bytes: usize) -> LineOutcome {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => {
+                return if buf.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+                };
+            }
+            Ok(avail) => {
+                if let Some(pos) = eip_addr::chunk::find_byte(avail, b'\n') {
+                    if buf.len() + pos > max_bytes {
+                        return LineOutcome::TooLong;
+                    }
+                    buf.extend_from_slice(&avail[..pos]);
+                    reader.consume(pos + 1);
+                    return LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned());
+                }
+                let n = avail.len();
+                if buf.len() + n > max_bytes {
+                    return LineOutcome::TooLong;
+                }
+                buf.extend_from_slice(avail);
+                reader.consume(n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineOutcome::TimedOut;
+            }
+            Err(_) => return LineOutcome::Failed,
+        }
+    }
+}
+
 /// Serves one connection to completion: banner, then a
-/// request/response loop until `QUIT`, EOF, or an I/O error.
+/// request/response loop until `QUIT`, EOF, a deadline, an over-long
+/// line, or an I/O error.
 fn serve_connection(service: &Service, stream: TcpStream, id: u64) {
+    let limits = *service.limits();
     // Request/response is strictly ping-pong; Nagle + delayed ACK
     // turns that into ~40ms stalls per round trip on loopback.
     let _ = stream.set_nodelay(true);
+    // Deadlines: a zero Duration would mean "non-blocking", so map it
+    // (and only it) to None = no deadline.
+    let deadline = |d: Duration| (!d.is_zero()).then_some(d);
+    let _ = stream.set_read_timeout(deadline(limits.read_timeout));
+    let _ = stream.set_write_timeout(deadline(limits.write_timeout));
     let mut conn = ConnState::new(id);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -187,19 +300,58 @@ fn serve_connection(service: &Service, stream: TcpStream, id: u64) {
     if writer.write_all(banner.as_bytes()).is_err() {
         return;
     }
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
+        let line = match read_request_line(&mut reader, limits.max_line_bytes) {
+            LineOutcome::Line(l) => l,
+            LineOutcome::Eof | LineOutcome::Failed => break,
+            LineOutcome::TimedOut => {
+                service.note_timeout();
+                break;
+            }
+            LineOutcome::TooLong => {
+                service.note_oversize();
+                let _ = writer.write_all(
+                    format!(
+                        "ERR limit request line exceeds {} bytes\n.\n",
+                        limits.max_line_bytes
+                    )
+                    .as_bytes(),
+                );
+                // Drain (bounded) what the client already sent before
+                // closing: unread bytes at close make the kernel send
+                // RST, which can discard the error response in flight.
+                let _ = reader
+                    .get_ref()
+                    .set_read_timeout(Some(Duration::from_millis(250)));
+                let mut sink = [0u8; 4096];
+                for _ in 0..64 {
+                    match std::io::Read::read(&mut reader, &mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (response, quit) = service.handle_line(line.trim(), &mut conn);
-        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+        match writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.flush())
+        {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                service.note_timeout();
+                break;
+            }
+            Err(_) => break,
         }
         if quit {
             break;
@@ -217,8 +369,53 @@ pub struct Client {
     pub stream_id: u64,
 }
 
+/// Backoff schedule for [`Client::connect_with_retry`]: jittered
+/// exponential delays, deterministic per seed (the jitter comes from
+/// [`eip_exec::rng::mix`], so a pinned seed reproduces the exact
+/// retry timing).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1) before giving up.
+    pub attempts: u32,
+    /// Base delay before the second attempt; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based): exponential
+    /// with ±50% deterministic jitter, capped at `max_delay`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay);
+        // Scale by a factor in [0.5, 1.5): the thousandths come from
+        // the keyed RNG, so concurrent clients with different seeds
+        // spread out instead of stampeding in lockstep.
+        let jitter_pm = eip_exec::rng::mix(self.seed, u64::from(attempt), 0) % 1000;
+        exp.mul_f64(0.5 + jitter_pm as f64 / 1000.0)
+    }
+}
+
 impl Client {
-    /// Connects and consumes the banner.
+    /// Connects and consumes the banner. A server that sheds the
+    /// connection (`ERR busy …`) surfaces as an error whose message
+    /// carries the server's `retry-ms=<n>` hint.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -229,12 +426,46 @@ impl Client {
             stream_id: 0,
         };
         let banner = client.read_block()?;
+        if let Some(first) = banner.first() {
+            if first.starts_with("ERR") {
+                return Err(std::io::Error::other(first.clone()));
+            }
+        }
         client.stream_id = banner
             .first()
             .and_then(|l| l.rsplit("stream=").next())
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
         Ok(client)
+    }
+
+    /// [`Client::connect`] with retries: refused or shed connections
+    /// are retried on the policy's jittered exponential schedule,
+    /// honoring the server's `retry-ms=<n>` busy hint when it is
+    /// longer than the policy's own delay. Returns the last error
+    /// once the attempts are exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Self> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if attempt < attempts {
+                        let mut delay = policy.delay(attempt);
+                        if let Some(hint) = busy_retry_hint(&e) {
+                            delay = delay.max(hint);
+                        }
+                        std::thread::sleep(delay);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
     }
 
     /// Sends one request line and returns the response block's lines
@@ -264,5 +495,84 @@ impl Client {
             }
             out.push(trimmed.to_string());
         }
+    }
+}
+
+/// Extracts the `retry-ms=<n>` hint from an `ERR busy` connect error,
+/// if the error carries one.
+fn busy_retry_hint(e: &std::io::Error) -> Option<Duration> {
+    let msg = e.to_string();
+    if !msg.starts_with("ERR busy") {
+        return None;
+    }
+    let rest = msg.split("retry-ms=").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok().map(Duration::from_millis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn line(input: &[u8], cap: usize) -> LineOutcome {
+        let mut reader = std::io::BufReader::new(Cursor::new(input.to_vec()));
+        read_request_line(&mut reader, cap)
+    }
+
+    #[test]
+    fn bounded_reader_reads_lines_and_caps_them() {
+        match line(b"STATS\n", 64) {
+            LineOutcome::Line(l) => assert_eq!(l, "STATS"),
+            _ => panic!("expected a line"),
+        }
+        // Exactly at the cap is allowed; one past it is not.
+        match line(b"abcd\n", 4) {
+            LineOutcome::Line(l) => assert_eq!(l, "abcd"),
+            _ => panic!("cap is inclusive"),
+        }
+        assert!(matches!(line(b"abcde\n", 4), LineOutcome::TooLong));
+        // No newline at all: the cap still bites mid-stream.
+        assert!(matches!(line(&[b'x'; 100], 10), LineOutcome::TooLong));
+        // EOF semantics: empty input is Eof, a final unterminated
+        // line is still handed out.
+        assert!(matches!(line(b"", 16), LineOutcome::Eof));
+        match line(b"QUIT", 16) {
+            LineOutcome::Line(l) => assert_eq!(l, "QUIT"),
+            _ => panic!("unterminated final line"),
+        }
+    }
+
+    #[test]
+    fn retry_policy_delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=10 {
+            let d = policy.delay(attempt);
+            assert_eq!(d, policy.delay(attempt), "same seed, same delay");
+            // ±50% jitter around an exp curve capped at max_delay.
+            assert!(
+                d <= policy.max_delay.mul_f64(1.5),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        let other = RetryPolicy {
+            seed: 1,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(
+            (1..=5).map(|a| policy.delay(a)).collect::<Vec<_>>(),
+            (1..=5).map(|a| other.delay(a)).collect::<Vec<_>>(),
+            "different seeds jitter differently"
+        );
+    }
+
+    #[test]
+    fn busy_hints_parse_from_connect_errors() {
+        let e = std::io::Error::other("ERR busy retry-ms=250 at the connection limit (1)");
+        assert_eq!(busy_retry_hint(&e), Some(Duration::from_millis(250)));
+        let refused = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        assert_eq!(busy_retry_hint(&refused), None);
+        let no_hint = std::io::Error::other("ERR busy overloaded");
+        assert_eq!(busy_retry_hint(&no_hint), None);
     }
 }

@@ -31,12 +31,56 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use eip_exec::rng::stream_key;
 use entropy_ip::{EipError, Generator, ValueKind};
 
 use crate::protocol::{ProtoError, Request};
 use crate::registry::{Registry, ServedModel};
+
+/// Operational limits for the daemon — everything the server enforces
+/// to keep one misbehaving client from degrading the rest.
+///
+/// Every limit has a visible failure mode: over-cap `GEN` counts and
+/// over-long request lines get a tagged `ERR limit`, connections past
+/// `max_conns` are shed at accept with `ERR busy retry-ms=<n>`, and a
+/// connection idle (or a client stuck) past its deadline is closed.
+/// Each enforcement bumps a `STATS` counter, so operators can see
+/// limits firing before clients complain.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Connections served concurrently before new ones are shed.
+    pub max_conns: usize,
+    /// Largest `GEN` count executed (the protocol's parse-time
+    /// [`MAX_GEN_COUNT`](crate::protocol::MAX_GEN_COUNT) bounds the
+    /// integer; this bounds what this server will actually run).
+    pub max_gen: usize,
+    /// Longest request line accepted, in bytes (a slow-loris client
+    /// feeding an endless line is cut off here).
+    pub max_line_bytes: usize,
+    /// Socket read deadline: a connection with no complete request
+    /// for this long is closed. Also the idle timeout.
+    pub read_timeout: Duration,
+    /// Socket write deadline: a client that stops draining its
+    /// responses for this long is closed.
+    pub write_timeout: Duration,
+    /// The retry hint (milliseconds) sent with `ERR busy`.
+    pub retry_ms: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_conns: 256,
+            max_gen: 100_000,
+            max_line_bytes: 4096,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retry_ms: 250,
+        }
+    }
+}
 
 /// Per-connection state the server threads own privately.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +109,14 @@ pub struct Counters {
     predict64: AtomicU64,
     stats: AtomicU64,
     errors: AtomicU64,
+    /// Connections shed at accept time (`ERR busy`).
+    shed: AtomicU64,
+    /// Connections closed by a read/write deadline.
+    timeouts: AtomicU64,
+    /// Request lines rejected for exceeding the length cap.
+    oversize: AtomicU64,
+    /// Requests rejected for exceeding a server limit (`ERR limit`).
+    limit_rejects: AtomicU64,
 }
 
 /// The request executor shared by all connections.
@@ -72,7 +124,10 @@ pub struct Counters {
 pub struct Service {
     registry: Registry,
     base_seed: u64,
+    limits: Limits,
     counters: Counters,
+    /// Gauge of connections currently being served (not monotone).
+    conns_open: AtomicU64,
 }
 
 /// Top-64 boundary in nybbles: segments ending at or before this
@@ -81,18 +136,63 @@ const TOP64_NYBBLES: usize = 16;
 
 impl Service {
     /// A service over a registry, with `base_seed` as the root of all
-    /// derived `GEN` seeds.
+    /// derived `GEN` seeds and default [`Limits`].
     pub fn new(registry: Registry, base_seed: u64) -> Self {
+        Self::with_limits(registry, base_seed, Limits::default())
+    }
+
+    /// A service with explicit operational limits.
+    pub fn with_limits(registry: Registry, base_seed: u64, limits: Limits) -> Self {
         Service {
             registry,
             base_seed,
+            limits,
             counters: Counters::default(),
+            conns_open: AtomicU64::new(0),
         }
     }
 
     /// The underlying registry (tests, STATS).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The operational limits this service enforces.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Connections currently being served.
+    pub fn conns_open(&self) -> u64 {
+        self.conns_open.load(Ordering::SeqCst)
+    }
+
+    /// Records a connection entering service (called by the server's
+    /// accept loop *before* the connection thread starts, so the
+    /// shedding check never races a burst of accepts).
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a connection leaving service.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records a connection shed at accept time (`ERR busy`).
+    pub fn note_shed(&self) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed by a read/write deadline.
+    pub fn note_timeout(&self) {
+        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line rejected for exceeding the length cap.
+    pub fn note_oversize(&self) {
+        self.counters.oversize.fetch_add(1, Ordering::Relaxed);
+        self.counters.limit_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The effective seed of a `GEN` request: the explicit `seed=` if
@@ -215,6 +315,18 @@ impl Service {
         seed: u64,
         evidence: &[(String, String)],
     ) -> Result<String, ProtoError> {
+        // Enforce the runtime batch cap before fetching the model or
+        // touching any allocation sized by `count`.
+        if count > self.limits.max_gen {
+            self.counters.limit_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(ProtoError::new(
+                "limit",
+                format!(
+                    "count {count} exceeds this server's GEN cap {}",
+                    self.limits.max_gen
+                ),
+            ));
+        }
         let served = self.fetch(net)?;
         let model = &served.model;
         let generator = Generator::new(model);
@@ -333,11 +445,18 @@ impl Service {
              cache_misses {}\n\
              cache_loads {}\n\
              cache_evictions {}\n\
+             cache_load_failures {}\n\
+             cache_neg_hits {}\n\
              req_browse {}\n\
              req_gen {}\n\
              req_predict64 {}\n\
              req_stats {}\n\
              req_errors {}\n\
+             conns_open {}\n\
+             shed_busy {}\n\
+             timeouts {}\n\
+             oversize_lines {}\n\
+             limit_rejects {}\n\
              mru {}\n\
              .\n",
             stats.resident,
@@ -345,11 +464,18 @@ impl Service {
             stats.misses,
             stats.loads,
             stats.evictions,
+            stats.load_failures,
+            stats.neg_hits,
             c.browse.load(Ordering::Relaxed),
             c.gen.load(Ordering::Relaxed),
             c.predict64.load(Ordering::Relaxed),
             c.stats.load(Ordering::Relaxed),
             c.errors.load(Ordering::Relaxed),
+            self.conns_open(),
+            c.shed.load(Ordering::Relaxed),
+            c.timeouts.load(Ordering::Relaxed),
+            c.oversize.load(Ordering::Relaxed),
+            c.limit_rejects.load(Ordering::Relaxed),
             if resident.is_empty() {
                 "-".to_string()
             } else {

@@ -1,0 +1,243 @@
+//! Chaos tests for the hardened daemon: slow-loris clients, oversize
+//! request lines, load shedding at the connection limit, runtime GEN
+//! caps, and quarantine of corrupt containers — each misbehavior must
+//! draw its documented response (tagged error, deadline close, or
+//! shed) without wedging the server or leaking a connection slot.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eip_serve::{Client, Limits, ModelStore, Registry, RetryPolicy, ServerHandle, Service};
+
+/// Spawns a server over `dir` with explicit limits (registry backoff
+/// pinned long, so quarantine behavior is deterministic in-test).
+fn spawn_with(dir: &Path, limits: Limits) -> ServerHandle {
+    let store = ModelStore::open(dir).unwrap();
+    let registry =
+        Registry::with_backoff(store, 4, Duration::from_secs(600), Duration::from_secs(600));
+    let service = Arc::new(Service::with_limits(registry, 0, limits));
+    eip_serve::spawn(service, "127.0.0.1:0").unwrap()
+}
+
+/// One `STATS` counter, by line prefix.
+fn stat(client: &mut Client, key: &str) -> u64 {
+    let block = client.request("STATS").unwrap();
+    block
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no {key} in {block:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// Polls until the server's slot map drains (threads reap their own
+/// slots asynchronously after the socket closes).
+fn assert_no_leaked_slots(server: &ServerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if server.tracked_connections() == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!(
+        "leaked connection slots: {} still tracked",
+        server.tracked_connections()
+    );
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_deadline() {
+    let dir = common::scratch("chaos_loris");
+    let server = spawn_with(
+        &dir,
+        Limits {
+            read_timeout: Duration::from_millis(150),
+            ..Limits::default()
+        },
+    );
+
+    // A raw socket that sends a request prefix and then goes quiet:
+    // the server must close it at the deadline, not wait forever.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut banner = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    banner.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK EIP-SERVE"), "{line:?}");
+    raw.write_all(b"STA").unwrap();
+    raw.flush().unwrap();
+
+    let start = Instant::now();
+    let mut rest = Vec::new();
+    // The read returns (EOF or reset) once the server hangs up.
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = banner.read_to_end(&mut rest);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "server did not enforce its read deadline"
+    );
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(stat(&mut client, "timeouts") >= 1);
+    drop(client);
+    assert_no_leaked_slots(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversize_request_line_draws_err_limit_and_a_close() {
+    let dir = common::scratch("chaos_oversize");
+    let server = spawn_with(
+        &dir,
+        Limits {
+            max_line_bytes: 64,
+            ..Limits::default()
+        },
+    );
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // banner
+    line.clear();
+    reader.read_line(&mut line).unwrap(); // "."
+
+    // 600 bytes without a newline: the cap must fire mid-line, before
+    // the request completes, with a tagged error and a close.
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = raw.write_all(&[b'x'; 600]);
+    let _ = raw.flush();
+    let mut response = String::new();
+    while reader.read_line(&mut response).unwrap_or(0) > 0 {}
+    assert!(
+        response.starts_with("ERR limit") && response.contains("64 bytes"),
+        "{response:?}"
+    );
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(stat(&mut client, "oversize_lines"), 1);
+    assert!(stat(&mut client, "limit_rejects") >= 1);
+    drop(client);
+    assert_no_leaked_slots(&server);
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_sheds_with_busy_and_recovers() {
+    let dir = common::scratch("chaos_shed");
+    {
+        let store = ModelStore::open(&dir).unwrap();
+        common::train_into(&store, "S1", 0);
+    }
+    let server = spawn_with(
+        &dir,
+        Limits {
+            max_conns: 1,
+            retry_ms: 25,
+            ..Limits::default()
+        },
+    );
+
+    // The first connection occupies the only slot...
+    let mut holder = Client::connect(server.local_addr()).unwrap();
+    assert!(holder.request("BROWSE S1 A").unwrap()[0].starts_with("OK"));
+
+    // ...so the second is shed at accept with the retry hint.
+    let err = Client::connect(server.local_addr()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.starts_with("ERR busy"), "{msg:?}");
+    assert!(msg.contains("retry-ms=25"), "{msg:?}");
+
+    // A retrying client wins once the holder leaves. Release the slot
+    // from another thread mid-retry to exercise the backoff loop.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        let _ = holder.request("QUIT");
+    });
+    let policy = RetryPolicy {
+        attempts: 40,
+        base_delay: Duration::from_millis(20),
+        max_delay: Duration::from_millis(100),
+        seed: 7,
+    };
+    let mut client = Client::connect_with_retry(server.local_addr(), &policy).unwrap();
+    release.join().unwrap();
+    assert!(client.request("BROWSE S1 A").unwrap()[0].starts_with("OK"));
+    assert!(stat(&mut client, "shed_busy") >= 1);
+    assert_eq!(stat(&mut client, "conns_open"), 1, "just this connection");
+    drop(client);
+    assert_no_leaked_slots(&server);
+    server.shutdown();
+}
+
+#[test]
+fn gen_over_the_runtime_cap_is_rejected_without_allocation() {
+    let dir = common::scratch("chaos_gen_cap");
+    {
+        let store = ModelStore::open(&dir).unwrap();
+        common::train_into(&store, "S1", 0);
+    }
+    let server = spawn_with(
+        &dir,
+        Limits {
+            max_gen: 10,
+            ..Limits::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let over = client.request("GEN S1 11 seed=1").unwrap();
+    assert!(over[0].starts_with("ERR limit"), "{over:?}");
+    assert!(over[0].contains("cap 10"), "{over:?}");
+    // The reject happened before any model fetch: nothing was loaded.
+    assert_eq!(stat(&mut client, "cache_loads"), 0);
+    assert_eq!(stat(&mut client, "limit_rejects"), 1);
+
+    let at_cap = client.request("GEN S1 10 seed=1").unwrap();
+    assert!(at_cap[0].starts_with("OK GEN"), "{at_cap:?}");
+    assert_eq!(at_cap.len(), 1 + 10);
+
+    // The parse-time ceiling wears the same tag.
+    let parse_cap = client
+        .request(&format!("GEN S1 {}", eip_serve::MAX_GEN_COUNT + 1))
+        .unwrap();
+    assert!(parse_cap[0].starts_with("ERR limit"), "{parse_cap:?}");
+    drop(client);
+    assert_no_leaked_slots(&server);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_container_is_quarantined_not_hammered() {
+    let dir = common::scratch("chaos_truncated");
+    let path = {
+        let store = ModelStore::open(&dir).unwrap();
+        common::train_into(&store, "S1", 0);
+        store.path_for("S1").unwrap()
+    };
+    // Truncate the container to half: decodes now fail.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let server = spawn_with(&dir, Limits::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let first = client.request("BROWSE S1 A").unwrap();
+    assert!(first[0].starts_with("ERR io"), "{first:?}");
+    for _ in 0..5 {
+        let again = client.request("BROWSE S1 A").unwrap();
+        assert_eq!(again, first, "quarantine serves the same error");
+    }
+    // One disk decode total: the rest came from the negative cache.
+    assert_eq!(stat(&mut client, "cache_loads"), 1);
+    assert_eq!(stat(&mut client, "cache_load_failures"), 1);
+    assert_eq!(stat(&mut client, "cache_neg_hits"), 5);
+    drop(client);
+    assert_no_leaked_slots(&server);
+    server.shutdown();
+}

@@ -4,6 +4,7 @@
 mod common;
 
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use eip_serve::{ModelStore, Registry};
 
@@ -106,7 +107,9 @@ fn failed_loads_are_not_cached() {
     let store = ModelStore::open(&dir).unwrap();
     let path = store.path_for("A").unwrap();
     std::fs::write(&path, b"not a model container").unwrap();
-    let reg = Registry::new(store, 2);
+    // Zero backoff disables the negative cache: every get retries the
+    // disk immediately (quarantine behavior is covered below).
+    let reg = Registry::with_backoff(store, 2, Duration::ZERO, Duration::ZERO);
 
     assert!(reg.get("A").is_err());
     assert_eq!(
@@ -121,6 +124,64 @@ fn failed_loads_are_not_cached() {
     let a = reg.get("A").unwrap();
     assert_eq!(a.network, "A");
     assert_eq!(reg.stats().resident, 1);
+    assert_eq!(reg.stats().load_failures, 1);
+}
+
+#[test]
+fn quarantine_serves_the_cached_error_without_disk_reads() {
+    let dir = common::scratch("lru_quarantine");
+    let store = ModelStore::open(&dir).unwrap();
+    let path = store.path_for("A").unwrap();
+    std::fs::write(&path, b"not a model container").unwrap();
+    // A backoff far longer than the test keeps the quarantine active.
+    let reg = Registry::with_backoff(store, 2, Duration::from_secs(600), Duration::from_secs(600));
+
+    let first = reg.get("A").unwrap_err();
+    for _ in 0..5 {
+        assert_eq!(reg.get("A").unwrap_err(), first, "same cached error");
+    }
+    let stats = reg.stats();
+    assert_eq!(stats.loads, 1, "exactly one disk decode: {stats:?}");
+    assert_eq!(stats.load_failures, 1);
+    assert_eq!(stats.neg_hits, 5);
+
+    // Fixing the file does not help while the quarantine holds...
+    let store2 = ModelStore::open(&dir).unwrap();
+    common::train_into(&store2, "A", 0);
+    assert!(reg.get("A").is_err(), "backoff still in force");
+    assert_eq!(reg.stats().loads, 1);
+}
+
+#[test]
+fn quarantine_expiry_retries_the_disk_and_recovers() {
+    let dir = common::scratch("lru_quarantine_expiry");
+    let store = ModelStore::open(&dir).unwrap();
+    let path = store.path_for("A").unwrap();
+    std::fs::write(&path, b"not a model container").unwrap();
+    let reg = Registry::with_backoff(
+        store,
+        2,
+        Duration::from_millis(20),
+        Duration::from_millis(20),
+    );
+
+    assert!(reg.get("A").is_err());
+    std::thread::sleep(Duration::from_millis(40));
+    // Backoff expired: the disk is retried (and fails again,
+    // re-arming the quarantine).
+    assert!(reg.get("A").is_err());
+    assert_eq!(reg.stats().loads, 2);
+    assert_eq!(reg.stats().load_failures, 2);
+
+    // Repair the file and wait the backoff out: recovery is automatic.
+    let store2 = ModelStore::open(&dir).unwrap();
+    common::train_into(&store2, "A", 0);
+    std::thread::sleep(Duration::from_millis(40));
+    let a = reg.get("A").unwrap();
+    assert_eq!(a.network, "A");
+    // A successful load clears the quarantine: hits from here on.
+    assert!(reg.get("A").is_ok());
+    assert_eq!(reg.stats().loads, 3);
 }
 
 #[test]
