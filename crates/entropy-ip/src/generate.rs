@@ -6,6 +6,8 @@
 //! "New /64s" not seen in training), duplicate accounting, and a
 //! configurable attempt budget.
 
+use std::sync::Arc;
+
 use eip_addr::{AddressSet, DedupSet, Ip6};
 use eip_bayes::Evidence;
 use eip_exec::rng::{stream_key, KeyedRng};
@@ -37,9 +39,29 @@ pub struct GenerationReport {
     pub excluded: usize,
 }
 
+/// How a [`Generator`] holds its model: borrowed for the common
+/// single-job case, or behind an [`Arc`] ([`Generator::shared`]) so
+/// the batched sampler's shard closures can be `'static` and run on a
+/// shared work-stealing pool. The held model is identical either way,
+/// so every output is too.
+enum ModelRef<'m> {
+    Borrowed(&'m IpModel),
+    Shared(Arc<IpModel>),
+}
+
+impl ModelRef<'_> {
+    #[inline]
+    fn get(&self) -> &IpModel {
+        match self {
+            ModelRef::Borrowed(m) => m,
+            ModelRef::Shared(m) => m,
+        }
+    }
+}
+
 /// Configurable batch generator over a trained model.
 pub struct Generator<'m> {
-    model: &'m IpModel,
+    model: ModelRef<'m>,
     exclude: Option<&'m AddressSet>,
     attempts_per_candidate: usize,
     exec: Scheduler,
@@ -50,11 +72,31 @@ impl<'m> Generator<'m> {
     /// serial sampling.
     pub fn new(model: &'m IpModel) -> Self {
         Generator {
-            model,
+            model: ModelRef::Borrowed(model),
             exclude: None,
             attempts_per_candidate: 10,
             exec: Scheduler::default(),
         }
+    }
+
+    /// A generator over a shared (`Arc`-held) model: required for
+    /// [`Generator::run_seeded`] to submit its sampling shards to a
+    /// shared work-stealing pool (see [`Generator::with_scheduler`]),
+    /// and byte-identical to [`Generator::new`] over the same model
+    /// in every mode.
+    pub fn shared(model: Arc<IpModel>) -> Self {
+        Generator {
+            model: ModelRef::Shared(model),
+            exclude: None,
+            attempts_per_candidate: 10,
+            exec: Scheduler::default(),
+        }
+    }
+
+    /// The model being sampled.
+    #[inline]
+    fn model(&self) -> &IpModel {
+        self.model.get()
     }
 
     /// Never emit addresses from `set` (typically the training
@@ -77,6 +119,21 @@ impl<'m> Generator<'m> {
         self
     }
 
+    /// An explicit scheduler for [`Generator::run_seeded`] — the way
+    /// a fleet job hands the generator its pool-attached scheduler
+    /// ([`eip_exec::Scheduler::shared`]). As with
+    /// [`parallelism`](Generator::parallelism), only wall-clock
+    /// changes: the scheduler's worker geometry fixes the round
+    /// shards and the keyed draws fix their contents. The pool path
+    /// additionally requires a [`Generator::shared`] model and no
+    /// exclusion set (both non-`'static` borrows otherwise); when
+    /// either is absent, rounds fall back to the scoped engine with
+    /// identical output.
+    pub fn with_scheduler(mut self, exec: Scheduler) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Generates up to `n` unique candidates with the serial
     /// reference sampler ([`eip_bayes::sample_row`]) — the oracle the
     /// compiled-plan path of [`Generator::run_seeded`] is verified
@@ -84,7 +141,7 @@ impl<'m> Generator<'m> {
     /// same RNG stream; see the equivalence proptests).
     pub fn run<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> GenerationReport {
         self.run_sampling(n, rng, |rng, row| {
-            let sampled = eip_bayes::sample_row(self.model.bn(), rng);
+            let sampled = eip_bayes::sample_row(self.model().bn(), rng);
             for (slot, &code) in row.iter_mut().zip(&sampled) {
                 *slot = code as u8;
             }
@@ -104,11 +161,11 @@ impl<'m> Generator<'m> {
         let mut attempts = 0usize;
         let mut duplicates = 0usize;
         let mut excluded = 0usize;
-        let mut row = vec![0u8; self.model.bn().num_vars()];
+        let mut row = vec![0u8; self.model().bn().num_vars()];
         while out.len() < n && attempts < budget {
             attempts += 1;
             sample(rng, &mut row);
-            let ip = self.model.decode_codes(&row, rng);
+            let ip = self.model().decode_codes(&row, rng);
             if let Some(ex) = self.exclude {
                 if ex.contains(ip) {
                     excluded += 1;
@@ -137,11 +194,7 @@ impl<'m> Generator<'m> {
     /// draws, so no RNG stream is shared between attempts.
     #[inline]
     fn keyed_attempt(&self, key: u64, index: u64, row: &mut [u8]) -> (Ip6, bool) {
-        let mut rng = KeyedRng::for_index(key, index);
-        self.model.plan().sample_into(row, &mut rng);
-        let ip = self.model.decode_codes(row, &mut rng);
-        let excluded = self.exclude.is_some_and(|ex| ex.contains(ip));
-        (ip, excluded)
+        keyed_attempt(self.model(), self.exclude, key, index, row)
     }
 
     /// The straight-line serial oracle for [`Generator::run_seeded`]:
@@ -159,7 +212,7 @@ impl<'m> Generator<'m> {
         let mut attempts = 0usize;
         let mut duplicates = 0usize;
         let mut excluded = 0usize;
-        let mut row = vec![0u8; self.model.bn().num_vars()];
+        let mut row = vec![0u8; self.model().bn().num_vars()];
         while out.len() < n && attempts < budget {
             let (ip, ex) = self.keyed_attempt(key, attempts as u64, &mut row);
             attempts += 1;
@@ -205,8 +258,8 @@ impl<'m> Generator<'m> {
         let mut excluded = 0usize;
         while out.len() < n && attempts < budget {
             let mut rng = KeyedRng::for_index(key, attempts as u64);
-            let row = eip_bayes::sample_conditional(self.model.bn(), evidence, &mut rng);
-            let ip = self.model.decode(&row, &mut rng);
+            let row = eip_bayes::sample_conditional(self.model().bn(), evidence, &mut rng);
+            let ip = self.model().decode(&row, &mut rng);
             attempts += 1;
             if self.exclude.is_some_and(|ex| ex.contains(ip)) {
                 excluded += 1;
@@ -261,19 +314,46 @@ impl<'m> Generator<'m> {
             // only tunes how much speculative work a round does.
             let round = (shortfall + shortfall / 16 + 1024).min(budget - consumed);
             let base = consumed as u64;
-            let drawn: Vec<(Ip6, bool)> = self
-                .exec
-                .par_map_reduce(
-                    round,
-                    |range| {
-                        let mut row = vec![0u8; self.model.bn().num_vars()];
-                        range
-                            .map(|i| self.keyed_attempt(key, base + i as u64, &mut row))
-                            .collect::<Vec<_>>()
-                    },
-                    |acc, part| acc.extend_from_slice(&part),
-                )
-                .unwrap_or_default();
+            // Two execution venues, one result: a shared-model
+            // generator with a pool-attached scheduler (and no
+            // borrowed exclusion set) submits its round shards to the
+            // pool as `'static` tasks; every other configuration fans
+            // out scoped. The shard geometry and the keyed draws are
+            // identical, so which branch ran is invisible in the
+            // report.
+            let pool_model = match (&self.model, self.exclude) {
+                (ModelRef::Shared(m), None) if self.exec.has_pool() => Some(Arc::clone(m)),
+                _ => None,
+            };
+            let drawn: Vec<(Ip6, bool)> = if let Some(model) = pool_model {
+                self.exec
+                    .par_map_reduce_shared(
+                        round,
+                        move |range| {
+                            let mut row = vec![0u8; model.bn().num_vars()];
+                            range
+                                .map(|i| {
+                                    keyed_attempt(&model, None, key, base + i as u64, &mut row)
+                                })
+                                .collect::<Vec<_>>()
+                        },
+                        |acc, part| acc.extend_from_slice(&part),
+                    )
+                    .unwrap_or_default()
+            } else {
+                self.exec
+                    .par_map_reduce(
+                        round,
+                        |range| {
+                            let mut row = vec![0u8; self.model().bn().num_vars()];
+                            range
+                                .map(|i| self.keyed_attempt(key, base + i as u64, &mut row))
+                                .collect::<Vec<_>>()
+                        },
+                        |acc, part| acc.extend_from_slice(&part),
+                    )
+                    .unwrap_or_default()
+            };
             consumed += round;
             for &(ip, ex) in &drawn {
                 attempts += 1;
@@ -296,6 +376,31 @@ impl<'m> Generator<'m> {
             excluded,
         }
     }
+}
+
+/// One keyed attempt: materializes attempt `index`'s candidate and
+/// whether `exclude` rejects it. A pure function of
+/// `(model, exclude, key, index)`: the attempt's own [`KeyedRng`]
+/// covers the row draw (through the compiled
+/// [`SamplingPlan`](eip_bayes::SamplingPlan)) and the decode draws,
+/// so no RNG stream is shared between attempts — which is exactly why
+/// any worker, any thief, or the caller itself can materialize any
+/// attempt without changing it. A free function (not a method) so
+/// pool-submitted shard tasks can call it through an `Arc`'d model
+/// without borrowing the generator.
+#[inline]
+fn keyed_attempt(
+    model: &IpModel,
+    exclude: Option<&AddressSet>,
+    key: u64,
+    index: u64,
+    row: &mut [u8],
+) -> (Ip6, bool) {
+    let mut rng = KeyedRng::for_index(key, index);
+    model.plan().sample_into(row, &mut rng);
+    let ip = model.decode_codes(row, &mut rng);
+    let excluded = exclude.is_some_and(|ex| ex.contains(ip));
+    (ip, excluded)
 }
 
 #[cfg(test)]
@@ -362,6 +467,40 @@ mod tests {
             .excluding(&set)
             .run_seeded(20_000, 100);
         assert_ne!(oracle.candidates, other.candidates);
+    }
+
+    #[test]
+    fn shared_generator_on_pool_matches_oracle() {
+        // The pool path (shared model, pool-attached scheduler, no
+        // exclusion) and the scoped fallback must both equal the
+        // straight-line keyed oracle, at several pool sizes.
+        let set = training_set();
+        let model = Arc::new(EntropyIp::new().analyze(&set).unwrap());
+        let oracle = Generator::new(&model).run_keyed_reference(5_000, 42);
+        assert!(!oracle.candidates.is_empty());
+        for pool_size in [1usize, 2, 7, 8] {
+            let pool = Arc::new(eip_exec::pool::StealPool::new(pool_size));
+            for workers in [1usize, 4, 7] {
+                let exec = Scheduler::shared(workers, Arc::clone(&pool));
+                let batched = Generator::shared(Arc::clone(&model))
+                    .with_scheduler(exec)
+                    .run_seeded(5_000, 42);
+                assert_eq!(
+                    batched.candidates, oracle.candidates,
+                    "pool {pool_size}, workers {workers}"
+                );
+                assert_eq!(batched.attempts, oracle.attempts);
+            }
+            // Exclusion forces the scoped fallback; output unchanged.
+            let excl_oracle = Generator::new(&model)
+                .excluding(&set)
+                .run_keyed_reference(2_000, 42);
+            let excl = Generator::shared(Arc::clone(&model))
+                .excluding(&set)
+                .with_scheduler(Scheduler::shared(4, Arc::clone(&pool)))
+                .run_seeded(2_000, 42);
+            assert_eq!(excl.candidates, excl_oracle.candidates);
+        }
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub struct Config {
     /// Worker threads for per-segment mining (1 = serial). The model
     /// produced is identical at any setting; only wall-clock changes.
     pub parallelism: usize,
+    /// Optional shared work-stealing pool ([`Config::with_pool`]).
+    /// When set, the sharded hot stages submit their shards to this
+    /// pool instead of scoped threads, so many concurrent pipeline
+    /// jobs share one fixed set of OS workers. Speed only: the shard
+    /// geometry stays [`Config::parallelism`], so the model is
+    /// byte-identical with or without a pool, at any pool size.
+    pub pool: Option<Arc<eip_exec::pool::StealPool>>,
 }
 
 impl Default for Config {
@@ -98,6 +105,7 @@ impl Default for Config {
             mining: MiningOptions::default(),
             learning: LearnOptions::default(),
             parallelism: 1,
+            pool: None,
         }
     }
 }
@@ -118,9 +126,22 @@ impl Config {
         self
     }
 
-    /// The scheduler this configuration's worker budget implies.
+    /// Attaches a shared work-stealing pool: the sharded hot stages
+    /// will submit their shards to it instead of spawning scoped
+    /// threads. See [`Config::pool`].
+    pub fn with_pool(mut self, pool: Arc<eip_exec::pool::StealPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The scheduler this configuration implies: worker budget =
+    /// [`Config::parallelism`] (the shard geometry), attached to the
+    /// shared pool when one is configured.
     pub fn scheduler(&self) -> Scheduler {
-        Scheduler::new(self.parallelism)
+        match &self.pool {
+            Some(pool) => Scheduler::shared(self.parallelism, Arc::clone(pool)),
+            None => Scheduler::new(self.parallelism),
+        }
     }
 }
 
@@ -131,6 +152,7 @@ impl From<Options> for Config {
             mining: opts.mining,
             learning: opts.learning,
             parallelism: 1,
+            pool: None,
         }
     }
 }
@@ -186,18 +208,21 @@ impl Pipeline {
         // half-walks per address instead of one serialized u128
         // chain); per-shard counts merge exactly, so the profile is
         // identical at any worker count and to the scalar
-        // `observe` oracle.
-        let addrs = working.as_slice();
+        // `observe` oracle. The set moves behind an `Arc` up front so
+        // the sharded closure can be handed to a shared pool as a
+        // `'static` task (scoped fallback uses the same closure).
+        let working = Arc::new(working);
         let counts = if exec.is_serial() {
             let mut counts = NybbleCounts::new();
-            counts.observe_slice(addrs);
+            counts.observe_slice(working.as_slice());
             counts
         } else {
-            exec.par_map_reduce(
-                addrs.len(),
-                |range| {
+            let addrs = Arc::clone(&working);
+            exec.par_map_reduce_shared(
+                working.len(),
+                move |range| {
                     let mut counts = NybbleCounts::new();
-                    counts.observe_slice(&addrs[range]);
+                    counts.observe_slice(&addrs.as_slice()[range]);
                     counts
                 },
                 |acc, part| acc.merge(&part),
@@ -208,7 +233,7 @@ impl Pipeline {
         let acr = acr4(&working);
         Ok(Profiled {
             cfg: self.cfg.clone(),
-            working: Arc::new(working),
+            working,
             entropy,
             acr,
         })
@@ -399,7 +424,7 @@ impl Segmented {
     /// identical at any worker count.
     pub fn mine_with(&self, opts: &MiningOptions) -> Mined {
         let mined = mine_all(
-            self.addresses(),
+            &self.profiled.working,
             &self.analysis.segments,
             opts,
             &self.profiled.cfg.scheduler(),
@@ -473,7 +498,7 @@ impl Mined {
             )));
         }
         let exec = self.config().scheduler();
-        let dataset = encode_dataset(self.addresses(), &self.mined, &exec);
+        let dataset = encode_dataset(&self.segmented.profiled.working, &self.mined, &exec);
         if dataset.is_empty() {
             return Err(EipError::EmptySet);
         }
@@ -485,7 +510,17 @@ impl Mined {
             .iter()
             .map(|s| s.label.clone())
             .collect();
-        let bn = learn_structure(&dataset, &learn_opts);
+        // Hand the configured scheduler to the sharded learner
+        // directly (rather than letting it build its own from
+        // `parallelism`) so a pool-attached pipeline keeps its
+        // counting passes on the job thread instead of stacking a
+        // scoped fan-out on top of the shared pool. Same worker
+        // geometry either way — the learned network is identical.
+        let bn = if learn_opts.parallelism > 1 {
+            eip_bayes::learn_structure_sharded(&dataset, &learn_opts, &exec)
+        } else {
+            learn_structure(&dataset, &learn_opts)
+        };
         Ok(Trained {
             model: IpModel::from_parts(self.analysis().clone(), self.mined.clone(), bn),
         })
@@ -529,7 +564,7 @@ impl Trained {
 /// Both paths are deterministic and produce identical dictionaries at
 /// any worker count — no RNG is involved, and the merge is exact.
 fn mine_all(
-    working: &AddressSet,
+    working: &Arc<AddressSet>,
     segments: &[Segment],
     opts: &MiningOptions,
     exec: &Scheduler,
@@ -546,11 +581,15 @@ fn mine_all(
             })
             .collect();
     }
-    let addrs = working.as_slice();
+    // The histogram pass captures `Arc`s (not borrows) so its shards
+    // can run as `'static` tasks on a shared pool; without a pool the
+    // same closure runs on the scoped path, shard for shard.
+    let addrs = Arc::clone(working);
+    let segs: Arc<Vec<Segment>> = Arc::new(segments.to_vec());
     let merged: Vec<Histogram> = exec
-        .par_map_reduce(
-            addrs.len(),
-            |range| shard_histograms(&addrs[range], segments),
+        .par_map_reduce_shared(
+            working.len(),
+            move |range| shard_histograms(&addrs.as_slice()[range], &segs),
             |acc, part| {
                 for (a, b) in acc.iter_mut().zip(&part) {
                     a.merge(b);
@@ -607,25 +646,28 @@ fn shard_histograms(addrs: &[Ip6], segments: &[Segment]) -> Vec<Histogram> {
 /// order — and therefore the dataset — is identical at any worker
 /// count; with one worker the single shard runs inline and *is* the
 /// serial reference.
-fn encode_dataset(working: &AddressSet, mined: &[MinedSegment], exec: &Scheduler) -> Dataset {
+fn encode_dataset(working: &Arc<AddressSet>, mined: &[MinedSegment], exec: &Scheduler) -> Dataset {
     let cardinalities: Vec<usize> = mined.iter().map(|m| m.cardinality()).collect();
-    let addrs = working.as_slice();
+    // `Arc`-captured inputs, for the same reason as `mine_all`: the
+    // shard closure must be `'static` to ride a shared pool.
+    let addrs = Arc::clone(working);
+    let dicts: Arc<Vec<MinedSegment>> = Arc::new(mined.to_vec());
     let columns = exec
-        .par_map_reduce(
-            addrs.len(),
-            |range| {
-                let mut cols: Vec<Vec<u8>> = mined.iter().map(|_| Vec::new()).collect();
+        .par_map_reduce_shared(
+            working.len(),
+            move |range| {
+                let mut cols: Vec<Vec<u8>> = dicts.iter().map(|_| Vec::new()).collect();
                 // Segments partition at most 32 nybbles, so a row
                 // always fits this stack buffer.
                 let mut row = [0u8; 32];
-                'rows: for ip in &addrs[range] {
-                    for (slot, m) in row.iter_mut().zip(mined) {
+                'rows: for ip in &addrs.as_slice()[range] {
+                    for (slot, m) in row.iter_mut().zip(dicts.iter()) {
                         match m.encode(ip.segment(m.segment.start, m.segment.end)) {
                             Some(code) => *slot = code as u8,
                             None => continue 'rows,
                         }
                     }
-                    for (col, &code) in cols.iter_mut().zip(&row[..mined.len()]) {
+                    for (col, &code) in cols.iter_mut().zip(&row[..dicts.len()]) {
                         col.push(code);
                     }
                 }
@@ -847,6 +889,32 @@ mod tests {
             .run(set.iter())
             .unwrap();
         assert_eq!(profile::export(&serial), profile::export(&parallel));
+    }
+
+    #[test]
+    fn pool_attached_pipeline_matches_scoped() {
+        // Attaching a shared work-stealing pool is a pure execution-
+        // venue change: the full staged model must be byte-identical
+        // to the scoped run at every pool size and worker geometry.
+        let set = training_set();
+        let serial = Pipeline::new(Config::default()).run(set.iter()).unwrap();
+        let expect = profile::export(&serial);
+        for pool_size in [1usize, 2, 7, 8] {
+            let pool = Arc::new(eip_exec::pool::StealPool::new(pool_size));
+            for workers in [2usize, 5] {
+                let cfg = Config::default()
+                    .with_parallelism(workers)
+                    .with_pool(Arc::clone(&pool));
+                assert!(cfg.scheduler().has_pool());
+                assert_eq!(cfg.scheduler().threads(), 1, "scoped budget pinned");
+                let model = Pipeline::new(cfg).run(set.iter()).unwrap();
+                assert_eq!(
+                    profile::export(&model),
+                    expect,
+                    "pool {pool_size}, workers {workers}"
+                );
+            }
+        }
     }
 
     #[test]

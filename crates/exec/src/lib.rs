@@ -18,12 +18,19 @@
 //!   any *associative* reduction (all of ours merge exact integer
 //!   counts) produces the same value at every worker count.
 //!
-//! Threads come from [`std::thread::scope`] — no pool is kept alive,
-//! no global state, no unsafe code. A [`Scheduler`] with one worker
-//! runs everything inline on the calling thread, which keeps the
-//! serial paths allocation- and thread-free and makes them the
-//! reference implementations the sharded paths are verified against
-//! (see the shard-equivalence proptests in `entropy-ip`).
+//! Threads come from [`std::thread::scope`] by default — no global
+//! state, no unsafe code. A [`Scheduler`] with one worker runs
+//! everything inline on the calling thread, which keeps the serial
+//! paths allocation- and thread-free and makes them the reference
+//! implementations the sharded paths are verified against (see the
+//! shard-equivalence proptests in `entropy-ip`). For fleet-scale
+//! workloads — many concurrent pipeline jobs on one box — a scheduler
+//! can instead be attached to a shared work-stealing worker pool
+//! ([`pool::StealPool`], [`Scheduler::shared`]): the `_shared`
+//! primitives then submit their worker-keyed shards as `'static`
+//! tasks to the pool, so an idle pipeline donates its workers to its
+//! neighbors, while the shard geometry (and therefore every result)
+//! stays exactly what the scoped path produces.
 //!
 //! The worker count is a *geometry* parameter, not a thread count:
 //! it fixes the shard decomposition (and therefore the output), while
@@ -58,10 +65,14 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::sync::Arc;
 use std::thread;
 
 pub mod fault;
+pub mod pool;
 pub mod rng;
+
+use pool::StealPool;
 
 /// Splits `0..len` into at most `shards` stable, contiguous,
 /// near-equal ranges (the first `len % shards` ranges are one element
@@ -91,11 +102,39 @@ pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
 /// geometry, which fixes the output) plus the fan-out/join primitives
 /// the hot paths share. See the [module docs](self) for the
 /// determinism contract and for how OS threads relate to workers.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Three orthogonal knobs, only the first of which affects output:
+///
+/// * **workers** — the shard geometry. Fixes the decomposition and
+///   therefore every result.
+/// * **threads** — the scoped-spawn budget ([`Scheduler::new`] clamps
+///   it to `available_parallelism`; [`Scheduler::pinned`] overrides).
+///   Pure speed.
+/// * **pool** — an optional shared [`StealPool`]
+///   ([`Scheduler::shared`]). When attached, the `_shared` primitives
+///   submit their shards to the pool instead of scoped threads, and
+///   the scoped budget drops to 1 so a fleet of concurrent jobs never
+///   oversubscribes the box. Pure speed: the pool's size is invisible
+///   in the output.
+#[derive(Clone, Debug)]
 pub struct Scheduler {
     workers: usize,
     threads: usize,
+    pool: Option<Arc<StealPool>>,
 }
+
+impl PartialEq for Scheduler {
+    /// Equality is over the *deterministic* configuration — the shard
+    /// geometry and thread budget. The attached pool is an execution
+    /// venue, not a parameter of the output, so two schedulers that
+    /// differ only in pool attachment (or pool identity) compare
+    /// equal, exactly as their results do.
+    fn eq(&self, other: &Self) -> bool {
+        self.workers == other.workers && self.threads == other.threads
+    }
+}
+
+impl Eq for Scheduler {}
 
 impl Default for Scheduler {
     /// A serial scheduler (one worker).
@@ -121,6 +160,7 @@ impl Scheduler {
         Scheduler {
             workers,
             threads: workers.min(hardware_threads()),
+            pool: None,
         }
     }
 
@@ -133,7 +173,39 @@ impl Scheduler {
         Scheduler {
             workers: workers.max(1),
             threads: threads.max(1),
+            pool: None,
         }
+    }
+
+    /// A scheduler with the given worker budget (shard geometry)
+    /// attached to a shared work-stealing pool. The scoped thread
+    /// budget is pinned to 1: non-pool primitives run inline on the
+    /// calling job thread (concurrency across jobs comes from the
+    /// jobs themselves), while the `_shared` primitives submit their
+    /// shards to the pool — so N concurrent jobs never spawn
+    /// N × `threads` scoped workers on top of the pool. Composes with
+    /// the clamp contract of [`Scheduler::new`]: `workers` still
+    /// fixes the output, and neither the pool's size nor its
+    /// scheduling order can change any result.
+    pub fn shared(workers: usize, pool: Arc<StealPool>) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+            threads: 1,
+            pool: Some(pool),
+        }
+    }
+
+    /// Whether a shared pool is attached (the `_shared` primitives
+    /// fall back to the scoped/inline path when it is not).
+    #[inline]
+    pub fn has_pool(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The attached shared pool, if any.
+    #[inline]
+    pub fn pool(&self) -> Option<&Arc<StealPool>> {
+        self.pool.as_ref()
     }
 
     /// The worker budget (the shard geometry).
@@ -404,6 +476,48 @@ impl Scheduler {
         }
         Some(acc)
     }
+
+    /// [`Scheduler::par_map_reduce`] for schedulers attached to a
+    /// shared [`StealPool`]: the same worker-keyed shard
+    /// decomposition, but each shard is submitted to the pool as a
+    /// `'static` task (hence the `Send + 'static` bounds — callers
+    /// capture their inputs behind `Arc`s) and the shard results are
+    /// folded **in shard order** on the calling thread. Without an
+    /// attached pool this *is* `par_map_reduce`: same closure, same
+    /// shards, same fold — so call sites can use this form
+    /// unconditionally and stay byte-identical either way. A
+    /// single-shard decomposition runs inline in both cases.
+    pub fn par_map_reduce_shared<T, M, R>(&self, len: usize, map: M, mut reduce: R) -> Option<T>
+    where
+        T: Send + 'static,
+        M: Fn(Range<usize>) -> T + Send + Sync + 'static,
+        R: FnMut(&mut T, T),
+    {
+        let Some(pool) = self.pool.as_ref() else {
+            return self.par_map_reduce(len, map, reduce);
+        };
+        if len == 0 {
+            return None;
+        }
+        let ranges = self.shards(len);
+        if ranges.len() == 1 {
+            return Some(map(ranges.into_iter().next().expect("one shard")));
+        }
+        let map = Arc::new(map);
+        let tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>> = ranges
+            .into_iter()
+            .map(|range| {
+                let map = Arc::clone(&map);
+                Box::new(move || map(range)) as Box<dyn FnOnce() -> T + Send + 'static>
+            })
+            .collect();
+        let mut parts = pool.run_tasks(tasks).into_iter();
+        let mut acc = parts.next()?;
+        for part in parts {
+            reduce(&mut acc, part);
+        }
+        Some(acc)
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +713,61 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn shared_scheduler_composes_with_clamp_and_pinning() {
+        // Worker budget = shard geometry (output); pool size and the
+        // thread clamp are speed-only. A pool-attached scheduler pins
+        // its scoped budget to 1 so concurrent jobs never stack
+        // scoped fan-outs on top of the pool.
+        let pool = Arc::new(StealPool::new(3));
+        let exec = Scheduler::shared(4, Arc::clone(&pool));
+        assert_eq!(exec.workers(), 4);
+        assert_eq!(exec.threads(), 1, "scoped budget pinned to 1");
+        assert!(exec.has_pool());
+        assert!(!Scheduler::new(4).has_pool());
+        // Geometry ignores both the pool size and the clamp.
+        assert_eq!(exec.shards(1024).len(), 4);
+        assert_eq!(exec.shards(1024), Scheduler::new(4).shards(1024));
+        assert_eq!(exec.shards(1024), Scheduler::pinned(4, 9).shards(1024));
+        // Equality is over the deterministic configuration only.
+        assert_eq!(exec, Scheduler::shared(4, Arc::new(StealPool::new(1))));
+        assert_eq!(exec.clone(), exec);
+    }
+
+    #[test]
+    fn par_map_reduce_shared_matches_scoped_at_any_pool_size() {
+        let expect = Scheduler::new(1)
+            .par_map_reduce(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
+            .unwrap();
+        for pool_size in [1usize, 2, 7, 8] {
+            let pool = Arc::new(StealPool::new(pool_size));
+            for workers in [1usize, 3, 8] {
+                let exec = Scheduler::shared(workers, Arc::clone(&pool));
+                let got = exec
+                    .par_map_reduce_shared(
+                        1000,
+                        |r| r.map(|i| i as u64).sum::<u64>(),
+                        |a, b| *a += b,
+                    )
+                    .unwrap();
+                assert_eq!(got, expect, "pool {pool_size}, workers {workers}");
+            }
+        }
+        // Fallback without a pool is the scoped path.
+        let got = Scheduler::new(5)
+            .par_map_reduce_shared(1000, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| *a += b)
+            .unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(
+            Scheduler::shared(3, Arc::new(StealPool::new(2))).par_map_reduce_shared(
+                0,
+                |_| 0u64,
+                |a, b| *a += b
+            ),
+            None
+        );
     }
 
     #[test]

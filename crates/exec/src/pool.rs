@@ -1,0 +1,502 @@
+//! A shared work-stealing worker pool for concurrent pipeline jobs.
+//!
+//! The scoped fan-out primitives of [`Scheduler`](crate::Scheduler)
+//! load-balance *within* one stage of one pipeline: they spawn, join,
+//! and tear down per call. Running many pipelines concurrently on
+//! them either serializes the pipelines or oversubscribes the box —
+//! each job would clamp its own thread budget as if it were alone.
+//! [`StealPool`] is the fleet-scale answer: one fixed set of OS
+//! workers, owned for the life of the pool, onto which any number of
+//! concurrent jobs submit shard tasks. A skewed or I/O-stalled job
+//! donates its idle workers to its neighbors instead of leaving
+//! cores dark.
+//!
+//! ## Topology
+//!
+//! Each worker owns a deque. A job's tasks are dealt round-robin
+//! across the deques at submit time; a worker pops from the *front*
+//! of its own deque, and when that runs dry it steals from the *back*
+//! of a sibling's deque, then drains the shared injector. The
+//! submitting thread is not idle either: while its job is in flight
+//! it executes queued tasks *of its own job* (caller-help), which
+//! guarantees progress — and therefore freedom from deadlock — even
+//! on a one-worker pool servicing sixteen jobs.
+//!
+//! ## Determinism
+//!
+//! Scheduling here is deliberately *non*-deterministic — that is the
+//! point of stealing — but results are not: [`StealPool::run_tasks`]
+//! returns results **in submission order**, each task writes only its
+//! own pre-assigned slot, and the [`Scheduler`](crate::Scheduler)
+//! primitives built on top submit one task per worker-keyed shard and
+//! fold in shard order. Which worker (or which thief) materializes a
+//! shard can never change what the shard computes, so every consumer
+//! stays byte-identical to its solo serial run at any pool size — the
+//! same contract the scoped primitives honor, extended across jobs
+//! (pinned by the multi-job determinism suite and the steal-storm
+//! proptest).
+//!
+//! A panicking task is contained per job: the submitting
+//! [`run_tasks`](StealPool::run_tasks) call re-raises the payload on
+//! the caller after the rest of the batch settles, and the worker
+//! thread survives to serve other jobs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+
+/// A queued unit of work: the owning job's id plus the boxed closure.
+struct QueuedTask {
+    job: u64,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Pool state guarded by one mutex: the queued-task count that gates
+/// worker parking, and the shutdown flag.
+struct PoolState {
+    queued: usize,
+    shutdown: bool,
+}
+
+/// Lifetime counters for the pool, each monotonic. Snapshot via
+/// [`StealPool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted over the pool's lifetime.
+    pub jobs: u64,
+    /// Tasks executed by pool workers (own deque or injector).
+    pub executed: u64,
+    /// Tasks a worker stole from a sibling's deque.
+    pub stolen: u64,
+    /// Tasks the submitting thread ran itself while waiting
+    /// (caller-help).
+    pub caller_ran: u64,
+}
+
+struct Shared {
+    /// One deque per worker; tasks are dealt round-robin at submit.
+    deques: Vec<Mutex<VecDeque<QueuedTask>>>,
+    /// Overflow queue drained after own-deque and steal attempts.
+    injector: Mutex<VecDeque<QueuedTask>>,
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    next_job: AtomicU64,
+    jobs: AtomicU64,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    caller_ran: AtomicU64,
+}
+
+/// Recover a mutex guard even if a holder panicked: every critical
+/// section here is a handful of queue/counter operations that cannot
+/// leave the structure inconsistent mid-flight.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    /// Takes one task for worker `me`: own deque front, then a steal
+    /// scan over siblings' backs (starting after `me`, so thieves
+    /// spread out), then the injector.
+    fn grab(&self, me: usize) -> Option<QueuedTask> {
+        if let Some(task) = lock(&self.deques[me]).pop_front() {
+            self.note_taken();
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        let n = self.deques.len();
+        for step in 1..n {
+            let victim = (me + step) % n;
+            if let Some(task) = lock(&self.deques[victim]).pop_back() {
+                self.note_taken();
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        if let Some(task) = lock(&self.injector).pop_front() {
+            self.note_taken();
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        None
+    }
+
+    /// Takes one queued task belonging to `job`, from any deque or
+    /// the injector — the caller-help path.
+    fn grab_for_job(&self, job: u64) -> Option<QueuedTask> {
+        for deque in &self.deques {
+            let mut q = lock(deque);
+            if let Some(pos) = q.iter().position(|t| t.job == job) {
+                let task = q.remove(pos).expect("position just found");
+                drop(q);
+                self.note_taken();
+                self.caller_ran.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        let mut q = lock(&self.injector);
+        if let Some(pos) = q.iter().position(|t| t.job == job) {
+            let task = q.remove(pos).expect("position just found");
+            drop(q);
+            self.note_taken();
+            self.caller_ran.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        None
+    }
+
+    fn note_taken(&self) {
+        lock(&self.state).queued -= 1;
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            if let Some(task) = self.grab(me) {
+                // Panics are caught at the slot-writing wrapper built
+                // in `run_tasks`; a bare task reaching here panicking
+                // would abort via unwind-in-drop, so the wrapper is
+                // the only submission path.
+                (task.run)();
+                continue;
+            }
+            let state = lock(&self.state);
+            if state.shutdown {
+                return;
+            }
+            if state.queued == 0 {
+                // Parked until a submit or shutdown notifies; spurious
+                // wakeups just re-run the grab scan.
+                let _unused = self
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+    }
+}
+
+/// A fixed-size work-stealing worker pool shared by concurrent jobs.
+/// See the [module docs](self) for topology and the determinism
+/// contract. Workers are joined on drop.
+pub struct StealPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StealPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealPool")
+            .field("workers", &self.workers)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl StealPool {
+    /// A pool with exactly `workers` OS threads (clamped to ≥ 1).
+    /// Unlike [`Scheduler::new`](crate::Scheduler::new) this is not
+    /// clamped to `available_parallelism`: the pool is an explicit
+    /// machine-level resource its owner sizes once, and tests must be
+    /// able to build oversized pools on small hosts.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            next_job: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            caller_ran: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("eip-steal-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        StealPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// The fixed worker count.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            caller_ran: self.shared.caller_ran.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a batch of tasks as one job and returns their results
+    /// **in submission order**. Blocks until every task has settled;
+    /// while blocked, the calling thread executes still-queued tasks
+    /// of this job itself (caller-help), so a job always makes
+    /// progress no matter how busy the pool is. If any task panicked,
+    /// the first panic (in submission order) is re-raised here after
+    /// the whole batch has settled.
+    pub fn run_tasks<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let job = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        let mut slots: Vec<Option<thread::Result<T>>> = Vec::new();
+        slots.resize_with(n, || None);
+        let slots = Arc::new(Mutex::new(slots));
+        let done = Arc::new((Mutex::new(n), Condvar::new()));
+        // Deal the wrapped tasks round-robin across the worker deques,
+        // then wake everyone once. The wrapper is infallible: the
+        // payload runs under `catch_unwind`, and slot write + counter
+        // decrement always happen, so a panicking task can never hang
+        // its job.
+        {
+            let mut queued_total = 0usize;
+            for (i, task) in tasks.into_iter().enumerate() {
+                let slots = Arc::clone(&slots);
+                let done = Arc::clone(&done);
+                let run = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    lock(&slots)[i] = Some(outcome);
+                    let (remaining, settled) = &*done;
+                    let mut left = lock(remaining);
+                    *left -= 1;
+                    if *left == 0 {
+                        settled.notify_all();
+                    }
+                });
+                lock(&self.shared.deques[(job as usize + i) % self.workers])
+                    .push_back(QueuedTask { job, run });
+                queued_total += 1;
+            }
+            lock(&self.shared.state).queued += queued_total;
+            self.shared.work_ready.notify_all();
+        }
+        // Caller-help: drain this job's still-queued tasks, then park
+        // until the in-flight ones settle. Tasks are queued exactly
+        // once (above, before this loop), so once the scan comes up
+        // empty every remaining task is in flight on a worker — and
+        // the settle counter is decremented and notified under the
+        // same lock the wait releases, so the park cannot miss the
+        // last decrement.
+        loop {
+            while let Some(task) = self.shared.grab_for_job(job) {
+                (task.run)();
+            }
+            let (remaining, settled) = &*done;
+            let left = lock(remaining);
+            if *left == 0 {
+                break;
+            }
+            let left = settled
+                .wait(left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if *left == 0 {
+                break;
+            }
+        }
+        // Take the slots under the lock rather than unwrapping the
+        // Arc: the final task notifies settlement *before* its
+        // closure (and its Arc clone) is dropped, so strong-count 1
+        // is not guaranteed here — but every write is, because each
+        // decrement happens after its slot write under these locks.
+        let slots = std::mem::take(&mut *lock(&slots));
+        let mut out = Vec::with_capacity(n);
+        let mut panic_payload = None;
+        for slot in slots {
+            match slot.expect("settled job filled every slot") {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _unused = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1usize, 2, 7, 8] {
+            let pool = StealPool::new(workers);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..100usize)
+                .map(|i| Box::new(move || i * 3) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = pool.run_tasks(tasks);
+            assert_eq!(
+                out,
+                (0..100usize).map(|i| i * 3).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_job_returns_immediately() {
+        let pool = StealPool::new(2);
+        let out: Vec<u8> = pool.run_tasks(Vec::new());
+        assert!(out.is_empty());
+        assert_eq!(pool.stats().jobs, 0);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_pool_without_cross_talk() {
+        // Eight jobs on a two-worker pool, each summing its own
+        // shards; every job must see exactly its own results.
+        let pool = Arc::new(StealPool::new(2));
+        thread::scope(|s| {
+            for job in 0..8u64 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..40u64)
+                        .map(|i| {
+                            Box::new(move || job * 1000 + i) as Box<dyn FnOnce() -> u64 + Send>
+                        })
+                        .collect();
+                    let out = pool.run_tasks(tasks);
+                    assert_eq!(out, (0..40u64).map(|i| job * 1000 + i).collect::<Vec<_>>());
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 8);
+        assert_eq!(
+            stats.executed + stats.caller_ran,
+            8 * 40,
+            "every task ran exactly once: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn caller_help_makes_progress_on_a_saturated_pool() {
+        // One worker, pinned down by a slow task from another job:
+        // the second job must still complete promptly via caller-help.
+        let pool = Arc::new(StealPool::new(1));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let slow_gate = Arc::clone(&gate);
+        let slow_pool = Arc::clone(&pool);
+        let slow = thread::spawn(move || {
+            let task: Box<dyn FnOnce() -> u8 + Send> = Box::new(move || {
+                let (released, cv) = &*slow_gate;
+                let mut go = lock(released);
+                while !*go {
+                    go = cv.wait(go).unwrap_or_else(|p| p.into_inner());
+                }
+                1
+            });
+            slow_pool.run_tasks(vec![task])
+        });
+        // Give the worker time to pick up the blocking task.
+        thread::sleep(Duration::from_millis(50));
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..10u64)
+            .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect();
+        let out = pool.run_tasks(tasks);
+        assert_eq!(out, (0..10u64).collect::<Vec<_>>());
+        assert!(pool.stats().caller_ran >= 1, "{:?}", pool.stats());
+        let (released, cv) = &*gate;
+        *lock(released) = true;
+        cv.notify_all();
+        assert_eq!(slow.join().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_reraised() {
+        let pool = Arc::new(StealPool::new(2));
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let outcome = {
+            let ran_after = Arc::clone(&ran_after);
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let tasks: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![
+                    Box::new(|| 1),
+                    Box::new(|| panic!("shard exploded")),
+                    Box::new(move || {
+                        ran_after.fetch_add(1, Ordering::Relaxed);
+                        3
+                    }),
+                ];
+                pool.run_tasks(tasks)
+            })
+            .join()
+        };
+        let payload = outcome.expect_err("panic must reach the submitting caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(msg.contains("shard exploded"), "{msg}");
+        // The batch settled fully before re-raising, and the pool
+        // survives for the next job.
+        assert_eq!(ran_after.load(Ordering::Relaxed), 1);
+        let ok: Vec<u8> = pool.run_tasks(vec![Box::new(|| 7)]);
+        assert_eq!(ok, vec![7]);
+    }
+
+    #[test]
+    fn oversized_pools_are_allowed() {
+        // Unlike Scheduler::new, the pool is not clamped to the host:
+        // a 9-worker pool on a 1-CPU box must still work.
+        let pool = StealPool::new(9);
+        assert_eq!(pool.workers(), 9);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..30usize)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(pool.run_tasks(tasks), (1..=30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = StealPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let out: Vec<u8> = pool.run_tasks(vec![Box::new(|| 42)]);
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Steal-storm proptest: concurrent jobs with randomized task
+//! durations on randomized pool shapes must never lose or duplicate a
+//! shard, and every job's results must come back complete and in
+//! submission order.
+//!
+//! Task durations are randomized via the deterministic fault plan
+//! ([`eip_exec::fault::FaultPlan`]): each task consults the plan at
+//! its own global index and sleeps when the plan injects a delay, so
+//! a given proptest case replays the same storm every run while still
+//! covering slow-task skew, stealing, and caller-help interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use eip_exec::fault::FaultPlan;
+use eip_exec::pool::StealPool;
+use eip_exec::Scheduler;
+use proptest::prelude::*;
+
+/// Stream id for the storm's delay draws (see `eip_exec::rng`).
+const STORM_STREAM: u64 = 0x0073_746d; // "stm"
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No lost or duplicated shards under a steal storm: every task
+    /// of every concurrent job runs exactly once, and each job's
+    /// result vector is its own complete sequence in order.
+    #[test]
+    fn storm_loses_nothing(
+        pool_size in 1usize..8,
+        jobs in 2usize..5,
+        tasks_per_job in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::new(seed, STORM_STREAM).with_delays(300, 200);
+        let pool = Arc::new(StealPool::new(pool_size));
+        let ran = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for job in 0..jobs {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                s.spawn(move || {
+                    let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..tasks_per_job)
+                        .map(|i| {
+                            let ran = Arc::clone(&ran);
+                            let index = (job * tasks_per_job + i) as u64;
+                            Box::new(move || {
+                                if plan.decide(index).is_some() {
+                                    thread::sleep(Duration::from_micros(200));
+                                }
+                                ran.fetch_add(1, Ordering::Relaxed);
+                                index
+                            }) as Box<dyn FnOnce() -> u64 + Send>
+                        })
+                        .collect();
+                    let out = pool.run_tasks(tasks);
+                    let expect: Vec<u64> = (0..tasks_per_job)
+                        .map(|i| (job * tasks_per_job + i) as u64)
+                        .collect();
+                    assert_eq!(out, expect, "job {job} results corrupted");
+                });
+            }
+        });
+        prop_assert_eq!(ran.load(Ordering::Relaxed), (jobs * tasks_per_job) as u64);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.executed + stats.caller_ran, (jobs * tasks_per_job) as u64);
+        prop_assert_eq!(stats.jobs, jobs as u64);
+    }
+
+    /// The shared reduction primitive under the same storm: random
+    /// geometry, random pool shape, injected delays — the fold must
+    /// equal the serial reference every time.
+    #[test]
+    fn storm_reductions_match_serial(
+        pool_size in 1usize..8,
+        workers in 1usize..16,
+        len in 0usize..5000,
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::new(seed, STORM_STREAM).with_delays(250, 150);
+        let expect = Scheduler::new(1).par_map_reduce(
+            len,
+            |r| r.map(|i| (i as u64).wrapping_mul(0x9e37)).sum::<u64>(),
+            |a, b| *a = a.wrapping_add(b),
+        );
+        let pool = Arc::new(StealPool::new(pool_size));
+        let exec = Scheduler::shared(workers, pool);
+        let got = exec.par_map_reduce_shared(
+            len,
+            move |r| {
+                if plan.decide(r.start as u64).is_some() {
+                    thread::sleep(Duration::from_micros(150));
+                }
+                r.map(|i| (i as u64).wrapping_mul(0x9e37)).sum::<u64>()
+            },
+            |a, b| *a = a.wrapping_add(b),
+        );
+        prop_assert_eq!(got, expect);
+    }
+}

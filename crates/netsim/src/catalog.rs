@@ -269,8 +269,21 @@ impl DatasetSpec {
     /// the serial form at any `jobs` by construction. This is the
     /// `repro --full` synthesize stage.
     pub fn population_sized_jobs(&self, n: usize, seed: u64, jobs: usize) -> AddressSet {
-        self.plan()
-            .generate_keyed_sharded(n, 0, seed, &eip_exec::Scheduler::new(jobs))
+        self.population_sized_exec(n, seed, &eip_exec::Scheduler::new(jobs))
+    }
+
+    /// Like [`DatasetSpec::population_sized_jobs`], but synthesizing
+    /// on a caller-provided scheduler, so fleet jobs sharing a
+    /// work-stealing pool reuse their own execution context. The
+    /// scheduler's worker count fixes the shard geometry exactly as
+    /// `jobs` does above; the output depends on nothing else.
+    pub fn population_sized_exec(
+        &self,
+        n: usize,
+        seed: u64,
+        exec: &eip_exec::Scheduler,
+    ) -> AddressSet {
+        self.plan().generate_keyed_sharded(n, 0, seed, exec)
     }
 }
 

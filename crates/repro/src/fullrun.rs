@@ -31,20 +31,37 @@ use crate::corpus::CorpusReader;
 /// printed live and serialized to JSON at the end.
 pub struct StageTimer {
     stages: Vec<(&'static str, f64)>,
+    verbose: bool,
 }
 
 impl StageTimer {
-    /// An empty timer.
+    /// An empty timer that prints each stage as it completes.
     pub fn new() -> Self {
-        StageTimer { stages: Vec::new() }
+        StageTimer {
+            stages: Vec::new(),
+            verbose: true,
+        }
     }
 
-    /// Times one stage, printing its wall-clock when it completes.
+    /// An empty timer that only records — used by the fleet driver,
+    /// where 16 concurrent jobs printing per-stage lines would
+    /// interleave into noise; the summary prints once at the end.
+    pub fn quiet() -> Self {
+        StageTimer {
+            stages: Vec::new(),
+            verbose: false,
+        }
+    }
+
+    /// Times one stage, printing its wall-clock when it completes
+    /// (unless built with [`StageTimer::quiet`]).
     pub fn stage<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
         let secs = start.elapsed().as_secs_f64();
-        println!("  {name:<12} {secs:>9.3} s");
+        if self.verbose {
+            println!("  {name:<12} {secs:>9.3} s");
+        }
         self.stages.push((name, secs));
         out
     }

@@ -11,6 +11,11 @@
 //! repro --full                # timed paper-scale run (1M in / 1M out),
 //!                             # stage timings -> crates/bench/BENCH_full.json
 //! repro --full --jobs 8 --bench-out /tmp/full.json
+//! repro --fleet               # all 16 Table-1 networks concurrently on one
+//!                             # shared work-stealing pool, models persisted
+//!                             # into a ModelStore dir, timings ->
+//!                             # crates/bench/BENCH_fleet.json
+//! repro --fleet --pool 8 --store-out /tmp/models --bench-out /tmp/fleet.json
 //! repro --candidates 50000    # custom candidate count
 //! repro --train 1000          # custom training size
 //! repro --seed 42             # reproducibility
@@ -24,6 +29,7 @@
 mod common;
 mod corpus;
 mod figures;
+mod fleet;
 mod fullrun;
 mod tables;
 
@@ -41,9 +47,12 @@ fn main() {
     let mut all = false;
     let mut ablation = false;
     let mut full = false;
+    let mut fleet = false;
     let mut bench_out: Option<String> = None;
     let mut corpus_out: Option<String> = None;
     let mut candidates: Option<usize> = None;
+    let mut store_out: Option<String> = None;
+    let mut pool_size: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -51,6 +60,19 @@ fn main() {
             "--all" => all = true,
             "--ablation" => ablation = true,
             "--full" => full = true,
+            "--fleet" => fleet = true,
+            "--store-out" => {
+                i += 1;
+                store_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--store-out needs a path")),
+                );
+            }
+            "--pool" => {
+                i += 1;
+                pool_size = Some((parse_num(&args, i, "--pool") as usize).max(1));
+            }
             "--bench-out" => {
                 i += 1;
                 bench_out = Some(
@@ -112,16 +134,39 @@ fn main() {
     }
     // `--full` means paper scale unless an explicit `--candidates`
     // overrides it — in either flag order.
+    // `--full` and `--fleet` mean paper scale unless an explicit
+    // `--candidates` overrides it — in either flag order.
     if let Some(n) = candidates {
         cfg.candidates = n;
-    } else if full {
+    } else if full || fleet {
         cfg.candidates = 1_000_000;
     }
-    // `--bench-out` only makes sense for the bare `--full` timed run;
-    // reject it elsewhere instead of silently writing nothing.
+    // `--bench-out` only makes sense for the timed runs (`--full`,
+    // `--fleet`); reject it elsewhere instead of silently writing
+    // nothing. Likewise the fleet-only flags.
     let timed_run = full && !all && table.is_none() && figure.is_none() && !ablation;
-    if bench_out.is_some() && !timed_run {
-        die("--bench-out only applies to the bare --full timed run");
+    if bench_out.is_some() && !timed_run && !fleet {
+        die("--bench-out only applies to the --full timed run or --fleet");
+    }
+    if (store_out.is_some() || pool_size.is_some()) && !fleet {
+        die("--store-out/--pool only apply to --fleet");
+    }
+
+    // `--fleet` is its own mode: the whole Table-1 network fleet,
+    // concurrently, on one shared work-stealing pool.
+    if fleet {
+        if full || all || table.is_some() || figure.is_some() || ablation {
+            die("--fleet runs alone (it already covers every network)");
+        }
+        fleet::fleet_run(
+            &cfg,
+            &fleet::FleetOptions {
+                store_out,
+                bench_out,
+                pool_size,
+            },
+        );
+        return;
     }
 
     // `--corpus-out` is its own mode: synthesize a duplicate-heavy
@@ -222,8 +267,9 @@ fn usage() {
     println!(
         "repro — regenerate the tables and figures of Entropy/IP (IMC 2016)\n\n\
          usage: repro [--all] [--table N] [--figure N] [--ablation]\n\
-                      [--full] [--candidates N] [--train N] [--seed N] [--probe-loss F]\n\
-                      [--jobs N] [--chunk-mb N] [--bench-out PATH] [--corpus-out PATH]\n\n\
+                      [--full] [--fleet] [--candidates N] [--train N] [--seed N]\n\
+                      [--probe-loss F] [--jobs N] [--pool N] [--chunk-mb N]\n\
+                      [--bench-out PATH] [--store-out PATH] [--corpus-out PATH]\n\n\
          tables:  1 datasets   2 conditional probs   3 S1 mining\n\
                   4 scanning   5 training-size sweep 6 prefix prediction\n\
          figures: 1 UI        2 BN graph   3 addresses  4 histogram  5 windowing\n\
@@ -232,6 +278,12 @@ fn usage() {
          1M candidates out) and records per-stage wall-clock to\n\
          crates/bench/BENCH_full.json (override with --bench-out); its ingest\n\
          stage streams a synthetic corpus in --chunk-mb MiB chunks\n\n\
+         --fleet runs all 16 Table-1 networks end-to-end concurrently on one\n\
+         shared work-stealing pool (--pool workers, default: all cores; --jobs\n\
+         still fixes the deterministic shard geometry), persists every model\n\
+         into --store-out (default target/fleet_models) for `eip serve`, checks\n\
+         each network byte-identical to a solo serial run, and records wall-clock\n\
+         vs the sequential sum in crates/bench/BENCH_fleet.json\n\n\
          --corpus-out PATH writes a duplicate-heavy synthetic address corpus\n\
          (--candidates lines, ~1/5 distinct) for the ingestion smoke test"
     );

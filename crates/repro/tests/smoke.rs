@@ -135,6 +135,55 @@ fn full_run_records_stage_timings() {
 }
 
 #[test]
+fn fleet_run_persists_all_networks_and_records_timings() {
+    // The concurrent 16-network sweep at toy scale: every Table-1
+    // model must land in the store, the run must self-verify against
+    // its solo serial baseline, and the fleet JSON must record both
+    // phases' wall-clock.
+    let tmp = std::env::temp_dir().join(format!("eip_fleet_smoke_{}", std::process::id()));
+    let store = tmp.join("models");
+    let json_path = tmp.join("fleet.json");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let stdout = run_repro(&[
+        "--fleet",
+        "--candidates",
+        "1500",
+        "--jobs",
+        "2",
+        "--pool",
+        "3",
+        "--store-out",
+        store.to_str().unwrap(),
+        "--bench-out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("Fleet run"), "missing header:\n{stdout}");
+    assert!(
+        stdout.matches("byte-identical").count() >= 16,
+        "every network must verify against its solo baseline:\n{stdout}"
+    );
+    let models = std::fs::read_dir(&store)
+        .expect("store dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "eipm"))
+        .count();
+    assert_eq!(models, 16, "expected one .eipm per Table-1 network");
+    let json = std::fs::read_to_string(&json_path).expect("BENCH_fleet.json written");
+    std::fs::remove_dir_all(&tmp).ok();
+    for field in [
+        "\"networks\"",
+        "\"fleet_wall\"",
+        "\"sequential_sum\"",
+        "\"speedup\"",
+        "\"pool\"",
+        "\"S1\"",
+        "\"AT\"",
+    ] {
+        assert!(json.contains(field), "missing {field}:\n{json}");
+    }
+}
+
+#[test]
 fn eip_cli_prints_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_eip"))
         .arg("help")

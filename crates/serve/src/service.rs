@@ -432,11 +432,18 @@ impl Service {
     }
 
     /// `STATS`: registry counters, resident set, request counters.
+    ///
+    /// The `models_resident` gauge plus one `model <id>` line per
+    /// resident network (MRU order) report per-model registry
+    /// residency, so a fleet deployment can assert each freshly
+    /// persisted model is actually decodable and being served — the
+    /// fleet smoke test greps for them after exercising `GEN`.
     fn stats_block(&self) -> String {
         let stats = self.registry.stats();
         let networks = self.registry.store().list().map(|v| v.len()).unwrap_or(0);
         let resident = self.registry.resident();
         let c = &self.counters;
+        let model_lines: String = resident.iter().map(|id| format!("model {id}\n")).collect();
         format!(
             "OK STATS\n\
              networks {networks}\n\
@@ -458,7 +465,8 @@ impl Service {
              oversize_lines {}\n\
              limit_rejects {}\n\
              mru {}\n\
-             .\n",
+             models_resident {}\n\
+             {}.\n",
             stats.resident,
             stats.hits,
             stats.misses,
@@ -480,7 +488,9 @@ impl Service {
                 "-".to_string()
             } else {
                 resident.join(",")
-            }
+            },
+            resident.len(),
+            model_lines
         )
     }
 }

@@ -96,6 +96,10 @@ fn scripted_session_covers_every_command() {
     assert_eq!(field("req_gen"), "1");
     assert_eq!(field("req_predict64"), "2");
     assert_eq!(field("mru"), "S1");
+    // Per-model residency: the gauge plus one `model <id>` line per
+    // resident network, so fleet deployments can assert servability.
+    assert_eq!(field("models_resident"), "1");
+    assert_eq!(field("model"), "S1");
 
     // Errors are tagged and do not kill the connection.
     assert!(c.request("GEN nope 5").unwrap()[0].starts_with("ERR unknown-model "));

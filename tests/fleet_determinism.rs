@@ -1,0 +1,140 @@
+//! Tier-1 multi-job determinism suite: concurrent pipeline jobs on
+//! one shared work-stealing pool must produce artifacts byte-identical
+//! to a solo serial run — at every pool size.
+//!
+//! This is the fleet-scale extension of `determinism.rs`: there the
+//! invariant is "worker count is invisible"; here it is "the shared
+//! execution venue is invisible". Shard geometry stays keyed by the
+//! configured parallelism and every hot path draws counter-based
+//! per-index randomness, so neither which thread runs a shard, nor
+//! which job stole it, nor how many jobs race on the pool can reach
+//! the output. The suite runs 2–4 concurrent jobs over distinct
+//! networks at pool sizes {1, 2, 7, 8} — serial venue, smallest
+//! genuine pool, and an uneven/even pair both above this machine's
+//! likely core count — and byte-compares the exported model and the
+//! candidate stream of every job against solo serial oracles.
+
+use std::sync::Arc;
+use std::thread;
+
+use eip_exec::pool::StealPool;
+use eip_exec::Scheduler;
+use eip_netsim::dataset;
+use entropy_ip::{profile, Config, Generator, Pipeline};
+
+const POOLS: [usize; 4] = [1, 2, 7, 8];
+const SEED: u64 = 20160317;
+const POP: usize = 3_000;
+const CANDIDATES: usize = 1_200;
+
+/// One network end to end on an optional shared pool: the exported
+/// model plus the candidate batch, the two byte-level artifacts a
+/// fleet job ships.
+fn run_one(id: &str, jobs: usize, pool: Option<Arc<StealPool>>) -> (String, Vec<eip_addr::Ip6>) {
+    let set = dataset(id).unwrap().population_sized(POP, SEED);
+    let mut config = Config::default().with_parallelism(jobs);
+    if let Some(pool) = &pool {
+        config = config.with_pool(Arc::clone(pool));
+    }
+    let exec = config.scheduler();
+    let model = Pipeline::new(config).run(set.iter()).unwrap();
+    let export = profile::export(&model);
+    let model = Arc::new(model);
+    let report = Generator::shared(model)
+        .with_scheduler(exec)
+        .attempts_per_candidate(8)
+        .run_seeded(CANDIDATES, SEED ^ 0xf001);
+    (export, report.candidates)
+}
+
+/// 2–4 concurrent jobs over distinct networks sharing one pool: every
+/// job's model and candidate stream equals its solo serial oracle, at
+/// every pool size.
+#[test]
+fn concurrent_jobs_on_shared_pool_match_solo_serial() {
+    let networks = ["S1", "R1", "C1", "AT"];
+    let oracles: Vec<_> = networks.iter().map(|id| run_one(id, 1, None)).collect();
+    for pool_size in POOLS {
+        for job_count in 2..=networks.len() {
+            let pool = Arc::new(StealPool::new(pool_size));
+            let results: Vec<_> = thread::scope(|s| {
+                let handles: Vec<_> = networks[..job_count]
+                    .iter()
+                    .map(|id| {
+                        let pool = Arc::clone(&pool);
+                        s.spawn(move || run_one(id, 1, Some(pool)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for ((id, got), want) in networks.iter().zip(&results).zip(&oracles) {
+                assert_eq!(
+                    got.0, want.0,
+                    "{id}: model diverged on shared pool (pool={pool_size}, jobs={job_count})"
+                );
+                assert_eq!(
+                    got.1, want.1,
+                    "{id}: candidates diverged on shared pool (pool={pool_size}, jobs={job_count})"
+                );
+            }
+        }
+    }
+}
+
+/// The same invariant with a *sharded* geometry (parallelism > 1):
+/// concurrent pool-backed jobs at jobs=3 equal the solo serial run at
+/// jobs=3 — the pool changes who executes the shards, never what the
+/// shards are.
+#[test]
+fn sharded_concurrent_jobs_match_solo_sharded() {
+    let networks = ["S1", "R1", "C1"];
+    let oracles: Vec<_> = networks.iter().map(|id| run_one(id, 3, None)).collect();
+    for pool_size in [1, 7] {
+        let pool = Arc::new(StealPool::new(pool_size));
+        let results: Vec<_> = thread::scope(|s| {
+            let handles: Vec<_> = networks
+                .iter()
+                .map(|id| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || run_one(id, 3, Some(pool)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ((id, got), want) in networks.iter().zip(&results).zip(&oracles) {
+            assert_eq!(got, want, "{id}: sharded run diverged (pool={pool_size})");
+        }
+        // The venue really was shared: one pool, one job per network.
+        assert!(pool.stats().jobs >= networks.len() as u64);
+    }
+}
+
+/// `--jobs` composes with the pool exactly as documented: it fixes
+/// the shard geometry (the output), while the pool size only moves
+/// work between threads. Crossing jobs ∈ {1, 4} with pool ∈ {1, 8}
+/// must yield byte-identical artifacts per jobs value — and identical
+/// across jobs values too, because every stage is worker-count
+/// invariant by keyed construction.
+#[test]
+fn jobs_control_geometry_not_speed_on_shared_pools() {
+    let baseline = run_one("S1", 1, None);
+    for jobs in [1, 4] {
+        for pool_size in [1, 8] {
+            let pool = Arc::new(StealPool::new(pool_size));
+            let got = run_one("S1", jobs, Some(pool));
+            assert_eq!(
+                got, baseline,
+                "artifacts drifted at jobs={jobs}, pool={pool_size}"
+            );
+        }
+    }
+    // And the scheduler the config builds really is the shared one.
+    let pool = Arc::new(StealPool::new(2));
+    let exec = Config::default()
+        .with_parallelism(4)
+        .with_pool(Arc::clone(&pool))
+        .scheduler();
+    assert!(exec.has_pool());
+    assert_eq!(exec.workers(), 4);
+    assert_eq!(exec, Scheduler::new(4), "pool must not reach equality");
+}
